@@ -1,0 +1,46 @@
+//! Figure 2 — latency breakdown of continuously- vs intermittently-powered
+//! inference (the paper's motivating observation).
+//!
+//! Runs the unpruned HAR model through both engine modes and prints each
+//! activity's share of the committed busy time: NVM reads + accelerator
+//! computation dominate under continuous execution, NVM writes (progress
+//! preservation) dominate under intermittent execution.
+
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_hawaii::deploy::deploy;
+use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_models::zoo::App;
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 40.0).round() as usize;
+    "#".repeat(n)
+}
+
+fn main() {
+    println!("Figure 2 — Latency breakdown, conventional vs intermittent inference");
+    println!("=====================================================================");
+    for app in App::all() {
+        let mut model = app.build();
+        let calib = app.dataset(4, 77);
+        let dm = deploy(&mut model, &calib, 4);
+        let x = calib.sample(0);
+
+        let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+        let cont = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).expect("continuous");
+        let mut sim_i = DeviceSim::new(PowerStrength::Continuous, 0);
+        let inter = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).expect("intermittent");
+
+        println!();
+        println!("{} (unpruned)", app.name());
+        for (label, out) in [("(a) continuously-powered ", &cont), ("(b) intermittently-powered", &inter)] {
+            let s = &out.stats;
+            let busy = s.busy_s();
+            println!("  {label}: total {:.3} s", out.latency_s);
+            println!("      NVM read   {:>5.1}%  {}", 100.0 * s.nvm_read_s / busy, bar(s.nvm_read_s / busy));
+            println!("      accelerator{:>5.1}%  {}", 100.0 * (s.lea_s + s.cpu_s) / busy, bar((s.lea_s + s.cpu_s) / busy));
+            println!("      NVM write  {:>5.1}%  {}", 100.0 * s.nvm_write_s / busy, bar(s.nvm_write_s / busy));
+        }
+    }
+    println!();
+    println!("Expected shape: writes dominate (b) but not (a) — the paper's motivation.");
+}

@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the primitives behind the experiments:
+//! BSR packing, tile-plan counting, SA ratio allocation, quantization, and
+//! end-to-end engine inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iprune::blocks::build_states;
+use iprune::sa::{allocate_ratios, SaConfig};
+use iprune_device::energy::EnergyModel;
+use iprune_device::timing::TimingModel;
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_hawaii::bsr::BsrMatrix;
+use iprune_hawaii::deploy::deploy;
+use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_hawaii::plan::dense_model_acc_outputs;
+use iprune_models::zoo::App;
+use iprune_tensor::quant::{QFormat, QTensor};
+use iprune_tensor::Tensor;
+use std::hint::black_box;
+
+fn sparse_dense(n: usize) -> Vec<i16> {
+    (0..n * n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9);
+            if h % 4 == 0 {
+                ((h >> 8) % 200) as i16 - 100
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+fn bench_bsr(c: &mut Criterion) {
+    let dense = sparse_dense(128);
+    c.bench_function("bsr_pack_128x128", |b| {
+        b.iter(|| BsrMatrix::from_dense(black_box(&dense), 128, 128, 8, 4, QFormat::new(12)))
+    });
+    let bsr = BsrMatrix::from_dense(&dense, 128, 128, 8, 4, QFormat::new(12));
+    c.bench_function("bsr_unpack_128x128", |b| b.iter(|| black_box(&bsr).to_dense()));
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let model = App::Sqn.build();
+    c.bench_function("acc_output_count_sqn", |b| {
+        b.iter(|| dense_model_acc_outputs(black_box(&model.info)))
+    });
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let mut model = App::Cks.build();
+    let states =
+        build_states(&mut model, iprune::Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+    let sens = vec![0.05; states.len()];
+    let cfg = SaConfig { steps: 400, ..Default::default() };
+    c.bench_function("sa_allocate_cks_400steps", |b| {
+        b.iter(|| allocate_ratios(black_box(&states), &sens, 0.2, &cfg))
+    });
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let t = Tensor::from_vec(&[64, 256], (0..64 * 256).map(|i| ((i % 97) as f32 - 48.0) / 64.0).collect());
+    c.bench_function("quantize_16k_weights", |b| b.iter(|| QTensor::quantize(black_box(&t))));
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 9);
+    let dm = deploy(&mut model, &ds, 2);
+    let x = ds.sample(0);
+    c.bench_function("engine_har_intermittent", |b| {
+        b.iter(|| {
+            let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+            infer(black_box(&dm), &x, &mut sim, ExecMode::Intermittent).unwrap()
+        })
+    });
+    c.bench_function("engine_har_continuous", |b| {
+        b.iter(|| {
+            let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+            infer(black_box(&dm), &x, &mut sim, ExecMode::Continuous).unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bsr, bench_counting, bench_sa, bench_quant, bench_engine
+}
+criterion_main!(benches);

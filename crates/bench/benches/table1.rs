@@ -1,0 +1,52 @@
+//! Table I — specifications of the experimental environment.
+//!
+//! Prints the simulated platform's constants next to the paper's, plus the
+//! derived timing/energy parameters the simulator uses.
+
+use iprune_device::energy::EnergyModel;
+use iprune_device::spec::DeviceSpec;
+use iprune_device::timing::TimingModel;
+use iprune_device::PowerStrength;
+
+fn main() {
+    let spec = DeviceSpec::msp430fr5994();
+    let timing = TimingModel::default();
+    let energy = EnergyModel::default();
+
+    println!("Table I — Specifications of the experimental environment (simulated)");
+    println!("=====================================================================");
+    println!("Hardware");
+    println!("  MCU                    {}", spec.mcu);
+    println!("  Volatile memory        {} KB SRAM", spec.vm_bytes / 1024);
+    println!("  Non-volatile memory    {} ({} KB)", spec.nvm_part, spec.nvm_bytes / 1024);
+    println!("  Accelerator            {}", spec.accelerator);
+    println!("Energy");
+    println!("  Boost converter        {}", spec.emu);
+    println!("  Switch on/off voltage  {} V / {} V", spec.v_on, spec.v_off);
+    println!("  Capacitance            {} uF", spec.capacitance_f * 1.0e6);
+    println!("  Energy per power cycle {:.1} uJ", spec.energy_span_j() * 1.0e6);
+    for s in PowerStrength::all() {
+        println!("  {:<22} {:.4} W", s.label(), s.watts());
+    }
+    println!();
+    println!("Derived simulator parameters (datasheet-calibrated)");
+    println!("  CPU/LEA clock          {:.0} MHz", spec.cpu_hz / 1.0e6);
+    println!(
+        "  NVM read               {:.2} us/B + {:.2} us invocation",
+        timing.nvm_read_byte_s * 1e6,
+        (timing.dma_invoke_s + timing.nvm_invoke_s) * 1e6
+    );
+    println!(
+        "  NVM write              {:.2} us/B + {:.2} us invocation",
+        timing.nvm_write_byte_s * 1e6,
+        (timing.dma_invoke_s + timing.nvm_invoke_s) * 1e6
+    );
+    println!("  LEA MAC                {:.1} ns", timing.lea_mac_s * 1e9);
+    println!(
+        "  Active draw (base/LEA/rd/wr)  {:.1}/{:.1}/{:.1}/{:.1} mW",
+        energy.p_base_w * 1e3,
+        energy.p_lea_w * 1e3,
+        energy.p_nvm_read_w * 1e3,
+        energy.p_nvm_write_w * 1e3
+    );
+}

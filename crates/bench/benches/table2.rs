@@ -1,0 +1,68 @@
+//! Table II — TinyML applications used for evaluation.
+//!
+//! Prints, per app: layer tally, dense model size, MACs, accelerator
+//! outputs (under the HAWAII+ tile plans), and the layer-diversity label,
+//! next to the paper's reported values.
+
+use iprune_hawaii::plan::{dense_model_acc_outputs, diversity_label, diversity_ratio};
+use iprune_models::zoo::App;
+
+struct PaperRow {
+    size_kb: f64,
+    macs_k: f64,
+    outputs_k: f64,
+    diversity: &'static str,
+}
+
+fn paper_row(app: App) -> PaperRow {
+    match app {
+        App::Sqn => PaperRow { size_kb: 147.0, macs_k: 4442.0, outputs_k: 1483.0, diversity: "Low" },
+        App::Har => PaperRow { size_kb: 28.0, macs_k: 321.0, outputs_k: 77.0, diversity: "Medium" },
+        App::Cks => PaperRow { size_kb: 131.0, macs_k: 2811.0, outputs_k: 1582.0, diversity: "High" },
+    }
+}
+
+fn main() {
+    println!("Table II — TinyML applications used for evaluation");
+    println!("===================================================");
+    println!(
+        "{:<5} {:<22} {:>14} {:>12} {:>16} {:>10}",
+        "App", "Layers", "Model Size", "MACs", "Acc. Outputs", "Diversity"
+    );
+    for app in App::all() {
+        let model = app.build();
+        let info = &model.info;
+        let (convs, pools, fcs) = info.layer_tally();
+        let mut layers = format!("CONV x{convs}");
+        if pools > 0 {
+            layers.push_str(&format!(", POOL x{pools}"));
+        }
+        if fcs > 0 {
+            layers.push_str(&format!(", FC x{fcs}"));
+        }
+        let size_kb = info.dense_size_bytes() as f64 / 1024.0;
+        let macs_k = info.total_macs() as f64 / 1000.0;
+        let outputs_k = dense_model_acc_outputs(info) as f64 / 1000.0;
+        let div = diversity_label(diversity_ratio(info));
+        let p = paper_row(app);
+        println!(
+            "{:<5} {:<22} {:>9.0} KB {:>9.0} K {:>13.0} K {:>10}",
+            app.name(),
+            layers,
+            size_kb,
+            macs_k,
+            outputs_k,
+            div
+        );
+        println!(
+            "{:<5} {:<22} {:>9.0} KB {:>9.0} K {:>13.0} K {:>10}   (paper)",
+            "", "", p.size_kb, p.macs_k, p.outputs_k, p.diversity
+        );
+    }
+    println!();
+    println!("Diversity = max/min of per-layer (acc outputs / weights):");
+    for app in App::all() {
+        let model = app.build();
+        println!("  {:<4} ratio {:>7.1}", app.name(), diversity_ratio(&model.info));
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared scaffolding for the table/figure regeneration harnesses.
+//!
+//! Every table and figure of the paper has a `harness = false` bench target
+//! in `benches/` that prints the corresponding rows (`cargo bench -p
+//! iprune-bench --bench table3`, …). This library holds what they share:
+//! the experiment scale ([`Scale`], controlled by `IPRUNE_SCALE`), the
+//! train→prune→deploy pipelines, and a weight cache so `fig5` can reuse the
+//! models `table3` produced instead of re-pruning.
+
+pub mod cache;
+pub mod pipeline;
+pub mod scale;
+
+pub use pipeline::{run_app_pipelines, AppResults, Variant};
+pub use scale::Scale;

@@ -1,0 +1,120 @@
+//! Experiment scale selection.
+//!
+//! `IPRUNE_SCALE` picks how much data and search the harnesses spend:
+//! `smoke` for CI-speed sanity runs, `standard` (default) for a
+//! single-core-friendly full regeneration, `paper` for the most faithful
+//! (slowest) runs.
+
+use iprune_models::zoo::App;
+
+/// Dataset and search sizes for one harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Name of the scale (for logging).
+    pub name: &'static str,
+    /// Training samples for SQN/CKS (HAR uses half: it is a far smaller
+    /// task).
+    pub train_n: usize,
+    /// Validation samples.
+    pub val_n: usize,
+    /// Initial-training epochs multiplier (1 = each app's recipe).
+    pub epoch_mul: usize,
+    /// Max pruning iterations.
+    pub max_iters: usize,
+    /// Simulated-annealing steps.
+    pub sa_steps: usize,
+    /// Samples for sensitivity probes.
+    pub sens_eval: usize,
+    /// Samples for the per-iteration accuracy check.
+    pub val_eval: usize,
+    /// Device-simulation repetitions per latency point (different
+    /// power-failure phases).
+    pub latency_reps: usize,
+    /// Samples for quantized-accuracy evaluation.
+    pub quant_eval: usize,
+}
+
+/// CI-speed sanity scale.
+pub const SMOKE: Scale = Scale {
+    name: "smoke",
+    train_n: 300,
+    val_n: 120,
+    epoch_mul: 1,
+    max_iters: 2,
+    sa_steps: 200,
+    sens_eval: 24,
+    val_eval: 60,
+    latency_reps: 1,
+    quant_eval: 40,
+};
+
+/// Default single-core scale: regenerates everything in minutes.
+pub const STANDARD: Scale = Scale {
+    name: "standard",
+    train_n: 1500,
+    val_n: 300,
+    epoch_mul: 1,
+    max_iters: 8,
+    sa_steps: 800,
+    sens_eval: 64,
+    val_eval: 200,
+    latency_reps: 3,
+    quant_eval: 100,
+};
+
+/// Most faithful (slowest) scale.
+pub const PAPER: Scale = Scale {
+    name: "paper",
+    train_n: 3000,
+    val_n: 600,
+    epoch_mul: 2,
+    max_iters: 12,
+    sa_steps: 1600,
+    sens_eval: 128,
+    val_eval: 400,
+    latency_reps: 5,
+    quant_eval: 200,
+};
+
+impl Scale {
+    /// Reads `IPRUNE_SCALE` (`smoke` / `standard` / `paper`), defaulting to
+    /// [`STANDARD`]. Unknown values fall back to the default with a note on
+    /// stderr.
+    pub fn from_env() -> Scale {
+        match std::env::var("IPRUNE_SCALE").as_deref() {
+            Ok("smoke") => SMOKE,
+            Ok("paper") => PAPER,
+            Ok("standard") | Err(_) => STANDARD,
+            Ok(other) => {
+                eprintln!("unknown IPRUNE_SCALE `{other}`, using standard");
+                STANDARD
+            }
+        }
+    }
+
+    /// Training-set size for an app (HAR's task is much smaller).
+    pub fn train_for(&self, app: App) -> usize {
+        match app {
+            App::Har => self.train_n / 2,
+            _ => self.train_n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_standard() {
+        // The test environment does not set IPRUNE_SCALE.
+        if std::env::var("IPRUNE_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), STANDARD);
+        }
+    }
+
+    #[test]
+    fn har_uses_smaller_training_set() {
+        assert!(STANDARD.train_for(App::Har) < STANDARD.train_for(App::Sqn));
+    }
+}

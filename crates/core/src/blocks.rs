@@ -1,0 +1,272 @@
+//! Weight-block bookkeeping at the accelerator-operation granularity.
+//!
+//! The paper's third guideline: the pruning granularity should be a block of
+//! weights computed by one single accelerator operation, because removing
+//! anything smaller leaves the operation (and its preserved outputs) in
+//! place. Block importance is the RMS of its weights (Section III-D).
+
+use crate::criterion::{block_cost, Criterion};
+use iprune_device::energy::EnergyModel;
+use iprune_device::timing::TimingModel;
+use iprune_hawaii::LayerPlan;
+use iprune_models::Model;
+use iprune_tensor::Tensor;
+
+/// One weight block of one layer.
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// Block-row index.
+    pub rb: usize,
+    /// Block-column (reduction chunk) index.
+    pub cb: usize,
+    /// RMS of the block's current weights.
+    pub rms: f64,
+    /// Weights the block covers (edge blocks cover fewer).
+    pub weights: usize,
+    /// Criterion cost the block contributes per inference.
+    pub cost: f64,
+    /// Whether the block is still unpruned.
+    pub alive: bool,
+}
+
+/// Pruning-relevant state of one prunable layer.
+#[derive(Debug, Clone)]
+pub struct LayerState {
+    /// Prunable layer id.
+    pub layer_id: usize,
+    /// Execution plan.
+    pub plan: LayerPlan,
+    /// All blocks of the layer.
+    pub blocks: Vec<BlockInfo>,
+    /// Currently unpruned weights.
+    pub alive_weights: usize,
+    /// Criterion cost of the alive blocks.
+    pub alive_cost: f64,
+    /// Current weight mask (1 = keep), flat `[m*k]`.
+    pub mask: Tensor,
+}
+
+impl LayerState {
+    /// Alive blocks sorted by ascending RMS, with cumulative weights and
+    /// cost — the removal order of the block-selection step.
+    pub fn removal_schedule(&self) -> RemovalSchedule {
+        let mut order: Vec<usize> = (0..self.blocks.len()).filter(|&i| self.blocks[i].alive).collect();
+        order.sort_by(|&a, &b| {
+            self.blocks[a].rms.partial_cmp(&self.blocks[b].rms).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut cum_weights = Vec::with_capacity(order.len());
+        let mut cum_cost = Vec::with_capacity(order.len());
+        let (mut w, mut c) = (0usize, 0.0f64);
+        for &i in &order {
+            w += self.blocks[i].weights;
+            c += self.blocks[i].cost;
+            cum_weights.push(w);
+            cum_cost.push(c);
+        }
+        RemovalSchedule { order, cum_weights, cum_cost }
+    }
+}
+
+/// Blocks of one layer in removal (ascending-RMS) order.
+#[derive(Debug, Clone)]
+pub struct RemovalSchedule {
+    /// Block indices in removal order.
+    pub order: Vec<usize>,
+    /// Cumulative weights removed after taking a prefix.
+    pub cum_weights: Vec<usize>,
+    /// Cumulative criterion cost removed after taking a prefix.
+    pub cum_cost: Vec<f64>,
+}
+
+impl RemovalSchedule {
+    /// Number of leading blocks needed to remove at least `weight_budget`
+    /// weights (clamped to all blocks).
+    pub fn blocks_for_budget(&self, weight_budget: usize) -> usize {
+        if weight_budget == 0 {
+            return 0;
+        }
+        match self.cum_weights.binary_search(&weight_budget) {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.order.len()),
+        }
+    }
+
+    /// Criterion cost removed by taking `n` leading blocks.
+    pub fn cost_removed(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.cum_cost[n.min(self.cum_cost.len()) - 1]
+        }
+    }
+
+    /// Weights removed by taking `n` leading blocks.
+    pub fn weights_removed(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.cum_weights[n.min(self.cum_weights.len()) - 1]
+        }
+    }
+}
+
+/// Builds per-layer pruning state from the model's current weights and
+/// masks.
+pub fn build_states(
+    model: &mut Model,
+    criterion: Criterion,
+    timing: &TimingModel,
+    energy: &EnergyModel,
+) -> Vec<LayerState> {
+    let weights = model.extract_weights();
+    let masks = model.masks();
+    weights
+        .iter()
+        .map(|lw| {
+            let p = &model.info.prunables[lw.layer_id];
+            let plan = LayerPlan::for_layer(p);
+            let mask = masks
+                .get(&lw.layer_id)
+                .map(|m| m.reshape(&[plan.m * plan.k]))
+                .unwrap_or_else(|| Tensor::full(&[plan.m * plan.k], 1.0));
+            let w = lw.w.reshape(&[plan.m * plan.k]);
+            let (br, bc) = (plan.tile.br, plan.tile.bc);
+            let mut blocks = Vec::with_capacity(plan.row_blocks() * plan.chunks());
+            let mut alive_weights = 0usize;
+            let mut alive_cost = 0.0f64;
+            for rb in 0..plan.row_blocks() {
+                let rows = plan.rows_in_block(rb);
+                for cb in 0..plan.chunks() {
+                    let cols = bc.min(plan.k - cb * bc);
+                    let mut ss = 0.0f64;
+                    let mut alive = false;
+                    for r in 0..rows {
+                        let row = rb * br + r;
+                        for c in 0..cols {
+                            let idx = row * plan.k + cb * bc + c;
+                            let v = w.data()[idx] as f64;
+                            ss += v * v;
+                            alive |= mask.data()[idx] != 0.0;
+                        }
+                    }
+                    let nweights = rows * cols;
+                    let rms = (ss / nweights as f64).sqrt();
+                    let cost = block_cost(criterion, &plan, rows, timing, energy);
+                    if alive {
+                        alive_weights += nweights;
+                        alive_cost += cost;
+                    }
+                    blocks.push(BlockInfo { rb, cb, rms, weights: nweights, cost, alive });
+                }
+            }
+            LayerState { layer_id: lw.layer_id, plan, blocks, alive_weights, alive_cost, mask }
+        })
+        .collect()
+}
+
+/// Zeroes the mask region of one block.
+pub fn mask_out_block(state: &mut LayerState, block_idx: usize) {
+    let plan = &state.plan;
+    let (br, bc) = (plan.tile.br, plan.tile.bc);
+    let b = state.blocks[block_idx].clone();
+    let rows = plan.rows_in_block(b.rb);
+    let cols = bc.min(plan.k - b.cb * bc);
+    for r in 0..rows {
+        let row = b.rb * br + r;
+        for c in 0..cols {
+            state.mask.data_mut()[row * plan.k + b.cb * bc + c] = 0.0;
+        }
+    }
+    if state.blocks[block_idx].alive {
+        state.alive_weights -= b.weights;
+        state.alive_cost -= b.cost;
+        state.blocks[block_idx].alive = false;
+    }
+}
+
+/// The mask reshaped to the layer's weight-tensor shape.
+pub fn mask_as_weight_shape(state: &LayerState, model: &Model) -> Tensor {
+    let p = &model.info.prunables[state.layer_id];
+    let dims: Vec<usize> = match &p.kind {
+        iprune_models::PrunableKind::Conv { cin, cout, kh, kw, .. } => vec![*cout, *cin, *kh, *kw],
+        iprune_models::PrunableKind::Fc { din, dout } => vec![*dout, *din],
+    };
+    state.mask.reshape(&dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprune_models::zoo::App;
+
+    fn har_states() -> (Model, Vec<LayerState>) {
+        let mut m = App::Har.build();
+        let states =
+            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        (m, states)
+    }
+
+    #[test]
+    fn fresh_model_is_fully_alive() {
+        let (m, states) = har_states();
+        for (s, p) in states.iter().zip(&m.info.prunables) {
+            assert_eq!(s.alive_weights, p.weights(), "{}", p.name);
+            assert!((s.alive_cost - s.plan.dense_acc_outputs() as f64).abs() < 1e-6);
+            assert!(s.blocks.iter().all(|b| b.alive));
+        }
+    }
+
+    #[test]
+    fn removal_schedule_is_sorted_and_cumulative() {
+        let (_, states) = har_states();
+        let sched = states[0].removal_schedule();
+        for w in sched.order.windows(2) {
+            assert!(states[0].blocks[w[0]].rms <= states[0].blocks[w[1]].rms);
+        }
+        assert_eq!(sched.weights_removed(sched.order.len()), states[0].alive_weights);
+        assert!(sched.cost_removed(3) > sched.cost_removed(1));
+    }
+
+    #[test]
+    fn blocks_for_budget_is_minimal() {
+        let (_, states) = har_states();
+        let sched = states[1].removal_schedule();
+        let budget = states[1].alive_weights / 4;
+        let n = sched.blocks_for_budget(budget);
+        assert!(sched.weights_removed(n) >= budget);
+        if n > 0 {
+            assert!(sched.weights_removed(n - 1) < budget);
+        }
+    }
+
+    #[test]
+    fn mask_out_block_updates_tallies() {
+        let (_, mut states) = har_states();
+        let before_w = states[2].alive_weights;
+        let before_c = states[2].alive_cost;
+        let zeros_before = states[2].mask.count_zeros();
+        mask_out_block(&mut states[2], 0);
+        assert!(states[2].alive_weights < before_w);
+        assert!(states[2].alive_cost < before_c);
+        assert!(states[2].mask.count_zeros() > zeros_before);
+        // double-kill is a no-op on tallies
+        let w = states[2].alive_weights;
+        mask_out_block(&mut states[2], 0);
+        assert_eq!(states[2].alive_weights, w);
+    }
+
+    #[test]
+    fn masked_blocks_report_dead_on_rebuild() {
+        let (mut m, mut states) = har_states();
+        mask_out_block(&mut states[0], 0);
+        mask_out_block(&mut states[0], 1);
+        let mask = mask_as_weight_shape(&states[0], &m);
+        let mut masks = std::collections::HashMap::new();
+        masks.insert(0usize, mask);
+        m.set_masks(&masks);
+        let rebuilt =
+            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        assert_eq!(rebuilt[0].blocks.iter().filter(|b| !b.alive).count(), 2);
+        assert_eq!(rebuilt[0].alive_weights, states[0].alive_weights);
+    }
+}

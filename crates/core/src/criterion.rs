@@ -1,0 +1,107 @@
+//! Pruning criteria: what "importance for the objective" means.
+//!
+//! iPrune's criterion is the number of accelerator outputs (Section III-B).
+//! The ePrune baseline uses per-layer energy the way an energy-aware pruning
+//! framework for continuously-powered systems would (NVM reads + MACs, since
+//! such systems accumulate outputs in VM). Magnitude is the classic
+//! hardware-oblivious baseline used in the granularity ablation.
+
+use iprune_device::energy::EnergyModel;
+use iprune_device::timing::TimingModel;
+use iprune_hawaii::LayerPlan;
+
+/// The objective a pruning run optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// iPrune: minimize accelerator outputs (progress-preservation and
+    /// recovery cost on intermittent systems).
+    AccOutputs,
+    /// ePrune: minimize continuous-system energy (MACs + weight fetches).
+    Energy,
+    /// Magnitude: no hardware objective; remove smallest weights.
+    Magnitude,
+}
+
+impl Criterion {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Criterion::AccOutputs => "iPrune",
+            Criterion::Energy => "ePrune",
+            Criterion::Magnitude => "mPrune",
+        }
+    }
+}
+
+/// Per-inference cost of one weight block of a layer under a criterion.
+///
+/// `rows` is the number of output features the block covers (edge blocks
+/// may cover fewer than `br`).
+pub fn block_cost(
+    criterion: Criterion,
+    plan: &LayerPlan,
+    rows: usize,
+    timing: &TimingModel,
+    energy: &EnergyModel,
+) -> f64 {
+    match criterion {
+        Criterion::AccOutputs => (plan.n_spatial * rows) as f64,
+        Criterion::Energy => {
+            let macs = plan.n_spatial * rows * plan.tile.bc;
+            let strips = plan.n_spatial.div_ceil(plan.tile.strip);
+            let weight_bytes = 2 * plan.tile.br * plan.tile.bc * strips;
+            macs as f64 * energy.e_mac_j(timing)
+                + weight_bytes as f64 * energy.e_nvm_read_byte_j(timing)
+        }
+        Criterion::Magnitude => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprune_models::zoo::App;
+
+    #[test]
+    fn acc_output_cost_sums_to_dense_count() {
+        let m = App::Har.build();
+        let timing = TimingModel::default();
+        let energy = EnergyModel::default();
+        for p in &m.info.prunables {
+            let plan = LayerPlan::for_layer(p);
+            let mut total = 0.0;
+            for rb in 0..plan.row_blocks() {
+                let rows = plan.rows_in_block(rb);
+                total += plan.chunks() as f64
+                    * block_cost(Criterion::AccOutputs, &plan, rows, &timing, &energy);
+            }
+            assert_eq!(total as usize, plan.dense_acc_outputs(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn energy_cost_positive_and_scales_with_rows() {
+        let m = App::Cks.build();
+        let plan = LayerPlan::for_layer(&m.info.prunables[0]);
+        let timing = TimingModel::default();
+        let energy = EnergyModel::default();
+        let one = block_cost(Criterion::Energy, &plan, 1, &timing, &energy);
+        let eight = block_cost(Criterion::Energy, &plan, 8, &timing, &energy);
+        assert!(one > 0.0);
+        assert!(eight > one);
+    }
+
+    #[test]
+    fn magnitude_has_no_hardware_cost() {
+        let m = App::Har.build();
+        let plan = LayerPlan::for_layer(&m.info.prunables[0]);
+        let c = block_cost(
+            Criterion::Magnitude,
+            &plan,
+            4,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
+        assert_eq!(c, 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Greedy per-layer ratio allocation — the simple alternative to simulated
+//! annealing (the paper: "any search algorithm could be used instead").
+//!
+//! Blocks across all layers are pooled and taken in order of best
+//! *criterion-cost removed per unit of sensitivity-weighted weight*, until
+//! the iteration's weight budget Γ·K is spent. Deterministic and fast;
+//! used as a cross-check on the annealer and as a documented drop-in.
+
+use crate::blocks::LayerState;
+use crate::sa::Allocation;
+
+/// Allocates per-layer ratios for budget `gamma · Σ kᵢ` by greedy
+/// block-by-block selection.
+///
+/// `sens` are the per-layer accuracy drops; `lambda` trades criterion gain
+/// against sensitivity exactly like the annealer's penalty. Layers are
+/// capped at `gamma_max` like the annealer.
+///
+/// # Panics
+///
+/// Panics if `states` is empty or lengths disagree.
+pub fn allocate_ratios_greedy(
+    states: &[LayerState],
+    sens: &[f64],
+    gamma: f64,
+    lambda: f64,
+    gamma_max: f64,
+) -> Allocation {
+    assert!(!states.is_empty(), "need at least one layer");
+    assert_eq!(states.len(), sens.len(), "one sensitivity per layer");
+    let k_total: f64 = states.iter().map(|s| s.alive_weights as f64).sum();
+    let budget = gamma * k_total;
+    let total_cost: f64 = states.iter().map(|s| s.alive_cost).sum();
+
+    let sens_sum: f64 = sens.iter().map(|d| d.max(0.0)).sum();
+    let sens_norm: Vec<f64> = if sens_sum > 1e-12 {
+        sens.iter().map(|d| d.max(0.0) / sens_sum).collect()
+    } else {
+        vec![1.0 / states.len() as f64; states.len()]
+    };
+
+    // Candidate blocks: (score, layer, weights, cost), score = cost removed
+    // per sensitivity-inflated weight. Blocks within a layer are taken in
+    // ascending-RMS order, so a candidate's score uses that ordering.
+    struct Cand {
+        layer: usize,
+        weights: usize,
+        cost: f64,
+        score: f64,
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    for (li, state) in states.iter().enumerate() {
+        let sched = state.removal_schedule();
+        let mut prev_w = 0usize;
+        let mut prev_c = 0.0f64;
+        for n in 1..=sched.order.len() {
+            let w = sched.weights_removed(n) - prev_w;
+            let c = sched.cost_removed(n) - prev_c;
+            prev_w += w;
+            prev_c += c;
+            // sensitivity-inflated weight price: sensitive layers cost more
+            let price = w as f64 * (1.0 + lambda * sens_norm[li] * states.len() as f64);
+            cands.push(Cand { layer: li, weights: w, cost: c, score: c / price.max(1e-12) });
+        }
+    }
+    cands.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut taken_w = vec![0usize; states.len()];
+    let mut spent = 0.0f64;
+    let mut removed_cost = 0.0f64;
+    for c in &cands {
+        if spent + c.weights as f64 > budget {
+            continue;
+        }
+        let cap = (states[c.layer].alive_weights as f64 * gamma_max) as usize;
+        if taken_w[c.layer] + c.weights > cap {
+            continue;
+        }
+        taken_w[c.layer] += c.weights;
+        spent += c.weights as f64;
+        removed_cost += c.cost;
+    }
+
+    let gammas: Vec<f64> = states
+        .iter()
+        .zip(&taken_w)
+        .map(|(s, &w)| w as f64 / (s.alive_weights as f64).max(1.0))
+        .collect();
+    let penalty: f64 = gammas.iter().zip(&sens_norm).map(|(g, s)| g * s).sum();
+    let cost = (total_cost - removed_cost) / total_cost.max(1e-12) + lambda * penalty;
+    Allocation { gammas, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::build_states;
+    use crate::criterion::Criterion;
+    use crate::sa::{allocate_ratios, SaConfig};
+    use iprune_device::energy::EnergyModel;
+    use iprune_device::timing::TimingModel;
+    use iprune_models::zoo::App;
+
+    fn states_for(app: App) -> Vec<LayerState> {
+        let mut m = app.build();
+        build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default())
+    }
+
+    #[test]
+    fn greedy_respects_budget_and_caps() {
+        let states = states_for(App::Cks);
+        let sens = vec![0.1; states.len()];
+        let alloc = allocate_ratios_greedy(&states, &sens, 0.25, 2.0, 0.4);
+        let k: f64 = states.iter().map(|s| s.alive_weights as f64).sum();
+        let spent: f64 =
+            alloc.gammas.iter().zip(&states).map(|(g, s)| g * s.alive_weights as f64).sum();
+        assert!(spent <= 0.25 * k + 1.0, "budget respected");
+        assert!(spent >= 0.2 * k, "budget mostly used: {}", spent / k);
+        assert!(alloc.gammas.iter().all(|&g| g <= 0.4 + 1e-9));
+    }
+
+    #[test]
+    fn greedy_prefers_high_density_layers() {
+        // On CKS, conv layers carry far more acc outputs per weight than
+        // FC1: greedy must prune conv-heavy.
+        let states = states_for(App::Cks);
+        let sens = vec![0.0; states.len()];
+        let alloc = allocate_ratios_greedy(&states, &sens, 0.2, 0.0, 0.6);
+        // fc1 (layer 2) has the most weights but the fewest outputs per
+        // weight: it should receive less pruning than conv2 (layer 1).
+        assert!(
+            alloc.gammas[1] > alloc.gammas[2],
+            "conv2 {} vs fc1 {}",
+            alloc.gammas[1],
+            alloc.gammas[2]
+        );
+    }
+
+    #[test]
+    fn greedy_and_sa_land_in_the_same_ballpark() {
+        let states = states_for(App::Har);
+        let sens = vec![0.05; states.len()];
+        let sa = allocate_ratios(&states, &sens, 0.25, &SaConfig::default());
+        let greedy = allocate_ratios_greedy(&states, &sens, 0.25, 4.0, 0.4);
+        // both must actually allocate the budget and land in the same
+        // objective regime (the annealer is allowed to be better — that is
+        // why the paper uses it — but not by an order of magnitude)
+        assert!(greedy.gammas.iter().sum::<f64>() > 0.1);
+        assert!(
+            greedy.cost < sa.cost * 2.0 + 0.5,
+            "greedy unreasonably bad: {} vs sa {}",
+            greedy.cost,
+            sa.cost
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let states = states_for(App::Har);
+        let sens = vec![0.1; states.len()];
+        let a = allocate_ratios_greedy(&states, &sens, 0.3, 2.0, 0.4);
+        let b = allocate_ratios_greedy(&states, &sens, 0.3, 2.0, 0.4);
+        assert_eq!(a.gammas, b.gammas);
+    }
+}

@@ -1,0 +1,45 @@
+//! iPrune — intermittent-aware neural network pruning (DAC 2023).
+//!
+//! The framework follows the estimate–prune–retrain principle with the
+//! paper's three design elements:
+//!
+//! 1. **Pruning criterion** ([`criterion`]): the number of *accelerator
+//!    outputs*, which correlates with both progress-preservation and
+//!    progress-recovery cost on intermittently-powered devices.
+//! 2. **Three-step pruning strategy** ([`strategy`], [`sa`]): a
+//!    sensitivity-guided overall ratio Γ per iteration, simulated-annealing
+//!    allocation of per-layer ratios γᵢ with Σγᵢkᵢ = ΓK, and block-level
+//!    selection at the accelerator-operation granularity by minimum RMS.
+//! 3. **Iterative prune–fine-tune loop** ([`pipeline`]) with a recoverable
+//!    accuracy-loss threshold ε and a "second chance" stop rule.
+//!
+//! The comparison baselines of the paper's evaluation are here too:
+//! *ePrune* (energy-aware, for continuously-powered systems) via
+//! [`criterion::Criterion::Energy`], plus a magnitude/fine-grained ablation.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use iprune::pipeline::{prune, PruneConfig};
+//! use iprune_models::zoo::App;
+//!
+//! let mut model = App::Har.build();
+//! let train = App::Har.dataset(600, 1);
+//! let val = App::Har.dataset(200, 2);
+//! // ... train the model first (iprune_models::train::train_sgd) ...
+//! let report = prune(&mut model, &train, &val, &PruneConfig::iprune());
+//! println!("kept {:.1}% of weights", 100.0 * report.final_density);
+//! ```
+
+pub mod blocks;
+pub mod criterion;
+pub mod greedy;
+pub mod pipeline;
+pub mod report;
+pub mod sa;
+pub mod sensitivity;
+pub mod strategy;
+
+pub use criterion::Criterion;
+pub use pipeline::{prune, PruneConfig, PruneReport};
+pub use report::{characterize, Characteristics};

@@ -1,0 +1,388 @@
+//! The iterative estimate–prune–retrain loop (Section III-A, Figure 3).
+//!
+//! Each iteration estimates per-layer criterion cost and sensitivity, picks
+//! an overall ratio Γ (guideline 1), allocates per-layer ratios γᵢ by
+//! simulated annealing (guideline 2), removes minimum-RMS weight blocks
+//! (guideline 3), and fine-tunes. Pruning continues until the accuracy drop
+//! exceeds the recoverable threshold ε *twice* (the "second chance"), then
+//! the most compact model whose accuracy recovered is adopted.
+
+use crate::blocks::build_states;
+use crate::criterion::Criterion;
+use crate::sa::SaConfig;
+use crate::sensitivity::{analyze, Sensitivity};
+use crate::strategy::{magnitude_element_step, overall_ratio, prune_step};
+use iprune_datasets::Dataset;
+use iprune_device::energy::EnergyModel;
+use iprune_device::timing::TimingModel;
+use iprune_models::train::{evaluate, train_sgd, TrainConfig};
+use iprune_models::Model;
+
+/// Pruning granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Accelerator-operation weight blocks (the paper's guideline 3).
+    Block,
+    /// Individual weights (fine-grained ablation baseline).
+    Element,
+}
+
+/// How pruning mass is scheduled over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// The paper's iterative schedule: a small, sensitivity-chosen ratio per
+    /// iteration with fine-tuning in between, until two strikes.
+    Iterative,
+    /// One-shot pruning (Han et al. style): remove `target` of the weights
+    /// in a single step, then fine-tune once. The classic baseline the
+    /// paper contrasts iterative pruning against.
+    OneShot {
+        /// Total fraction of weights to remove.
+        target: f64,
+    },
+}
+
+/// Configuration of a pruning run.
+#[derive(Debug, Clone)]
+pub struct PruneConfig {
+    /// The optimized criterion.
+    pub criterion: Criterion,
+    /// Pruning granularity.
+    pub granularity: Granularity,
+    /// Iterative (the paper) or one-shot scheduling.
+    pub schedule: Schedule,
+    /// Upper bound Γ̂ on the per-iteration overall ratio (paper: 40 %).
+    pub gamma_hat: f64,
+    /// Recoverable accuracy-loss threshold ε (paper: 1 %).
+    pub epsilon: f64,
+    /// Stop after the drop exceeds ε this many times (paper: twice).
+    pub strikes_allowed: u32,
+    /// Hard cap on iterations.
+    pub max_iterations: usize,
+    /// Fraction of a layer probed during sensitivity analysis.
+    pub probe_ratio: f64,
+    /// Validation samples used for sensitivity probes.
+    pub sens_eval: usize,
+    /// Validation samples used for the per-iteration accuracy check
+    /// (0 = use the whole validation set).
+    pub val_eval: usize,
+    /// Fine-tuning recipe applied after each pruning step.
+    pub finetune: TrainConfig,
+    /// Simulated-annealing parameters for ratio allocation.
+    pub sa: SaConfig,
+    /// Evaluation batch size.
+    pub batch: usize,
+}
+
+impl PruneConfig {
+    /// The iPrune configuration of the paper (accelerator-output criterion,
+    /// block granularity, Γ̂ = 40 %, ε = 1 %).
+    pub fn iprune() -> Self {
+        Self {
+            criterion: Criterion::AccOutputs,
+            granularity: Granularity::Block,
+            schedule: Schedule::Iterative,
+            gamma_hat: 0.4,
+            epsilon: 0.01,
+            strikes_allowed: 2,
+            max_iterations: 10,
+            probe_ratio: 0.3,
+            sens_eval: 96,
+            val_eval: 0,
+            finetune: TrainConfig::fine_tune(),
+            sa: SaConfig::default(),
+            batch: 32,
+        }
+    }
+
+    /// The ePrune comparison baseline: identical loop, energy criterion.
+    pub fn eprune() -> Self {
+        Self { criterion: Criterion::Energy, ..Self::iprune() }
+    }
+
+    /// Fine-grained magnitude pruning (granularity ablation).
+    pub fn magnitude() -> Self {
+        Self {
+            criterion: Criterion::Magnitude,
+            granularity: Granularity::Element,
+            ..Self::iprune()
+        }
+    }
+
+    /// One-shot block pruning at `target` total ratio (schedule ablation).
+    pub fn one_shot(target: f64) -> Self {
+        Self { schedule: Schedule::OneShot { target }, ..Self::iprune() }
+    }
+}
+
+/// One iteration's record.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Overall ratio Γ used.
+    pub gamma: f64,
+    /// Per-layer ratios γᵢ (empty for element granularity).
+    pub gammas: Vec<f64>,
+    /// Post-fine-tune validation accuracy.
+    pub accuracy: f64,
+    /// Fraction of weights still alive after this iteration.
+    pub density: f64,
+    /// Remaining criterion cost (acc outputs / energy) after this iteration.
+    pub remaining_cost: f64,
+    /// Whether this iteration struck out (drop > ε).
+    pub struck: bool,
+}
+
+/// Result of a pruning run.
+#[derive(Debug, Clone)]
+pub struct PruneReport {
+    /// Validation accuracy of the input (already trained) model.
+    pub baseline_accuracy: f64,
+    /// Accuracy of the adopted model.
+    pub final_accuracy: f64,
+    /// Weight density of the adopted model.
+    pub final_density: f64,
+    /// Iteration whose state was adopted (`None` = the unpruned input).
+    pub adopted_iteration: Option<usize>,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+}
+
+/// Runs the iterative pruning loop on an already-trained model. On return
+/// the model holds the adopted weights and masks.
+pub fn prune(model: &mut Model, train: &Dataset, val: &Dataset, cfg: &PruneConfig) -> PruneReport {
+    let timing = TimingModel::default();
+    let energy = EnergyModel::default();
+    let eval_set = if cfg.val_eval == 0 { val.clone() } else { val.take(cfg.val_eval) };
+    let sens_set = val.take(cfg.sens_eval.max(1));
+
+    let baseline_accuracy = evaluate(model, &eval_set, cfg.batch);
+    let total_weights = model.info.total_weights() as f64;
+
+    let mut best_snapshot = model.snapshot();
+    let mut best_masks = model.masks();
+    let mut best_accuracy = baseline_accuracy;
+    let mut best_density = model.kept_weights() as f64 / total_weights;
+    let mut adopted: Option<usize> = None;
+
+    let mut strikes = 0u32;
+    let mut iterations = Vec::new();
+
+    let max_iterations = match cfg.schedule {
+        Schedule::Iterative => cfg.max_iterations,
+        Schedule::OneShot { .. } => 1,
+    };
+    for iter in 0..max_iterations {
+        let mut states = build_states(model, cfg.criterion, &timing, &energy);
+        let (gamma, gammas) = match cfg.granularity {
+            Granularity::Block => {
+                let sens = analyze(model, &states, &sens_set, cfg.probe_ratio, cfg.batch);
+                let gamma = match cfg.schedule {
+                    Schedule::Iterative => overall_ratio(&states, &sens, cfg.gamma_hat),
+                    Schedule::OneShot { target } => target,
+                };
+                let mut sa = SaConfig { seed: cfg.sa.seed ^ (iter as u64) << 8, ..cfg.sa.clone() };
+                if let Schedule::OneShot { target } = cfg.schedule {
+                    // a single shot must be allowed to exceed the cautious
+                    // per-iteration layer cap
+                    sa.gamma_max = sa.gamma_max.max((target * 1.5).min(0.95));
+                }
+                let (masks, gammas) = prune_step(model, &mut states, &sens, gamma, &sa);
+                model.set_masks(&masks);
+                (gamma, gammas)
+            }
+            Granularity::Element => {
+                // no layer allocation; a fixed cautious step per iteration
+                let gamma = cfg.gamma_hat / 2.0;
+                let masks = magnitude_element_step(model, gamma);
+                model.set_masks(&masks);
+                (gamma, Vec::new())
+            }
+        };
+
+        let mut ft = cfg.finetune.clone();
+        ft.seed ^= iter as u64;
+        train_sgd(model, train, &ft);
+        let accuracy = evaluate(model, &eval_set, cfg.batch);
+        let density = model.kept_weights() as f64 / total_weights;
+        let remaining_cost: f64 =
+            build_states(model, cfg.criterion, &timing, &energy).iter().map(|s| s.alive_cost).sum();
+
+        let struck = baseline_accuracy - accuracy > cfg.epsilon;
+        iterations.push(IterationRecord {
+            iteration: iter,
+            gamma,
+            gammas,
+            accuracy,
+            density,
+            remaining_cost,
+            struck,
+        });
+
+        if struck {
+            strikes += 1;
+            if strikes >= cfg.strikes_allowed {
+                break;
+            }
+            // Second chance: roll back to the last recovered state so the
+            // next iteration retries from healthy weights with a different
+            // annealing draw, instead of compounding an unrecoverable cut.
+            model.set_masks(&best_masks);
+            model.restore(&best_snapshot);
+        } else {
+            best_snapshot = model.snapshot();
+            best_masks = model.masks();
+            best_accuracy = accuracy;
+            best_density = density;
+            adopted = Some(iter);
+        }
+    }
+
+    // adopt the most compact model whose accuracy recovered
+    model.set_masks(&best_masks);
+    model.restore(&best_snapshot);
+
+    PruneReport {
+        baseline_accuracy,
+        final_accuracy: best_accuracy,
+        final_density: best_density,
+        adopted_iteration: adopted,
+        iterations,
+    }
+}
+
+/// Convenience: sensitivity analysis with freshly-built states (used by
+/// examples and benches).
+pub fn analyze_sensitivity(model: &mut Model, val: &Dataset, cfg: &PruneConfig) -> Sensitivity {
+    let states =
+        build_states(model, cfg.criterion, &TimingModel::default(), &EnergyModel::default());
+    analyze(model, &states, &val.take(cfg.sens_eval.max(1)), cfg.probe_ratio, cfg.batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprune_models::zoo::App;
+
+    fn quick_cfg() -> PruneConfig {
+        PruneConfig {
+            max_iterations: 4,
+            sens_eval: 24,
+            val_eval: 48,
+            sa: SaConfig { steps: 200, ..Default::default() },
+            finetune: TrainConfig { epochs: 3, lr: 0.05, ..Default::default() },
+            ..PruneConfig::iprune()
+        }
+    }
+
+    #[test]
+    fn iprune_compresses_har_within_epsilon() {
+        let mut model = App::Har.build();
+        let train = App::Har.dataset(240, 11);
+        let val = App::Har.dataset(90, 12);
+        train_sgd(&mut model, &train, &TrainConfig { epochs: 3, ..Default::default() });
+        let report = prune(&mut model, &train, &val, &quick_cfg());
+        assert!(
+            report.iterations.iter().any(|it| it.density < 1.0),
+            "no iteration pruned anything"
+        );
+        let adopted = report.adopted_iteration.expect("HAR should recover at least one step");
+        assert!(
+            report.baseline_accuracy - report.final_accuracy <= 0.01 + 1e-9,
+            "adopted model lost too much accuracy: {} -> {} (iter {adopted})",
+            report.baseline_accuracy,
+            report.final_accuracy
+        );
+        assert!(report.final_density < 0.95);
+        // model state matches the report
+        assert!(
+            (model.kept_weights() as f64 / model.info.total_weights() as f64
+                - report.final_density)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn recovered_iterations_get_monotonically_more_compact() {
+        let mut model = App::Har.build();
+        let train = App::Har.dataset(180, 21);
+        let val = App::Har.dataset(60, 22);
+        train_sgd(&mut model, &train, &TrainConfig { epochs: 2, ..Default::default() });
+        let report = prune(&mut model, &train, &val, &quick_cfg());
+        // struck iterations roll back, so only the *recovered* trajectory is
+        // monotone; the adopted model is its most compact point.
+        let recovered: Vec<f64> =
+            report.iterations.iter().filter(|it| !it.struck).map(|it| it.density).collect();
+        for w in recovered.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        if let Some(last) = recovered.last() {
+            assert!((report.final_density - last).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_shot_prunes_to_target_in_one_iteration() {
+        let mut model = App::Har.build();
+        let train = App::Har.dataset(200, 41);
+        let val = App::Har.dataset(80, 42);
+        train_sgd(&mut model, &train, &TrainConfig { epochs: 2, ..Default::default() });
+        let cfg = PruneConfig {
+            sens_eval: 24,
+            val_eval: 48,
+            sa: SaConfig { steps: 200, ..Default::default() },
+            finetune: TrainConfig { epochs: 2, lr: 0.04, ..Default::default() },
+            ..PruneConfig::one_shot(0.5)
+        };
+        let report = prune(&mut model, &train, &val, &cfg);
+        assert_eq!(report.iterations.len(), 1);
+        let it = &report.iterations[0];
+        assert!((it.density - 0.5).abs() < 0.1, "one-shot density {}", it.density);
+    }
+
+    #[test]
+    fn element_granularity_barely_reduces_criterion_cost() {
+        // Guideline 3's motivation: fine-grained pruning removes weights but
+        // keeps blocks (and their accelerator outputs) alive.
+        let mut block_model = App::Har.build();
+        let mut elem_model = App::Har.build();
+        let train = App::Har.dataset(150, 31);
+        let val = App::Har.dataset(60, 32);
+        train_sgd(&mut block_model, &train, &TrainConfig { epochs: 2, ..Default::default() });
+        train_sgd(&mut elem_model, &train, &TrainConfig { epochs: 2, ..Default::default() });
+        let mut cfg = quick_cfg();
+        cfg.max_iterations = 2;
+        let block_report = prune(&mut block_model, &train, &val, &cfg);
+        let mut ecfg = PruneConfig { max_iterations: 2, ..PruneConfig::magnitude() };
+        ecfg.sens_eval = 24;
+        ecfg.val_eval = 48;
+        ecfg.finetune = TrainConfig { epochs: 1, lr: 0.02, ..Default::default() };
+        let elem_report = prune(&mut elem_model, &train, &val, &ecfg);
+
+        // compare acc-output cost per pruned weight
+        let timing = TimingModel::default();
+        let energy = EnergyModel::default();
+        let cost = |m: &mut Model| -> f64 {
+            build_states(m, Criterion::AccOutputs, &timing, &energy)
+                .iter()
+                .map(|s| s.alive_cost)
+                .sum()
+        };
+        let dense_cost = {
+            let mut fresh = App::Har.build();
+            cost(&mut fresh)
+        };
+        let block_cost = cost(&mut block_model);
+        let elem_cost = cost(&mut elem_model);
+        if block_report.final_density < 0.99 && elem_report.final_density < 0.99 {
+            let block_eff = (dense_cost - block_cost) / (1.0 - block_report.final_density);
+            let elem_eff = (dense_cost - elem_cost) / (1.0 - elem_report.final_density).max(1e-9);
+            assert!(
+                block_eff > 2.0 * elem_eff,
+                "block pruning should remove far more acc outputs per weight: {block_eff} vs {elem_eff}"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Pruned-model characterization — the rows of the paper's Table III.
+
+use iprune_datasets::Dataset;
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_hawaii::deploy::deploy;
+use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_hawaii::DeployedModel;
+use iprune_models::train::evaluate;
+use iprune_models::Model;
+
+/// Characteristics of a (possibly pruned) model, as reported in Table III.
+#[derive(Debug, Clone)]
+pub struct Characteristics {
+    /// Row label (`Unpruned`, `ePrune`, `iPrune`, …).
+    pub label: String,
+    /// Top-1 accuracy on the validation set (float inference).
+    pub accuracy: f64,
+    /// Deployed model size in bytes (dense for unpruned, BSR when smaller).
+    pub size_bytes: usize,
+    /// MACs per inference (whole accelerator blocks).
+    pub macs: usize,
+    /// Accelerator outputs per inference (the pruning criterion).
+    pub acc_outputs: usize,
+}
+
+impl Characteristics {
+    /// Formats the row like the paper's table.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<10} {:>6.1}% {:>8.0} KB {:>8.0} K {:>8.0} K",
+            self.label,
+            self.accuracy * 100.0,
+            self.size_bytes as f64 / 1024.0,
+            self.macs as f64 / 1000.0,
+            self.acc_outputs as f64 / 1000.0,
+        )
+    }
+}
+
+/// Characterizes a model: accuracy on `val`, plus deployed size / MACs /
+/// accelerator outputs via an actual deployment.
+pub fn characterize(model: &mut Model, val: &Dataset, label: &str) -> (Characteristics, DeployedModel) {
+    let accuracy = evaluate(model, val, 32);
+    let dm = deploy(model, val, iprune_hawaii::deploy::DEFAULT_CALIBRATION);
+    let ch = Characteristics {
+        label: label.to_string(),
+        accuracy,
+        size_bytes: dm.reported_size_bytes(),
+        macs: dm.total_macs(),
+        acc_outputs: dm.total_acc_outputs(),
+    };
+    (ch, dm)
+}
+
+/// Top-1 accuracy of the *deployed quantized* model over the first `n`
+/// samples of `ds`, executed by the continuous-mode engine.
+pub fn quantized_accuracy(dm: &DeployedModel, ds: &Dataset, n: usize) -> f64 {
+    let n = n.min(ds.len());
+    let mut correct = 0usize;
+    for i in 0..n {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let out = infer(dm, &ds.sample(i), &mut sim, ExecMode::Continuous)
+            .expect("continuous power cannot fail");
+        if out.argmax == ds.labels()[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprune_models::train::{train_sgd, TrainConfig};
+    use iprune_models::zoo::App;
+
+    #[test]
+    fn characterize_unpruned_har() {
+        let mut m = App::Har.build();
+        let val = App::Har.dataset(40, 5);
+        let (ch, dm) = characterize(&mut m, &val, "Unpruned");
+        assert_eq!(ch.label, "Unpruned");
+        assert!(ch.size_bytes > 20_000 && ch.size_bytes < 32_000);
+        assert!(ch.acc_outputs > 50_000);
+        assert_eq!(ch.acc_outputs, dm.total_acc_outputs());
+        assert!(!ch.row().is_empty());
+    }
+
+    #[test]
+    fn quantized_accuracy_tracks_float() {
+        let mut m = App::Har.build();
+        let train = App::Har.dataset(180, 6);
+        let val = App::Har.dataset(36, 7);
+        train_sgd(&mut m, &train, &TrainConfig { epochs: 3, ..Default::default() });
+        let (ch, dm) = characterize(&mut m, &val, "Unpruned");
+        let qacc = quantized_accuracy(&dm, &val, 36);
+        assert!(
+            (qacc - ch.accuracy).abs() < 0.12,
+            "quantized {qacc} vs float {}",
+            ch.accuracy
+        );
+    }
+}

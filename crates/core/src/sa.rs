@@ -1,0 +1,252 @@
+//! Simulated-annealing search for per-layer pruning ratios.
+//!
+//! Step 2 of the strategy (Section III-C): given the iteration's overall
+//! ratio Γ, find per-layer ratios γᵢ with Σ γᵢ·kᵢ = Γ·K that minimize the
+//! criterion cost remaining after removal while penalizing pressure on
+//! sensitive layers. The paper uses simulated annealing "but any search
+//! algorithm could be used instead".
+
+use crate::blocks::{LayerState, RemovalSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated-annealing parameters.
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Number of proposal steps.
+    pub steps: usize,
+    /// Initial temperature (relative to the cost scale).
+    pub t0: f64,
+    /// Geometric cooling factor applied each step.
+    pub cooling: f64,
+    /// Weight of the sensitivity penalty term.
+    pub lambda: f64,
+    /// Maximum per-layer ratio (a layer can never be pruned entirely in one
+    /// iteration).
+    pub gamma_max: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self { steps: 1200, t0: 0.05, cooling: 0.996, lambda: 4.0, gamma_max: 0.4, seed: 0x5A }
+    }
+}
+
+/// Outcome of the ratio search.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Per-layer pruning ratios (fraction of the layer's *alive* weights).
+    pub gammas: Vec<f64>,
+    /// Final objective value.
+    pub cost: f64,
+}
+
+/// Objective: criterion cost remaining after applying `gammas`, normalized,
+/// plus the sensitivity penalty.
+fn objective(
+    states: &[LayerState],
+    scheds: &[RemovalSchedule],
+    gammas: &[f64],
+    sens_norm: &[f64],
+    lambda: f64,
+    total_cost: f64,
+) -> f64 {
+    let mut removed = 0.0;
+    let mut penalty = 0.0;
+    for ((state, sched), (&g, &s)) in
+        states.iter().zip(scheds).zip(gammas.iter().zip(sens_norm))
+    {
+        let budget = (state.alive_weights as f64 * g).round() as usize;
+        let n = sched.blocks_for_budget(budget);
+        removed += sched.cost_removed(n);
+        penalty += s * g;
+    }
+    let remaining = (total_cost - removed) / total_cost.max(1e-12);
+    remaining + lambda * penalty
+}
+
+/// Searches per-layer ratios for the weight budget `gamma * Σ kᵢ`.
+///
+/// `sens` is the per-layer accuracy drop from sensitivity analysis; only
+/// its relative magnitudes matter.
+///
+/// # Panics
+///
+/// Panics if `states` is empty or lengths disagree.
+pub fn allocate_ratios(
+    states: &[LayerState],
+    sens: &[f64],
+    gamma: f64,
+    cfg: &SaConfig,
+) -> Allocation {
+    assert!(!states.is_empty(), "need at least one layer");
+    assert_eq!(states.len(), sens.len(), "one sensitivity per layer");
+    let n = states.len();
+    let k: Vec<f64> = states.iter().map(|s| s.alive_weights as f64).collect();
+    let k_total: f64 = k.iter().sum();
+    let budget = gamma * k_total;
+    let total_cost: f64 = states.iter().map(|s| s.alive_cost).sum();
+    let scheds: Vec<RemovalSchedule> = states.iter().map(|s| s.removal_schedule()).collect();
+    // Normalize sensitivities to sum 1 (guarding all-zero drops).
+    let sens_sum: f64 = sens.iter().map(|d| d.max(0.0)).sum();
+    let sens_norm: Vec<f64> = if sens_sum > 1e-12 {
+        sens.iter().map(|d| d.max(0.0) / sens_sum).collect()
+    } else {
+        vec![1.0 / n as f64; n]
+    };
+
+    // Start uniform: γᵢ = Γ for all layers satisfies the constraint.
+    let mut gammas = vec![gamma.min(cfg.gamma_max); n];
+    let mut cost = objective(&states_ref(states), &scheds, &gammas, &sens_norm, cfg.lambda, total_cost);
+    let mut best = Allocation { gammas: gammas.clone(), cost };
+
+    if n == 1 {
+        return best;
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut temp = cfg.t0;
+    for _ in 0..cfg.steps {
+        // Move weight-budget mass between two random layers.
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        let delta = rng.gen_range(0.0..0.05) * budget;
+        let gi = gammas[i] + delta / k[i];
+        let gj = gammas[j] - delta / k[j];
+        if !(0.0..=cfg.gamma_max).contains(&gi) || !(0.0..=cfg.gamma_max).contains(&gj) {
+            temp *= cfg.cooling;
+            continue;
+        }
+        let mut cand = gammas.clone();
+        cand[i] = gi;
+        cand[j] = gj;
+        let c = objective(&states_ref(states), &scheds, &cand, &sens_norm, cfg.lambda, total_cost);
+        let accept = c < cost || rng.gen_range(0.0..1.0) < ((cost - c) / temp.max(1e-12)).exp();
+        if accept {
+            gammas = cand;
+            cost = c;
+            if cost < best.cost {
+                best = Allocation { gammas: gammas.clone(), cost };
+            }
+        }
+        temp *= cfg.cooling;
+    }
+    best
+}
+
+fn states_ref(states: &[LayerState]) -> &[LayerState] {
+    states
+}
+
+/// Verifies that an allocation meets its weight budget (within one block of
+/// slack per layer). Returns the absolute relative error.
+pub fn budget_error(states: &[LayerState], gammas: &[f64], gamma: f64) -> f64 {
+    let k: Vec<f64> = states.iter().map(|s| s.alive_weights as f64).collect();
+    let k_total: f64 = k.iter().sum();
+    let allocated: f64 = gammas.iter().zip(&k).map(|(g, ki)| g * ki).sum();
+    ((allocated - gamma * k_total) / k_total.max(1e-12)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::build_states;
+    use crate::criterion::Criterion;
+    use iprune_device::energy::EnergyModel;
+    use iprune_device::timing::TimingModel;
+    use iprune_models::zoo::App;
+
+    fn cks_states() -> Vec<LayerState> {
+        let mut m = App::Cks.build();
+        build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default())
+    }
+
+    #[test]
+    fn allocation_respects_budget() {
+        let states = cks_states();
+        let sens = vec![0.1; states.len()];
+        let alloc = allocate_ratios(&states, &sens, 0.2, &SaConfig::default());
+        assert!(budget_error(&states, &alloc.gammas, 0.2) < 1e-9, "moves preserve the constraint");
+        assert!(alloc.gammas.iter().all(|&g| (0.0..=0.4).contains(&g)));
+    }
+
+    #[test]
+    fn sa_beats_uniform_on_diverse_model() {
+        // CKS is the high-diversity model: SA should shift pruning mass
+        // toward the layer with many acc outputs per weight.
+        let states = cks_states();
+        let sens = vec![0.05; states.len()];
+        let cfg = SaConfig::default();
+        let scheds: Vec<_> = states.iter().map(|s| s.removal_schedule()).collect();
+        let total: f64 = states.iter().map(|s| s.alive_cost).sum();
+        let sens_norm = vec![1.0 / states.len() as f64; states.len()];
+        let uniform = vec![0.25; states.len()];
+        let u_cost = objective(&states, &scheds, &uniform, &sens_norm, cfg.lambda, total);
+        let alloc = allocate_ratios(&states, &sens, 0.25, &cfg);
+        assert!(alloc.cost <= u_cost + 1e-12, "SA {:.4} vs uniform {:.4}", alloc.cost, u_cost);
+    }
+
+    #[test]
+    fn sensitive_layers_get_lower_ratios() {
+        let states = cks_states();
+        // make conv1 (layer 0, huge acc-output density) extremely sensitive
+        let mut sens = vec![0.0; states.len()];
+        sens[0] = 1.0;
+        let hi_lambda = SaConfig { lambda: 50.0, ..Default::default() };
+        let alloc = allocate_ratios(&states, &sens, 0.2, &hi_lambda);
+        let others_mean: f64 =
+            alloc.gammas[1..].iter().sum::<f64>() / (alloc.gammas.len() - 1) as f64;
+        assert!(
+            alloc.gammas[0] < others_mean,
+            "sensitive layer {} vs others {}",
+            alloc.gammas[0],
+            others_mean
+        );
+    }
+
+    #[test]
+    fn single_layer_is_trivial() {
+        let states = vec![cks_states().remove(0)];
+        let alloc = allocate_ratios(&states, &[0.2], 0.3, &SaConfig::default());
+        assert!((alloc.gammas[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_output_and_energy_criteria_allocate_differently() {
+        // The paper's core claim needs the two criteria to actually steer
+        // pruning toward different layers on a diverse model.
+        let mut m = App::Cks.build();
+        let acc_states = build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
+        let energy_states = build_states(
+            &mut m,
+            Criterion::Energy,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
+        let sens = vec![0.05; acc_states.len()];
+        let cfg = SaConfig::default();
+        let a = allocate_ratios(&acc_states, &sens, 0.25, &cfg);
+        let e = allocate_ratios(&energy_states, &sens, 0.25, &cfg);
+        let diff: f64 = a.gammas.iter().zip(&e.gammas).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 0.05, "criteria should produce different allocations: {diff}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let states = cks_states();
+        let sens = vec![0.1; states.len()];
+        let a = allocate_ratios(&states, &sens, 0.2, &SaConfig::default());
+        let b = allocate_ratios(&states, &sens, 0.2, &SaConfig::default());
+        assert_eq!(a.gammas, b.gammas);
+    }
+}

@@ -1,0 +1,167 @@
+//! The three-step pruning strategy (Section III-C, Figure 4).
+//!
+//! 1. **Network level** — pick the iteration's overall ratio Γ: rank layers
+//!    by sensitivity, map rank *i* (descending, 1-based) to `i·Γ̂/n`, and
+//!    select the ratio mapped to the layer with the most criterion cost
+//!    (accelerator outputs for iPrune, energy for ePrune). A sensitive
+//!    high-cost layer thus forces a cautious iteration.
+//! 2. **Layer level** — allocate per-layer ratios γᵢ by simulated annealing
+//!    ([`crate::sa`]).
+//! 3. **Block level** — within each layer, remove minimum-RMS weight blocks
+//!    until γᵢ is met.
+
+use crate::blocks::{mask_as_weight_shape, mask_out_block, LayerState};
+use crate::sa::{allocate_ratios, SaConfig};
+use crate::sensitivity::Sensitivity;
+use iprune_models::Model;
+use iprune_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Step 1: the overall pruning ratio for this iteration.
+///
+/// # Panics
+///
+/// Panics if `states` is empty or lengths disagree.
+pub fn overall_ratio(states: &[LayerState], sens: &Sensitivity, gamma_hat: f64) -> f64 {
+    assert!(!states.is_empty());
+    assert_eq!(states.len(), sens.drops.len());
+    let n = states.len();
+    // the layer with the most (remaining) criterion cost
+    let heaviest = states
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.alive_cost.partial_cmp(&b.1.alive_cost).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    // rank 0 = most sensitive → mapped to the smallest ratio (1·Γ̂/n)
+    let rank = sens.rank_of()[heaviest];
+    (rank + 1) as f64 * gamma_hat / n as f64
+}
+
+/// Steps 2–3: allocate per-layer ratios and prune minimum-RMS blocks.
+/// Returns the new per-layer masks (combined with any existing pruning) and
+/// the per-layer ratios used.
+pub fn prune_step(
+    model: &Model,
+    states: &mut [LayerState],
+    sens: &Sensitivity,
+    gamma: f64,
+    sa: &SaConfig,
+) -> (HashMap<usize, Tensor>, Vec<f64>) {
+    let alloc = allocate_ratios(states, &sens.drops, gamma, sa);
+    let mut masks = HashMap::new();
+    for (state, &g) in states.iter_mut().zip(&alloc.gammas) {
+        let sched = state.removal_schedule();
+        let budget = (state.alive_weights as f64 * g).round() as usize;
+        let n = sched.blocks_for_budget(budget);
+        for &bi in sched.order.iter().take(n) {
+            mask_out_block(state, bi);
+        }
+        masks.insert(state.layer_id, mask_as_weight_shape(state, model));
+    }
+    (masks, alloc.gammas)
+}
+
+/// Fine-grained (element) pruning at ratio `gamma` across all layers by
+/// global magnitude threshold — the granularity-ablation baseline. Returns
+/// per-layer masks.
+pub fn magnitude_element_step(model: &mut Model, gamma: f64) -> HashMap<usize, Tensor> {
+    let weights = model.extract_weights();
+    let masks = model.masks();
+    // global threshold over alive weights
+    let mut mags: Vec<f32> = Vec::new();
+    for lw in &weights {
+        let mask = masks.get(&lw.layer_id);
+        for (i, &v) in lw.w.data().iter().enumerate() {
+            let alive = mask.map(|m| m.data()[i] != 0.0).unwrap_or(true);
+            if alive {
+                mags.push(v.abs());
+            }
+        }
+    }
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let cut = ((mags.len() as f64) * gamma).floor() as usize;
+    let threshold = if cut == 0 { -1.0 } else { mags[cut.min(mags.len() - 1)] };
+
+    let mut out = HashMap::new();
+    for lw in &weights {
+        let mut mask = masks
+            .get(&lw.layer_id)
+            .cloned()
+            .unwrap_or_else(|| Tensor::full(lw.w.dims(), 1.0));
+        for (i, &v) in lw.w.data().iter().enumerate() {
+            if v.abs() <= threshold {
+                mask.data_mut()[i] = 0.0;
+            }
+        }
+        out.insert(lw.layer_id, mask);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::build_states;
+    use crate::criterion::Criterion;
+    use iprune_device::energy::EnergyModel;
+    use iprune_device::timing::TimingModel;
+    use iprune_models::zoo::App;
+
+    fn har_setup() -> (Model, Vec<LayerState>) {
+        let mut m = App::Har.build();
+        let s =
+            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        (m, s)
+    }
+
+    #[test]
+    fn overall_ratio_follows_guideline_one() {
+        let (_, states) = har_setup();
+        let n = states.len() as f64;
+        // HAR's heaviest layer by acc outputs is conv3 (layer 2).
+        // If it is the most sensitive (rank 0) → smallest ratio.
+        let mut drops = vec![0.0; states.len()];
+        drops[2] = 0.5;
+        let sens = Sensitivity { drops, baseline: 0.9 };
+        let g = overall_ratio(&states, &sens, 0.4);
+        assert!((g - 0.4 / n).abs() < 1e-12);
+        // If it is the least sensitive → the full upper bound.
+        let mut drops2 = vec![0.5; states.len()];
+        drops2[2] = 0.0;
+        let sens2 = Sensitivity { drops: drops2, baseline: 0.9 };
+        let g2 = overall_ratio(&states, &sens2, 0.4);
+        assert!((g2 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_step_removes_requested_mass() {
+        let (m, mut states) = har_setup();
+        let total_before: usize = states.iter().map(|s| s.alive_weights).sum();
+        let sens = Sensitivity { drops: vec![0.01; states.len()], baseline: 0.9 };
+        let (masks, gammas) = prune_step(&m, &mut states, &sens, 0.25, &SaConfig::default());
+        let total_after: usize = states.iter().map(|s| s.alive_weights).sum();
+        let removed = total_before - total_after;
+        let frac = removed as f64 / total_before as f64;
+        assert!((frac - 0.25).abs() < 0.05, "removed {frac} of weights");
+        assert_eq!(masks.len(), states.len());
+        assert_eq!(gammas.len(), states.len());
+    }
+
+    #[test]
+    fn magnitude_step_prunes_smallest_elements() {
+        let (mut m, _) = har_setup();
+        let masks = magnitude_element_step(&mut m, 0.3);
+        m.set_masks(&masks);
+        let mut zeroed = 0usize;
+        let mut total = 0usize;
+        for lw in m.extract_weights() {
+            zeroed += lw.w.count_zeros();
+            total += lw.w.numel();
+        }
+        let frac = zeroed as f64 / total as f64;
+        assert!(frac >= 0.28 && frac <= 0.35, "pruned {frac}");
+    }
+}

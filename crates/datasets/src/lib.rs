@@ -1,0 +1,204 @@
+//! Seeded synthetic TinyML workloads for the iPrune reproduction.
+//!
+//! The paper evaluates three applications (Table II): image recognition on
+//! CIFAR-10 (*SQN*), human-activity detection on accelerometer data (*HAR*),
+//! and speech keyword spotting (*CKS*). Those datasets cannot ship with this
+//! reproduction, so each generator here synthesizes a classification task
+//! with the same tensor shapes and a comparable difficulty profile:
+//! class-dependent structure plus controllable noise, learnable by the
+//! paper's model architectures and degradable/recoverable under pruning and
+//! fine-tuning — which is all the pruning pipeline observes.
+//!
+//! All generators are deterministic given a `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use iprune_datasets::{synth_image::SynthImageSpec, Dataset};
+//!
+//! let ds = SynthImageSpec::default().generate(64, 42);
+//! assert_eq!(ds.len(), 64);
+//! assert_eq!(ds.sample_dims(), &[3, 32, 32]);
+//! let (train, test) = ds.split(0.75);
+//! assert_eq!(train.len() + test.len(), 64);
+//! ```
+
+pub mod keywords;
+pub mod motion;
+pub mod rng;
+pub mod synth_image;
+pub mod toy;
+
+use iprune_tensor::Tensor;
+
+/// An in-memory labelled dataset with fixed per-sample shape.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    sample_dims: Vec<usize>,
+    inputs: Vec<f32>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat input buffer (`len * prod(sample_dims)`
+    /// values) and one label per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is inconsistent or any label is out of
+    /// range.
+    pub fn new(sample_dims: &[usize], inputs: Vec<f32>, labels: Vec<usize>, classes: usize) -> Self {
+        let per: usize = sample_dims.iter().product();
+        assert_eq!(inputs.len(), per * labels.len(), "input buffer length");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        Self { sample_dims: sample_dims.to_vec(), inputs, labels, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample dimensions (without the batch dimension).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.sample_dims
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies sample `i` into a `[1, ...sample_dims]` tensor.
+    pub fn sample(&self, i: usize) -> Tensor {
+        let per: usize = self.sample_dims.iter().product();
+        let mut dims = vec![1];
+        dims.extend_from_slice(&self.sample_dims);
+        Tensor::from_vec(&dims, self.inputs[i * per..(i + 1) * per].to_vec())
+    }
+
+    /// Builds a batch tensor `[indices.len(), ...sample_dims]` plus labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let per: usize = self.sample_dims.iter().product();
+        let mut data = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.inputs[i * per..(i + 1) * per]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(&self.sample_dims);
+        (Tensor::from_vec(&dims, data), labels)
+    }
+
+    /// Iterates over contiguous batches of at most `batch` samples.
+    pub fn batches(&self, batch: usize) -> impl Iterator<Item = (Tensor, Vec<usize>)> + '_ {
+        let n = self.len();
+        let batch = batch.max(1);
+        (0..n.div_ceil(batch)).map(move |b| {
+            let lo = b * batch;
+            let hi = ((b + 1) * batch).min(n);
+            let idx: Vec<usize> = (lo..hi).collect();
+            self.gather(&idx)
+        })
+    }
+
+    /// Splits into `(first, second)` where `first` holds `ratio` of the
+    /// samples (stratification is inherited from the generator's interleaved
+    /// label order).
+    pub fn split(&self, ratio: f64) -> (Dataset, Dataset) {
+        let cut = ((self.len() as f64) * ratio).round() as usize;
+        let cut = cut.min(self.len());
+        let per: usize = self.sample_dims.iter().product();
+        let a = Dataset {
+            sample_dims: self.sample_dims.clone(),
+            inputs: self.inputs[..cut * per].to_vec(),
+            labels: self.labels[..cut].to_vec(),
+            classes: self.classes,
+        };
+        let b = Dataset {
+            sample_dims: self.sample_dims.clone(),
+            inputs: self.inputs[cut * per..].to_vec(),
+            labels: self.labels[cut..].to_vec(),
+            classes: self.classes,
+        };
+        (a, b)
+    }
+
+    /// Returns a dataset containing only the first `n` samples.
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        let per: usize = self.sample_dims.iter().product();
+        Dataset {
+            sample_dims: self.sample_dims.clone(),
+            inputs: self.inputs[..n * per].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            classes: self.classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        // 4 samples of shape [2], labels 0,1,0,1
+        Dataset::new(&[2], vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1], vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn gather_builds_batches() {
+        let ds = tiny();
+        let (x, y) = ds.gather(&[2, 0]);
+        assert_eq!(x.dims(), &[2, 2]);
+        assert_eq!(x.data(), &[2.0, 2.1, 0.0, 0.1]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn batches_cover_everything() {
+        let ds = tiny();
+        let total: usize = ds.batches(3).map(|(x, _)| x.dims()[0]).sum();
+        assert_eq!(total, 4);
+        let sizes: Vec<usize> = ds.batches(3).map(|(x, _)| x.dims()[0]).collect();
+        assert_eq!(sizes, vec![3, 1]);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = tiny();
+        let (a, b) = ds.split(0.5);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn take_truncates() {
+        let ds = tiny();
+        assert_eq!(ds.take(3).len(), 3);
+        assert_eq!(ds.take(99).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let _ = Dataset::new(&[1], vec![0.0], vec![5], 2);
+    }
+}

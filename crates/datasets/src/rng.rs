@@ -1,0 +1,46 @@
+//! Random-sampling helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+///
+/// Kept local so the workspace needs no distribution crate beyond `rand`.
+pub fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Fills `buf` with N(0, sigma²) noise.
+pub fn fill_noise(rng: &mut StdRng, buf: &mut [f32], sigma: f32) {
+    for v in buf.iter_mut() {
+        *v += sigma * normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn fill_noise_scales_by_sigma() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = vec![0.0f32; 1000];
+        fill_noise(&mut rng, &mut a, 0.1);
+        let rms = (a.iter().map(|x| x * x).sum::<f32>() / 1000.0).sqrt();
+        assert!((rms - 0.1).abs() < 0.02, "rms {rms}");
+    }
+}

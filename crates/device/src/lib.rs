@@ -1,0 +1,43 @@
+//! Cycle-approximate simulator of the paper's evaluation platform
+//! (Table I): a TI MSP430FR5994 MCU with 8 KB SRAM (volatile memory), a
+//! 512 KB external Cypress FRAM module (non-volatile memory) behind a DMA
+//! controller, the Low-Energy Accelerator (LEA), and a BQ25504-style energy
+//! management unit buffering harvested power in a 100 µF capacitor.
+//!
+//! The simulator is *activity driven*: an inference engine submits typed
+//! activities (NVM reads, accelerator jobs with paired progress-preservation
+//! writes, CPU work) and the simulator advances a two-resource pipelined
+//! timeline (LEA ‖ DMA), integrates the capacitor's energy balance, and
+//! reports power failures exactly where they strike. Costs and draws are
+//! parameterized by [`timing::TimingModel`] and [`energy::EnergyModel`],
+//! whose defaults are calibrated from public MSP430/FRAM datasheet figures —
+//! the paper itself profiles its device with micro-benchmarks, so matching
+//! *ratios* (not absolute silicon numbers) is the fidelity target.
+//!
+//! # Example
+//!
+//! ```
+//! use iprune_device::{sim::{DeviceSim, JobCost, Commit}, power::PowerStrength};
+//!
+//! let mut sim = DeviceSim::new(PowerStrength::Strong, 0);
+//! sim.run_read(1024); // fetch a tile
+//! let cost = JobCost { lea_macs: 64, preserve_bytes: 34, cpu_cycles: 20 };
+//! loop {
+//!     match sim.run_job(cost).unwrap() {
+//!         Commit::Committed => break,
+//!         Commit::PowerFailed => sim.recover(256).unwrap(), // re-fetch tile, then retry
+//!     }
+//! }
+//! assert!(sim.now() > 0.0);
+//! ```
+
+pub mod energy;
+pub mod power;
+pub mod sim;
+pub mod spec;
+pub mod timing;
+pub mod trace;
+
+pub use power::PowerStrength;
+pub use sim::{Commit, DeviceSim, JobCost};
+pub use spec::DeviceSpec;

@@ -1,0 +1,590 @@
+//! The activity-driven device co-simulation.
+//!
+//! An inference engine submits activities; the simulator advances a
+//! two-resource pipelined timeline — the LEA computes job *j+1* while the
+//! DMA writes job *j*'s outputs and footprint back to NVM (the overlap shown
+//! in the paper's Figure 2(b)) — and integrates the capacitor's energy
+//! balance over every committed interval. When the capacitor reaches the
+//! cut-out threshold mid-activity, the simulator reports a power failure:
+//! volatile state is lost, the capacitor recharges at the harvesting input
+//! power, the device reboots, and the caller must perform progress recovery
+//! before retrying the interrupted activity.
+
+use crate::energy::EnergyModel;
+use crate::power::{Capacitor, PowerStrength, Supply};
+use crate::spec::DeviceSpec;
+use crate::timing::TimingModel;
+use crate::trace::SimStats;
+use std::error::Error;
+use std::fmt;
+
+/// Cost of one accelerator job: the unit of progress in HAWAII-style
+/// intermittent inference. The job computes on the LEA and its outputs plus
+/// a footprint are immediately written back to NVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCost {
+    /// MACs performed by the accelerator operation.
+    pub lea_macs: usize,
+    /// Bytes of progress preservation (accelerator outputs + footprint).
+    pub preserve_bytes: usize,
+    /// CPU cycles of orchestration around the job.
+    pub cpu_cycles: usize,
+}
+
+/// Outcome of one job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Commit {
+    /// The job's outputs and footprint reached NVM.
+    Committed,
+    /// Power failed before the footprint write completed; the job's effects
+    /// are lost. Call [`DeviceSim::recover`] and re-issue the job.
+    PowerFailed,
+}
+
+/// Simulation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An activity needs more energy per attempt than one full capacitor
+    /// charge provides — it would re-execute forever (the nontermination
+    /// hazard of Section II-B).
+    Nontermination {
+        /// Description of the offending activity.
+        activity: String,
+        /// Energy the attempt needs (J).
+        needed_j: f64,
+        /// Usable energy per power cycle (J).
+        budget_j: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Nontermination { activity, needed_j, budget_j } => write!(
+                f,
+                "activity `{activity}` needs {needed_j:.2e} J per attempt but one power cycle provides only {budget_j:.2e} J"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The device simulator. See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct DeviceSim {
+    spec: DeviceSpec,
+    timing: TimingModel,
+    energy: EnergyModel,
+    supply: Supply,
+    cap: Capacitor,
+    /// Commit frontier: wall-clock time up to which all effects are durable.
+    now: f64,
+    /// Time at which the LEA becomes free.
+    lea_free: f64,
+    /// Time at which the DMA/NVM channel becomes free.
+    dma_free: f64,
+    stats: SimStats,
+}
+
+impl DeviceSim {
+    /// Creates a simulator with default spec/timing/energy models.
+    ///
+    /// `seed` perturbs the initial capacitor charge (50–100 % of full) so
+    /// that repeated runs don't all fail at identical phase; pass `0` for a
+    /// fully-charged start.
+    pub fn new(strength: PowerStrength, seed: u64) -> Self {
+        Self::with_models(
+            DeviceSpec::default(),
+            TimingModel::default(),
+            EnergyModel::default(),
+            strength,
+            seed,
+        )
+    }
+
+    /// Creates a simulator driven by an arbitrary [`Supply`] (e.g. a solar
+    /// trace) with default spec/timing/energy models.
+    pub fn with_supply(supply: Supply, seed: u64) -> Self {
+        let mut sim = Self::with_models(
+            DeviceSpec::default(),
+            TimingModel::default(),
+            EnergyModel::default(),
+            PowerStrength::Continuous,
+            seed,
+        );
+        sim.supply = supply;
+        sim
+    }
+
+    /// Creates a simulator with explicit models.
+    pub fn with_models(
+        spec: DeviceSpec,
+        timing: TimingModel,
+        energy: EnergyModel,
+        strength: PowerStrength,
+        seed: u64,
+    ) -> Self {
+        let mut cap = Capacitor::full(&spec);
+        if seed != 0 {
+            // xorshift-style hash to a fraction in [0, 0.5)
+            let mut h = seed;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            let frac = (h % 1000) as f64 / 2000.0;
+            cap.apply(-cap.span_j() * frac);
+        }
+        Self {
+            spec,
+            timing,
+            energy,
+            supply: Supply::from(strength),
+            cap,
+            now: 0.0,
+            lea_free: 0.0,
+            dma_free: 0.0,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Elapsed wall-clock time at the commit frontier (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The device specification in use.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The timing model in use.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The configured power supply.
+    pub fn supply(&self) -> &Supply {
+        &self.supply
+    }
+
+    /// Runs one accelerator job: LEA compute pipelined with the DMA
+    /// write-back of its outputs and footprint.
+    ///
+    /// Returns [`Commit::PowerFailed`] if the capacitor cut out before the
+    /// preservation write completed; the caller must then call
+    /// [`Self::recover`] and re-issue the job.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Nontermination`] if the job can never fit in one power
+    /// cycle's energy budget.
+    pub fn run_job(&mut self, cost: JobCost) -> Result<Commit, SimError> {
+        let t_lea = self.timing.lea_s(cost.lea_macs) + self.timing.cpu_s(cost.cpu_cycles);
+        let t_wr = self.timing.nvm_write_s(cost.preserve_bytes);
+
+        // The LEA may start the next job while the DMA still writes the
+        // previous one back — that is the Figure 2(b) pipeline. Only the
+        // per-resource frontier gates the start, not the commit frontier.
+        let lea_start = self.lea_free;
+        let lea_end = lea_start + t_lea;
+        let wr_start = self.dma_free.max(lea_end);
+        let wr_end = wr_start + t_wr;
+        let wall = wr_end - self.now;
+
+        let e = self.energy.p_base_w * wall
+            + self.energy.p_lea_w * t_lea
+            + self.energy.p_nvm_write_w * t_wr;
+        let net = e - self.supply.power_at(self.now) * wall;
+        if net >= self.cap.span_j() {
+            return Err(SimError::Nontermination {
+                activity: format!("job {cost:?}"),
+                needed_j: net,
+                budget_j: self.cap.span_j(),
+            });
+        }
+
+        let before = self.cap.energy_j();
+        if self.cap.apply(-net) {
+            // Power failed somewhere inside this window; interpolate.
+            let frac = if net > 0.0 { (before / net).clamp(0.0, 1.0) } else { 1.0 };
+            let fail_time = self.now + frac * wall;
+            self.stats.wasted_s += fail_time - self.now;
+            self.stats.jobs_failed += 1;
+            self.stats.power_cycles += 1;
+            let off = self.recharge_duration(fail_time);
+            self.cap.refill();
+            let resume = fail_time + off + self.timing.reboot_s;
+            self.stats.charging_s += off;
+            self.stats.recovery_s += self.timing.reboot_s;
+            self.now = resume;
+            self.lea_free = resume;
+            self.dma_free = resume;
+            return Ok(Commit::PowerFailed);
+        }
+
+        self.now = wr_end;
+        self.lea_free = lea_end;
+        self.dma_free = wr_end;
+        self.stats.lea_s += self.timing.lea_s(cost.lea_macs);
+        self.stats.cpu_s += self.timing.cpu_s(cost.cpu_cycles);
+        self.stats.nvm_write_s += t_wr;
+        self.stats.nvm_write_bytes += cost.preserve_bytes as u64;
+        self.stats.lea_macs += cost.lea_macs as u64;
+        self.stats.jobs_committed += 1;
+        Ok(Commit::Committed)
+    }
+
+    /// Progress recovery after a reported power failure: re-reads
+    /// `refetch_bytes` (footprints, indexes, and the interrupted tile's
+    /// inputs) from NVM. Accounted as recovery time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Nontermination`] if the re-fetch itself cannot fit in one
+    /// power cycle.
+    pub fn recover(&mut self, refetch_bytes: usize) -> Result<(), SimError> {
+        let t = self.run_blocking_transfer(refetch_bytes, false, "recovery read")?;
+        self.stats.recovery_s += t;
+        // blocking transfer accounted it as a read; move it to recovery
+        self.stats.nvm_read_s -= t;
+        Ok(())
+    }
+
+    /// Blocking NVM read of `bytes` (tile inputs, weights, …). Power
+    /// failures during the read are retried internally: a read has no
+    /// volatile side effects beyond the buffer being filled, so the engine
+    /// never observes them (their recharge and reboot time is accounted).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Nontermination`] if the transfer cannot fit in one power
+    /// cycle. Split transfers into smaller DMA commands instead.
+    pub fn run_read(&mut self, bytes: usize) -> Result<(), SimError> {
+        let t = self.run_blocking_transfer(bytes, false, "nvm read")?;
+        self.stats.nvm_read_bytes += bytes as u64;
+        let _ = t;
+        Ok(())
+    }
+
+    /// Blocking NVM write of `bytes` outside progress preservation (e.g. a
+    /// continuous-power engine writing a completed output tile). Retried
+    /// internally on power failure, like [`Self::run_read`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Nontermination`] if the transfer cannot fit in one power
+    /// cycle.
+    pub fn run_write(&mut self, bytes: usize) -> Result<(), SimError> {
+        let t = self.run_blocking_transfer(bytes, true, "nvm write")?;
+        self.stats.nvm_write_bytes += bytes as u64;
+        let _ = t;
+        Ok(())
+    }
+
+    /// Blocking CPU work of `cycles` cycles (requantization, index math).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Nontermination`] if the work cannot fit in one power
+    /// cycle.
+    pub fn run_cpu(&mut self, cycles: usize) -> Result<(), SimError> {
+        if cycles == 0 {
+            return Ok(());
+        }
+        let t = self.timing.cpu_s(cycles);
+        let e_rate = self.energy.p_base_w;
+        self.advance_blocking(t, e_rate, "cpu work")?;
+        self.stats.cpu_s += t;
+        Ok(())
+    }
+
+    /// Largest single DMA command in bytes; bigger requests are split into
+    /// multiple commands (each paying the invocation overheads) so that no
+    /// single atomic transfer can exceed one power cycle's energy budget.
+    pub const MAX_DMA_BYTES: usize = 2048;
+
+    /// Time the device stays off after a failure at `from_t`, integrating
+    /// the supply until the capacitor's deficit is covered. For a trace
+    /// supply the integration is piecewise over the trace samples (dark
+    /// phases contribute nothing and simply pass).
+    fn recharge_duration(&self, from_t: f64) -> f64 {
+        let deficit = self.cap.deficit_j();
+        match &self.supply {
+            Supply::Constant(w) => deficit / w.max(1e-12),
+            Supply::Trace(tr) => {
+                assert!(tr.mean_w() > 0.0, "trace never delivers energy");
+                let dt = tr.dt_s();
+                let mut remaining = deficit;
+                let mut t = from_t;
+                // align the first partial step to the next sample boundary
+                let first = dt - t.rem_euclid(dt);
+                let p0 = tr.power_at(t);
+                if p0 * first >= remaining {
+                    return remaining / p0.max(1e-12);
+                }
+                remaining -= p0 * first;
+                t += first;
+                loop {
+                    let p = tr.power_at(t);
+                    if p * dt >= remaining {
+                        return t - from_t + remaining / p.max(1e-12);
+                    }
+                    remaining -= p * dt;
+                    t += dt;
+                }
+            }
+        }
+    }
+
+    fn run_blocking_transfer(
+        &mut self,
+        bytes: usize,
+        is_write: bool,
+        what: &'static str,
+    ) -> Result<f64, SimError> {
+        if bytes == 0 {
+            return Ok(0.0);
+        }
+        let extra = if is_write { self.energy.p_nvm_write_w } else { self.energy.p_nvm_read_w };
+        let mut total = 0.0;
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let chunk = remaining.min(Self::MAX_DMA_BYTES);
+            let t = if is_write {
+                self.timing.nvm_write_s(chunk)
+            } else {
+                self.timing.nvm_read_s(chunk)
+            };
+            self.advance_blocking(t, self.energy.p_base_w + extra, what)?;
+            total += t;
+            remaining -= chunk;
+        }
+        if is_write {
+            self.stats.nvm_write_s += total;
+        } else {
+            self.stats.nvm_read_s += total;
+        }
+        Ok(total)
+    }
+
+    /// Advances all frontiers through a blocking activity of duration `t`
+    /// drawing `p_draw` watts, retrying through power failures.
+    fn advance_blocking(&mut self, t: f64, p_draw: f64, what: &'static str) -> Result<(), SimError> {
+        let start = self.now.max(self.dma_free).max(self.lea_free);
+        // idle gap before the activity: the device only harvests
+        let idle = start - self.now;
+        if idle > 0.0 {
+            self.cap.apply(self.supply.power_at(self.now) * idle);
+        }
+        let net = (p_draw - self.supply.power_at(start)) * t;
+        if net >= self.cap.span_j() {
+            return Err(SimError::Nontermination {
+                activity: what.to_string(),
+                needed_j: net,
+                budget_j: self.cap.span_j(),
+            });
+        }
+        let mut cursor = start;
+        loop {
+            let before = self.cap.energy_j();
+            if !self.cap.apply(-net) {
+                let end = cursor + t;
+                self.now = end;
+                self.lea_free = end;
+                self.dma_free = end;
+                return Ok(());
+            }
+            // failed mid-activity: lose it, recharge, reboot, retry
+            let frac = if net > 0.0 { (before / net).clamp(0.0, 1.0) } else { 1.0 };
+            let fail_time = cursor + frac * t;
+            self.stats.wasted_s += fail_time - cursor;
+            self.stats.power_cycles += 1;
+            let off = self.recharge_duration(fail_time);
+            self.cap.refill();
+            self.stats.charging_s += off;
+            self.stats.recovery_s += self.timing.reboot_s;
+            cursor = fail_time + off + self.timing.reboot_s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_power_never_fails() {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        for _ in 0..1000 {
+            let c = sim
+                .run_job(JobCost { lea_macs: 100, preserve_bytes: 34, cpu_cycles: 10 })
+                .unwrap();
+            assert_eq!(c, Commit::Committed);
+        }
+        assert_eq!(sim.stats().power_cycles, 0);
+        assert_eq!(sim.stats().jobs_committed, 1000);
+    }
+
+    #[test]
+    fn harvested_power_eventually_fails() {
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        let mut failures = 0;
+        let mut committed = 0;
+        while committed < 20_000 {
+            match sim.run_job(JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 }).unwrap()
+            {
+                Commit::Committed => committed += 1,
+                Commit::PowerFailed => {
+                    failures += 1;
+                    sim.recover(128).unwrap();
+                }
+            }
+        }
+        assert!(failures > 0, "weak power should brown out");
+        assert_eq!(sim.stats().power_cycles, failures);
+    }
+
+    #[test]
+    fn weak_power_is_slower_than_strong() {
+        let run = |s: PowerStrength| {
+            let mut sim = DeviceSim::new(s, 0);
+            let mut committed = 0;
+            while committed < 10_000 {
+                match sim
+                    .run_job(JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 })
+                    .unwrap()
+                {
+                    Commit::Committed => committed += 1,
+                    Commit::PowerFailed => sim.recover(128).unwrap(),
+                }
+            }
+            sim.now()
+        };
+        let t_cont = run(PowerStrength::Continuous);
+        let t_strong = run(PowerStrength::Strong);
+        let t_weak = run(PowerStrength::Weak);
+        assert!(t_strong > t_cont, "strong {t_strong} vs continuous {t_cont}");
+        assert!(t_weak > 1.3 * t_strong, "weak {t_weak} vs strong {t_strong}");
+    }
+
+    #[test]
+    fn pipelining_overlaps_compute_and_writes() {
+        // With equal compute and write times, pipelined latency should be
+        // well below the serial sum.
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let cost = JobCost { lea_macs: 500, preserve_bytes: 30, cpu_cycles: 0 };
+        let t_lea = sim.timing().lea_s(cost.lea_macs);
+        let t_wr = sim.timing().nvm_write_s(cost.preserve_bytes);
+        let n = 200;
+        for _ in 0..n {
+            sim.run_job(cost).unwrap();
+        }
+        let serial = (t_lea + t_wr) * n as f64;
+        let ideal = t_lea.max(t_wr) * n as f64;
+        assert!(sim.now() < serial * 0.75, "no overlap: {} vs serial {}", sim.now(), serial);
+        assert!(sim.now() >= ideal * 0.99, "faster than the bottleneck resource");
+    }
+
+    #[test]
+    fn oversized_activity_is_rejected_not_looped() {
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        // A multi-second LEA burst cannot fit in a 104 uJ budget.
+        let err = sim
+            .run_job(JobCost { lea_macs: 200_000_000, preserve_bytes: 2, cpu_cycles: 0 })
+            .unwrap_err();
+        match err {
+            SimError::Nontermination { needed_j, budget_j, .. } => {
+                assert!(needed_j > budget_j);
+            }
+        }
+    }
+
+    #[test]
+    fn reads_account_time_and_bytes() {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        sim.run_read(4096).unwrap();
+        assert_eq!(sim.stats().nvm_read_bytes, 4096);
+        // 4096 bytes split into two MAX_DMA_BYTES commands
+        let expect = 2.0 * sim.timing().nvm_read_s(2048);
+        assert!((sim.stats().nvm_read_s - expect).abs() < 1e-12);
+        assert!((sim.now() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_transfers_are_chunked_not_rejected() {
+        // A 40 KB read must survive harvested power by splitting into
+        // per-command transfers that each fit the energy budget.
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        sim.run_read(200 * 1024).unwrap();
+        assert_eq!(sim.stats().nvm_read_bytes, 200 * 1024);
+        assert!(sim.stats().power_cycles > 0, "a 200 KB read cannot fit one cycle");
+    }
+
+    #[test]
+    fn recovery_counts_as_recovery_not_read() {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        sim.recover(512).unwrap();
+        assert_eq!(sim.stats().nvm_read_s, 0.0);
+        assert!(sim.stats().recovery_s > 0.0);
+    }
+
+    #[test]
+    fn seeded_start_charge_differs() {
+        let a = DeviceSim::new(PowerStrength::Weak, 1);
+        let b = DeviceSim::new(PowerStrength::Weak, 2);
+        let full = DeviceSim::new(PowerStrength::Weak, 0);
+        assert!(a.cap.energy_j() <= full.cap.energy_j());
+        assert_ne!(a.cap.energy_j(), b.cap.energy_j());
+    }
+
+    #[test]
+    fn solar_trace_supply_stalls_in_the_dark_and_progresses_in_the_light() {
+        use crate::power::{PowerTrace, Supply};
+        // 2-second "day": bright first half, dark second half.
+        let trace = PowerTrace::solar(8.0e-3, 2.0, 64, 3);
+        let mut sim = DeviceSim::with_supply(Supply::Trace(trace), 0);
+        let mut committed = 0;
+        while committed < 30_000 {
+            match sim.run_job(JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 }).unwrap()
+            {
+                Commit::Committed => committed += 1,
+                Commit::PowerFailed => sim.recover(64).unwrap(),
+            }
+        }
+        // the same workload under constant strong power finishes faster
+        let mut fast = DeviceSim::new(PowerStrength::Strong, 0);
+        for _ in 0..30_000 {
+            loop {
+                match fast
+                    .run_job(JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 })
+                    .unwrap()
+                {
+                    Commit::Committed => break,
+                    Commit::PowerFailed => fast.recover(64).unwrap(),
+                }
+            }
+        }
+        assert!(sim.stats().power_cycles > 0);
+        assert!(sim.now() > fast.now(), "trace with dark phases must be slower");
+    }
+
+    #[test]
+    fn zero_byte_ops_are_noops() {
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        sim.run_read(0).unwrap();
+        sim.run_write(0).unwrap();
+        sim.run_cpu(0).unwrap();
+        assert_eq!(sim.now(), 0.0);
+    }
+}

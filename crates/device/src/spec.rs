@@ -1,0 +1,78 @@
+//! Device specification constants — the contents of the paper's Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the evaluation platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// MCU model name.
+    pub mcu: &'static str,
+    /// CPU (and LEA) clock frequency in hertz.
+    pub cpu_hz: f64,
+    /// Volatile memory (SRAM) capacity in bytes.
+    pub vm_bytes: usize,
+    /// Non-volatile memory (FRAM) capacity in bytes.
+    pub nvm_bytes: usize,
+    /// Accelerator name.
+    pub accelerator: &'static str,
+    /// NVM part name.
+    pub nvm_part: &'static str,
+    /// EMU (boost converter) name.
+    pub emu: &'static str,
+    /// Capacitor value in farads.
+    pub capacitance_f: f64,
+    /// Voltage at which the power switch turns the device on.
+    pub v_on: f64,
+    /// Voltage at which the power switch turns the device off.
+    pub v_off: f64,
+}
+
+impl DeviceSpec {
+    /// The MSP430FR5994 platform of the paper (Table I).
+    pub fn msp430fr5994() -> Self {
+        Self {
+            mcu: "TI MSP430FR5994",
+            cpu_hz: 16.0e6,
+            vm_bytes: 8 * 1024,
+            nvm_bytes: 512 * 1024,
+            accelerator: "TI Low-Energy Accelerator",
+            nvm_part: "Cypress CY15B104Q 512KB FRAM",
+            emu: "TI BQ25504",
+            capacitance_f: 100.0e-6,
+            v_on: 2.8,
+            v_off: 2.4,
+        }
+    }
+
+    /// Usable energy per power cycle: `½·C·(V_on² − V_off²)` joules.
+    pub fn energy_span_j(&self) -> f64 {
+        0.5 * self.capacitance_f * (self.v_on * self.v_on - self.v_off * self.v_off)
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::msp430fr5994()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let s = DeviceSpec::msp430fr5994();
+        assert_eq!(s.vm_bytes, 8192);
+        assert_eq!(s.nvm_bytes, 524_288);
+        assert_eq!(s.v_on, 2.8);
+        assert_eq!(s.v_off, 2.4);
+    }
+
+    #[test]
+    fn energy_span_is_about_104_microjoules() {
+        let s = DeviceSpec::msp430fr5994();
+        let e = s.energy_span_j();
+        assert!((e - 104.0e-6).abs() < 1.0e-6, "got {e}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Latency model for device activities.
+//!
+//! One DMA transfer command moves contiguous bytes between VM and the
+//! external SPI FRAM; its latency is DMA invocation + NVM invocation +
+//! per-byte transfer (Section II-A). LEA operations pay an invocation cost
+//! plus per-MAC throughput. Defaults assume a 16 MHz core and an 8 MHz SPI
+//! link to the CY15B104Q FRAM.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-activity latency parameters (seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// DMA controller invocation overhead per transfer command.
+    pub dma_invoke_s: f64,
+    /// NVM (SPI command/address phase) invocation overhead per transfer.
+    pub nvm_invoke_s: f64,
+    /// NVM read latency per byte.
+    pub nvm_read_byte_s: f64,
+    /// NVM write latency per byte.
+    pub nvm_write_byte_s: f64,
+    /// LEA invocation overhead per accelerator operation.
+    pub lea_invoke_s: f64,
+    /// LEA multiply-accumulate throughput, seconds per MAC.
+    pub lea_mac_s: f64,
+    /// CPU cycle time.
+    pub cpu_cycle_s: f64,
+    /// Reboot time after a power failure (before progress recovery).
+    pub reboot_s: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        let cycle = 1.0 / 16.0e6;
+        Self {
+            dma_invoke_s: 30.0 * cycle,      // ~1.9 us DMA setup
+            nvm_invoke_s: 4.0e-6,            // SPI opcode + 3 address bytes @ 8 MHz
+            nvm_read_byte_s: 1.0e-6,         // 8 bits @ 8 MHz SPI
+            nvm_write_byte_s: 1.0e-6,        // FRAM writes at bus speed (no erase)
+            lea_invoke_s: 50.0 * cycle,      // command setup + result latch
+            lea_mac_s: cycle,                // ~1 MAC/cycle vector throughput
+            cpu_cycle_s: cycle,
+            reboot_s: 1.0e-3,                // boot + peripheral re-init
+        }
+    }
+}
+
+impl TimingModel {
+    /// Latency of one DMA read transfer of `bytes` from NVM.
+    pub fn nvm_read_s(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.dma_invoke_s + self.nvm_invoke_s + bytes as f64 * self.nvm_read_byte_s
+    }
+
+    /// Latency of one DMA write transfer of `bytes` to NVM.
+    pub fn nvm_write_s(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.dma_invoke_s + self.nvm_invoke_s + bytes as f64 * self.nvm_write_byte_s
+    }
+
+    /// Latency of one accelerator operation performing `macs` MACs.
+    pub fn lea_s(&self, macs: usize) -> f64 {
+        if macs == 0 {
+            return 0.0;
+        }
+        self.lea_invoke_s + macs as f64 * self.lea_mac_s
+    }
+
+    /// Latency of `cycles` CPU cycles.
+    pub fn cpu_s(&self, cycles: usize) -> f64 {
+        cycles as f64 * self.cpu_cycle_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sized_activities_are_free() {
+        let t = TimingModel::default();
+        assert_eq!(t.nvm_read_s(0), 0.0);
+        assert_eq!(t.nvm_write_s(0), 0.0);
+        assert_eq!(t.lea_s(0), 0.0);
+    }
+
+    #[test]
+    fn transfer_latency_scales_with_bytes() {
+        let t = TimingModel::default();
+        let one = t.nvm_write_s(1);
+        let thousand = t.nvm_write_s(1000);
+        assert!(thousand > one);
+        // invocation overheads amortize: per-byte marginal cost is constant
+        let marginal = (thousand - one) / 999.0;
+        assert!((marginal - t.nvm_write_byte_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_transfers_are_overhead_dominated() {
+        let t = TimingModel::default();
+        // a 2-byte footprint write is mostly invocation cost
+        let w = t.nvm_write_s(2);
+        assert!(w > 2.0 * (t.dma_invoke_s + t.nvm_invoke_s) * 0.5);
+        assert!(t.dma_invoke_s + t.nvm_invoke_s > 2.0 * t.nvm_write_byte_s);
+    }
+
+    #[test]
+    fn lea_throughput_one_mac_per_cycle() {
+        let t = TimingModel::default();
+        let d = t.lea_s(16_000_000) - t.lea_invoke_s;
+        assert!((d - 1.0).abs() < 1e-9, "16M MACs should take ~1 s");
+    }
+}

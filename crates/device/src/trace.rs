@@ -1,0 +1,71 @@
+//! Aggregate statistics of a simulated execution.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated busy times, byte/operation counts, and power-cycle counts of
+/// a simulation run. Busy times of *committed* work feed the latency
+/// breakdown of the paper's Figure 2; re-executed (lost) work and recharge
+/// time are tracked separately.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Committed NVM read busy time (s).
+    pub nvm_read_s: f64,
+    /// Committed NVM write busy time (s), including progress preservation.
+    pub nvm_write_s: f64,
+    /// Committed accelerator busy time (s).
+    pub lea_s: f64,
+    /// Committed CPU busy time (s).
+    pub cpu_s: f64,
+    /// Reboot plus progress-recovery time after power failures (s).
+    pub recovery_s: f64,
+    /// Time spent off, waiting for the capacitor to recharge (s).
+    pub charging_s: f64,
+    /// Busy time of work that was lost to power failures and re-executed (s).
+    pub wasted_s: f64,
+    /// Bytes read from NVM (committed work only).
+    pub nvm_read_bytes: u64,
+    /// Bytes written to NVM (committed work only).
+    pub nvm_write_bytes: u64,
+    /// MAC operations performed (committed work only).
+    pub lea_macs: u64,
+    /// Accelerator jobs committed.
+    pub jobs_committed: u64,
+    /// Job attempts aborted by power failure.
+    pub jobs_failed: u64,
+    /// Number of power cycles (failure + recharge + reboot).
+    pub power_cycles: u64,
+}
+
+impl SimStats {
+    /// Total committed busy time across all activity classes.
+    pub fn busy_s(&self) -> f64 {
+        self.nvm_read_s + self.nvm_write_s + self.lea_s + self.cpu_s
+    }
+
+    /// Fraction of committed busy time spent in NVM writes.
+    pub fn write_share(&self) -> f64 {
+        let b = self.busy_s();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.nvm_write_s / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_sensibly() {
+        let s = SimStats { nvm_read_s: 1.0, nvm_write_s: 3.0, lea_s: 1.0, ..Default::default() };
+        assert!((s.busy_s() - 5.0).abs() < 1e-12);
+        assert!((s.write_share() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_share() {
+        assert_eq!(SimStats::default().write_share(), 0.0);
+    }
+}

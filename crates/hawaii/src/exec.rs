@@ -1,0 +1,738 @@
+//! Quantized inference execution against the device simulator.
+//!
+//! Three modes share one compute path:
+//!
+//! * [`ExecMode::Intermittent`] — HAWAII-style: every accelerator job's
+//!   partial outputs are immediately preserved to NVM together with a
+//!   footprint (job counter). A power failure loses the volatile
+//!   accumulators; recovery reloads the last committed partials and re-runs
+//!   only the interrupted job.
+//! * [`ExecMode::TileAtomic`] — SONIC/TAILS-style task-atomic execution:
+//!   only completed output tiles are preserved; a power failure re-executes
+//!   the whole interrupted tile.
+//! * [`ExecMode::Continuous`] — the conventional flow of Figure 2(a):
+//!   accumulators stay in VM until an output tile completes, and only final
+//!   outputs are written back. Correct only while power never fails.
+//!
+//! All modes perform the *same* 16-bit fixed-point arithmetic, so their
+//! outputs are bit-identical — the crate's central tested invariant.
+
+use crate::deploy::{DeployedLayer, DeployedModel};
+use iprune_device::sim::{Commit, DeviceSim, JobCost, SimError};
+use iprune_device::trace::SimStats;
+use iprune_models::arch::{GraphOp, PrunableKind};
+use iprune_tensor::quant::{requantize, QFormat};
+use iprune_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// HAWAII-style: progress preservation after every accelerator job
+    /// (finest-grained progress indicator, minimal re-execution).
+    Intermittent,
+    /// SONIC/TAILS-style task-atomic execution: accumulators stay in VM for
+    /// a whole output tile; only completed tiles are preserved (with a
+    /// loop-index footprint), and a power failure re-executes the entire
+    /// interrupted tile. Fewer NVM writes, more re-executed work.
+    TileAtomic,
+    /// VM accumulation, output-tile write-back only (continuous power only).
+    Continuous,
+}
+
+/// Result of one end-to-end inference.
+#[derive(Debug, Clone)]
+pub struct InferenceOutcome {
+    /// Dequantized logits.
+    pub logits: Vec<f32>,
+    /// Predicted class.
+    pub argmax: usize,
+    /// End-to-end latency on the simulated device (seconds).
+    pub latency_s: f64,
+    /// Power cycles experienced.
+    pub power_cycles: u64,
+    /// Accelerator jobs committed.
+    pub jobs: u64,
+    /// Accelerator outputs preserved as partials (intermittent mode);
+    /// matches the analytic pruning criterion.
+    pub preserved_partials: u64,
+    /// Full simulator statistics at completion.
+    pub stats: SimStats,
+}
+
+/// Engine failure.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Underlying simulator error.
+    Sim(SimError),
+    /// A job kept failing without committing (energy budget too tight for
+    /// forward progress).
+    NoProgress {
+        /// Layer id where progress stalled.
+        layer: usize,
+    },
+    /// Power failed while executing in continuous mode: all volatile
+    /// progress is lost and the inference cannot be resumed.
+    PowerLostInContinuousMode,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sim(e) => write!(f, "device simulation error: {e}"),
+            EngineError::NoProgress { layer } => {
+                write!(f, "no forward progress in layer {layer}")
+            }
+            EngineError::PowerLostInContinuousMode => {
+                write!(f, "power failed while executing in continuous mode")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+const MAX_RETRIES_PER_JOB: u32 = 10_000;
+/// Footprint (job counter) bytes preserved with every job.
+const FOOTPRINT_BYTES: usize = 4;
+
+struct Counters {
+    jobs: u64,
+    partials: u64,
+}
+
+/// Runs one end-to-end inference of `dm` on `input` (`[c,h,w]` or
+/// `[1,c,h,w]`) against `sim`.
+///
+/// Use a fresh simulator per inference if you want per-inference latency;
+/// reusing one accumulates time and statistics across calls.
+///
+/// # Errors
+///
+/// Propagates simulator nontermination, reports
+/// [`EngineError::PowerLostInContinuousMode`] when continuous mode browns
+/// out, and [`EngineError::NoProgress`] when a job cannot commit.
+pub fn infer(
+    dm: &DeployedModel,
+    input: &Tensor,
+    sim: &mut DeviceSim,
+    mode: ExecMode,
+) -> Result<InferenceOutcome, EngineError> {
+    let mut bufs: Vec<Vec<i16>> = dm.info.buffers.iter().map(|b| vec![0i16; b.numel()]).collect();
+    assert_eq!(input.numel(), bufs[0].len(), "input size vs model input buffer");
+    let in_fmt = dm.buf_fmts[0];
+    for (dst, &v) in bufs[0].iter_mut().zip(input.data()) {
+        *dst = in_fmt.quantize(v);
+    }
+
+    let mut counters = Counters { jobs: 0, partials: 0 };
+    let cycles_at_start = sim.stats().power_cycles;
+
+    for op in &dm.info.graph {
+        // Continuous mode has no progress preservation at all: any power
+        // cycle so far (even one absorbed inside a blocking transfer) has
+        // wiped the volatile accumulators and the inference is lost.
+        if mode == ExecMode::Continuous && sim.stats().power_cycles > cycles_at_start {
+            return Err(EngineError::PowerLostInContinuousMode);
+        }
+        match op {
+            GraphOp::Conv { layer_id, src, dst, dst_c_off, relu } => {
+                let dl = &dm.layers[*layer_id];
+                let geom = conv_geometry(dm, *layer_id);
+                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                exec_gemm(
+                    dl,
+                    &geom,
+                    src_buf,
+                    dst_buf,
+                    *dst_c_off,
+                    *relu,
+                    dm.buf_fmts[*src],
+                    dm.buf_fmts[*dst],
+                    sim,
+                    mode,
+                    &mut counters,
+                )?;
+            }
+            GraphOp::Fc { layer_id, src, dst, relu } => {
+                let dl = &dm.layers[*layer_id];
+                let geom = Geometry::Fc;
+                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                exec_gemm(
+                    dl,
+                    &geom,
+                    src_buf,
+                    dst_buf,
+                    0,
+                    *relu,
+                    dm.buf_fmts[*src],
+                    dm.buf_fmts[*dst],
+                    sim,
+                    mode,
+                    &mut counters,
+                )?;
+            }
+            GraphOp::MaxPool { src, dst, kh, kw } => {
+                let sdims = dm.info.buffers[*src].dims.clone();
+                let ddims = dm.info.buffers[*dst].dims.clone();
+                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                let (c, ih, iw) = (sdims[0], sdims[1], sdims[2]);
+                let (oh, ow) = (ddims[1], ddims[2]);
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = i16::MIN;
+                            for ky in 0..*kh {
+                                for kx in 0..*kw {
+                                    let v = src_buf[(ch * ih + oy * kh + ky) * iw + ox * kw + kx];
+                                    best = best.max(v);
+                                }
+                            }
+                            dst_buf[(ch * oh + oy) * ow + ox] = best;
+                        }
+                    }
+                }
+                sim.run_read(src_buf.len() * 2)?;
+                sim.run_cpu(src_buf.len() * 2)?;
+                sim.run_write(dst_buf.len() * 2)?;
+            }
+            GraphOp::GlobalAvgPool { src, dst } => {
+                let sdims = dm.info.buffers[*src].dims.clone();
+                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                let (c, h, w) = (sdims[0], sdims[1], sdims[2]);
+                let hw = (h * w) as i64;
+                for ch in 0..c {
+                    let sum: i64 =
+                        src_buf[ch * h * w..(ch + 1) * h * w].iter().map(|&v| v as i64).sum();
+                    let rounded = if sum >= 0 { (sum + hw / 2) / hw } else { (sum - hw / 2) / hw };
+                    dst_buf[ch] = rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+                }
+                sim.run_read(src_buf.len() * 2)?;
+                sim.run_cpu(src_buf.len())?;
+                sim.run_write(dst_buf.len() * 2)?;
+            }
+            GraphOp::Flatten { src, dst } => {
+                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                dst_buf.copy_from_slice(src_buf);
+                // address reinterpretation — no device work
+            }
+        }
+    }
+
+    if mode == ExecMode::Continuous && sim.stats().power_cycles > cycles_at_start {
+        return Err(EngineError::PowerLostInContinuousMode);
+    }
+
+    let logits_buf = bufs.last().expect("at least one buffer");
+    let fmt = *dm.buf_fmts.last().expect("formats");
+    let logits: Vec<f32> = logits_buf.iter().map(|&q| fmt.dequantize(q)).collect();
+    let argmax = logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(InferenceOutcome {
+        logits,
+        argmax,
+        latency_s: sim.now(),
+        power_cycles: sim.stats().power_cycles,
+        jobs: counters.jobs,
+        preserved_partials: counters.partials,
+        stats: sim.stats().clone(),
+    })
+}
+
+/// Conv geometry needed for input gathering.
+enum Geometry {
+    Conv {
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+        in_h: usize,
+        in_w: usize,
+        oh: usize,
+        ow: usize,
+    },
+    Fc,
+}
+
+fn conv_geometry(dm: &DeployedModel, layer_id: usize) -> Geometry {
+    let p = &dm.info.prunables[layer_id];
+    match &p.kind {
+        PrunableKind::Conv { kh, kw, stride, pad_h, pad_w, in_h, in_w, .. } => {
+            let (oh, ow) = p.out_hw();
+            Geometry::Conv {
+                kh: *kh,
+                kw: *kw,
+                stride: *stride,
+                pad_h: *pad_h,
+                pad_w: *pad_w,
+                in_h: *in_h,
+                in_w: *in_w,
+                oh,
+                ow,
+            }
+        }
+        PrunableKind::Fc { .. } => Geometry::Fc,
+    }
+}
+
+/// Builds the im2col strip `[k][s_len]` for positions
+/// `[strip_start, strip_start + s_len)`.
+fn gather_strip(
+    geom: &Geometry,
+    src: &[i16],
+    k: usize,
+    strip_start: usize,
+    s_len: usize,
+    out: &mut [i16],
+) {
+    match geom {
+        Geometry::Fc => {
+            debug_assert_eq!(s_len, 1);
+            out[..k].copy_from_slice(&src[..k]);
+        }
+        Geometry::Conv { kh, kw, stride, pad_h, pad_w, in_h, in_w, oh: _, ow } => {
+            let khw = kh * kw;
+            for ki in 0..k {
+                let c = ki / khw;
+                let rem = ki % khw;
+                let ky = rem / kw;
+                let kx = rem % kw;
+                for s in 0..s_len {
+                    let pos = strip_start + s;
+                    let oy = pos / ow;
+                    let ox = pos % ow;
+                    let iy = (oy * stride + ky) as isize - *pad_h as isize;
+                    let ix = (ox * stride + kx) as isize - *pad_w as isize;
+                    out[ki * s_len + s] = if iy < 0
+                        || iy >= *in_h as isize
+                        || ix < 0
+                        || ix >= *in_w as isize
+                    {
+                        0
+                    } else {
+                        src[(c * in_h + iy as usize) * in_w + ix as usize]
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Writes one output value to the destination buffer.
+fn write_output(
+    geom: &Geometry,
+    dst: &mut [i16],
+    dst_c_off: usize,
+    m_index: usize,
+    pos: usize,
+    value: i16,
+) {
+    match geom {
+        Geometry::Fc => dst[m_index] = value,
+        Geometry::Conv { oh, ow, .. } => {
+            dst[(dst_c_off + m_index) * oh * ow + pos] = value;
+        }
+    }
+}
+
+/// NVM bytes re-fetched during progress recovery for this layer: footprint
+/// and index arrays, the partial-accumulator scratch, the input sub-strip,
+/// and the interrupted weight block.
+fn recovery_bytes(dl: &DeployedLayer) -> usize {
+    let t = dl.plan.tile;
+    16 + 4 * t.br * t.strip + 2 * t.bc * t.strip + 2 * t.br * t.bc
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_gemm(
+    dl: &DeployedLayer,
+    geom: &Geometry,
+    src: &[i16],
+    dst: &mut [i16],
+    dst_c_off: usize,
+    relu: bool,
+    in_fmt: QFormat,
+    out_fmt: QFormat,
+    sim: &mut DeviceSim,
+    mode: ExecMode,
+    counters: &mut Counters,
+) -> Result<(), EngineError> {
+    let plan = &dl.plan;
+    let (br, bc, strip) = (plan.tile.br, plan.tile.bc, plan.tile.strip);
+    let (in_frac, w_frac) = (in_fmt.frac_bits(), dl.bsr.format().frac_bits());
+    let bias_shift = (in_frac + w_frac - dl.bias_fmt.frac_bits()) as u32;
+
+    let mut col = vec![0i16; plan.k * strip];
+    let mut strip_start = 0;
+    while strip_start < plan.n_spatial {
+        let s_len = strip.min(plan.n_spatial - strip_start);
+        gather_strip(geom, src, plan.k, strip_start, s_len, &mut col);
+        for rb in 0..plan.row_blocks() {
+            let rows = plan.rows_in_block(rb);
+            let outputs =
+                exec_tile(dl, sim, mode, counters, &col, rb, s_len, bias_shift, in_frac, w_frac, out_fmt, relu)?;
+            for r in 0..rows {
+                for s in 0..s_len {
+                    write_output(
+                        geom,
+                        dst,
+                        dst_c_off,
+                        rb * br + r,
+                        strip_start + s,
+                        outputs[r * s_len + s],
+                    );
+                }
+            }
+        }
+        strip_start += s_len;
+    }
+    let _ = bc;
+    Ok(())
+}
+
+/// Executes one output tile (one block-row over one spatial strip) under
+/// the given preservation strategy and returns its requantized outputs.
+#[allow(clippy::too_many_arguments)]
+fn exec_tile(
+    dl: &DeployedLayer,
+    sim: &mut DeviceSim,
+    mode: ExecMode,
+    counters: &mut Counters,
+    col: &[i16],
+    rb: usize,
+    s_len: usize,
+    bias_shift: u32,
+    in_frac: u8,
+    w_frac: u8,
+    out_fmt: QFormat,
+    relu: bool,
+) -> Result<Vec<i16>, EngineError> {
+    let plan = &dl.plan;
+    let (br, bc) = (plan.tile.br, plan.tile.bc);
+    let rows = plan.rows_in_block(rb);
+    let mut tile_retries = 0u32;
+
+    'tile: loop {
+        // bias goes into the accumulators before the first chunk
+        let mut scratch: Vec<i64> = (0..rows * s_len)
+            .map(|i| (dl.bias[rb * br + i / s_len] as i64) << bias_shift)
+            .collect();
+        sim.run_read(2 * rows)?; // bias fetch
+
+        for (slot, cb) in dl.bsr.row_blocks_iter(rb) {
+            let block = dl.bsr.block(slot);
+            let cols = bc.min(plan.k - cb * bc);
+            // functional compute (identical on every retry)
+            let mut work = scratch.clone();
+            for r in 0..rows {
+                let wrow = &block[r * bc..r * bc + cols];
+                for (c, &wv) in wrow.iter().enumerate() {
+                    if wv == 0 {
+                        continue;
+                    }
+                    let xrow = &col[(cb * bc + c) * s_len..(cb * bc + c) * s_len + s_len];
+                    let acc = &mut work[r * s_len..(r + 1) * s_len];
+                    for (a, &xv) in acc.iter_mut().zip(xrow.iter()) {
+                        *a += (wv as i64) * (xv as i64);
+                    }
+                }
+            }
+            let read_bytes = 2 * br * bc + 4 + 2 * cols * s_len;
+            let macs = rows * bc * s_len;
+            match mode {
+                ExecMode::Intermittent => {
+                    let cost = JobCost {
+                        lea_macs: macs,
+                        preserve_bytes: 4 * rows * s_len + FOOTPRINT_BYTES,
+                        cpu_cycles: rows + 8,
+                    };
+                    commit_job(dl, sim, mode, read_bytes, cost)?;
+                    counters.jobs += 1;
+                    counters.partials += (rows * s_len) as u64;
+                }
+                ExecMode::TileAtomic | ExecMode::Continuous => {
+                    sim.run_read(read_bytes)?;
+                    let cost =
+                        JobCost { lea_macs: macs, preserve_bytes: 0, cpu_cycles: rows + 8 };
+                    match sim.run_job(cost)? {
+                        Commit::Committed => counters.jobs += 1,
+                        Commit::PowerFailed => {
+                            if mode == ExecMode::Continuous {
+                                return Err(EngineError::PowerLostInContinuousMode);
+                            }
+                            // task-atomic: volatile accumulators are gone;
+                            // re-read the loop indices and redo the tile
+                            sim.recover(16)?;
+                            tile_retries += 1;
+                            if tile_retries > MAX_RETRIES_PER_JOB {
+                                return Err(EngineError::NoProgress { layer: dl.layer_id });
+                            }
+                            continue 'tile;
+                        }
+                    }
+                }
+            }
+            scratch = work;
+        }
+
+        // write-back: requantize + ReLU + store the i16 outputs
+        let mut outputs = vec![0i16; rows * s_len];
+        for (i, &acc) in scratch.iter().enumerate() {
+            let mut v = requantize(acc, in_frac, w_frac, out_fmt.frac_bits());
+            if relu && v < 0 {
+                v = 0;
+            }
+            outputs[i] = v;
+        }
+        let out_bytes = 2 * rows * s_len;
+        match mode {
+            ExecMode::Intermittent => {
+                let cost = JobCost {
+                    lea_macs: 0,
+                    preserve_bytes: out_bytes + FOOTPRINT_BYTES,
+                    cpu_cycles: 2 * rows * s_len,
+                };
+                commit_job(dl, sim, mode, 0, cost)?;
+                counters.jobs += 1;
+            }
+            ExecMode::TileAtomic => {
+                let cost = JobCost {
+                    lea_macs: 0,
+                    preserve_bytes: out_bytes + FOOTPRINT_BYTES,
+                    cpu_cycles: 2 * rows * s_len,
+                };
+                match sim.run_job(cost)? {
+                    Commit::Committed => counters.jobs += 1,
+                    Commit::PowerFailed => {
+                        sim.recover(16)?;
+                        tile_retries += 1;
+                        if tile_retries > MAX_RETRIES_PER_JOB {
+                            return Err(EngineError::NoProgress { layer: dl.layer_id });
+                        }
+                        continue 'tile;
+                    }
+                }
+            }
+            ExecMode::Continuous => {
+                sim.run_cpu(2 * rows * s_len)?;
+                sim.run_write(out_bytes)?;
+            }
+        }
+        return Ok(outputs);
+    }
+}
+
+/// Issues the reads and the job, retrying through power failures in
+/// intermittent mode.
+fn commit_job(
+    dl: &DeployedLayer,
+    sim: &mut DeviceSim,
+    mode: ExecMode,
+    read_bytes: usize,
+    cost: JobCost,
+) -> Result<(), EngineError> {
+    let mut retries = 0u32;
+    loop {
+        sim.run_read(read_bytes)?;
+        match sim.run_job(cost)? {
+            Commit::Committed => return Ok(()),
+            Commit::PowerFailed => {
+                if mode == ExecMode::Continuous {
+                    return Err(EngineError::PowerLostInContinuousMode);
+                }
+                sim.recover(recovery_bytes(dl))?;
+                retries += 1;
+                if retries > MAX_RETRIES_PER_JOB {
+                    return Err(EngineError::NoProgress { layer: dl.layer_id });
+                }
+            }
+        }
+    }
+}
+
+/// Borrow two distinct buffers mutably.
+fn split_bufs(bufs: &mut [Vec<i16>], src: usize, dst: usize) -> (&[i16], &mut [i16]) {
+    assert_ne!(src, dst, "graph ops must not read and write the same buffer");
+    if src < dst {
+        let (a, b) = bufs.split_at_mut(dst);
+        (&a[src], &mut b[0])
+    } else {
+        let (a, b) = bufs.split_at_mut(src);
+        (&b[0], &mut a[dst])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::deploy;
+    use crate::graph_exec::run_graph_logits;
+    use iprune_device::PowerStrength;
+    use iprune_models::zoo::App;
+
+    fn har_deployed() -> (DeployedModel, iprune_datasets::Dataset) {
+        let mut model = App::Har.build();
+        let ds = App::Har.dataset(12, 42);
+        let dm = deploy(&mut model, &ds, 4);
+        (dm, ds)
+    }
+
+    #[test]
+    fn quantized_matches_float_reference() {
+        let mut model = App::Har.build();
+        let ds = App::Har.dataset(6, 42);
+        let dm = deploy(&mut model, &ds, 4);
+        let weights = model.extract_weights();
+        for i in 0..6 {
+            let x = ds.sample(i);
+            let float_logits = run_graph_logits(&model.info, &weights, &x);
+            let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+            let out = infer(&dm, &x, &mut sim, ExecMode::Continuous).unwrap();
+            for (q, f) in out.logits.iter().zip(float_logits.iter()) {
+                assert!((q - f).abs() < 0.05, "sample {i}: quantized {q} vs float {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn intermittent_equals_continuous_bitwise() {
+        let (dm, ds) = har_deployed();
+        for i in 0..4 {
+            let x = ds.sample(i);
+            let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+            let cont = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).unwrap();
+            for (strength, seed) in
+                [(PowerStrength::Continuous, 0), (PowerStrength::Strong, 3), (PowerStrength::Weak, 7)]
+            {
+                let mut sim_i = DeviceSim::new(strength, seed);
+                let inter = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).unwrap();
+                assert_eq!(inter.logits, cont.logits, "sample {i} under {strength:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intermittent_preserves_analytic_acc_outputs() {
+        let (dm, ds) = har_deployed();
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let out = infer(&dm, &ds.sample(0), &mut sim, ExecMode::Intermittent).unwrap();
+        assert_eq!(out.preserved_partials, dm.total_acc_outputs() as u64);
+    }
+
+    #[test]
+    fn weak_power_causes_power_cycles_and_higher_latency() {
+        let (dm, ds) = har_deployed();
+        let x = ds.sample(0);
+        let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+        let cont = infer(&dm, &x, &mut sim_c, ExecMode::Intermittent).unwrap();
+        let mut sim_w = DeviceSim::new(PowerStrength::Weak, 1);
+        let weak = infer(&dm, &x, &mut sim_w, ExecMode::Intermittent).unwrap();
+        assert_eq!(cont.power_cycles, 0);
+        assert!(weak.power_cycles > 0, "weak power should brown out");
+        assert!(weak.latency_s > cont.latency_s);
+        assert_eq!(weak.logits, cont.logits, "recovery must not corrupt outputs");
+    }
+
+    #[test]
+    fn intermittent_writes_dominate_latency() {
+        let (dm, ds) = har_deployed();
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let out = infer(&dm, &ds.sample(0), &mut sim, ExecMode::Intermittent).unwrap();
+        assert!(
+            out.stats.write_share() > 0.4,
+            "NVM writes should dominate intermittent inference, got {:.2}",
+            out.stats.write_share()
+        );
+        let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+        let cont = infer(&dm, &ds.sample(0), &mut sim_c, ExecMode::Continuous).unwrap();
+        assert!(
+            cont.stats.write_share() < out.stats.write_share(),
+            "continuous mode should write far less"
+        );
+        assert!(cont.latency_s < out.latency_s);
+    }
+
+    #[test]
+    fn tile_atomic_matches_intermittent_outputs() {
+        let (dm, ds) = har_deployed();
+        let x = ds.sample(2);
+        let mut sim_i = DeviceSim::new(PowerStrength::Continuous, 0);
+        let reference = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).unwrap();
+        for (strength, seed) in [(PowerStrength::Strong, 4), (PowerStrength::Weak, 9)] {
+            let mut sim_t = DeviceSim::new(strength, seed);
+            let out = infer(&dm, &x, &mut sim_t, ExecMode::TileAtomic).unwrap();
+            assert_eq!(out.logits, reference.logits, "{strength:?}");
+        }
+    }
+
+    #[test]
+    fn tile_atomic_writes_less_but_wastes_more() {
+        let (dm, ds) = har_deployed();
+        let x = ds.sample(0);
+        let mut sim_job = DeviceSim::new(PowerStrength::Weak, 6);
+        let job = infer(&dm, &x, &mut sim_job, ExecMode::Intermittent).unwrap();
+        let mut sim_tile = DeviceSim::new(PowerStrength::Weak, 6);
+        let tile = infer(&dm, &x, &mut sim_tile, ExecMode::TileAtomic).unwrap();
+        assert!(
+            tile.stats.nvm_write_bytes < job.stats.nvm_write_bytes / 2,
+            "tile-atomic should write far less: {} vs {}",
+            tile.stats.nvm_write_bytes,
+            job.stats.nvm_write_bytes
+        );
+        // the coarser progress indicator re-executes whole tiles: under
+        // harvested power, more jobs run than a failure-free execution needs
+        let mut sim_ref = DeviceSim::new(PowerStrength::Continuous, 0);
+        let nominal = infer(&dm, &x, &mut sim_ref, ExecMode::TileAtomic).unwrap();
+        assert!(
+            tile.jobs >= nominal.jobs,
+            "re-execution can only add jobs: {} vs nominal {}",
+            tile.jobs,
+            nominal.jobs
+        );
+        assert_eq!(tile.preserved_partials, 0);
+    }
+
+    #[test]
+    fn fully_pruned_rows_still_produce_bias_outputs() {
+        // Zero every weight of HAR's conv2: the engine must still write the
+        // (bias-only) outputs of every row block, in all modes, identically.
+        use iprune_tensor::layer::Layer;
+        let mut model = App::Har.build();
+        model.visit_params(&mut |p| {
+            if p.name == "conv1.w" {
+                p.value.fill_zero();
+            }
+        });
+        let ds = App::Har.dataset(4, 42);
+        let dm = deploy(&mut model, &ds, 2);
+        // layer 1's BSR is empty
+        assert_eq!(dm.layers[1].bsr.nnz_blocks(), 0);
+        let x = ds.sample(0);
+        let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+        let cont = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).unwrap();
+        let mut sim_i = DeviceSim::new(PowerStrength::Weak, 5);
+        let inter = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).unwrap();
+        assert_eq!(cont.logits, inter.logits);
+        assert!(cont.logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn continuous_mode_under_harvested_power_fails() {
+        let (dm, ds) = har_deployed();
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        let err = infer(&dm, &ds.sample(0), &mut sim, ExecMode::Continuous).unwrap_err();
+        assert!(matches!(err, EngineError::PowerLostInContinuousMode), "{err}");
+    }
+}

@@ -1,0 +1,193 @@
+//! NVM address-space layout for a deployed model.
+//!
+//! The paper stores "the pruned model, together with the inference engine"
+//! in the 512 KB external FRAM (Section IV-A). This module plans that
+//! address space explicitly — engine image, per-layer BSR arrays and
+//! biases, activation buffers, partial-accumulator scratch, and the
+//! footprint slot — and rejects models that do not fit, which is the
+//! deploy-time check a real toolchain must perform.
+
+use crate::deploy::DeployedModel;
+use iprune_device::DeviceSpec;
+use std::error::Error;
+use std::fmt;
+
+/// A named contiguous NVM region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name (`"weights[conv1]"`, `"activations[3]"`, …).
+    pub name: String,
+    /// Start offset in bytes.
+    pub offset: usize,
+    /// Length in bytes.
+    pub bytes: usize,
+}
+
+impl Region {
+    /// One-past-the-end offset.
+    pub fn end(&self) -> usize {
+        self.offset + self.bytes
+    }
+}
+
+/// A complete non-overlapping NVM layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NvmLayout {
+    regions: Vec<Region>,
+    capacity: usize,
+}
+
+impl NvmLayout {
+    /// All regions in address order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total bytes allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.regions.last().map(|r| r.end()).unwrap_or(0)
+    }
+
+    /// Bytes left unallocated.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity - self.used_bytes()
+    }
+
+    /// NVM capacity the layout was planned against.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The region containing `name`, if any.
+    pub fn region(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+}
+
+/// Layout failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The model plus engine state does not fit the NVM.
+    DoesNotFit {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::DoesNotFit { needed, capacity } => {
+                write!(f, "deployment needs {needed} bytes but the NVM holds only {capacity}")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+/// Default size reserved for the inference-engine image (code + constants).
+pub const DEFAULT_ENGINE_IMAGE_BYTES: usize = 32 * 1024;
+
+/// Plans the NVM layout of a deployed model on `spec`'s NVM.
+///
+/// Regions, in order: engine image, footprint slot, per-layer weights
+/// (BSR values + indices) and biases, one activation buffer per graph
+/// buffer, and the partial-accumulator scratch sized for the largest tile.
+///
+/// # Errors
+///
+/// [`LayoutError::DoesNotFit`] if the total exceeds the NVM capacity.
+pub fn plan_layout(
+    dm: &DeployedModel,
+    spec: &DeviceSpec,
+    engine_image_bytes: usize,
+) -> Result<NvmLayout, LayoutError> {
+    let mut regions = Vec::new();
+    let mut cursor = 0usize;
+    let mut push = |name: String, bytes: usize, cursor: &mut usize| {
+        regions.push(Region { name, offset: *cursor, bytes });
+        *cursor += bytes;
+    };
+
+    push("engine".to_string(), engine_image_bytes, &mut cursor);
+    push("footprint".to_string(), 8, &mut cursor); // double-buffered u32
+
+    for dl in &dm.layers {
+        let p = &dm.info.prunables[dl.layer_id];
+        push(format!("weights[{}]", p.name), dl.bsr.storage_bytes(), &mut cursor);
+        push(format!("bias[{}]", p.name), dl.bias.len() * 2, &mut cursor);
+    }
+    for (i, buf) in dm.info.buffers.iter().enumerate() {
+        push(format!("activations[{i}]"), buf.numel() * 2, &mut cursor);
+    }
+    let scratch = dm
+        .layers
+        .iter()
+        .map(|dl| 4 * dl.plan.tile.br * dl.plan.tile.strip)
+        .max()
+        .unwrap_or(0);
+    push("partial-scratch".to_string(), scratch, &mut cursor);
+
+    if cursor > spec.nvm_bytes {
+        return Err(LayoutError::DoesNotFit { needed: cursor, capacity: spec.nvm_bytes });
+    }
+    Ok(NvmLayout { regions, capacity: spec.nvm_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::deploy;
+    use iprune_models::zoo::App;
+
+    #[test]
+    fn all_paper_models_fit_the_512kb_fram() {
+        let spec = DeviceSpec::msp430fr5994();
+        for app in App::all() {
+            let mut model = app.build();
+            let ds = app.dataset(2, 1);
+            let dm = deploy(&mut model, &ds, 2);
+            let layout = plan_layout(&dm, &spec, DEFAULT_ENGINE_IMAGE_BYTES)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert!(layout.used_bytes() <= spec.nvm_bytes);
+            assert!(layout.free_bytes() > 0, "{}", app.name());
+            // regions are contiguous and non-overlapping by construction
+            let mut cursor = 0;
+            for r in layout.regions() {
+                assert_eq!(r.offset, cursor, "{}", r.name);
+                cursor = r.end();
+            }
+        }
+    }
+
+    #[test]
+    fn layout_names_every_layer() {
+        let mut model = App::Cks.build();
+        let ds = App::Cks.dataset(2, 1);
+        let dm = deploy(&mut model, &ds, 2);
+        let layout = plan_layout(&dm, &DeviceSpec::msp430fr5994(), 1024).unwrap();
+        for p in &dm.info.prunables {
+            assert!(layout.region(&format!("weights[{}]", p.name)).is_some());
+            assert!(layout.region(&format!("bias[{}]", p.name)).is_some());
+        }
+        assert!(layout.region("engine").is_some());
+        assert!(layout.region("footprint").is_some());
+    }
+
+    #[test]
+    fn oversized_engine_image_is_rejected() {
+        let mut model = App::Sqn.build();
+        let ds = App::Sqn.dataset(2, 1);
+        let dm = deploy(&mut model, &ds, 2);
+        let spec = DeviceSpec::msp430fr5994();
+        let err = plan_layout(&dm, &spec, spec.nvm_bytes).unwrap_err();
+        match err {
+            LayoutError::DoesNotFit { needed, capacity } => {
+                assert!(needed > capacity);
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-layer execution plans and accelerator-output counting.
+//!
+//! The number of accelerator outputs is iPrune's pruning criterion
+//! (Section III-B): it is computed "easily based on the DNN model structure
+//! and the inference engine configuration (e.g., the tile size and
+//! dataflow)". [`LayerPlan`] is exactly that computation, and the executing
+//! engine is tested to perform precisely this many output preservations.
+
+use crate::bsr::BsrMatrix;
+use crate::tiling::{out_features, select_plan, spatial, TilePlan, VmBudget};
+use iprune_models::arch::{ModelInfo, PrunableInfo};
+use iprune_tensor::Tensor;
+
+/// Execution plan of one prunable layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPlan {
+    /// Prunable layer id.
+    pub layer_id: usize,
+    /// Output features (GEMM rows).
+    pub m: usize,
+    /// Dense reduction length (GEMM depth).
+    pub k: usize,
+    /// Spatial positions sharing the weight matrix (`oh·ow`, 1 for FC).
+    pub n_spatial: usize,
+    /// Accelerator-operation shape.
+    pub tile: TilePlan,
+}
+
+impl LayerPlan {
+    /// Builds the plan for a layer under the default VM budget.
+    pub fn for_layer(p: &PrunableInfo) -> Self {
+        Self::for_layer_with_budget(p, &VmBudget::default())
+    }
+
+    /// Builds the plan for a layer under an explicit VM budget.
+    pub fn for_layer_with_budget(p: &PrunableInfo, budget: &VmBudget) -> Self {
+        Self {
+            layer_id: p.layer_id,
+            m: out_features(p),
+            k: p.k_len(),
+            n_spatial: spatial(p),
+            tile: select_plan(p, budget),
+        }
+    }
+
+    /// Number of block rows (`⌈m/br⌉`).
+    pub fn row_blocks(&self) -> usize {
+        self.m.div_ceil(self.tile.br)
+    }
+
+    /// Number of reduction chunks (`⌈k/bc⌉`).
+    pub fn chunks(&self) -> usize {
+        self.k.div_ceil(self.tile.bc)
+    }
+
+    /// Rows actually present in block-row `rb` (the last may be ragged).
+    pub fn rows_in_block(&self, rb: usize) -> usize {
+        self.tile.br.min(self.m - rb * self.tile.br)
+    }
+
+    /// Accelerator outputs of the dense (unpruned) layer:
+    /// every output element is preserved once per reduction chunk.
+    pub fn dense_acc_outputs(&self) -> usize {
+        self.n_spatial * self.chunks() * self.m
+    }
+
+    /// Accelerator outputs given a pruned BSR weight matrix: per block row,
+    /// only surviving chunks produce (and preserve) partials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BSR geometry disagrees with the plan.
+    pub fn bsr_acc_outputs(&self, bsr: &BsrMatrix) -> usize {
+        assert_eq!(bsr.rows(), self.m, "bsr rows vs plan");
+        assert_eq!(bsr.cols(), self.k, "bsr cols vs plan");
+        assert_eq!(bsr.block_height(), self.tile.br, "bsr block height");
+        assert_eq!(bsr.block_width(), self.tile.bc, "bsr block width");
+        let mut outputs = 0usize;
+        for rb in 0..self.row_blocks() {
+            outputs += bsr.row_nnz(rb) * self.rows_in_block(rb);
+        }
+        outputs * self.n_spatial
+    }
+
+    /// MACs executed given a pruned BSR matrix (padded block lanes included,
+    /// as the accelerator computes whole blocks).
+    pub fn bsr_macs(&self, bsr: &BsrMatrix) -> usize {
+        let mut macs = 0usize;
+        for rb in 0..self.row_blocks() {
+            macs += bsr.row_nnz(rb) * self.rows_in_block(rb) * self.tile.bc;
+        }
+        macs * self.n_spatial
+    }
+
+    /// Accelerator outputs if blocks are pruned according to a float mask
+    /// (same shape as the weight tensor, 0 = pruned): a block survives when
+    /// any of its weights survives.
+    pub fn masked_acc_outputs(&self, mask: &Tensor) -> usize {
+        let grid = self.block_survivors(mask);
+        let mut outputs = 0usize;
+        for rb in 0..self.row_blocks() {
+            let nnz = grid[rb].iter().filter(|&&s| s).count();
+            outputs += nnz * self.rows_in_block(rb);
+        }
+        outputs * self.n_spatial
+    }
+
+    /// Per block-row survival flags of each block column under `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask element count differs from `m·k`.
+    pub fn block_survivors(&self, mask: &Tensor) -> Vec<Vec<bool>> {
+        assert_eq!(mask.numel(), self.m * self.k, "mask size vs plan");
+        let data = mask.data();
+        let (br, bc) = (self.tile.br, self.tile.bc);
+        (0..self.row_blocks())
+            .map(|rb| {
+                (0..self.chunks())
+                    .map(|cb| {
+                        let rows = self.rows_in_block(rb);
+                        let cols = bc.min(self.k - cb * bc);
+                        (0..rows).any(|r| {
+                            let row = rb * br + r;
+                            (0..cols).any(|c| data[row * self.k + cb * bc + c] != 0.0)
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Plans for every prunable layer of a model.
+pub fn model_plans(info: &ModelInfo) -> Vec<LayerPlan> {
+    info.prunables.iter().map(LayerPlan::for_layer).collect()
+}
+
+/// Total dense accelerator outputs of a model (the Table II column).
+pub fn dense_model_acc_outputs(info: &ModelInfo) -> usize {
+    model_plans(info).iter().map(|p| p.dense_acc_outputs()).sum()
+}
+
+/// The paper's qualitative "diversity" label: how unevenly accelerator
+/// outputs are distributed per weight across layers, measured as the
+/// max/min ratio of per-layer `acc_outputs / weights`.
+pub fn diversity_ratio(info: &ModelInfo) -> f64 {
+    let plans = model_plans(info);
+    let densities: Vec<f64> = info
+        .prunables
+        .iter()
+        .zip(&plans)
+        .map(|(p, plan)| plan.dense_acc_outputs() as f64 / p.weights() as f64)
+        .collect();
+    let max = densities.iter().cloned().fold(f64::MIN, f64::max);
+    let min = densities.iter().cloned().fold(f64::MAX, f64::min);
+    max / min
+}
+
+/// Maps a diversity ratio to the paper's Low/Medium/High labels.
+pub fn diversity_label(ratio: f64) -> &'static str {
+    if ratio < 32.0 {
+        "Low"
+    } else if ratio < 128.0 {
+        "Medium"
+    } else {
+        "High"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprune_models::zoo::App;
+    use iprune_tensor::quant::QFormat;
+
+    #[test]
+    fn dense_outputs_near_table2() {
+        // Paper Table II: SQN 1483 K, HAR 77 K, CKS 1582 K.
+        let targets = [(App::Sqn, 1_483_000.0), (App::Har, 77_000.0), (App::Cks, 1_582_000.0)];
+        for (app, target) in targets {
+            let m = app.build();
+            let got = dense_model_acc_outputs(&m.info) as f64;
+            let ratio = got / target;
+            assert!(
+                (0.75..=1.25).contains(&ratio),
+                "{}: {} acc outputs vs paper {} (ratio {:.2})",
+                app.name(),
+                got,
+                target,
+                ratio
+            );
+        }
+    }
+
+    #[test]
+    fn diversity_ordering_matches_table2() {
+        let sqn = diversity_ratio(&App::Sqn.build().info);
+        let har = diversity_ratio(&App::Har.build().info);
+        let cks = diversity_ratio(&App::Cks.build().info);
+        assert!(sqn < har && har < cks, "sqn {sqn:.1} har {har:.1} cks {cks:.1}");
+        assert_eq!(diversity_label(sqn), "Low");
+        assert_eq!(diversity_label(har), "Medium");
+        assert_eq!(diversity_label(cks), "High");
+    }
+
+    #[test]
+    fn bsr_counts_match_mask_counts() {
+        let m = App::Har.build();
+        let p = &m.info.prunables[1];
+        let plan = LayerPlan::for_layer(p);
+        // Build a mask that prunes a checkerboard of blocks.
+        let mut mask = Tensor::full(&[plan.m * plan.k], 1.0);
+        for rb in 0..plan.row_blocks() {
+            for cb in 0..plan.chunks() {
+                if (rb + cb) % 2 == 0 {
+                    for r in 0..plan.rows_in_block(rb) {
+                        let row = rb * plan.tile.br + r;
+                        for c in 0..plan.tile.bc.min(plan.k - cb * plan.tile.bc) {
+                            mask.data_mut()[row * plan.k + cb * plan.tile.bc + c] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        // Dense i16 weights pruned by the same checkerboard
+        let dense: Vec<i16> = (0..plan.m * plan.k)
+            .map(|i| {
+                let v = mask.data()[i];
+                if v == 0.0 {
+                    0
+                } else {
+                    ((i % 50) + 1) as i16
+                }
+            })
+            .collect();
+        let bsr = BsrMatrix::from_dense(&dense, plan.m, plan.k, plan.tile.br, plan.tile.bc, QFormat::new(12));
+        assert_eq!(plan.masked_acc_outputs(&mask), plan.bsr_acc_outputs(&bsr));
+        assert!(plan.bsr_acc_outputs(&bsr) < plan.dense_acc_outputs());
+    }
+
+    #[test]
+    fn dense_equals_full_mask() {
+        let m = App::Cks.build();
+        for p in &m.info.prunables {
+            let plan = LayerPlan::for_layer(p);
+            let mask = Tensor::full(&[plan.m * plan.k], 1.0);
+            assert_eq!(plan.masked_acc_outputs(&mask), plan.dense_acc_outputs(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn pruning_blocks_reduces_macs() {
+        let m = App::Har.build();
+        let p = &m.info.prunables[2];
+        let plan = LayerPlan::for_layer(p);
+        let full: Vec<i16> = vec![1; plan.m * plan.k];
+        let mut half = full.clone();
+        // zero the second half of every row's chunks
+        for r in 0..plan.m {
+            for c in plan.k / 2..plan.k {
+                half[r * plan.k + c] = 0;
+            }
+        }
+        let fmt = QFormat::new(12);
+        let b_full = BsrMatrix::from_dense(&full, plan.m, plan.k, plan.tile.br, plan.tile.bc, fmt);
+        let b_half = BsrMatrix::from_dense(&half, plan.m, plan.k, plan.tile.br, plan.tile.bc, fmt);
+        assert!(plan.bsr_macs(&b_half) < plan.bsr_macs(&b_full));
+        assert!(plan.bsr_acc_outputs(&b_half) <= plan.bsr_acc_outputs(&b_full) / 2 + plan.n_spatial * plan.m);
+    }
+}

@@ -1,0 +1,25 @@
+//! Model zoo for the iPrune reproduction: the three TinyML applications of
+//! the paper's Table II (SQN, HAR, CKS), each as a trainable network paired
+//! with a structural description consumed by the HAWAII⁺ deployment plan and
+//! the pruning framework.
+//!
+//! # Example
+//!
+//! ```
+//! use iprune_models::zoo::App;
+//!
+//! let model = App::Har.build();
+//! let (convs, pools, fcs) = model.info.layer_tally();
+//! assert_eq!((convs, pools, fcs), (3, 3, 1)); // Table II: CONV x3, POOL x3, FC x1
+//! ```
+
+pub mod arch;
+pub mod builder;
+pub mod fire;
+pub mod model;
+pub mod train;
+pub mod zoo;
+
+pub use arch::{GraphOp, ModelInfo, PrunableInfo, PrunableKind};
+pub use model::{LayerWeights, Model};
+pub use zoo::App;

@@ -1,0 +1,200 @@
+//! The [`Model`] wrapper: a trainable network paired with its
+//! [`ModelInfo`] structural description and weight import/export.
+
+use crate::arch::ModelInfo;
+use iprune_tensor::layer::{Layer, Param, Sequential};
+use iprune_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Weights of one prunable layer, as extracted for deployment.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// The prunable layer id.
+    pub layer_id: usize,
+    /// Weight tensor (`[cout, cin, kh, kw]` or `[dout, din]`), with pruning
+    /// masks already applied (pruned weights are exactly zero).
+    pub w: Tensor,
+    /// Bias tensor.
+    pub b: Tensor,
+}
+
+/// A trainable model plus its structural description.
+///
+/// The wrapper implements [`Layer`] by delegation so optimizers and losses
+/// from `iprune-tensor` apply directly.
+pub struct Model {
+    /// Structural description (graph, prunables, buffers).
+    pub info: ModelInfo,
+    net: Sequential,
+}
+
+impl Model {
+    /// Pairs a network with its description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's prunable parameters do not cover exactly the
+    /// layer ids `0..info.prunables.len()` or a weight shape disagrees with
+    /// the declared geometry.
+    pub fn new(info: ModelInfo, net: Sequential) -> Self {
+        info.validate();
+        let mut model = Self { info, net };
+        let weights = model.extract_weights();
+        assert_eq!(
+            weights.len(),
+            model.info.prunables.len(),
+            "network prunable layers vs description"
+        );
+        for lw in &weights {
+            let expect = model.info.prunables[lw.layer_id].weights();
+            assert_eq!(
+                lw.w.numel(),
+                expect,
+                "layer {} weight count {} vs declared {}",
+                lw.layer_id,
+                lw.w.numel(),
+                expect
+            );
+        }
+        model
+    }
+
+    /// The underlying trainable network.
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Extracts per-layer weights and biases, sorted by layer id, with
+    /// pruning masks applied.
+    pub fn extract_weights(&mut self) -> Vec<LayerWeights> {
+        let mut by_id: HashMap<usize, (Option<Tensor>, Option<Tensor>)> = HashMap::new();
+        self.net.visit_params(&mut |p: &mut Param| {
+            if p.layer_id == usize::MAX {
+                return;
+            }
+            p.apply_mask();
+            let entry = by_id.entry(p.layer_id).or_default();
+            if p.name.ends_with(".w") {
+                entry.0 = Some(p.value.clone());
+            } else {
+                entry.1 = Some(p.value.clone());
+            }
+        });
+        let mut out: Vec<LayerWeights> = by_id
+            .into_iter()
+            .map(|(layer_id, (w, b))| LayerWeights {
+                layer_id,
+                w: w.expect("weight present"),
+                b: b.expect("bias present"),
+            })
+            .collect();
+        out.sort_by_key(|lw| lw.layer_id);
+        out
+    }
+
+    /// Loads per-layer weights and biases (e.g. from a checkpoint produced
+    /// by [`Self::extract_weights`]). Masks are rebuilt so that exactly the
+    /// zero weights stay pruned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layer id is missing or a shape disagrees.
+    pub fn load_weights(&mut self, weights: &[LayerWeights]) {
+        use std::collections::HashMap as Map;
+        let by_id: Map<usize, &LayerWeights> = weights.iter().map(|lw| (lw.layer_id, lw)).collect();
+        self.net.visit_params(&mut |p: &mut Param| {
+            if p.layer_id == usize::MAX {
+                return;
+            }
+            let lw = by_id.get(&p.layer_id).expect("layer weights present");
+            if p.name.ends_with(".w") {
+                assert_eq!(p.value.numel(), lw.w.numel(), "weight shape for {}", p.name);
+                p.value = lw.w.reshape(p.value.dims());
+                let mask = Tensor::from_vec(
+                    p.value.dims(),
+                    p.value.data().iter().map(|&v| if v == 0.0 { 0.0 } else { 1.0 }).collect(),
+                );
+                p.set_mask(mask);
+            } else {
+                assert_eq!(p.value.numel(), lw.b.numel(), "bias shape for {}", p.name);
+                p.value = lw.b.reshape(p.value.dims());
+            }
+        });
+    }
+
+    /// Installs pruning masks keyed by layer id (missing ids keep their
+    /// current mask).
+    pub fn set_masks(&mut self, masks: &HashMap<usize, Tensor>) {
+        self.net.visit_params(&mut |p: &mut Param| {
+            if p.name.ends_with(".w") {
+                if let Some(mask) = masks.get(&p.layer_id) {
+                    p.set_mask(mask.clone());
+                }
+            }
+        });
+    }
+
+    /// Current pruning masks per layer id (only layers that have one).
+    pub fn masks(&mut self) -> HashMap<usize, Tensor> {
+        let mut out = HashMap::new();
+        self.net.visit_params(&mut |p: &mut Param| {
+            if p.name.ends_with(".w") {
+                if let Some(m) = &p.mask {
+                    out.insert(p.layer_id, m.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of *kept* (non-pruned) weights across prunable layers.
+    pub fn kept_weights(&mut self) -> usize {
+        let mut kept = 0usize;
+        self.net.visit_params(&mut |p: &mut Param| {
+            if p.layer_id != usize::MAX && p.name.ends_with(".w") {
+                kept += (p.density() * p.value.numel() as f64).round() as usize;
+            }
+        });
+        kept
+    }
+
+    /// Snapshot of all parameter values (for checkpoint/rollback in the
+    /// iterative pruning loop).
+    pub fn snapshot(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.net.visit_params(&mut |p| out.push(p.value.clone()));
+        out
+    }
+
+    /// Restores a snapshot taken with [`Self::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the parameter structure.
+    pub fn restore(&mut self, snap: &[Tensor]) {
+        let mut i = 0;
+        self.net.visit_params(&mut |p| {
+            p.value = snap[i].clone();
+            i += 1;
+        });
+        assert_eq!(i, snap.len(), "snapshot length mismatch");
+    }
+}
+
+impl Layer for Model {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.net.forward(x, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.net.backward(grad)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(f)
+    }
+
+    fn describe(&self) -> String {
+        format!("{}: {}", self.info.name, self.net.describe())
+    }
+}

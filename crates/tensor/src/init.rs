@@ -1,0 +1,55 @@
+//! Weight initialization schemes.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kaiming-uniform initialization for a weight tensor whose first dimension
+/// is the output dimension and remaining dimensions form the fan-in.
+///
+/// Bound is `sqrt(6 / fan_in)`, suitable for ReLU networks.
+pub fn kaiming_uniform(dims: &[usize], seed: u64) -> Tensor {
+    let fan_in: usize = dims[1..].iter().product::<usize>().max(1);
+    let bound = (6.0 / fan_in as f32).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let numel: usize = dims.iter().product();
+    let data: Vec<f32> = (0..numel).map(|_| rng.gen_range(-bound..bound)).collect();
+    Tensor::from_vec(dims, data)
+}
+
+/// Uniform initialization in `[-bound, bound]`, used for biases.
+pub fn uniform(dims: &[usize], bound: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let numel: usize = dims.iter().product();
+    let data: Vec<f32> =
+        (0..numel).map(|_| if bound == 0.0 { 0.0 } else { rng.gen_range(-bound..bound) }).collect();
+    Tensor::from_vec(dims, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let t = kaiming_uniform(&[8, 16, 3, 3], 42);
+        let bound = (6.0f32 / (16.0 * 9.0)).sqrt();
+        assert!(t.max_abs() <= bound);
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kaiming_uniform(&[4, 4], 7);
+        let b = kaiming_uniform(&[4, 4], 7);
+        let c = kaiming_uniform(&[4, 4], 8);
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn zero_bound_uniform_is_zero() {
+        let t = uniform(&[5], 0.0, 1);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+}

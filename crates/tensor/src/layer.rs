@@ -1,0 +1,886 @@
+//! Trainable layers: convolution, fully-connected, pooling, activations.
+//!
+//! Layers follow a classic forward/backward protocol. Each layer caches what
+//! it needs during `forward` and consumes it in `backward`. Prunable layers
+//! (convolution and fully-connected) expose their weights as [`Param`]s
+//! carrying an optional pruning mask; the optimizer re-applies the mask after
+//! every step so that pruned weights stay at exactly zero through
+//! fine-tuning.
+
+use crate::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
+use crate::{init, Tensor};
+
+/// A trainable parameter: value, gradient accumulator, and optional pruning
+/// mask (1.0 = keep, 0.0 = pruned).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Identifier of the prunable layer this parameter belongs to. Layers
+    /// without a meaningful id use `usize::MAX`.
+    pub layer_id: usize,
+    /// Human-readable name such as `"conv3.w"`.
+    pub name: String,
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Optional pruning mask, same shape as `value`.
+    pub mask: Option<Tensor>,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient and no mask.
+    pub fn new(layer_id: usize, name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Self { layer_id, name: name.into(), value, grad, mask: None }
+    }
+
+    /// Installs (or replaces) the pruning mask and immediately zeroes the
+    /// masked weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the parameter shape.
+    pub fn set_mask(&mut self, mask: Tensor) {
+        assert_eq!(mask.dims(), self.value.dims(), "mask shape mismatch for {}", self.name);
+        self.value.mul_assign(&mask);
+        self.mask = Some(mask);
+    }
+
+    /// Re-applies the mask to both value and gradient (no-op when unmasked).
+    pub fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            self.value.mul_assign(mask);
+            self.grad.mul_assign(mask);
+        }
+    }
+
+    /// Fraction of weights still unmasked (1.0 when no mask is installed).
+    pub fn density(&self) -> f64 {
+        match &self.mask {
+            None => 1.0,
+            Some(m) => {
+                let kept: f64 = m.data().iter().map(|&x| x as f64).sum();
+                kept / m.numel() as f64
+            }
+        }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// Coarse classification of a layer, used by model statistics and by the
+/// deployment pipeline to build per-layer execution plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv,
+    /// Fully-connected (linear).
+    Fc,
+    /// Max pooling.
+    Pool,
+    /// Anything else (activation, reshape, …).
+    Other,
+}
+
+/// A differentiable network layer.
+///
+/// `forward` must be called before `backward`; layers cache forward state.
+pub trait Layer {
+    /// Computes the layer output. `train` enables caching for backward.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad` (w.r.t. the output) back to the input, accumulating
+    /// parameter gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode `forward`.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter. The default is parameter-free.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// The coarse layer kind.
+    fn kind(&self) -> LayerKind {
+        LayerKind::Other
+    }
+
+    /// Short human-readable description.
+    fn describe(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution over NCHW tensors, implemented by im2col + GEMM.
+///
+/// Weight layout is `[cout, cin, kh, kw]`; bias is `[cout]`.
+pub struct Conv2d {
+    layer_id: usize,
+    cin: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+    w: Param,
+    b: Param,
+    cached_input: Option<Tensor>,
+    cached_cols: Vec<Vec<f32>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform weights seeded by
+    /// `layer_id` (so networks are reproducible end to end).
+    pub fn new(
+        layer_id: usize,
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Self::with_shape(layer_id, cin, cout, kernel, kernel, stride, pad, pad)
+    }
+
+    /// Creates a convolution with a rectangular kernel and independent
+    /// height/width padding (e.g. a 3x1 temporal kernel for 1-D data).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shape(
+        layer_id: usize,
+        cin: usize,
+        cout: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad_h: usize,
+        pad_w: usize,
+    ) -> Self {
+        let w = init::kaiming_uniform(&[cout, cin, kh, kw], 0x5EED_0000 + layer_id as u64);
+        let b = Tensor::zeros(&[cout]);
+        Self {
+            layer_id,
+            cin,
+            cout,
+            kh,
+            kw,
+            stride,
+            pad_h,
+            pad_w,
+            w: Param::new(layer_id, format!("conv{layer_id}.w"), w),
+            b: Param::new(layer_id, format!("conv{layer_id}.b"), b),
+            cached_input: None,
+            cached_cols: Vec::new(),
+        }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad_h - self.kh) / self.stride + 1,
+            (w + 2 * self.pad_w - self.kw) / self.stride + 1,
+        )
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.w
+    }
+
+    /// im2col for one sample: writes a `[cin*kh*kw, ho*wo]` matrix.
+    fn im2col(&self, x: &Tensor, n: usize, ho: usize, wo: usize, col: &mut [f32]) {
+        let (h, w) = (x.dims()[2], x.dims()[3]);
+        let khw = self.kh * self.kw;
+        let hw_out = ho * wo;
+        for c in 0..self.cin {
+            for ky in 0..self.kh {
+                for kx in 0..self.kw {
+                    let row = (c * khw + ky * self.kw + kx) * hw_out;
+                    for oy in 0..ho {
+                        let iy = (oy * self.stride + ky) as isize - self.pad_h as isize;
+                        let base = row + oy * wo;
+                        if iy < 0 || iy >= h as isize {
+                            col[base..base + wo].iter_mut().for_each(|v| *v = 0.0);
+                            continue;
+                        }
+                        for ox in 0..wo {
+                            let ix = (ox * self.stride + kx) as isize - self.pad_w as isize;
+                            col[base + ox] = if ix < 0 || ix >= w as isize {
+                                0.0
+                            } else {
+                                x.at4(n, c, iy as usize, ix as usize)
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatter-adds a `[cin*kh*kw, ho*wo]` gradient matrix back to an input
+    /// gradient tensor (the adjoint of [`Self::im2col`]).
+    fn col2im(&self, grad_col: &[f32], gx: &mut Tensor, n: usize, ho: usize, wo: usize) {
+        let (h, w) = (gx.dims()[2], gx.dims()[3]);
+        let khw = self.kh * self.kw;
+        let hw_out = ho * wo;
+        for c in 0..self.cin {
+            for ky in 0..self.kh {
+                for kx in 0..self.kw {
+                    let row = (c * khw + ky * self.kw + kx) * hw_out;
+                    for oy in 0..ho {
+                        let iy = (oy * self.stride + ky) as isize - self.pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..wo {
+                            let ix = (ox * self.stride + kx) as isize - self.pad_w as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let off = gx.offset4(n, c, iy as usize, ix as usize);
+                            gx.data_mut()[off] += grad_col[row + oy * wo + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims().len(), 4, "Conv2d expects NCHW input");
+        assert_eq!(x.dims()[1], self.cin, "Conv2d {} input channels", self.layer_id);
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = self.out_hw(h, w);
+        let k = self.cin * self.kh * self.kw;
+        let hw_out = ho * wo;
+        let mut out = Tensor::zeros(&[n, self.cout, ho, wo]);
+        let mut col = vec![0.0f32; k * hw_out];
+        if train {
+            self.cached_cols.clear();
+        }
+        for s in 0..n {
+            self.im2col(x, s, ho, wo, &mut col);
+            let out_slice =
+                &mut out.data_mut()[s * self.cout * hw_out..(s + 1) * self.cout * hw_out];
+            matmul_acc(self.w.value.data(), &col, out_slice, self.cout, k, hw_out);
+            for m in 0..self.cout {
+                let bias = self.b.value.data()[m];
+                for v in &mut out_slice[m * hw_out..(m + 1) * hw_out] {
+                    *v += bias;
+                }
+            }
+            if train {
+                self.cached_cols.push(col.clone());
+            }
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("Conv2d::backward before forward(train)");
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = self.out_hw(h, w);
+        let k = self.cin * self.kh * self.kw;
+        let hw_out = ho * wo;
+        assert_eq!(grad.dims(), &[n, self.cout, ho, wo]);
+        let mut gx = Tensor::zeros(x.dims());
+        let mut grad_col = vec![0.0f32; k * hw_out];
+        for s in 0..n {
+            let g_slice = &grad.data()[s * self.cout * hw_out..(s + 1) * self.cout * hw_out];
+            let col = &self.cached_cols[s];
+            // dW += dY (M x HW) * col^T (HW x K)
+            matmul_a_bt(g_slice, col, self.w.grad.data_mut(), self.cout, hw_out, k);
+            // db += row sums of dY
+            for m in 0..self.cout {
+                let sum: f32 = g_slice[m * hw_out..(m + 1) * hw_out].iter().sum();
+                self.b.grad.data_mut()[m] += sum;
+            }
+            // dcol = W^T (K x M) * dY (M x HW)
+            grad_col.iter_mut().for_each(|v| *v = 0.0);
+            matmul_at_b(self.w.value.data(), g_slice, &mut grad_col, k, self.cout, hw_out);
+            self.col2im(&grad_col, &mut gx, s, ho, wo);
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv{} {}x{}x{}x{} s{} p{}x{}",
+            self.layer_id, self.cout, self.cin, self.kh, self.kw, self.stride, self.pad_h, self.pad_w
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Fully-connected layer over `[N, din]` inputs. Weight layout `[dout, din]`.
+pub struct Linear {
+    layer_id: usize,
+    din: usize,
+    dout: usize,
+    w: Param,
+    b: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights seeded by
+    /// `layer_id`.
+    pub fn new(din: usize, dout: usize, layer_id: usize) -> Self {
+        let w = init::kaiming_uniform(&[dout, din], 0x5EED_1000 + layer_id as u64);
+        let b = Tensor::zeros(&[dout]);
+        Self {
+            layer_id,
+            din,
+            dout,
+            w: Param::new(layer_id, format!("fc{layer_id}.w"), w),
+            b: Param::new(layer_id, format!("fc{layer_id}.b"), b),
+            cached_input: None,
+        }
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.w
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims().len(), 2, "Linear expects [N, din]");
+        assert_eq!(x.dims()[1], self.din, "Linear {} input dim", self.layer_id);
+        let n = x.dims()[0];
+        let mut out = Tensor::zeros(&[n, self.dout]);
+        matmul_a_bt(x.data(), self.w.value.data(), out.data_mut(), n, self.din, self.dout);
+        for s in 0..n {
+            for (j, &bias) in self.b.value.data().iter().enumerate() {
+                out.data_mut()[s * self.dout + j] += bias;
+            }
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("Linear::backward before forward(train)");
+        let n = x.dims()[0];
+        assert_eq!(grad.dims(), &[n, self.dout]);
+        // dW += dY^T (F x N) * X (N x D)
+        matmul_at_b(grad.data(), x.data(), self.w.grad.data_mut(), self.dout, n, self.din);
+        for s in 0..n {
+            for j in 0..self.dout {
+                self.b.grad.data_mut()[j] += grad.data()[s * self.dout + j];
+            }
+        }
+        // dX = dY (N x F) * W (F x D)
+        let mut gx = Tensor::zeros(&[n, self.din]);
+        matmul_acc(grad.data(), self.w.value.data(), gx.data_mut(), n, self.dout, self.din);
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Fc
+    }
+
+    fn describe(&self) -> String {
+        format!("fc{} {}x{}", self.layer_id, self.dout, self.din)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+/// Non-overlapping max pooling with window = stride = `k` (height only when
+/// the width is already 1, as in the 1-D HAR model).
+pub struct MaxPool2d {
+    kh: usize,
+    kw: usize,
+    argmax: Vec<usize>,
+    in_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Square `k`×`k` pooling.
+    pub fn new(k: usize) -> Self {
+        Self { kh: k, kw: k, argmax: Vec::new(), in_dims: Vec::new() }
+    }
+
+    /// Rectangular pooling (e.g. `kh`=2, `kw`=1 for temporal data).
+    pub fn with_window(kh: usize, kw: usize) -> Self {
+        Self { kh, kw, argmax: Vec::new(), in_dims: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dims().len(), 4, "MaxPool2d expects NCHW input");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = (h / self.kh, w / self.kw);
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        if train {
+            self.argmax = vec![0; n * c * ho * wo];
+            self.in_dims = x.dims().to_vec();
+        }
+        let mut oi = 0;
+        for s in 0..n {
+            for ch in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for ky in 0..self.kh {
+                            for kx in 0..self.kw {
+                                let off = x.offset4(s, ch, oy * self.kh + ky, ox * self.kw + kx);
+                                let v = x.data()[off];
+                                if v > best {
+                                    best = v;
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        out.data_mut()[oi] = best;
+                        if train {
+                            self.argmax[oi] = best_off;
+                        }
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(!self.in_dims.is_empty(), "MaxPool2d::backward before forward(train)");
+        let mut gx = Tensor::zeros(&self.in_dims);
+        for (gi, &src) in self.argmax.iter().enumerate() {
+            gx.data_mut()[src] += grad.data()[gi];
+        }
+        gx
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn describe(&self) -> String {
+        format!("maxpool {}x{}", self.kh, self.kw)
+    }
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+pub struct GlobalAvgPool {
+    in_dims: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        Self { in_dims: Vec::new() }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let mut out = Tensor::zeros(&[n, c]);
+        let inv = 1.0 / (h * w) as f32;
+        for s in 0..n {
+            for ch in 0..c {
+                let base = x.offset4(s, ch, 0, 0);
+                let sum: f32 = x.data()[base..base + h * w].iter().sum();
+                out.data_mut()[s * c + ch] = sum * inv;
+            }
+        }
+        if train {
+            self.in_dims = x.dims().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(!self.in_dims.is_empty(), "GlobalAvgPool::backward before forward(train)");
+        let (n, c, h, w) = (self.in_dims[0], self.in_dims[1], self.in_dims[2], self.in_dims[3]);
+        let mut gx = Tensor::zeros(&self.in_dims);
+        let inv = 1.0 / (h * w) as f32;
+        for s in 0..n {
+            for ch in 0..c {
+                let g = grad.data()[s * c + ch] * inv;
+                let base = s * c * h * w + ch * h * w;
+                for v in &mut gx.data_mut()[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        gx
+    }
+
+    fn describe(&self) -> String {
+        "global_avg_pool".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activations and reshape
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit.
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self { mask: Vec::new() }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = x.clone();
+        if train {
+            self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        }
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.numel(), self.mask.len(), "Relu::backward before forward(train)");
+        let mut gx = grad.clone();
+        for (v, &keep) in gx.data_mut().iter_mut().zip(self.mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        gx
+    }
+
+    fn describe(&self) -> String {
+        "relu".to_string()
+    }
+}
+
+/// Reshapes `[N, ...]` to `[N, prod(...)]`.
+pub struct Flatten {
+    in_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates the reshape layer.
+    pub fn new() -> Self {
+        Self { in_dims: Vec::new() }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.in_dims = x.dims().to_vec();
+        }
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        grad.reshape(&self.in_dims)
+    }
+
+    fn describe(&self) -> String {
+        "flatten".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------------
+
+/// A chain of layers executed in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of contained layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Access to the contained layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("sequential[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks `d loss / d input` for a layer with loss = sum(out).
+    fn check_input_grad(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
+        let out = layer.forward(x, true);
+        let grad_out = Tensor::full(out.dims(), 1.0);
+        let gx = layer.backward(&grad_out);
+        let eps = 1e-2f32;
+        for i in (0..x.numel()).step_by((x.numel() / 17).max(1)) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let op = layer.forward(&xp, false);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let om = layer.forward(&xm, false);
+            let sp: f32 = op.data().iter().sum();
+            let sm: f32 = om.data().iter().sum();
+            let num = (sp - sm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < tol,
+                "grad mismatch at {}: numeric {} vs analytic {}",
+                i,
+                num,
+                gx.data()[i]
+            );
+        }
+    }
+
+    fn ramp(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(dims, (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect())
+    }
+
+    #[test]
+    fn conv_forward_known_values() {
+        // 1x1x3x3 input, single 1-channel 3x3 filter of all ones, pad 1:
+        // output at center = sum of all inputs.
+        let mut conv = Conv2d::new(0, 1, 1, 3, 1, 1);
+        conv.w.value = Tensor::full(&[1, 1, 3, 3], 1.0);
+        conv.b.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 1, 3, 3]);
+        assert_eq!(y.at4(0, 0, 1, 1), 45.0);
+        // corner sees only the 2x2 neighborhood
+        assert_eq!(y.at4(0, 0, 0, 0), 1.0 + 2.0 + 4.0 + 5.0);
+    }
+
+    #[test]
+    fn conv_stride_changes_output_size() {
+        let conv = Conv2d::new(1, 3, 8, 3, 2, 1);
+        assert_eq!(conv.out_hw(32, 32), (16, 16));
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_numeric() {
+        let mut conv = Conv2d::new(2, 2, 3, 3, 1, 1);
+        let x = ramp(&[2, 2, 5, 5]);
+        check_input_grad(&mut conv, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_weight_gradient_matches_numeric() {
+        let mut conv = Conv2d::new(3, 2, 2, 3, 1, 1);
+        let x = ramp(&[1, 2, 4, 4]);
+        let out = conv.forward(&x, true);
+        let grad_out = Tensor::full(out.dims(), 1.0);
+        conv.backward(&grad_out);
+        let analytic = conv.w.grad.clone();
+        let eps = 1e-2f32;
+        for i in (0..conv.w.value.numel()).step_by(5) {
+            let orig = conv.w.value.data()[i];
+            conv.w.value.data_mut()[i] = orig + eps;
+            let sp: f32 = conv.forward(&x, false).data().iter().sum();
+            conv.w.value.data_mut()[i] = orig - eps;
+            let sm: f32 = conv.forward(&x, false).data().iter().sum();
+            conv.w.value.data_mut()[i] = orig;
+            let num = (sp - sm) / (2.0 * eps);
+            assert!((num - analytic.data()[i]).abs() < 2e-2, "dW mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn linear_input_gradient_matches_numeric() {
+        let mut fc = Linear::new(6, 4, 0);
+        let x = ramp(&[3, 6]);
+        check_input_grad(&mut fc, &x, 1e-2);
+    }
+
+    #[test]
+    fn linear_forward_bias() {
+        let mut fc = Linear::new(2, 2, 1);
+        fc.w.value = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        fc.b.value = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        let y = fc.forward(&Tensor::from_vec(&[1, 2], vec![3.0, 4.0]), false);
+        assert_eq!(y.data(), &[13.0, 24.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward_route() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[5.0]);
+        let gx = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]));
+        assert_eq!(gx.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_rectangular_window() {
+        let mut pool = MaxPool2d::with_window(2, 1);
+        let x = Tensor::from_vec(&[1, 1, 4, 1], vec![1.0, 2.0, 4.0, 3.0]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 1, 2, 1]);
+        assert_eq!(y.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_values_and_grad() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(&[1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let y = gap.forward(&x, true);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+        let gx = gap.backward(&Tensor::from_vec(&[1, 2], vec![2.0, 4.0]));
+        assert_eq!(gx.data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_grads() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let gx = relu.backward(&Tensor::full(&[4], 1.0));
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut flat = Flatten::new();
+        let x = ramp(&[2, 3, 2, 2]);
+        let y = flat.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let gx = flat.backward(&y);
+        assert_eq!(gx.dims(), x.dims());
+    }
+
+    #[test]
+    fn sequential_chains_and_visits_params() {
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, 0)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, 1)),
+        ]);
+        let y = net.forward(&ramp(&[2, 4]), true);
+        assert_eq!(y.dims(), &[2, 2]);
+        let mut count = 0;
+        net.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4); // two weights + two biases
+    }
+
+    #[test]
+    fn param_mask_zeroes_weights_and_density() {
+        let mut p = Param::new(0, "t.w", Tensor::full(&[4], 2.0));
+        let mask = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
+        p.set_mask(mask);
+        assert_eq!(p.value.data(), &[2.0, 0.0, 2.0, 0.0]);
+        assert!((p.density() - 0.5).abs() < 1e-9);
+        p.grad = Tensor::full(&[4], 1.0);
+        p.apply_mask();
+        assert_eq!(p.grad.data(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Softmax cross-entropy loss.
+
+use crate::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch and the gradient with
+/// respect to the logits.
+///
+/// `logits` is `[N, classes]`; `targets` holds one class index per sample.
+/// Returns `(mean_loss, grad)` where `grad` has the shape of `logits`.
+///
+/// # Panics
+///
+/// Panics if `targets.len()` differs from the batch size or any target index
+/// is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.dims().len(), 2, "logits must be [N, classes]");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(targets.len(), n, "one target per sample");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut total = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for s in 0..n {
+        let row = &logits.data()[s * c..(s + 1) * c];
+        let t = targets[s];
+        assert!(t < c, "target {t} out of range for {c} classes");
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let log_sum = sum.ln() + max;
+        total += (log_sum - row[t]) as f64;
+        let grow = &mut grad.data_mut()[s * c..(s + 1) * c];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = exps[j] / sum;
+            *g = (p - if j == t { 1.0 } else { 0.0 }) * inv_n;
+        }
+    }
+    ((total / n as f64) as f32, grad)
+}
+
+/// Softmax probabilities for each row of a `[N, classes]` tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = Tensor::zeros(&[n, c]);
+    for s in 0..n {
+        let row = &logits.data()[s * c..(s + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (j, &e) in exps.iter().enumerate() {
+            out.data_mut()[s * c + j] = e / sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_sums_to_zero_per_sample() {
+        let logits = Tensor::from_vec(&[1, 3], vec![2.0, -1.0, 0.5]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let s: f32 = grad.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+        // the target coordinate gets negative gradient
+        assert!(grad.data()[1] < 0.0);
+    }
+
+    #[test]
+    fn grad_matches_numeric() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -0.2, 0.9, 1.4, 0.0, -0.5]);
+        let targets = [2usize, 0usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &targets);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm, &targets);
+            let num = (loss_p - loss_m) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![5.0, 1.0, -2.0, 0.0, 0.0, 0.0]);
+        let p = softmax(&logits);
+        for s in 0..2 {
+            let sum: f32 = p.data()[s * 3..(s + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per sample")]
+    fn wrong_target_count_panics() {
+        let _ = softmax_cross_entropy(&Tensor::zeros(&[2, 3]), &[0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Small dense matrix-multiply kernels.
+//!
+//! These are the hot loops of both training and sensitivity evaluation, so
+//! they use the cache-friendly `i-k-j` ordering over row-major buffers. They
+//! operate on raw slices rather than [`crate::Tensor`] so that the layer code
+//! can multiply scratch buffers (e.g. im2col matrices) without allocating
+//! tensor wrappers.
+
+/// `c[m][n] += a[m][k] * b[k][n]` over row-major slices.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `c[m][n] += a[k][m]ᵀ * b[k][n]`: multiplies the transpose of a row-major
+/// `a` without materializing it.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// `c[m][n] += a[m][k] * b[n][k]ᵀ`: multiplies by the transpose of a
+/// row-major `b` without materializing it.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(a: &[f32], r: usize, c: usize) -> Vec<f32> {
+        let mut t = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                t[j * r + i] = a[i * c + j];
+            }
+        }
+        t
+    }
+
+    fn arb(m: usize, n: usize, seed: f32) -> Vec<f32> {
+        (0..m * n).map(|i| ((i as f32 * 0.37 + seed).sin() * 3.0).round() / 4.0).collect()
+    }
+
+    #[test]
+    fn matmul_acc_matches_naive() {
+        let (m, k, n) = (4, 5, 3);
+        let a = arb(m, k, 0.1);
+        let b = arb(k, n, 0.9);
+        let mut c = vec![0.0; m * n];
+        matmul_acc(&a, &b, &mut c, m, k, n);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_acc_accumulates() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        matmul_acc(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_naive() {
+        let (m, k, n) = (3, 6, 4);
+        let at = arb(k, m, 0.2); // stored as [k][m]
+        let b = arb(k, n, 0.5);
+        let mut c = vec![0.0; m * n];
+        matmul_at_b(&at, &b, &mut c, m, k, n);
+        let a = transpose(&at, k, m);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_naive() {
+        let (m, k, n) = (2, 7, 5);
+        let a = arb(m, k, 0.3);
+        let bt = arb(n, k, 0.8); // stored as [n][k]
+        let mut c = vec![0.0; m * n];
+        matmul_a_bt(&a, &bt, &mut c, m, k, n);
+        let b = transpose(&bt, n, k);
+        let expect = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length")]
+    fn matmul_acc_bad_dims_panics() {
+        let mut c = vec![0.0; 4];
+        matmul_acc(&[1.0], &[1.0; 4], &mut c, 2, 2, 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! 16-bit fixed-point quantization (the paper's Q15-style deployment format).
+//!
+//! Model parameters are trained in 32-bit floating point and quantized to a
+//! 16-bit fixed-point representation for deployment on the MSP430 device
+//! (Section IV-A). We use per-tensor power-of-two scales: a [`QFormat`] with
+//! `frac_bits = f` represents value `x` as `round(x * 2^f)` saturated to
+//! `i16`. Power-of-two scales keep requantization a pure arithmetic shift,
+//! exactly what the LEA-style accelerator performs.
+
+use crate::Tensor;
+
+/// A power-of-two fixed-point format: `f` fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Maximum representable fractional bits for i16.
+    pub const MAX_FRAC_BITS: u8 = 15;
+
+    /// Creates a format with `frac_bits` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 15`.
+    pub fn new(frac_bits: u8) -> Self {
+        assert!(frac_bits <= Self::MAX_FRAC_BITS, "at most 15 fractional bits");
+        Self { frac_bits }
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// The scale factor `2^frac_bits`.
+    pub fn scale(&self) -> f32 {
+        (1i32 << self.frac_bits) as f32
+    }
+
+    /// Chooses the largest format that represents `max_abs` without
+    /// saturation, leaving one bit of headroom.
+    ///
+    /// For `max_abs < 1` this picks Q0.15-style `frac_bits = 15`; larger
+    /// dynamic ranges get fewer fractional bits.
+    pub fn for_max_abs(max_abs: f32) -> Self {
+        let mut f = Self::MAX_FRAC_BITS;
+        while f > 0 {
+            let limit = 32767.0 / (1i64 << f) as f32;
+            if max_abs <= limit * 0.999 {
+                return Self::new(f);
+            }
+            f -= 1;
+        }
+        Self::new(0)
+    }
+
+    /// Quantizes a single value with round-to-nearest and saturation.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i16 {
+        let v = (x * self.scale()).round();
+        v.clamp(i16::MIN as f32, i16::MAX as f32) as i16
+    }
+
+    /// Dequantizes a single value.
+    #[inline]
+    pub fn dequantize(&self, q: i16) -> f32 {
+        q as f32 / self.scale()
+    }
+}
+
+/// Requantizes a 32-bit accumulator holding a product/sum in
+/// `(in_frac + w_frac)` fractional bits down to `out_frac` bits, with
+/// round-to-nearest and i16 saturation.
+///
+/// This mirrors the arithmetic-shift requantization performed after each
+/// accelerator accumulation on the device.
+#[inline]
+pub fn requantize(acc: i64, in_frac: u8, w_frac: u8, out_frac: u8) -> i16 {
+    let shift = in_frac as i32 + w_frac as i32 - out_frac as i32;
+    let v = if shift > 0 {
+        let half = 1i64 << (shift - 1);
+        (acc + half) >> shift
+    } else {
+        acc << (-shift)
+    };
+    v.clamp(i16::MIN as i64, i16::MAX as i64) as i16
+}
+
+/// A quantized tensor: i16 values plus their [`QFormat`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    dims: Vec<usize>,
+    data: Vec<i16>,
+    format: QFormat,
+}
+
+impl QTensor {
+    /// Quantizes a float tensor, picking the format from its max-abs value.
+    pub fn quantize(t: &Tensor) -> Self {
+        let format = QFormat::for_max_abs(t.max_abs());
+        Self::quantize_with(t, format)
+    }
+
+    /// Quantizes a float tensor with an explicit format.
+    pub fn quantize_with(t: &Tensor, format: QFormat) -> Self {
+        let data = t.data().iter().map(|&x| format.quantize(x)).collect();
+        Self { dims: t.dims().to_vec(), data, format }
+    }
+
+    /// Builds a quantized tensor from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match `dims`.
+    pub fn from_raw(dims: &[usize], data: Vec<i16>, format: QFormat) -> Self {
+        let numel: usize = dims.iter().product();
+        assert_eq!(data.len(), numel, "data length does not match dims");
+        Self { dims: dims.to_vec(), data, format }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The i16 payload.
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// The fixed-point format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Dequantizes back to floats.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.data.iter().map(|&q| self.format.dequantize(q)).collect();
+        Tensor::from_vec(&self.dims, data)
+    }
+
+    /// Size in bytes of the dense payload (2 bytes per element).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * 2
+    }
+
+    /// Number of exactly-zero elements.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&q| q == 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn format_selection_small_values() {
+        assert_eq!(QFormat::for_max_abs(0.5).frac_bits(), 15);
+        assert_eq!(QFormat::for_max_abs(1.5).frac_bits(), 14);
+        assert_eq!(QFormat::for_max_abs(3.0).frac_bits(), 13);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = QFormat::new(15);
+        assert_eq!(q.quantize(10.0), i16::MAX);
+        assert_eq!(q.quantize(-10.0), i16::MIN);
+    }
+
+    #[test]
+    fn requantize_shift_math() {
+        // 0.5 (Q15) * 0.5 (Q15) accumulated in Q30, requantized to Q15 = 0.25
+        let a = (0.5f32 * 32768.0) as i64;
+        let acc = a * a;
+        let out = requantize(acc, 15, 15, 15);
+        assert_eq!(out, (0.25f32 * 32768.0) as i16);
+    }
+
+    #[test]
+    fn requantize_negative_shift_scales_up() {
+        assert_eq!(requantize(4, 2, 2, 6), 16);
+    }
+
+    #[test]
+    fn qtensor_roundtrip_error_bounded() {
+        let t = Tensor::from_vec(&[4], vec![0.1, -0.25, 0.7, -0.9]);
+        let q = QTensor::quantize(&t);
+        let back = q.dequantize();
+        for (a, b) in t.data().iter().zip(back.data().iter()) {
+            assert!((a - b).abs() <= 1.0 / q.format().scale());
+        }
+    }
+
+    #[test]
+    fn payload_bytes_is_two_per_element() {
+        let q = QTensor::quantize(&Tensor::zeros(&[3, 5]));
+        assert_eq!(q.payload_bytes(), 30);
+        assert_eq!(q.count_zeros(), 15);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_error_within_half_ulp(xs in proptest::collection::vec(-0.999f32..0.999, 1..64)) {
+            let t = Tensor::from_vec(&[xs.len()], xs.clone());
+            let q = QTensor::quantize_with(&t, QFormat::new(15));
+            let back = q.dequantize();
+            for (a, b) in t.data().iter().zip(back.data().iter()) {
+                prop_assert!((a - b).abs() <= 0.5 / 32768.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn chosen_format_never_saturates(xs in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+            let t = Tensor::from_vec(&[xs.len()], xs.clone());
+            let fmt = QFormat::for_max_abs(t.max_abs());
+            for &x in t.data() {
+                let q = fmt.quantize(x);
+                prop_assert!(q != i16::MAX && q != i16::MIN || x.abs() >= 0.9 * 32767.0 / fmt.scale());
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! A dense, row-major, f32 tensor.
+//!
+//! Deliberately minimal: the iPrune pipeline only needs up-to-4-D tensors,
+//! elementwise arithmetic, and the shaped access patterns used by the layer
+//! implementations in [`crate::layer`].
+
+use std::fmt;
+
+/// A dense row-major tensor of `f32` values.
+///
+/// The dimension list is dynamic (1-D to 4-D in practice). Indexing helpers
+/// are provided for the common NCHW layouts used by the layers.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a dimension list and a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`.
+    pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Self {
+        let numel: usize = dims.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match dims {:?}",
+            data.len(),
+            dims
+        );
+        Self { dims: dims.to_vec(), data }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let numel: usize = dims.iter().product();
+        Self { dims: dims.to_vec(), data: vec![0.0; numel] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let numel: usize = dims.iter().product();
+        Self { dims: dims.to_vec(), data: vec![value; numel] }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data but new dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let numel: usize = dims.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape {:?} -> {:?}", self.dims, dims);
+        Tensor { dims: dims.to_vec(), data: self.data.clone() }
+    }
+
+    /// Flat offset of `[n, c, h, w]` in an NCHW 4-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the tensor is not 4-D or an index is out
+    /// of range.
+    #[inline]
+    pub fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.dims.len(), 4);
+        debug_assert!(n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3]);
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
+    }
+
+    /// Value at `[n, c, h, w]`.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.offset4(n, c, h, w)]
+    }
+
+    /// Flat offset of `[r, c]` in a 2-D tensor.
+    #[inline]
+    pub fn offset2(&self, r: usize, c: usize) -> usize {
+        debug_assert_eq!(self.dims.len(), 2);
+        r * self.dims[1] + c
+    }
+
+    /// Value at `[r, c]`.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        self.data[self.offset2(r, c)]
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.dims, other.dims);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Elementwise in-place multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.dims, other.dims);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Maximum absolute value (0.0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Root mean square of all elements (0.0 for an empty tensor).
+    ///
+    /// This is the importance metric the paper uses for weight blocks
+    /// (Section III-D, citing Scalpel).
+    pub fn rms(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let ss: f64 = self.data.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        (ss / self.data.len() as f64).sqrt() as f32
+    }
+
+    /// Number of exactly-zero elements.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&x| x == 0.0).count()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(dims={:?}", self.dims)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{:.4}, {:.4}, …; {}])", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at2(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dims")]
+    fn from_vec_bad_len_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn offset4_nchw() {
+        let t = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(t.offset4(0, 0, 0, 0), 0);
+        assert_eq!(t.offset4(1, 2, 3, 4), ((1 * 3 + 2) * 4 + 3) * 5 + 4);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(&[4]);
+        assert_eq!(r.dims(), &[4]);
+        assert_eq!(r.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0, 33.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[5.5, 11.0, 16.5]);
+        a.mul_assign(&b);
+        assert_eq!(a.data(), &[55.0, 220.0, 495.0]);
+    }
+
+    #[test]
+    fn rms_and_max_abs() {
+        let t = Tensor::from_vec(&[4], vec![1.0, -1.0, 1.0, -1.0]);
+        assert!((t.rms() - 1.0).abs() < 1e-6);
+        assert_eq!(t.max_abs(), 1.0);
+        let z = Tensor::zeros(&[0]);
+        assert_eq!(z.rms(), 0.0);
+    }
+
+    #[test]
+    fn count_zeros_counts() {
+        let t = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(t.count_zeros(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Keyword spotting (CKS): the paper's high-diversity workload, where
+//! intermittent-aware pruning pays off most.
+//!
+//! Trains the CKS model, prunes it with both frameworks (iPrune and the
+//! energy-aware ePrune baseline), and compares what each removed and how
+//! fast the result runs on the simulated device under every power strength.
+//!
+//! ```sh
+//! cargo run --release --example keyword_spotting
+//! ```
+
+use iprune_repro::device::{DeviceSim, PowerStrength};
+use iprune_repro::hawaii::exec::{infer, ExecMode};
+use iprune_repro::models::train::train_sgd;
+use iprune_repro::models::zoo::App;
+use iprune_repro::pruning::pipeline::{prune, PruneConfig};
+use iprune_repro::pruning::report::characterize;
+use iprune_repro::pruning::sa::SaConfig;
+
+fn main() {
+    let app = App::Cks;
+    let train = app.dataset(800, 1);
+    let val = app.dataset(240, 2);
+
+    let mut base = app.build();
+    println!("training {} ({} samples)…", app.name(), train.len());
+    train_sgd(&mut base, &train, &app.train_recipe());
+    let base_weights = base.extract_weights();
+
+    let mut rows = Vec::new();
+    let (ch, dm) = characterize(&mut base, &val, "Unpruned");
+    rows.push((ch, dm));
+
+    for (label, cfg) in [("ePrune", PruneConfig::eprune()), ("iPrune", PruneConfig::iprune())] {
+        let mut model = app.build();
+        model.load_weights(&base_weights);
+        let cfg = PruneConfig {
+            finetune: app.finetune_recipe(),
+            max_iterations: 6,
+            sa: SaConfig { steps: 600, ..Default::default() },
+            ..cfg
+        };
+        println!("running {label}…");
+        let report = prune(&mut model, &train, &val, &cfg);
+        println!(
+            "  {} iterations, adopted {:?}, density {:.1}%",
+            report.iterations.len(),
+            report.adopted_iteration,
+            100.0 * report.final_density
+        );
+        let (ch, dm) = characterize(&mut model, &val, label);
+        rows.push((ch, dm));
+    }
+
+    println!();
+    println!("{:<10} {:>8} {:>10} {:>10} {:>14}", "model", "acc", "size", "MACs", "acc outputs");
+    for (ch, _) in &rows {
+        println!(
+            "{:<10} {:>7.1}% {:>7.0} KB {:>8.0} K {:>12.0} K",
+            ch.label,
+            ch.accuracy * 100.0,
+            ch.size_bytes as f64 / 1024.0,
+            ch.macs as f64 / 1000.0,
+            ch.acc_outputs as f64 / 1000.0
+        );
+    }
+
+    println!();
+    println!("device latency (intermittent engine):");
+    let x = val.sample(0);
+    for strength in PowerStrength::all() {
+        print!("  {:<18}", strength.label());
+        for (ch, dm) in &rows {
+            let mut sim = DeviceSim::new(strength, 3);
+            let out = infer(dm, &x, &mut sim, ExecMode::Intermittent).expect("inference");
+            print!("  {}: {:.3}s", ch.label, out.latency_s);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,169 @@
+//! Command-line front end for the iPrune reproduction.
+//!
+//! ```text
+//! iprune-cli specs
+//! iprune-cli characterize <SQN|HAR|CKS>
+//! iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]
+//! iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]
+//! ```
+
+use iprune_repro::device::{DeviceSim, PowerStrength};
+use iprune_repro::hawaii::deploy::deploy;
+use iprune_repro::hawaii::exec::{infer, ExecMode};
+use iprune_repro::hawaii::plan::{dense_model_acc_outputs, diversity_label, diversity_ratio};
+use iprune_repro::models::train::{evaluate, train_sgd};
+use iprune_repro::models::zoo::App;
+use iprune_repro::pruning::pipeline::{prune, PruneConfig};
+use std::process::ExitCode;
+
+fn parse_app(s: &str) -> Option<App> {
+    match s.to_ascii_uppercase().as_str() {
+        "SQN" => Some(App::Sqn),
+        "HAR" => Some(App::Har),
+        "CKS" => Some(App::Cks),
+        _ => None,
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  iprune-cli specs");
+    eprintln!("  iprune-cli characterize <SQN|HAR|CKS>");
+    eprintln!("  iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]");
+    eprintln!("  iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("specs") => {
+            let spec = iprune_repro::device::DeviceSpec::msp430fr5994();
+            println!("{:#?}", spec);
+            println!("energy per power cycle: {:.1} uJ", spec.energy_span_j() * 1e6);
+            ExitCode::SUCCESS
+        }
+        Some("characterize") => {
+            let Some(app) = args.get(1).and_then(|s| parse_app(s)) else {
+                return usage();
+            };
+            let model = app.build();
+            let info = &model.info;
+            let (convs, pools, fcs) = info.layer_tally();
+            println!("{}: CONV x{convs}, POOL x{pools}, FC x{fcs}", app.name());
+            println!("  dense size    {:.1} KB", info.dense_size_bytes() as f64 / 1024.0);
+            println!("  MACs          {} K", info.total_macs() / 1000);
+            println!("  acc outputs   {} K", dense_model_acc_outputs(info) / 1000);
+            println!(
+                "  diversity     {} (ratio {:.1})",
+                diversity_label(diversity_ratio(info)),
+                diversity_ratio(info)
+            );
+            for p in &info.prunables {
+                println!(
+                    "    {:<20} {:>8} weights {:>10} MACs",
+                    p.name,
+                    p.weights(),
+                    p.macs()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(app) = args.get(1).and_then(|s| parse_app(s)) else {
+                return usage();
+            };
+            let power = match flag_value(&args, "--power").as_deref() {
+                None | Some("strong") => PowerStrength::Strong,
+                Some("continuous") => PowerStrength::Continuous,
+                Some("weak") => PowerStrength::Weak,
+                Some(other) => {
+                    eprintln!("unknown power `{other}`");
+                    return usage();
+                }
+            };
+            let mode = match flag_value(&args, "--mode").as_deref() {
+                None | Some("job") => ExecMode::Intermittent,
+                Some("tile") => ExecMode::TileAtomic,
+                Some("continuous") => ExecMode::Continuous,
+                Some(other) => {
+                    eprintln!("unknown mode `{other}`");
+                    return usage();
+                }
+            };
+            let train_n: usize =
+                flag_value(&args, "--train").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let seed: u64 = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+
+            let mut model = app.build();
+            let calib = app.dataset(8.max(train_n), 100);
+            if train_n > 0 {
+                eprintln!("training on {train_n} samples…");
+                train_sgd(&mut model, &calib.take(train_n), &app.train_recipe());
+            }
+            let dm = deploy(&mut model, &calib, 8);
+            let mut sim = DeviceSim::new(power, seed);
+            match infer(&dm, &calib.sample(0), &mut sim, mode) {
+                Ok(out) => {
+                    println!("predicted class     {}", out.argmax);
+                    println!("latency             {:.3} s", out.latency_s);
+                    println!("power cycles        {}", out.power_cycles);
+                    println!("jobs committed      {}", out.jobs);
+                    println!("preserved partials  {}", out.preserved_partials);
+                    println!("NVM written         {} KB", out.stats.nvm_write_bytes / 1024);
+                    println!("NVM read            {} KB", out.stats.nvm_read_bytes / 1024);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("inference failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("prune") => {
+            let Some(app) = args.get(1).and_then(|s| parse_app(s)) else {
+                return usage();
+            };
+            let cfg = match flag_value(&args, "--method").as_deref() {
+                None | Some("iprune") => PruneConfig::iprune(),
+                Some("eprune") => PruneConfig::eprune(),
+                Some("magnitude") => PruneConfig::magnitude(),
+                Some("oneshot") => PruneConfig::one_shot(0.5),
+                Some(other) => {
+                    eprintln!("unknown method `{other}`");
+                    return usage();
+                }
+            };
+            let train_n: usize =
+                flag_value(&args, "--train").and_then(|v| v.parse().ok()).unwrap_or(400);
+            let train = app.dataset(train_n, 100);
+            let val = app.dataset((train_n / 3).max(60), 200);
+            let mut model = app.build();
+            eprintln!("training {} on {} samples…", app.name(), train.len());
+            train_sgd(&mut model, &train, &app.train_recipe());
+            let cfg = PruneConfig { finetune: app.finetune_recipe(), ..cfg };
+            let report = prune(&mut model, &train, &val, &cfg);
+            println!("baseline accuracy  {:.1}%", report.baseline_accuracy * 100.0);
+            for it in &report.iterations {
+                println!(
+                    "  iter {}: gamma {:.3}, accuracy {:.1}%, density {:.1}%{}",
+                    it.iteration,
+                    it.gamma,
+                    it.accuracy * 100.0,
+                    it.density * 100.0,
+                    if it.struck { "  (struck)" } else { "" }
+                );
+            }
+            println!("adopted iteration  {:?}", report.adopted_iteration);
+            println!("final accuracy     {:.1}%", report.final_accuracy * 100.0);
+            println!("final density      {:.1}%", report.final_density * 100.0);
+            println!("final val accuracy {:.1}%", evaluate(&mut model, &val, 32) * 100.0);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

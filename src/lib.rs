@@ -1,0 +1,21 @@
+//! Umbrella crate for the iPrune reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so that the runnable
+//! examples (in `examples/`) and the cross-crate integration tests (in
+//! `tests/`) have a single import surface:
+//!
+//! ```
+//! use iprune_repro::datasets::toy::ToySpec;
+//! let ds = ToySpec::default().generate(8, 0);
+//! assert_eq!(ds.len(), 8);
+//! ```
+//!
+//! Library users who only need one subsystem should depend on that crate
+//! directly (`iprune`, `iprune-hawaii`, `iprune-device`, …).
+
+pub use iprune as pruning;
+pub use iprune_datasets as datasets;
+pub use iprune_device as device;
+pub use iprune_hawaii as hawaii;
+pub use iprune_models as models;
+pub use iprune_tensor as tensor;

@@ -1,0 +1,94 @@
+//! The central functional invariant, across all three applications:
+//! intermittent execution — through arbitrary power-failure phases — must
+//! produce bit-identical outputs to continuous execution.
+
+use iprune_repro::device::{DeviceSim, PowerStrength};
+use iprune_repro::hawaii::deploy::deploy;
+use iprune_repro::hawaii::exec::{infer, ExecMode};
+use iprune_repro::models::zoo::App;
+
+#[test]
+fn intermittent_matches_continuous_for_every_app() {
+    for app in App::all() {
+        let mut model = app.build();
+        let ds = app.dataset(4, 777);
+        let dm = deploy(&mut model, &ds, 2);
+        let x = ds.sample(0);
+        let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+        let reference = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).unwrap();
+        for seed in [1u64, 2, 3] {
+            for strength in [PowerStrength::Strong, PowerStrength::Weak] {
+                let mut sim = DeviceSim::new(strength, seed);
+                let out = infer(&dm, &x, &mut sim, ExecMode::Intermittent).unwrap();
+                assert_eq!(
+                    out.logits,
+                    reference.logits,
+                    "{} under {:?} seed {}",
+                    app.name(),
+                    strength,
+                    seed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_for_sparse_models_too() {
+    // Prune 60% of the weights at *block* granularity (element-wise pruning
+    // would leave almost every block alive — the paper's guideline 3), then
+    // verify recovery still reproduces exact outputs.
+    use iprune_repro::device::energy::EnergyModel;
+    use iprune_repro::device::timing::TimingModel;
+    use iprune_repro::pruning::blocks::{build_states, mask_as_weight_shape, mask_out_block};
+    use iprune_repro::pruning::Criterion;
+
+    let app = App::Cks;
+    let mut model = app.build();
+    let mut states = build_states(
+        &mut model,
+        Criterion::AccOutputs,
+        &TimingModel::default(),
+        &EnergyModel::default(),
+    );
+    let mut masks = std::collections::HashMap::new();
+    for state in &mut states {
+        let sched = state.removal_schedule();
+        let n = (sched.order.len() as f64 * 0.6) as usize;
+        let victims: Vec<usize> = sched.order.iter().take(n).copied().collect();
+        for bi in victims {
+            mask_out_block(state, bi);
+        }
+        masks.insert(state.layer_id, mask_as_weight_shape(state, &model));
+    }
+    model.set_masks(&masks);
+    let ds = app.dataset(3, 778);
+    let dm = deploy(&mut model, &ds, 2);
+    assert!(dm.sparse_size_bytes() < dm.dense_size_bytes());
+    let x = ds.sample(1);
+    let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+    let reference = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).unwrap();
+    for seed in [11u64, 12, 13, 14] {
+        let mut sim = DeviceSim::new(PowerStrength::Weak, seed);
+        let out = infer(&dm, &x, &mut sim, ExecMode::Intermittent).unwrap();
+        assert_eq!(out.logits, reference.logits, "seed {seed}");
+        assert!(out.power_cycles > 0, "weak power should brown out");
+    }
+}
+
+#[test]
+fn preserved_partials_match_criterion_for_every_app() {
+    for app in App::all() {
+        let mut model = app.build();
+        let ds = app.dataset(2, 779);
+        let dm = deploy(&mut model, &ds, 2);
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let out = infer(&dm, &ds.sample(0), &mut sim, ExecMode::Intermittent).unwrap();
+        assert_eq!(
+            out.preserved_partials,
+            dm.total_acc_outputs() as u64,
+            "{}: engine must preserve exactly the counted accelerator outputs",
+            app.name()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Paper-facing shape checks: the structural numbers of Table II and the
+//! qualitative orderings the evaluation section reports.
+
+use iprune_repro::device::{DeviceSim, PowerStrength};
+use iprune_repro::hawaii::deploy::deploy;
+use iprune_repro::hawaii::exec::{infer, ExecMode};
+use iprune_repro::hawaii::plan::{dense_model_acc_outputs, diversity_label, diversity_ratio};
+use iprune_repro::models::zoo::App;
+
+#[test]
+fn table2_structure_within_tolerance() {
+    // (app, layers (conv,pool,fc), size KB, MACs K, acc outputs K)
+    let rows = [
+        (App::Sqn, (11, 2, 0), 147.0, 4442.0, 1483.0),
+        (App::Har, (3, 3, 1), 28.0, 321.0, 77.0),
+        (App::Cks, (2, 2, 3), 131.0, 2811.0, 1582.0),
+    ];
+    for (app, tally, size_kb, macs_k, outs_k) in rows {
+        let m = app.build();
+        assert_eq!(m.info.layer_tally(), tally, "{} layer tally", app.name());
+        let size = m.info.dense_size_bytes() as f64 / 1024.0;
+        assert!((size / size_kb - 1.0).abs() < 0.05, "{} size {size} vs {size_kb}", app.name());
+        let macs = m.info.total_macs() as f64 / 1000.0;
+        assert!((macs / macs_k - 1.0).abs() < 0.06, "{} macs {macs} vs {macs_k}", app.name());
+        let outs = dense_model_acc_outputs(&m.info) as f64 / 1000.0;
+        assert!(
+            (outs / outs_k - 1.0).abs() < 0.25,
+            "{} acc outputs {outs} vs {outs_k}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn diversity_labels_match_table2() {
+    let labels: Vec<&str> = App::all()
+        .iter()
+        .map(|app| diversity_label(diversity_ratio(&app.build().info)))
+        .collect();
+    assert_eq!(labels, vec!["Low", "Medium", "High"]);
+}
+
+#[test]
+fn latency_orderings_match_figure5_axes() {
+    // For the unpruned models: continuous < strong < weak latency, and the
+    // continuous *engine mode* beats the intermittent mode (Figure 2).
+    for app in [App::Har, App::Cks] {
+        let mut model = app.build();
+        let ds = app.dataset(2, 555);
+        let dm = deploy(&mut model, &ds, 2);
+        let x = ds.sample(0);
+        let run = |strength, seed| {
+            let mut sim = DeviceSim::new(strength, seed);
+            infer(&dm, &x, &mut sim, ExecMode::Intermittent).unwrap().latency_s
+        };
+        let cont = run(PowerStrength::Continuous, 0);
+        let strong = run(PowerStrength::Strong, 1);
+        let weak = run(PowerStrength::Weak, 1);
+        assert!(cont < strong && strong < weak, "{}: {cont} {strong} {weak}", app.name());
+
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let conv = infer(&dm, &x, &mut sim, ExecMode::Continuous).unwrap();
+        assert!(conv.latency_s < cont, "{}: conventional mode must be faster", app.name());
+        assert!(conv.stats.write_share() < 0.3, "{}", app.name());
+    }
+}
+
+#[test]
+fn fewer_acc_outputs_means_lower_intermittent_latency() {
+    // The criterion's core claim: reducing accelerator outputs reduces
+    // intermittent latency. Compare CKS dense vs 60% block-pruned.
+    use iprune_repro::pruning::strategy::magnitude_element_step;
+    let app = App::Har;
+    let ds = app.dataset(2, 556);
+    let mut dense_model = app.build();
+    let dm_dense = deploy(&mut dense_model, &ds, 2);
+    let mut sparse_model = app.build();
+    let masks = magnitude_element_step(&mut sparse_model, 0.7);
+    sparse_model.set_masks(&masks);
+    let dm_sparse = deploy(&mut sparse_model, &ds, 2);
+    assert!(dm_sparse.total_acc_outputs() < dm_dense.total_acc_outputs());
+    let x = ds.sample(0);
+    let mut sim_a = DeviceSim::new(PowerStrength::Strong, 2);
+    let a = infer(&dm_dense, &x, &mut sim_a, ExecMode::Intermittent).unwrap();
+    let mut sim_b = DeviceSim::new(PowerStrength::Strong, 2);
+    let b = infer(&dm_sparse, &x, &mut sim_b, ExecMode::Intermittent).unwrap();
+    assert!(b.latency_s < a.latency_s, "{} vs {}", b.latency_s, a.latency_s);
+}

@@ -1,0 +1,89 @@
+//! Property tests over randomly-generated architectures: the engine's
+//! invariants must hold for *any* model a user builds, not just the three
+//! paper applications.
+
+use iprune_repro::device::{DeviceSim, PowerStrength};
+use iprune_repro::hawaii::deploy::deploy;
+use iprune_repro::hawaii::exec::{infer, ExecMode};
+use iprune_repro::hawaii::plan::dense_model_acc_outputs;
+use iprune_repro::models::builder::NetBuilder;
+use iprune_repro::models::Model;
+use iprune_repro::datasets::toy::ToySpec;
+use proptest::prelude::*;
+
+/// Builds a random small conv net from a compact genome.
+fn random_model(
+    channels: (usize, usize),
+    kernel: usize,
+    use_fire: bool,
+    use_pool: bool,
+    fc_hidden: usize,
+) -> Model {
+    let classes = 4;
+    let mut b = NetBuilder::new("random", [1, 8, 8], classes).conv(channels.0, kernel, 1, true);
+    if use_fire {
+        b = b.fire(2, channels.1 / 2 + 1, channels.1 / 2 + 1);
+    } else {
+        b = b.conv(channels.1, kernel, 1, true);
+    }
+    if use_pool {
+        b = b.maxpool(2, 2);
+    }
+    b = b.flatten();
+    if fc_hidden > 0 {
+        b = b.fc(fc_hidden, true);
+    }
+    b.fc(classes, false).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_equivalence_on_random_architectures(
+        c0 in 2usize..6,
+        c1 in 2usize..6,
+        kernel in 1usize..4,
+        use_fire in any::<bool>(),
+        use_pool in any::<bool>(),
+        fc_hidden in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut model = random_model((c0, c1), kernel, use_fire, use_pool, fc_hidden);
+        let ds = ToySpec::default().generate(3, seed);
+        let dm = deploy(&mut model, &ds, 2);
+        let x = ds.sample(0);
+
+        let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
+        let reference = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).unwrap();
+
+        // intermittent under weak power with a seeded failure phase
+        let mut sim_i = DeviceSim::new(PowerStrength::Weak, seed + 1);
+        let inter = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).unwrap();
+        prop_assert_eq!(&inter.logits, &reference.logits);
+
+        // tile-atomic as well
+        let mut sim_t = DeviceSim::new(PowerStrength::Weak, seed + 2);
+        let tile = infer(&dm, &x, &mut sim_t, ExecMode::TileAtomic).unwrap();
+        prop_assert_eq!(&tile.logits, &reference.logits);
+
+        // the engine preserves exactly the counted accelerator outputs
+        prop_assert_eq!(inter.preserved_partials, dm.total_acc_outputs() as u64);
+    }
+
+    #[test]
+    fn analytic_counts_are_consistent_on_random_architectures(
+        c0 in 2usize..6,
+        c1 in 2usize..6,
+        kernel in 1usize..4,
+        fc_hidden in 0usize..8,
+    ) {
+        let model = random_model((c0, c1), kernel, false, true, fc_hidden);
+        // dense acc outputs ≥ out elems (each element preserved ≥ once)
+        let outs = dense_model_acc_outputs(&model.info);
+        let elems: usize = model.info.prunables.iter().map(|p| p.out_elems()).sum();
+        prop_assert!(outs >= elems);
+        // MACs ≥ acc outputs (each chunk covers ≥ 1 MAC per output)
+        prop_assert!(model.info.total_macs() >= outs);
+    }
+}
