@@ -14,13 +14,13 @@
 
 use iprune::blocks::build_states;
 use iprune::pipeline::{prune, Granularity, PruneConfig};
-use iprune_device::{DeviceSim, PowerStrength};
-use iprune_hawaii::deploy::deploy;
-use iprune_hawaii::exec::{infer, ExecMode};
 use iprune::sa::SaConfig;
 use iprune::Criterion;
 use iprune_device::energy::EnergyModel;
 use iprune_device::timing::TimingModel;
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_hawaii::deploy::deploy;
+use iprune_hawaii::exec::{infer, ExecMode};
 use iprune_models::train::train_sgd;
 use iprune_models::zoo::App;
 use iprune_models::Model;
@@ -170,7 +170,12 @@ fn main() {
         let target = 1.0 - it_report.final_density;
         let mut oneshot = app.build();
         oneshot.load_weights(&base_weights);
-        let os_cfg = PruneConfig { sens_eval: 32, val_eval: 80, finetune: App::Har.finetune_recipe(), ..PruneConfig::one_shot(target.max(0.1)) };
+        let os_cfg = PruneConfig {
+            sens_eval: 32,
+            val_eval: 80,
+            finetune: App::Har.finetune_recipe(),
+            ..PruneConfig::one_shot(target.max(0.1))
+        };
         let os_report = prune(&mut oneshot, &train, &val, &os_cfg);
         println!(
             "   iterative: density {:>5.1}%  acc {:>5.1}%  ({} iterations)",

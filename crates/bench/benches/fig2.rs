@@ -32,13 +32,27 @@ fn main() {
 
         println!();
         println!("{} (unpruned)", app.name());
-        for (label, out) in [("(a) continuously-powered ", &cont), ("(b) intermittently-powered", &inter)] {
+        for (label, out) in
+            [("(a) continuously-powered ", &cont), ("(b) intermittently-powered", &inter)]
+        {
             let s = &out.stats;
             let busy = s.busy_s();
             println!("  {label}: total {:.3} s", out.latency_s);
-            println!("      NVM read   {:>5.1}%  {}", 100.0 * s.nvm_read_s / busy, bar(s.nvm_read_s / busy));
-            println!("      accelerator{:>5.1}%  {}", 100.0 * (s.lea_s + s.cpu_s) / busy, bar((s.lea_s + s.cpu_s) / busy));
-            println!("      NVM write  {:>5.1}%  {}", 100.0 * s.nvm_write_s / busy, bar(s.nvm_write_s / busy));
+            println!(
+                "      NVM read   {:>5.1}%  {}",
+                100.0 * s.nvm_read_s / busy,
+                bar(s.nvm_read_s / busy)
+            );
+            println!(
+                "      accelerator{:>5.1}%  {}",
+                100.0 * (s.lea_s + s.cpu_s) / busy,
+                bar((s.lea_s + s.cpu_s) / busy)
+            );
+            println!(
+                "      NVM write  {:>5.1}%  {}",
+                100.0 * s.nvm_write_s / busy,
+                bar(s.nvm_write_s / busy)
+            );
         }
     }
     println!();

@@ -10,17 +10,22 @@
 //! Reuses `table3`'s cached checkpoints when present (run table3 first for
 //! identical models); otherwise it runs the pipelines itself.
 
-use iprune_bench::{run_app_pipelines, Scale};
+use iprune_bench::{run_all_apps, Scale};
 use iprune_device::{DeviceSim, PowerStrength};
 use iprune_hawaii::exec::{infer, ExecMode};
 use iprune_hawaii::DeployedModel;
-use iprune_models::zoo::App;
 
-fn mean_latency(dm: &DeployedModel, x: &iprune_tensor::Tensor, s: PowerStrength, reps: usize) -> (f64, f64) {
+fn mean_latency(
+    dm: &DeployedModel,
+    x: &iprune_tensor::Tensor,
+    s: PowerStrength,
+    reps: usize,
+) -> (f64, f64) {
     let mut total = 0.0;
     let mut cycles = 0.0;
     for r in 0..reps {
-        let mut sim = DeviceSim::new(s, if s == PowerStrength::Continuous { 0 } else { 1 + r as u64 });
+        let mut sim =
+            DeviceSim::new(s, if s == PowerStrength::Continuous { 0 } else { 1 + r as u64 });
         let out = infer(dm, x, &mut sim, ExecMode::Intermittent).expect("intermittent inference");
         total += out.latency_s;
         cycles += out.power_cycles as f64;
@@ -30,10 +35,11 @@ fn mean_latency(dm: &DeployedModel, x: &iprune_tensor::Tensor, s: PowerStrength,
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Figure 5 — Intermittent inference latency (seconds; scale: {})", scale.name);
+    println!("Figure 5 — Intermittent inference latency (seconds; {})", scale.describe_run());
     println!("================================================================");
-    for app in App::all() {
-        let results = run_app_pipelines(app, &scale, true);
+    // the three app pipelines run concurrently; rows print in app order
+    for results in run_all_apps(&scale, true) {
+        let app = results.app;
         let x = results.val.sample(0);
         println!();
         println!("{}", app.name());

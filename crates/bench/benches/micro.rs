@@ -48,8 +48,12 @@ fn bench_counting(c: &mut Criterion) {
 
 fn bench_sa(c: &mut Criterion) {
     let mut model = App::Cks.build();
-    let states =
-        build_states(&mut model, iprune::Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+    let states = build_states(
+        &mut model,
+        iprune::Criterion::AccOutputs,
+        &TimingModel::default(),
+        &EnergyModel::default(),
+    );
     let sens = vec![0.05; states.len()];
     let cfg = SaConfig { steps: 400, ..Default::default() };
     c.bench_function("sa_allocate_cks_400steps", |b| {
@@ -58,7 +62,10 @@ fn bench_sa(c: &mut Criterion) {
 }
 
 fn bench_quant(c: &mut Criterion) {
-    let t = Tensor::from_vec(&[64, 256], (0..64 * 256).map(|i| ((i % 97) as f32 - 48.0) / 64.0).collect());
+    let t = Tensor::from_vec(
+        &[64, 256],
+        (0..64 * 256).map(|i| ((i % 97) as f32 - 48.0) / 64.0).collect(),
+    );
     c.bench_function("quantize_16k_weights", |b| b.iter(|| QTensor::quantize(black_box(&t))));
 }
 
@@ -82,7 +89,10 @@ fn bench_engine(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
 }
 
 criterion_group! {

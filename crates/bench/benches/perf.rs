@@ -1,0 +1,230 @@
+//! Host-performance benchmark: GEMM kernel throughput (tiled vs scalar
+//! reference) and prune-pipeline wall-clock at 1/2/4/8 threads.
+//!
+//! Prints a human-readable summary and writes the machine-readable
+//! `BENCH_perf.json` at the workspace root, so recorded numbers always
+//! carry the thread count and host core count that produced them.
+//!
+//! Scaling caveat: speedup from threads > 1 requires actual cores. The
+//! JSON records `host_cores`; on a single-core host the 2/4/8-thread rows
+//! measure scheduling overhead, not speedup.
+
+use iprune_bench::cache::workspace_root;
+use iprune_bench::run_app_pipelines;
+use iprune_bench::scale::SMOKE;
+use iprune_models::zoo::App;
+use iprune_tensor::matmul::{
+    matmul_a_bt, matmul_a_bt_ref, matmul_acc, matmul_acc_ref, matmul_at_b, matmul_at_b_ref,
+};
+use iprune_tensor::par;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` timed calls.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn fill(seed: f32, len: usize) -> Vec<f32> {
+    (0..len).map(|i| ((i as f32 * 0.13 + seed).sin() * 2.0).round() / 3.0).collect()
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    ref_gflops: f64,
+    tiled_gflops: f64,
+}
+
+/// Benchmarks one kernel shape at one thread count. The reference kernel is
+/// always serial; the tiled kernel fans rows out over `threads` workers.
+fn bench_kernel(
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    tiled: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    reference: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    a_len: usize,
+    b_len: usize,
+) -> KernelRow {
+    let a = fill(0.3, a_len);
+    let b = fill(0.7, b_len);
+    let mut c = vec![0.0f32; m * n];
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let reps = 7;
+
+    par::set_threads(1);
+    let t_ref = time_median(reps, || reference(&a, &b, &mut c, m, k, n));
+    par::set_threads(threads);
+    let t_tiled = time_median(reps, || tiled(&a, &b, &mut c, m, k, n));
+    par::set_threads(0);
+
+    KernelRow {
+        kernel,
+        m,
+        k,
+        n,
+        threads,
+        ref_gflops: flops / t_ref / 1e9,
+        tiled_gflops: flops / t_tiled / 1e9,
+    }
+}
+
+struct PipelineRow {
+    threads: usize,
+    wall_s: f64,
+}
+
+/// Times the HAR smoke-scale pipeline (train → ePrune/iPrune → deploy) at
+/// one thread count, against a cold cache so every run does the same work.
+fn bench_pipeline(threads: usize) -> PipelineRow {
+    let dir = std::env::temp_dir().join(format!("iprune_perf_{}_{}", std::process::id(), threads));
+    std::env::set_var("IPRUNE_CACHE_DIR", &dir);
+    par::set_threads(threads);
+    let t0 = Instant::now();
+    let results = run_app_pipelines(App::Har, &SMOKE, false);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(results.variants.len(), 3);
+    par::set_threads(0);
+    std::env::remove_var("IPRUNE_CACHE_DIR");
+    let _ = std::fs::remove_dir_all(dir);
+    PipelineRow { threads, wall_s }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Host performance — kernels and pipeline (host cores: {host_cores})");
+    println!("==================================================================");
+
+    // Conv-shaped (SQN fire-module GEMM) and square shapes.
+    let mut kernels: Vec<KernelRow> = Vec::new();
+    for &threads in &[1usize, host_cores.max(2)] {
+        kernels.push(bench_kernel(
+            "matmul_acc",
+            64,
+            576,
+            169,
+            threads,
+            matmul_acc,
+            matmul_acc_ref,
+            64 * 576,
+            576 * 169,
+        ));
+        kernels.push(bench_kernel(
+            "matmul_at_b",
+            576,
+            64,
+            169,
+            threads,
+            matmul_at_b,
+            matmul_at_b_ref,
+            64 * 576,
+            64 * 169,
+        ));
+        kernels.push(bench_kernel(
+            "matmul_a_bt",
+            64,
+            169,
+            576,
+            threads,
+            matmul_a_bt,
+            matmul_a_bt_ref,
+            64 * 169,
+            576 * 169,
+        ));
+        kernels.push(bench_kernel(
+            "matmul_acc",
+            192,
+            192,
+            192,
+            threads,
+            matmul_acc,
+            matmul_acc_ref,
+            192 * 192,
+            192 * 192,
+        ));
+    }
+
+    println!(
+        "{:<12} {:>4}x{:<4}x{:<4} {:>7} {:>12} {:>12} {:>8}",
+        "kernel", "m", "k", "n", "threads", "ref GF/s", "tiled GF/s", "speedup"
+    );
+    for r in &kernels {
+        println!(
+            "{:<12} {:>4}x{:<4}x{:<4} {:>7} {:>12.2} {:>12.2} {:>7.2}x",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.threads,
+            r.ref_gflops,
+            r.tiled_gflops,
+            r.tiled_gflops / r.ref_gflops
+        );
+    }
+
+    println!();
+    println!("HAR smoke pipeline wall-clock (cold cache per run):");
+    let pipeline: Vec<PipelineRow> = [1usize, 2, 4, 8].iter().map(|&t| bench_pipeline(t)).collect();
+    for r in &pipeline {
+        println!(
+            "  threads {:>2}: {:>7.2} s  ({:.2}x vs 1 thread)",
+            r.threads,
+            r.wall_s,
+            pipeline[0].wall_s / r.wall_s
+        );
+    }
+
+    // machine-readable record
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"threads\": {}, \
+             \"ref_gflops\": {:.4}, \"tiled_gflops\": {:.4}, \"speedup\": {:.4}}}",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.threads,
+            r.ref_gflops,
+            r.tiled_gflops,
+            r.tiled_gflops / r.ref_gflops
+        );
+        json.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"pipeline_har_smoke\": [\n");
+    for (i, r) in pipeline.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"wall_s\": {:.3}, \"speedup_vs_1\": {:.4}}}",
+            r.threads,
+            r.wall_s,
+            pipeline[0].wall_s / r.wall_s
+        );
+        json.push_str(if i + 1 < pipeline.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = workspace_root().join("BENCH_perf.json");
+    std::fs::write(&out, &json).expect("write BENCH_perf.json");
+    println!();
+    println!("wrote {}", out.display());
+}

@@ -16,9 +16,13 @@ struct PaperRow {
 
 fn paper_row(app: App) -> PaperRow {
     match app {
-        App::Sqn => PaperRow { size_kb: 147.0, macs_k: 4442.0, outputs_k: 1483.0, diversity: "Low" },
+        App::Sqn => {
+            PaperRow { size_kb: 147.0, macs_k: 4442.0, outputs_k: 1483.0, diversity: "Low" }
+        }
         App::Har => PaperRow { size_kb: 28.0, macs_k: 321.0, outputs_k: 77.0, diversity: "Medium" },
-        App::Cks => PaperRow { size_kb: 131.0, macs_k: 2811.0, outputs_k: 1582.0, diversity: "High" },
+        App::Cks => {
+            PaperRow { size_kb: 131.0, macs_k: 2811.0, outputs_k: 1582.0, diversity: "High" }
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! `target/iprune_cache/`.
 
 use iprune::report::quantized_accuracy;
-use iprune_bench::{run_app_pipelines, Scale, Variant};
+use iprune_bench::{run_all_apps, Scale, Variant};
 use iprune_models::zoo::App;
 
 fn paper(app: App, v: Variant) -> (f64, f64, f64, f64) {
@@ -27,14 +27,15 @@ fn paper(app: App, v: Variant) -> (f64, f64, f64, f64) {
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table III — Characteristics of the pruned models (scale: {})", scale.name);
+    println!("Table III — Characteristics of the pruned models ({})", scale.describe_run());
     println!("==================================================================");
     println!(
         "{:<5} {:<9} {:>9} {:>8} {:>11} {:>10} {:>13}",
         "App", "Model", "Acc(f32)", "Acc(q15)", "Size", "MACs", "Acc.Outputs"
     );
-    for app in App::all() {
-        let results = run_app_pipelines(app, &scale, true);
+    // the three app pipelines run concurrently; rows print in app order
+    for results in run_all_apps(&scale, true) {
+        let app = results.app;
         for vr in &results.variants {
             let qacc = quantized_accuracy(&vr.deployed, &results.val, scale.quant_eval);
             let (pa, ps, pm, po) = paper(app, vr.variant);

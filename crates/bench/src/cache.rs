@@ -9,15 +9,33 @@ use iprune_models::{LayerWeights, Model};
 use iprune_tensor::Tensor;
 use std::fs;
 use std::io::{self, Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"IPRUNEW1";
 
+/// The workspace root: the nearest ancestor of this crate's manifest
+/// directory whose `Cargo.toml` declares `[workspace]`. Falls back to the
+/// crate directory itself if no workspace manifest is found (e.g. the crate
+/// was vendored standalone).
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for dir in manifest.ancestors() {
+        let cargo_toml = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&cargo_toml) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    manifest.to_path_buf()
+}
+
 /// Directory where checkpoints live.
 pub fn cache_dir() -> PathBuf {
-    PathBuf::from(std::env::var("IPRUNE_CACHE_DIR").unwrap_or_else(|_| {
-        format!("{}/target/iprune_cache", env!("CARGO_MANIFEST_DIR").replace("/crates/bench", ""))
-    }))
+    match std::env::var("IPRUNE_CACHE_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => workspace_root().join("target").join("iprune_cache"),
+    }
 }
 
 /// Path of one checkpoint.
@@ -111,6 +129,26 @@ pub fn load(model: &mut Model, app: &str, variant: &str, scale: &str) -> bool {
 mod tests {
     use super::*;
     use iprune_models::zoo::App;
+
+    #[test]
+    fn workspace_root_is_a_real_workspace() {
+        let root = workspace_root();
+        let manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap();
+        assert!(manifest.contains("[workspace]"), "{} is not a workspace root", root.display());
+        // this crate must live somewhere beneath it
+        assert!(Path::new(env!("CARGO_MANIFEST_DIR")).starts_with(&root));
+    }
+
+    #[test]
+    fn cache_dir_defaults_under_workspace_target() {
+        // The round-trip test may have IPRUNE_CACHE_DIR set concurrently, so
+        // probe the env-free branch directly.
+        let default = workspace_root().join("target").join("iprune_cache");
+        assert!(default.ends_with("target/iprune_cache"));
+        if std::env::var("IPRUNE_CACHE_DIR").is_err() {
+            assert_eq!(cache_dir(), default);
+        }
+    }
 
     #[test]
     fn save_load_roundtrip() {

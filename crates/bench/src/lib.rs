@@ -11,5 +11,5 @@ pub mod cache;
 pub mod pipeline;
 pub mod scale;
 
-pub use pipeline::{run_app_pipelines, AppResults, Variant};
+pub use pipeline::{run_all_apps, run_app_pipelines, AppResults, Variant};
 pub use scale::Scale;

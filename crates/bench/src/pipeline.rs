@@ -174,6 +174,16 @@ pub fn run_app_pipelines(app: App, scale: &Scale, log: bool) -> AppResults {
     AppResults { app, variants, val }
 }
 
+/// Runs the pipelines of every app, spreading the independent per-app
+/// pipelines over [`iprune_tensor::par`] workers. Results come back in
+/// [`App::all`] order and each app's pipeline is identical to a standalone
+/// [`run_app_pipelines`] call (apps share nothing but the cache directory,
+/// and each app writes distinct checkpoint files).
+pub fn run_all_apps(scale: &Scale, log: bool) -> Vec<AppResults> {
+    let apps = App::all();
+    iprune_tensor::par::par_map(apps.len(), |i| run_app_pipelines(apps[i], scale, log))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -99,6 +99,13 @@ impl Scale {
             _ => self.train_n,
         }
     }
+
+    /// One-line run description for harness headers: the scale name plus
+    /// the host thread count, so recorded numbers always say how much
+    /// parallelism produced them.
+    pub fn describe_run(&self) -> String {
+        format!("scale: {}, host threads: {}", self.name, iprune_tensor::par::num_threads())
+    }
 }
 
 #[cfg(test)]

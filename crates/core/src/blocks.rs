@@ -50,7 +50,8 @@ impl LayerState {
     /// Alive blocks sorted by ascending RMS, with cumulative weights and
     /// cost — the removal order of the block-selection step.
     pub fn removal_schedule(&self) -> RemovalSchedule {
-        let mut order: Vec<usize> = (0..self.blocks.len()).filter(|&i| self.blocks[i].alive).collect();
+        let mut order: Vec<usize> =
+            (0..self.blocks.len()).filter(|&i| self.blocks[i].alive).collect();
         order.sort_by(|&a, &b| {
             self.blocks[a].rms.partial_cmp(&self.blocks[b].rms).unwrap_or(std::cmp::Ordering::Equal)
         });
@@ -201,8 +202,12 @@ mod tests {
 
     fn har_states() -> (Model, Vec<LayerState>) {
         let mut m = App::Har.build();
-        let states =
-            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        let states = build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
         (m, states)
     }
 
@@ -264,8 +269,12 @@ mod tests {
         let mut masks = std::collections::HashMap::new();
         masks.insert(0usize, mask);
         m.set_masks(&masks);
-        let rebuilt =
-            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        let rebuilt = build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
         assert_eq!(rebuilt[0].blocks.iter().filter(|b| !b.alive).count(), 2);
         assert_eq!(rebuilt[0].alive_weights, states[0].alive_weights);
     }

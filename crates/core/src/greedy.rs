@@ -103,7 +103,12 @@ mod tests {
 
     fn states_for(app: App) -> Vec<LayerState> {
         let mut m = app.build();
-        build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default())
+        build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        )
     }
 
     #[test]

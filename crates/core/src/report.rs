@@ -39,7 +39,11 @@ impl Characteristics {
 
 /// Characterizes a model: accuracy on `val`, plus deployed size / MACs /
 /// accelerator outputs via an actual deployment.
-pub fn characterize(model: &mut Model, val: &Dataset, label: &str) -> (Characteristics, DeployedModel) {
+pub fn characterize(
+    model: &mut Model,
+    val: &Dataset,
+    label: &str,
+) -> (Characteristics, DeployedModel) {
     let accuracy = evaluate(model, val, 32);
     let dm = deploy(model, val, iprune_hawaii::deploy::DEFAULT_CALIBRATION);
     let ch = Characteristics {
@@ -94,10 +98,6 @@ mod tests {
         train_sgd(&mut m, &train, &TrainConfig { epochs: 3, ..Default::default() });
         let (ch, dm) = characterize(&mut m, &val, "Unpruned");
         let qacc = quantized_accuracy(&dm, &val, 36);
-        assert!(
-            (qacc - ch.accuracy).abs() < 0.12,
-            "quantized {qacc} vs float {}",
-            ch.accuracy
-        );
+        assert!((qacc - ch.accuracy).abs() < 0.12, "quantized {qacc} vs float {}", ch.accuracy);
     }
 }

@@ -55,9 +55,7 @@ fn objective(
 ) -> f64 {
     let mut removed = 0.0;
     let mut penalty = 0.0;
-    for ((state, sched), (&g, &s)) in
-        states.iter().zip(scheds).zip(gammas.iter().zip(sens_norm))
-    {
+    for ((state, sched), (&g, &s)) in states.iter().zip(scheds).zip(gammas.iter().zip(sens_norm)) {
         let budget = (state.alive_weights as f64 * g).round() as usize;
         let n = sched.blocks_for_budget(budget);
         removed += sched.cost_removed(n);
@@ -99,7 +97,8 @@ pub fn allocate_ratios(
 
     // Start uniform: γᵢ = Γ for all layers satisfies the constraint.
     let mut gammas = vec![gamma.min(cfg.gamma_max); n];
-    let mut cost = objective(&states_ref(states), &scheds, &gammas, &sens_norm, cfg.lambda, total_cost);
+    let mut cost =
+        objective(states_ref(states), &scheds, &gammas, &sens_norm, cfg.lambda, total_cost);
     let mut best = Allocation { gammas: gammas.clone(), cost };
 
     if n == 1 {
@@ -125,7 +124,7 @@ pub fn allocate_ratios(
         let mut cand = gammas.clone();
         cand[i] = gi;
         cand[j] = gj;
-        let c = objective(&states_ref(states), &scheds, &cand, &sens_norm, cfg.lambda, total_cost);
+        let c = objective(states_ref(states), &scheds, &cand, &sens_norm, cfg.lambda, total_cost);
         let accept = c < cost || rng.gen_range(0.0..1.0) < ((cost - c) / temp.max(1e-12)).exp();
         if accept {
             gammas = cand;
@@ -163,7 +162,12 @@ mod tests {
 
     fn cks_states() -> Vec<LayerState> {
         let mut m = App::Cks.build();
-        build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default())
+        build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        )
     }
 
     #[test]

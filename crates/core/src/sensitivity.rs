@@ -9,6 +9,7 @@ use crate::blocks::{mask_as_weight_shape, mask_out_block, LayerState};
 use iprune_datasets::Dataset;
 use iprune_models::train::evaluate;
 use iprune_models::Model;
+use iprune_tensor::par;
 use std::collections::HashMap;
 
 /// Result of the per-layer sensitivity analysis.
@@ -44,7 +45,13 @@ impl Sensitivity {
 /// Measures per-layer sensitivity by probing `probe_ratio` of each layer's
 /// alive weights on `eval` (a small validation subset).
 ///
-/// The model's weights and masks are restored exactly afterwards.
+/// Probes are independent, so each runs on its own clone of the model
+/// (masked, evaluated, discarded) and the probes are spread over
+/// [`iprune_tensor::par`] workers. The caller's model is never mutated —
+/// weights and masks are untouched, which is the exact-restoration
+/// guarantee the serial loop achieved by snapshot and rollback. Each probe
+/// performs identical work regardless of the thread count, so the drops are
+/// bit-identical to a serial run.
 pub fn analyze(
     model: &mut Model,
     states: &[LayerState],
@@ -52,40 +59,28 @@ pub fn analyze(
     probe_ratio: f64,
     batch: usize,
 ) -> Sensitivity {
-    let snapshot = model.snapshot();
-    let original_masks = model.masks();
     let baseline = evaluate(model, eval, batch);
 
-    let mut drops = vec![0.0f64; states.len()];
-    for (li, state) in states.iter().enumerate() {
+    let model_ref = &*model;
+    let drops = par::par_map(states.len(), |li| {
+        let state = &states[li];
         let sched = state.removal_schedule();
         let budget = ((state.alive_weights as f64) * probe_ratio).round() as usize;
         let n = sched.blocks_for_budget(budget);
         if n == 0 {
-            drops[li] = 0.0;
-            continue;
+            return 0.0;
         }
         let mut probe = state.clone();
         for &bi in sched.order.iter().take(n) {
             mask_out_block(&mut probe, bi);
         }
+        let mut probe_model = model_ref.clone();
         let mut masks = HashMap::new();
-        masks.insert(state.layer_id, mask_as_weight_shape(&probe, model));
-        model.set_masks(&masks);
-        let probed = evaluate(model, eval, batch);
-        drops[li] = baseline - probed;
-        // roll back: restore the original mask for this layer, then weights
-        let mut restore_masks = HashMap::new();
-        restore_masks.insert(
-            state.layer_id,
-            original_masks
-                .get(&state.layer_id)
-                .cloned()
-                .unwrap_or_else(|| mask_as_weight_shape(state, model)),
-        );
-        model.set_masks(&restore_masks);
-        model.restore(&snapshot);
-    }
+        masks.insert(state.layer_id, mask_as_weight_shape(&probe, &probe_model));
+        probe_model.set_masks(&masks);
+        let probed = evaluate(&mut probe_model, eval, batch);
+        baseline - probed
+    });
     Sensitivity { drops, baseline }
 }
 
@@ -105,8 +100,12 @@ mod tests {
         let ds = App::Har.dataset(60, 3);
         train_sgd(&mut m, &ds, &TrainConfig { epochs: 1, ..Default::default() });
         let before = m.snapshot();
-        let states =
-            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        let states = build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
         let sens = analyze(&mut m, &states, &ds.take(24), 0.3, 12);
         let after = m.snapshot();
         assert_eq!(before.len(), after.len());
@@ -132,8 +131,12 @@ mod tests {
         let mut m = App::Har.build();
         let ds = App::Har.dataset(120, 4);
         train_sgd(&mut m, &ds, &TrainConfig { epochs: 2, ..Default::default() });
-        let states =
-            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        let states = build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
         let sens = analyze(&mut m, &states, &ds.take(36), 0.6, 12);
         // at a 60% probe at least one layer should visibly matter
         assert!(sens.drops.iter().any(|&d| d > 0.0), "drops: {:?}", sens.drops);

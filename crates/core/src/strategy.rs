@@ -87,10 +87,8 @@ pub fn magnitude_element_step(model: &mut Model, gamma: f64) -> HashMap<usize, T
 
     let mut out = HashMap::new();
     for lw in &weights {
-        let mut mask = masks
-            .get(&lw.layer_id)
-            .cloned()
-            .unwrap_or_else(|| Tensor::full(lw.w.dims(), 1.0));
+        let mut mask =
+            masks.get(&lw.layer_id).cloned().unwrap_or_else(|| Tensor::full(lw.w.dims(), 1.0));
         for (i, &v) in lw.w.data().iter().enumerate() {
             if v.abs() <= threshold {
                 mask.data_mut()[i] = 0.0;
@@ -112,8 +110,12 @@ mod tests {
 
     fn har_setup() -> (Model, Vec<LayerState>) {
         let mut m = App::Har.build();
-        let s =
-            build_states(&mut m, Criterion::AccOutputs, &TimingModel::default(), &EnergyModel::default());
+        let s = build_states(
+            &mut m,
+            Criterion::AccOutputs,
+            &TimingModel::default(),
+            &EnergyModel::default(),
+        );
         (m, s)
     }
 

@@ -48,7 +48,12 @@ impl Dataset {
     ///
     /// Panics if the buffer length is inconsistent or any label is out of
     /// range.
-    pub fn new(sample_dims: &[usize], inputs: Vec<f32>, labels: Vec<usize>, classes: usize) -> Self {
+    pub fn new(
+        sample_dims: &[usize],
+        inputs: Vec<f32>,
+        labels: Vec<usize>,
+        classes: usize,
+    ) -> Self {
         let per: usize = sample_dims.iter().product();
         assert_eq!(inputs.len(), per * labels.len(), "input buffer length");
         assert!(labels.iter().all(|&l| l < classes), "label out of range");

@@ -11,10 +11,9 @@
 //!    energy* exactly the way an energy-aware pruning framework would.
 
 use crate::timing::TimingModel;
-use serde::{Deserialize, Serialize};
 
 /// Activity power draws in watts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     /// Baseline MCU active draw (clock tree, SRAM, regulator).
     pub p_base_w: f64,

@@ -6,10 +6,9 @@
 //! cycle is therefore `½·C·(V_on² − V_off²)` ≈ 104 µJ on the paper's board.
 
 use crate::spec::DeviceSpec;
-use serde::{Deserialize, Serialize};
 
 /// The three supply configurations evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PowerStrength {
     /// 1.65 W bench supply: the device never browns out (but HAWAII⁺ still
     /// preserves progress — it assumes no knowledge of the supply).
@@ -50,7 +49,7 @@ impl PowerStrength {
 /// fixed interval, repeating periodically. Used to emulate realistic
 /// ambient sources (the paper emulates solar conditions with constant
 /// levels; traces extend that to moving clouds and day cycles).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrace {
     samples: Vec<f64>,
     dt_s: f64,
@@ -83,7 +82,7 @@ impl PowerTrace {
                 // hash the sample index into an occasional cloud factor
                 let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 h ^= h >> 31;
-                let cloud = if h % 5 == 0 { 0.3 } else { 1.0 };
+                let cloud = if h.is_multiple_of(5) { 0.3 } else { 1.0 };
                 sun * cloud
             })
             .collect();
@@ -111,7 +110,7 @@ impl PowerTrace {
 
 /// The power source driving the EMU: a constant bench-supply level or a
 /// repeating harvested trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Supply {
     /// Constant input power (the paper's emulated levels).
     Constant(f64),

@@ -380,7 +380,12 @@ impl DeviceSim {
 
     /// Advances all frontiers through a blocking activity of duration `t`
     /// drawing `p_draw` watts, retrying through power failures.
-    fn advance_blocking(&mut self, t: f64, p_draw: f64, what: &'static str) -> Result<(), SimError> {
+    fn advance_blocking(
+        &mut self,
+        t: f64,
+        p_draw: f64,
+        what: &'static str,
+    ) -> Result<(), SimError> {
         let start = self.now.max(self.dma_free).max(self.lea_free);
         // idle gap before the activity: the device only harvests
         let idle = start - self.now;
@@ -427,9 +432,8 @@ mod tests {
     fn continuous_power_never_fails() {
         let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
         for _ in 0..1000 {
-            let c = sim
-                .run_job(JobCost { lea_macs: 100, preserve_bytes: 34, cpu_cycles: 10 })
-                .unwrap();
+            let c =
+                sim.run_job(JobCost { lea_macs: 100, preserve_bytes: 34, cpu_cycles: 10 }).unwrap();
             assert_eq!(c, Commit::Committed);
         }
         assert_eq!(sim.stats().power_cycles, 0);

@@ -1,9 +1,7 @@
 //! Device specification constants — the contents of the paper's Table I.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of the evaluation platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// MCU model name.
     pub mcu: &'static str,

@@ -6,10 +6,8 @@
 //! plus per-MAC throughput. Defaults assume a 16 MHz core and an 8 MHz SPI
 //! link to the CY15B104Q FRAM.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-activity latency parameters (seconds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingModel {
     /// DMA controller invocation overhead per transfer command.
     pub dma_invoke_s: f64,
@@ -33,14 +31,14 @@ impl Default for TimingModel {
     fn default() -> Self {
         let cycle = 1.0 / 16.0e6;
         Self {
-            dma_invoke_s: 30.0 * cycle,      // ~1.9 us DMA setup
-            nvm_invoke_s: 4.0e-6,            // SPI opcode + 3 address bytes @ 8 MHz
-            nvm_read_byte_s: 1.0e-6,         // 8 bits @ 8 MHz SPI
-            nvm_write_byte_s: 1.0e-6,        // FRAM writes at bus speed (no erase)
-            lea_invoke_s: 50.0 * cycle,      // command setup + result latch
-            lea_mac_s: cycle,                // ~1 MAC/cycle vector throughput
+            dma_invoke_s: 30.0 * cycle, // ~1.9 us DMA setup
+            nvm_invoke_s: 4.0e-6,       // SPI opcode + 3 address bytes @ 8 MHz
+            nvm_read_byte_s: 1.0e-6,    // 8 bits @ 8 MHz SPI
+            nvm_write_byte_s: 1.0e-6,   // FRAM writes at bus speed (no erase)
+            lea_invoke_s: 50.0 * cycle, // command setup + result latch
+            lea_mac_s: cycle,           // ~1 MAC/cycle vector throughput
             cpu_cycle_s: cycle,
-            reboot_s: 1.0e-3,                // boot + peripheral re-init
+            reboot_s: 1.0e-3, // boot + peripheral re-init
         }
     }
 }

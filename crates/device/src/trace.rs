@@ -1,12 +1,10 @@
 //! Aggregate statistics of a simulated execution.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulated busy times, byte/operation counts, and power-cycle counts of
 /// a simulation run. Busy times of *committed* work feed the latency
 /// breakdown of the paper's Figure 2; re-executed (lost) work and recharge
 /// time are tracked separately.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Committed NVM read busy time (s).
     pub nvm_read_s: f64,

@@ -315,15 +315,12 @@ fn gather_strip(
                     let ox = pos % ow;
                     let iy = (oy * stride + ky) as isize - *pad_h as isize;
                     let ix = (ox * stride + kx) as isize - *pad_w as isize;
-                    out[ki * s_len + s] = if iy < 0
-                        || iy >= *in_h as isize
-                        || ix < 0
-                        || ix >= *in_w as isize
-                    {
-                        0
-                    } else {
-                        src[(c * in_h + iy as usize) * in_w + ix as usize]
-                    };
+                    out[ki * s_len + s] =
+                        if iy < 0 || iy >= *in_h as isize || ix < 0 || ix >= *in_w as isize {
+                            0
+                        } else {
+                            src[(c * in_h + iy as usize) * in_w + ix as usize]
+                        };
                 }
             }
         }
@@ -381,8 +378,10 @@ fn exec_gemm(
         gather_strip(geom, src, plan.k, strip_start, s_len, &mut col);
         for rb in 0..plan.row_blocks() {
             let rows = plan.rows_in_block(rb);
-            let outputs =
-                exec_tile(dl, sim, mode, counters, &col, rb, s_len, bias_shift, in_frac, w_frac, out_fmt, relu)?;
+            let outputs = exec_tile(
+                dl, sim, mode, counters, &col, rb, s_len, bias_shift, in_frac, w_frac, out_fmt,
+                relu,
+            )?;
             for r in 0..rows {
                 for s in 0..s_len {
                     write_output(
@@ -464,8 +463,7 @@ fn exec_tile(
                 }
                 ExecMode::TileAtomic | ExecMode::Continuous => {
                     sim.run_read(read_bytes)?;
-                    let cost =
-                        JobCost { lea_macs: macs, preserve_bytes: 0, cpu_cycles: rows + 8 };
+                    let cost = JobCost { lea_macs: macs, preserve_bytes: 0, cpu_cycles: rows + 8 };
                     match sim.run_job(cost)? {
                         Commit::Committed => counters.jobs += 1,
                         Commit::PowerFailed => {
@@ -613,9 +611,11 @@ mod tests {
             let x = ds.sample(i);
             let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
             let cont = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).unwrap();
-            for (strength, seed) in
-                [(PowerStrength::Continuous, 0), (PowerStrength::Strong, 3), (PowerStrength::Weak, 7)]
-            {
+            for (strength, seed) in [
+                (PowerStrength::Continuous, 0),
+                (PowerStrength::Strong, 3),
+                (PowerStrength::Weak, 7),
+            ] {
                 let mut sim_i = DeviceSim::new(strength, seed);
                 let inter = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).unwrap();
                 assert_eq!(inter.logits, cont.logits, "sample {i} under {strength:?}");

@@ -79,7 +79,7 @@ pub fn run_graph(info: &ModelInfo, weights: &[LayerWeights], input: &Tensor) -> 
                 };
                 let lw = &weights[*layer_id];
                 let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                for o in 0..dout {
+                for (o, out) in dst_buf.iter_mut().take(dout).enumerate() {
                     let mut acc = lw.b.data()[o];
                     let row = &lw.w.data()[o * din..(o + 1) * din];
                     for (wv, xv) in row.iter().zip(src_buf.iter()) {
@@ -88,7 +88,7 @@ pub fn run_graph(info: &ModelInfo, weights: &[LayerWeights], input: &Tensor) -> 
                     if *relu && acc < 0.0 {
                         acc = 0.0;
                     }
-                    dst_buf[o] = acc;
+                    *out = acc;
                 }
             }
             GraphOp::MaxPool { src, dst, kh, kw } => {
@@ -103,8 +103,7 @@ pub fn run_graph(info: &ModelInfo, weights: &[LayerWeights], input: &Tensor) -> 
                             let mut best = f32::NEG_INFINITY;
                             for ky in 0..*kh {
                                 for kx in 0..*kw {
-                                    let v = src_buf
-                                        [(ch * ih + oy * kh + ky) * iw + ox * kw + kx];
+                                    let v = src_buf[(ch * ih + oy * kh + ky) * iw + ox * kw + kx];
                                     best = best.max(v);
                                 }
                             }

@@ -123,12 +123,8 @@ pub fn plan_layout(
     for (i, buf) in dm.info.buffers.iter().enumerate() {
         push(format!("activations[{i}]"), buf.numel() * 2, &mut cursor);
     }
-    let scratch = dm
-        .layers
-        .iter()
-        .map(|dl| 4 * dl.plan.tile.br * dl.plan.tile.strip)
-        .max()
-        .unwrap_or(0);
+    let scratch =
+        dm.layers.iter().map(|dl| 4 * dl.plan.tile.br * dl.plan.tile.strip).max().unwrap_or(0);
     push("partial-scratch".to_string(), scratch, &mut cursor);
 
     if cursor > spec.nvm_bytes {

@@ -98,8 +98,8 @@ impl LayerPlan {
     pub fn masked_acc_outputs(&self, mask: &Tensor) -> usize {
         let grid = self.block_survivors(mask);
         let mut outputs = 0usize;
-        for rb in 0..self.row_blocks() {
-            let nnz = grid[rb].iter().filter(|&&s| s).count();
+        for (rb, row) in grid.iter().enumerate().take(self.row_blocks()) {
+            let nnz = row.iter().filter(|&&s| s).count();
             outputs += nnz * self.rows_in_block(rb);
         }
         outputs * self.n_spatial
@@ -234,7 +234,14 @@ mod tests {
                 }
             })
             .collect();
-        let bsr = BsrMatrix::from_dense(&dense, plan.m, plan.k, plan.tile.br, plan.tile.bc, QFormat::new(12));
+        let bsr = BsrMatrix::from_dense(
+            &dense,
+            plan.m,
+            plan.k,
+            plan.tile.br,
+            plan.tile.bc,
+            QFormat::new(12),
+        );
         assert_eq!(plan.masked_acc_outputs(&mask), plan.bsr_acc_outputs(&bsr));
         assert!(plan.bsr_acc_outputs(&bsr) < plan.dense_acc_outputs());
     }
@@ -266,6 +273,9 @@ mod tests {
         let b_full = BsrMatrix::from_dense(&full, plan.m, plan.k, plan.tile.br, plan.tile.bc, fmt);
         let b_half = BsrMatrix::from_dense(&half, plan.m, plan.k, plan.tile.br, plan.tile.bc, fmt);
         assert!(plan.bsr_macs(&b_half) < plan.bsr_macs(&b_full));
-        assert!(plan.bsr_acc_outputs(&b_half) <= plan.bsr_acc_outputs(&b_full) / 2 + plan.n_spatial * plan.m);
+        assert!(
+            plan.bsr_acc_outputs(&b_half)
+                <= plan.bsr_acc_outputs(&b_full) / 2 + plan.n_spatial * plan.m
+        );
     }
 }

@@ -55,10 +55,9 @@ impl PrunableInfo {
     /// Output spatial size (1×1 for FC layers).
     pub fn out_hw(&self) -> (usize, usize) {
         match &self.kind {
-            PrunableKind::Conv { kh, kw, stride, pad_h, pad_w, in_h, in_w, .. } => (
-                (in_h + 2 * pad_h - kh) / stride + 1,
-                (in_w + 2 * pad_w - kw) / stride + 1,
-            ),
+            PrunableKind::Conv { kh, kw, stride, pad_h, pad_w, in_h, in_w, .. } => {
+                ((in_h + 2 * pad_h - kh) / stride + 1, (in_w + 2 * pad_w - kw) / stride + 1)
+            }
             PrunableKind::Fc { .. } => (1, 1),
         }
     }

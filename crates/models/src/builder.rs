@@ -22,7 +22,9 @@
 use crate::arch::{BufDesc, GraphOp, ModelInfo, PrunableInfo, PrunableKind};
 use crate::fire::Fire;
 use crate::model::Model;
-use iprune_tensor::layer::{Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Relu, Sequential};
+use iprune_tensor::layer::{
+    Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Relu, Sequential,
+};
 
 /// Incrementally builds a sequential model plus its structural description.
 pub struct NetBuilder {
@@ -95,7 +97,8 @@ impl NetBuilder {
         self.prunables.push(info);
         self.buffers.push(BufDesc { dims: vec![cout, oh, ow] });
         self.graph.push(GraphOp::Conv { layer_id, src, dst: src + 1, dst_c_off: 0, relu });
-        self.layers.push(Box::new(Conv2d::with_shape(layer_id, cin, cout, kh, kw, stride, pad_h, pad_w)));
+        self.layers
+            .push(Box::new(Conv2d::with_shape(layer_id, cin, cout, kh, kw, stride, pad_h, pad_w)));
         if relu {
             self.layers.push(Box::new(Relu::new()));
         }
@@ -112,26 +115,74 @@ impl NetBuilder {
         self.prunables.push(PrunableInfo {
             layer_id: sq_id,
             name: format!("fire{sq_id}.squeeze"),
-            kind: PrunableKind::Conv { cin, cout: squeeze, kh: 1, kw: 1, stride: 1, pad_h: 0, pad_w: 0, in_h: h, in_w: w },
+            kind: PrunableKind::Conv {
+                cin,
+                cout: squeeze,
+                kh: 1,
+                kw: 1,
+                stride: 1,
+                pad_h: 0,
+                pad_w: 0,
+                in_h: h,
+                in_w: w,
+            },
         });
         self.prunables.push(PrunableInfo {
             layer_id: sq_id + 1,
             name: format!("fire{sq_id}.expand1x1"),
-            kind: PrunableKind::Conv { cin: squeeze, cout: e1, kh: 1, kw: 1, stride: 1, pad_h: 0, pad_w: 0, in_h: h, in_w: w },
+            kind: PrunableKind::Conv {
+                cin: squeeze,
+                cout: e1,
+                kh: 1,
+                kw: 1,
+                stride: 1,
+                pad_h: 0,
+                pad_w: 0,
+                in_h: h,
+                in_w: w,
+            },
         });
         self.prunables.push(PrunableInfo {
             layer_id: sq_id + 2,
             name: format!("fire{sq_id}.expand3x3"),
-            kind: PrunableKind::Conv { cin: squeeze, cout: e3, kh: 3, kw: 3, stride: 1, pad_h: 1, pad_w: 1, in_h: h, in_w: w },
+            kind: PrunableKind::Conv {
+                cin: squeeze,
+                cout: e3,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad_h: 1,
+                pad_w: 1,
+                in_h: h,
+                in_w: w,
+            },
         });
         // squeeze buffer, then concat buffer
         self.buffers.push(BufDesc { dims: vec![squeeze, h, w] });
         self.buffers.push(BufDesc { dims: vec![e1 + e3, h, w] });
         let sq_buf = src + 1;
         let cat_buf = src + 2;
-        self.graph.push(GraphOp::Conv { layer_id: sq_id, src, dst: sq_buf, dst_c_off: 0, relu: true });
-        self.graph.push(GraphOp::Conv { layer_id: sq_id + 1, src: sq_buf, dst: cat_buf, dst_c_off: 0, relu: true });
-        self.graph.push(GraphOp::Conv { layer_id: sq_id + 2, src: sq_buf, dst: cat_buf, dst_c_off: e1, relu: true });
+        self.graph.push(GraphOp::Conv {
+            layer_id: sq_id,
+            src,
+            dst: sq_buf,
+            dst_c_off: 0,
+            relu: true,
+        });
+        self.graph.push(GraphOp::Conv {
+            layer_id: sq_id + 1,
+            src: sq_buf,
+            dst: cat_buf,
+            dst_c_off: 0,
+            relu: true,
+        });
+        self.graph.push(GraphOp::Conv {
+            layer_id: sq_id + 2,
+            src: sq_buf,
+            dst: cat_buf,
+            dst_c_off: e1,
+            relu: true,
+        });
         self.layers.push(Box::new(Fire::new(sq_id, cin, squeeze, e1, e3)));
         self.cur_map = Some([e1 + e3, h, w]);
         self

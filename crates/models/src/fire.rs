@@ -5,6 +5,7 @@ use iprune_tensor::layer::{Conv2d, Layer, LayerKind, Param, Relu};
 use iprune_tensor::Tensor;
 
 /// A fire module built from three prunable convolutions.
+#[derive(Clone)]
 pub struct Fire {
     squeeze: Conv2d,
     relu_s: Relu,
@@ -97,7 +98,16 @@ impl Layer for Fire {
     }
 
     fn describe(&self) -> String {
-        format!("fire[{}, {}, {}]", self.squeeze.describe(), self.expand1.describe(), self.expand3.describe())
+        format!(
+            "fire[{}, {}, {}]",
+            self.squeeze.describe(),
+            self.expand1.describe(),
+            self.expand3.describe()
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -161,7 +171,11 @@ mod tests {
             xm.data_mut()[i] -= eps;
             let sm: f32 = fire.forward(&xm, false).data().iter().sum();
             let num = (sp - sm) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 3e-2, "mismatch at {i}: {num} vs {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 3e-2,
+                "mismatch at {i}: {num} vs {}",
+                gx.data()[i]
+            );
         }
     }
 }

@@ -21,7 +21,9 @@ pub struct LayerWeights {
 /// A trainable model plus its structural description.
 ///
 /// The wrapper implements [`Layer`] by delegation so optimizers and losses
-/// from `iprune-tensor` apply directly.
+/// from `iprune-tensor` apply directly. Models are `Clone` so parallel
+/// evaluation and sensitivity probes can hand each worker its own snapshot.
+#[derive(Clone)]
 pub struct Model {
     /// Structural description (graph, prunables, buffers).
     pub info: ModelInfo,
@@ -196,5 +198,9 @@ impl Layer for Model {
 
     fn describe(&self) -> String {
         format!("{}: {}", self.info.name, self.net.describe())
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }

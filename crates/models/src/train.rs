@@ -9,6 +9,7 @@ use iprune_tensor::layer::Layer;
 use iprune_tensor::loss::softmax_cross_entropy;
 use iprune_tensor::metrics::AccuracyMeter;
 use iprune_tensor::optim::Sgd;
+use iprune_tensor::par;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -46,6 +47,12 @@ impl TrainConfig {
 
 /// Trains `model` on `ds` with SGD + momentum; returns the mean loss of the
 /// final epoch.
+///
+/// The batch loop is inherently sequential (each step depends on the
+/// previous weights), so parallelism happens *inside* each step: the layers
+/// fan the per-sample im2col/GEMM work of every forward and backward pass
+/// out over [`iprune_tensor::par`] workers, with fixed-order reductions that
+/// keep the trained weights bit-identical at any thread count.
 pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
     let mut opt = Sgd::new(cfg.lr, cfg.momentum);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -71,11 +78,41 @@ pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
 }
 
 /// Evaluates top-1 accuracy of `model` on `ds` (float reference inference).
+///
+/// Batches are independent in inference mode, so contiguous runs of batches
+/// are spread over [`iprune_tensor::par`] workers, each evaluating its own
+/// clone of the model. Per-worker meters hold integer counts, so the merged
+/// accuracy is exactly the serial result at any thread count.
 pub fn evaluate(model: &mut Model, ds: &Dataset, batch: usize) -> f64 {
+    let batch = batch.max(1);
+    let nb = ds.len().div_ceil(batch);
+    let workers = par::workers_for(nb);
+    if workers <= 1 {
+        let mut meter = AccuracyMeter::new();
+        for (x, y) in ds.batches(batch) {
+            let logits = model.forward(&x, false);
+            meter.update(&logits, &y);
+        }
+        return meter.value();
+    }
+    let per = nb.div_ceil(workers);
+    let model_ref = &*model;
+    let meters = par::par_map(workers, |wi| {
+        let mut m = model_ref.clone();
+        let mut meter = AccuracyMeter::new();
+        for b in (wi * per)..((wi + 1) * per).min(nb) {
+            let lo = b * batch;
+            let hi = (lo + batch).min(ds.len());
+            let idx: Vec<usize> = (lo..hi).collect();
+            let (x, y) = ds.gather(&idx);
+            let logits = m.forward(&x, false);
+            meter.update(&logits, &y);
+        }
+        meter
+    });
     let mut meter = AccuracyMeter::new();
-    for (x, y) in ds.batches(batch) {
-        let logits = model.forward(&x, false);
-        meter.update(&logits, &y);
+    for m in &meters {
+        meter.merge(m);
     }
     meter.value()
 }

@@ -85,6 +85,7 @@ impl App {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn conv_info(
     layer_id: usize,
     name: &str,
@@ -127,18 +128,18 @@ fn build_sqn() -> Model {
         conv_info(10, "classifier", 160, 10, 1, 1, 1, 0, 0, 4, 4),
     ];
     let buffers = vec![
-        BufDesc { dims: vec![3, 32, 32] },   // 0: input
-        BufDesc { dims: vec![24, 16, 16] },  // 1: conv1
-        BufDesc { dims: vec![20, 16, 16] },  // 2: fire1 squeeze
-        BufDesc { dims: vec![80, 16, 16] },  // 3: fire1 concat
-        BufDesc { dims: vec![80, 8, 8] },    // 4: pool1
-        BufDesc { dims: vec![32, 8, 8] },    // 5: fire2 squeeze
-        BufDesc { dims: vec![144, 8, 8] },   // 6: fire2 concat
-        BufDesc { dims: vec![144, 4, 4] },   // 7: pool2
-        BufDesc { dims: vec![40, 4, 4] },    // 8: fire3 squeeze
-        BufDesc { dims: vec![160, 4, 4] },   // 9: fire3 concat
-        BufDesc { dims: vec![10, 4, 4] },    // 10: classifier
-        BufDesc { dims: vec![10] },          // 11: logits
+        BufDesc { dims: vec![3, 32, 32] },  // 0: input
+        BufDesc { dims: vec![24, 16, 16] }, // 1: conv1
+        BufDesc { dims: vec![20, 16, 16] }, // 2: fire1 squeeze
+        BufDesc { dims: vec![80, 16, 16] }, // 3: fire1 concat
+        BufDesc { dims: vec![80, 8, 8] },   // 4: pool1
+        BufDesc { dims: vec![32, 8, 8] },   // 5: fire2 squeeze
+        BufDesc { dims: vec![144, 8, 8] },  // 6: fire2 concat
+        BufDesc { dims: vec![144, 4, 4] },  // 7: pool2
+        BufDesc { dims: vec![40, 4, 4] },   // 8: fire3 squeeze
+        BufDesc { dims: vec![160, 4, 4] },  // 9: fire3 concat
+        BufDesc { dims: vec![10, 4, 4] },   // 10: classifier
+        BufDesc { dims: vec![10] },         // 11: logits
     ];
     let graph = vec![
         GraphOp::Conv { layer_id: 0, src: 0, dst: 1, dst_c_off: 0, relu: true },

@@ -8,7 +8,7 @@
 //! fine-tuning.
 
 use crate::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
-use crate::{init, Tensor};
+use crate::{init, par, Tensor};
 
 /// A trainable parameter: value, gradient accumulator, and optional pruning
 /// mask (1.0 = keep, 0.0 = pruned).
@@ -88,7 +88,11 @@ pub enum LayerKind {
 /// A differentiable network layer.
 ///
 /// `forward` must be called before `backward`; layers cache forward state.
-pub trait Layer {
+///
+/// Layers are `Send + Sync` and cloneable through [`Layer::clone_box`] so
+/// that whole models can be snapshotted and handed to [`crate::par`] workers
+/// (e.g. independent sensitivity probes evaluating cloned models).
+pub trait Layer: Send + Sync {
     /// Computes the layer output. `train` enables caching for backward.
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
 
@@ -110,6 +114,15 @@ pub trait Layer {
 
     /// Short human-readable description.
     fn describe(&self) -> String;
+
+    /// Clones the layer, caches and all, into a fresh box.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -118,7 +131,13 @@ pub trait Layer {
 
 /// 2-D convolution over NCHW tensors, implemented by im2col + GEMM.
 ///
-/// Weight layout is `[cout, cin, kh, kw]`; bias is `[cout]`.
+/// Weight layout is `[cout, cin, kh, kw]`; bias is `[cout]`. Forward and
+/// backward parallelize across the batch: each sample's im2col/GEMM (and in
+/// backward its private slice of the input gradient) is handled by one
+/// [`crate::par`] worker, and per-sample weight-gradient partials are
+/// reduced in sample order on the calling thread so results are
+/// bit-identical to the serial loop at any thread count.
+#[derive(Clone)]
 pub struct Conv2d {
     layer_id: usize,
     cin: usize,
@@ -222,10 +241,10 @@ impl Conv2d {
         }
     }
 
-    /// Scatter-adds a `[cin*kh*kw, ho*wo]` gradient matrix back to an input
-    /// gradient tensor (the adjoint of [`Self::im2col`]).
-    fn col2im(&self, grad_col: &[f32], gx: &mut Tensor, n: usize, ho: usize, wo: usize) {
-        let (h, w) = (gx.dims()[2], gx.dims()[3]);
+    /// Scatter-adds a `[cin*kh*kw, ho*wo]` gradient matrix back to one
+    /// sample's `[cin, h, w]` input-gradient slice (the adjoint of
+    /// [`Self::im2col`]).
+    fn col2im(&self, grad_col: &[f32], gx_s: &mut [f32], h: usize, w: usize, ho: usize, wo: usize) {
         let khw = self.kh * self.kw;
         let hw_out = ho * wo;
         for c in 0..self.cin {
@@ -242,8 +261,8 @@ impl Conv2d {
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let off = gx.offset4(n, c, iy as usize, ix as usize);
-                            gx.data_mut()[off] += grad_col[row + oy * wo + ox];
+                            let off = c * h * w + iy as usize * w + ix as usize;
+                            gx_s[off] += grad_col[row + oy * wo + ox];
                         }
                     }
                 }
@@ -261,26 +280,27 @@ impl Layer for Conv2d {
         let k = self.cin * self.kh * self.kw;
         let hw_out = ho * wo;
         let mut out = Tensor::zeros(&[n, self.cout, ho, wo]);
-        let mut col = vec![0.0f32; k * hw_out];
-        if train {
-            self.cached_cols.clear();
-        }
-        for s in 0..n {
-            self.im2col(x, s, ho, wo, &mut col);
-            let out_slice =
-                &mut out.data_mut()[s * self.cout * hw_out..(s + 1) * self.cout * hw_out];
-            matmul_acc(self.w.value.data(), &col, out_slice, self.cout, k, hw_out);
-            for m in 0..self.cout {
-                let bias = self.b.value.data()[m];
+        // One par worker per sample: each owns its output slice and im2col
+        // scratch, so there is no cross-sample reduction to order.
+        let this = &*self;
+        let cols = par::par_chunks_map(out.data_mut(), self.cout * hw_out, |s, out_slice| {
+            let mut col = vec![0.0f32; k * hw_out];
+            this.im2col(x, s, ho, wo, &mut col);
+            matmul_acc(this.w.value.data(), &col, out_slice, this.cout, k, hw_out);
+            for m in 0..this.cout {
+                let bias = this.b.value.data()[m];
                 for v in &mut out_slice[m * hw_out..(m + 1) * hw_out] {
                     *v += bias;
                 }
             }
             if train {
-                self.cached_cols.push(col.clone());
+                Some(col)
+            } else {
+                None
             }
-        }
+        });
         if train {
+            self.cached_cols = cols.into_iter().map(|c| c.expect("train-mode col")).collect();
             self.cached_input = Some(x.clone());
         }
         out
@@ -294,21 +314,37 @@ impl Layer for Conv2d {
         let hw_out = ho * wo;
         assert_eq!(grad.dims(), &[n, self.cout, ho, wo]);
         let mut gx = Tensor::zeros(x.dims());
-        let mut grad_col = vec![0.0f32; k * hw_out];
-        for s in 0..n {
-            let g_slice = &grad.data()[s * self.cout * hw_out..(s + 1) * self.cout * hw_out];
-            let col = &self.cached_cols[s];
-            // dW += dY (M x HW) * col^T (HW x K)
-            matmul_a_bt(g_slice, col, self.w.grad.data_mut(), self.cout, hw_out, k);
-            // db += row sums of dY
-            for m in 0..self.cout {
-                let sum: f32 = g_slice[m * hw_out..(m + 1) * hw_out].iter().sum();
-                self.b.grad.data_mut()[m] += sum;
+        // One par worker per sample. Each computes its dW/db into private
+        // zeroed partials (a dot accumulated from zero is bitwise the value
+        // itself) and scatter-adds dX into its own gx slice; the partials
+        // are then folded into the shared gradients in ascending sample
+        // order, which replays the serial loop's add sequence exactly.
+        let this = &*self;
+        let partials = par::par_chunks_map(gx.data_mut(), self.cin * h * w, |s, gx_s| {
+            let g_slice = &grad.data()[s * this.cout * hw_out..(s + 1) * this.cout * hw_out];
+            let col = &this.cached_cols[s];
+            // dW_s = dY (M x HW) * col^T (HW x K)
+            let mut dw = vec![0.0f32; this.w.grad.numel()];
+            matmul_a_bt(g_slice, col, &mut dw, this.cout, hw_out, k);
+            // db_s = row sums of dY
+            let mut db = vec![0.0f32; this.cout];
+            for (m, dbm) in db.iter_mut().enumerate() {
+                *dbm = g_slice[m * hw_out..(m + 1) * hw_out].iter().sum();
             }
-            // dcol = W^T (K x M) * dY (M x HW)
-            grad_col.iter_mut().for_each(|v| *v = 0.0);
-            matmul_at_b(self.w.value.data(), g_slice, &mut grad_col, k, self.cout, hw_out);
-            self.col2im(&grad_col, &mut gx, s, ho, wo);
+            // dcol = W^T (K x M) * dY (M x HW), scattered into this
+            // sample's gx slice
+            let mut grad_col = vec![0.0f32; k * hw_out];
+            matmul_at_b(this.w.value.data(), g_slice, &mut grad_col, k, this.cout, hw_out);
+            this.col2im(&grad_col, gx_s, h, w, ho, wo);
+            (dw, db)
+        });
+        for (dw, db) in &partials {
+            for (g, &d) in self.w.grad.data_mut().iter_mut().zip(dw.iter()) {
+                *g += d;
+            }
+            for (g, &d) in self.b.grad.data_mut().iter_mut().zip(db.iter()) {
+                *g += d;
+            }
         }
         gx
     }
@@ -325,8 +361,19 @@ impl Layer for Conv2d {
     fn describe(&self) -> String {
         format!(
             "conv{} {}x{}x{}x{} s{} p{}x{}",
-            self.layer_id, self.cout, self.cin, self.kh, self.kw, self.stride, self.pad_h, self.pad_w
+            self.layer_id,
+            self.cout,
+            self.cin,
+            self.kh,
+            self.kw,
+            self.stride,
+            self.pad_h,
+            self.pad_w
         )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -335,6 +382,7 @@ impl Layer for Conv2d {
 // ---------------------------------------------------------------------------
 
 /// Fully-connected layer over `[N, din]` inputs. Weight layout `[dout, din]`.
+#[derive(Clone)]
 pub struct Linear {
     layer_id: usize,
     din: usize,
@@ -413,6 +461,10 @@ impl Layer for Linear {
     fn describe(&self) -> String {
         format!("fc{} {}x{}", self.layer_id, self.dout, self.din)
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -421,6 +473,7 @@ impl Layer for Linear {
 
 /// Non-overlapping max pooling with window = stride = `k` (height only when
 /// the width is already 1, as in the 1-D HAR model).
+#[derive(Clone)]
 pub struct MaxPool2d {
     kh: usize,
     kw: usize,
@@ -495,9 +548,14 @@ impl Layer for MaxPool2d {
     fn describe(&self) -> String {
         format!("maxpool {}x{}", self.kh, self.kw)
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+#[derive(Clone)]
 pub struct GlobalAvgPool {
     in_dims: Vec<usize>,
 }
@@ -553,6 +611,10 @@ impl Layer for GlobalAvgPool {
     fn describe(&self) -> String {
         "global_avg_pool".to_string()
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -560,6 +622,7 @@ impl Layer for GlobalAvgPool {
 // ---------------------------------------------------------------------------
 
 /// Rectified linear unit.
+#[derive(Clone)]
 pub struct Relu {
     mask: Vec<bool>,
 }
@@ -605,9 +668,14 @@ impl Layer for Relu {
     fn describe(&self) -> String {
         "relu".to_string()
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Reshapes `[N, ...]` to `[N, prod(...)]`.
+#[derive(Clone)]
 pub struct Flatten {
     in_dims: Vec<usize>,
 }
@@ -642,6 +710,10 @@ impl Layer for Flatten {
     fn describe(&self) -> String {
         "flatten".to_string()
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -649,6 +721,7 @@ impl Layer for Flatten {
 // ---------------------------------------------------------------------------
 
 /// A chain of layers executed in order.
+#[derive(Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -706,6 +779,10 @@ impl Layer for Sequential {
     fn describe(&self) -> String {
         let parts: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
         format!("sequential[{}]", parts.join(", "))
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

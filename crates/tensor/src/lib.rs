@@ -34,8 +34,9 @@ pub mod loss;
 pub mod matmul;
 pub mod metrics;
 pub mod optim;
+pub mod par;
 pub mod quant;
 pub mod tensor;
 
-pub use tensor::Tensor;
 pub use quant::{QFormat, QTensor};
+pub use tensor::Tensor;

@@ -19,9 +19,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
     let mut grad = Tensor::zeros(&[n, c]);
     let mut total = 0.0f64;
     let inv_n = 1.0 / n as f32;
-    for s in 0..n {
+    for (s, &t) in targets.iter().enumerate() {
         let row = &logits.data()[s * c..(s + 1) * c];
-        let t = targets[s];
         assert!(t < c, "target {t} out of range for {c} classes");
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();

@@ -65,6 +65,14 @@ impl AccuracyMeter {
     pub fn total(&self) -> usize {
         self.total
     }
+
+    /// Folds another meter's counts into this one. Counts are integers, so
+    /// merging partial meters gives exactly the same accuracy as one meter
+    /// fed every batch — regardless of how the batches were split.
+    pub fn merge(&mut self, other: &AccuracyMeter) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
 }
 
 /// A confusion matrix over `classes` labels.

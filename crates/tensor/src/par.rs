@@ -1,0 +1,304 @@
+//! Host-side scoped-thread worker pool.
+//!
+//! The iPrune server-side work (training, sensitivity probes, annealing
+//! sweeps) is embarrassingly parallel at several granularities: samples
+//! within a batch, independent per-layer probes, whole app pipelines. This
+//! module provides the one parallel primitive they all share: fan a fixed
+//! index range out over `std::thread::scope` workers and collect per-index
+//! results **in index order**, so every reduction downstream is a
+//! fixed-order (and therefore bit-deterministic) fold, regardless of the
+//! thread count or scheduling.
+//!
+//! Design rules:
+//!
+//! - **Host only.** The device simulator (`iprune-device`, `iprune-hawaii`)
+//!   never uses this pool; intermittent execution stays single-threaded and
+//!   cycle-deterministic.
+//! - **No nesting.** A parallel region entered from inside a worker runs
+//!   serially (same closures, same order), so parallelism applies at the
+//!   outermost profitable level and thread counts stay bounded.
+//! - **Determinism.** Callers receive per-index results in index order and
+//!   must reduce in that order. Under that contract, `IPRUNE_THREADS=1` and
+//!   `IPRUNE_THREADS=64` produce bit-identical numbers.
+//!
+//! The thread count comes from [`set_threads`] when set, else the
+//! `IPRUNE_THREADS` environment variable, else
+//! `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic thread-count override (0 = not set).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the worker-thread count for subsequent parallel regions
+/// (process-wide). `0` clears the override, falling back to
+/// `IPRUNE_THREADS` / available parallelism.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The configured worker-thread count: the [`set_threads`] override if set,
+/// else `IPRUNE_THREADS`, else the machine's available parallelism.
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("IPRUNE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Whether the calling thread is inside a pool worker (nested parallel
+/// regions run serially).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Whether a parallel region opened here would actually fan out.
+pub fn active() -> bool {
+    num_threads() > 1 && !in_worker()
+}
+
+/// Worker count a region of `n` independent items would use.
+pub fn workers_for(n: usize) -> usize {
+    if in_worker() {
+        1
+    } else {
+        num_threads().min(n).max(1)
+    }
+}
+
+struct WorkerGuard;
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        IN_WORKER.with(|w| w.set(true));
+        WorkerGuard
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        IN_WORKER.with(|w| w.set(false));
+    }
+}
+
+/// Maps `f` over `0..n`, returning the results in index order.
+///
+/// Indices are split into contiguous per-worker chunks; the calling thread
+/// works on the first chunk while spawned scoped workers handle the rest.
+/// With one worker (or inside a worker) this is exactly `(0..n).map(f)`.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let w = workers_for(n);
+    if w <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(w);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut groups = results.chunks_mut(chunk).enumerate();
+        let first = groups.next();
+        for (wi, group) in groups {
+            s.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                for (j, slot) in group.iter_mut().enumerate() {
+                    *slot = Some(f(wi * chunk + j));
+                }
+            });
+        }
+        if let Some((_, group)) = first {
+            let _guard = WorkerGuard::enter();
+            for (j, slot) in group.iter_mut().enumerate() {
+                *slot = Some(f(j));
+            }
+        }
+    });
+    results.into_iter().map(|o| o.expect("worker filled every slot")).collect()
+}
+
+/// Splits `data` into `data.len() / chunk` equal chunks, maps
+/// `f(chunk_index, chunk)` over them in parallel, and returns the per-chunk
+/// results in chunk order.
+///
+/// This is the mutable-output twin of [`par_map`]: each chunk is owned by
+/// exactly one worker (e.g. one sample's slice of a batched tensor), so
+/// workers write disjoint regions without synchronization.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or does not divide `data.len()`.
+pub fn par_chunks_map<T, R, F>(data: &mut [T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk must be positive");
+    assert_eq!(data.len() % chunk, 0, "chunk must divide data length");
+    let n = data.len() / chunk;
+    let w = workers_for(n);
+    if w <= 1 {
+        return data.chunks_mut(chunk).enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let per = n.div_ceil(w);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let f = &f;
+        let data_groups = data.chunks_mut(per * chunk);
+        let res_groups = results.chunks_mut(per);
+        let mut groups = data_groups.zip(res_groups).enumerate();
+        let first = groups.next();
+        for (wi, (dgroup, rgroup)) in groups {
+            s.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                for (j, (d, slot)) in dgroup.chunks_mut(chunk).zip(rgroup.iter_mut()).enumerate() {
+                    *slot = Some(f(wi * per + j, d));
+                }
+            });
+        }
+        if let Some((_, (dgroup, rgroup))) = first {
+            let _guard = WorkerGuard::enter();
+            for (j, (d, slot)) in dgroup.chunks_mut(chunk).zip(rgroup.iter_mut()).enumerate() {
+                *slot = Some(f(j, d));
+            }
+        }
+    });
+    results.into_iter().map(|o| o.expect("worker filled every slot")).collect()
+}
+
+/// Splits `data` into contiguous blocks of `block` elements (the final
+/// block may be shorter) and runs `f(block_index, block)` on each, one
+/// worker per block. Unlike [`par_chunks_map`] the block size need not
+/// divide the data length, and no per-block results are collected — the
+/// caller sizes `block` so the number of blocks is at most the worker
+/// count (e.g. `rows_per_worker * row_stride` for a row-major matrix).
+///
+/// # Panics
+///
+/// Panics if `block` is zero and `data` is non-empty.
+pub fn par_blocks<T, F>(data: &mut [T], block: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(block > 0, "block must be positive");
+    let nblocks = data.len().div_ceil(block);
+    if nblocks == 1 || workers_for(nblocks) <= 1 {
+        for (i, ch) in data.chunks_mut(block).enumerate() {
+            f(i, ch);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut it = data.chunks_mut(block).enumerate();
+        let first = it.next();
+        for (i, ch) in it {
+            s.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                f(i, ch);
+            });
+        }
+        if let Some((i, ch)) = first {
+            let _guard = WorkerGuard::enter();
+            f(i, ch);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_returns_in_index_order() {
+        set_threads(4);
+        let v = par_map(23, |i| i * i);
+        set_threads(0);
+        assert_eq!(v, (0..23).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_any_thread_count() {
+        let serial: Vec<u64> = (0..37).map(|i| (i as u64).wrapping_mul(0x9E37) >> 3).collect();
+        for t in [1, 2, 3, 8, 64] {
+            set_threads(t);
+            let par = par_map(37, |i| (i as u64).wrapping_mul(0x9E37) >> 3);
+            assert_eq!(par, serial, "threads={t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_chunks_map_writes_disjoint_chunks() {
+        set_threads(3);
+        let mut data = vec![0u32; 40];
+        let sums = par_chunks_map(&mut data, 8, |i, c| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = (i * 100 + j) as u32;
+            }
+            c.iter().sum::<u32>()
+        });
+        set_threads(0);
+        for (i, c) in data.chunks(8).enumerate() {
+            for (j, &v) in c.iter().enumerate() {
+                assert_eq!(v, (i * 100 + j) as u32);
+            }
+        }
+        assert_eq!(sums.len(), 5);
+        assert_eq!(sums[2], (0..8).map(|j| 200 + j as u32).sum::<u32>());
+    }
+
+    #[test]
+    fn nested_regions_run_serially() {
+        set_threads(4);
+        let out = par_map(4, |i| {
+            assert!(in_worker());
+            assert!(!active(), "nested region must not fan out");
+            // nested call still works, just serial
+            par_map(3, move |j| i * 10 + j)
+        });
+        set_threads(0);
+        assert_eq!(out[1], vec![10, 11, 12]);
+        assert_eq!(out[3], vec![30, 31, 32]);
+    }
+
+    #[test]
+    fn workers_for_respects_limits() {
+        set_threads(8);
+        assert_eq!(workers_for(3), 3);
+        assert_eq!(workers_for(100), 8);
+        assert_eq!(workers_for(0), 1);
+        set_threads(1);
+        assert_eq!(workers_for(100), 1);
+        set_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must divide")]
+    fn par_chunks_map_rejects_ragged() {
+        let mut d = vec![0u8; 10];
+        par_chunks_map(&mut d, 3, |_, _| ());
+    }
+}

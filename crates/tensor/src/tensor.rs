@@ -24,13 +24,7 @@ impl Tensor {
     /// Panics if `data.len()` does not equal the product of `dims`.
     pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Self {
         let numel: usize = dims.iter().product();
-        assert_eq!(
-            data.len(),
-            numel,
-            "data length {} does not match dims {:?}",
-            data.len(),
-            dims
-        );
+        assert_eq!(data.len(), numel, "data length {} does not match dims {:?}", data.len(), dims);
         Self { dims: dims.to_vec(), data }
     }
 

@@ -27,11 +27,7 @@ fn main() {
     let val = app.dataset(200, 2);
     let mut model = app.build();
     println!("training {} (abridged: 5 epochs on {} samples)…", app.name(), train.len());
-    train_sgd(
-        &mut model,
-        &train,
-        &TrainConfig { epochs: 5, ..app.train_recipe() },
-    );
+    train_sgd(&mut model, &train, &TrainConfig { epochs: 5, ..app.train_recipe() });
     println!("accuracy: {:.1}%", 100.0 * evaluate(&mut model, &val, 32));
 
     // Step 0: layer-wise criterion estimation

@@ -6,6 +6,11 @@
 //! iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]
 //! iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]
 //! ```
+//!
+//! Every subcommand accepts `--threads N` to cap the host-side worker pool
+//! (default: the machine's available parallelism). Results are
+//! bit-identical at any thread count; the flag only trades wall-clock for
+//! cores. The device simulator is always single-threaded.
 
 use iprune_repro::device::{DeviceSim, PowerStrength};
 use iprune_repro::hawaii::deploy::deploy;
@@ -35,11 +40,21 @@ fn usage() -> ExitCode {
     eprintln!("  iprune-cli characterize <SQN|HAR|CKS>");
     eprintln!("  iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]");
     eprintln!("  iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]");
+    eprintln!("options:");
+    eprintln!("  --threads N   host-side worker threads (default: available parallelism)");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match flag_value(&args, "--threads").map(|v| v.parse::<usize>()) {
+        None => {}
+        Some(Ok(n)) if n > 0 => iprune_repro::tensor::par::set_threads(n),
+        Some(_) => {
+            eprintln!("--threads expects a positive integer");
+            return usage();
+        }
+    }
     match args.first().map(|s| s.as_str()) {
         Some("specs") => {
             let spec = iprune_repro::device::DeviceSpec::msp430fr5994();
@@ -64,12 +79,7 @@ fn main() -> ExitCode {
                 diversity_ratio(info)
             );
             for p in &info.prunables {
-                println!(
-                    "    {:<20} {:>8} weights {:>10} MACs",
-                    p.name,
-                    p.weights(),
-                    p.macs()
-                );
+                println!("    {:<20} {:>8} weights {:>10} MACs", p.name, p.weights(), p.macs());
             }
             ExitCode::SUCCESS
         }

@@ -33,10 +33,8 @@ fn table2_structure_within_tolerance() {
 
 #[test]
 fn diversity_labels_match_table2() {
-    let labels: Vec<&str> = App::all()
-        .iter()
-        .map(|app| diversity_label(diversity_ratio(&app.build().info)))
-        .collect();
+    let labels: Vec<&str> =
+        App::all().iter().map(|app| diversity_label(diversity_ratio(&app.build().info))).collect();
     assert_eq!(labels, vec!["Low", "Medium", "High"]);
 }
 

@@ -2,13 +2,13 @@
 //! invariants must hold for *any* model a user builds, not just the three
 //! paper applications.
 
+use iprune_repro::datasets::toy::ToySpec;
 use iprune_repro::device::{DeviceSim, PowerStrength};
 use iprune_repro::hawaii::deploy::deploy;
 use iprune_repro::hawaii::exec::{infer, ExecMode};
 use iprune_repro::hawaii::plan::dense_model_acc_outputs;
 use iprune_repro::models::builder::NetBuilder;
 use iprune_repro::models::Model;
-use iprune_repro::datasets::toy::ToySpec;
 use proptest::prelude::*;
 
 /// Builds a random small conv net from a compact genome.
