@@ -1,0 +1,71 @@
+//! Fault-injection campaign — adversarial power failures against the
+//! intermittent engine, with differential + shadow-NVM oracles.
+//!
+//! Three campaigns over an untrained HAR deployment (weights do not matter
+//! for crash consistency; an untrained net exercises the same job stream
+//! without minutes of training):
+//!
+//! 1. **Boundary sweep** — one injected cut per run, at every job boundary
+//!    (`smoke` scale strides the boundaries, `standard`/`paper` sweep all
+//!    of them), for Intermittent and TileAtomic modes.
+//! 2. **Seeded random** — per-attempt cut probability 0.005, reproducible
+//!    from the master seed.
+//! 3. **Energy model** — no injection; power fails where the capacitor
+//!    runs dry under each supply of the bench sweep (incl. the solar
+//!    trace).
+//!
+//! Everything in the simulation is deterministic, so the emitted
+//! `BENCH_faults.json` is byte-identical run to run at a given scale.
+
+use iprune_bench::cache::workspace_root;
+use iprune_bench::{sweep_supplies, Scale};
+use iprune_device::power::Supply;
+use iprune_faults::{
+    energy_campaign, exhaustive_boundary_sweep, random_campaign, CampaignCtx, CampaignReport,
+};
+use iprune_hawaii::deploy::deploy;
+use iprune_hawaii::exec::ExecMode;
+use iprune_models::zoo::App;
+
+const MASTER_SEED: u64 = 7;
+const FAULT_MODES: [ExecMode; 2] = [ExecMode::Intermittent, ExecMode::TileAtomic];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fault campaign — crash consistency under injected power failures");
+    println!("================================================================");
+    println!("({})", scale.describe_run());
+
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 42);
+    let dm = deploy(&mut model, &ds, 2);
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+
+    let nominal_jobs = ctx.nominal(ExecMode::Intermittent).jobs;
+    // smoke bounds the sweep for CI; standard/paper cut at every boundary
+    let stride = if scale.name == "smoke" { (nominal_jobs as usize / 16).max(1) } else { 1 };
+
+    let mut report = CampaignReport::new("har-tiny", MASTER_SEED);
+
+    println!();
+    println!("boundary sweep: {} jobs, stride {stride}, cut at 0.9 of the window", nominal_jobs);
+    report.runs.extend(exhaustive_boundary_sweep(&ctx, &FAULT_MODES, stride, 0.9));
+
+    let reps = if scale.name == "smoke" { 2 } else { 5 };
+    println!("random campaign: {reps} schedules/mode, p=0.005, seed {MASTER_SEED}");
+    report.runs.extend(random_campaign(&ctx, &FAULT_MODES, reps, 0.005, MASTER_SEED));
+
+    let supplies: Vec<(String, Supply)> =
+        sweep_supplies().into_iter().map(|p| (p.label, p.supply)).collect();
+    println!("energy campaign: {} supplies, no injection", supplies.len());
+    report.runs.extend(energy_campaign(&ctx, &FAULT_MODES, &supplies, MASTER_SEED));
+
+    println!();
+    println!("{}", report.summary());
+    assert!(report.all_ok(), "campaign failed the crash-consistency oracle");
+
+    let out = workspace_root().join("BENCH_faults.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_faults.json");
+    println!("wrote {}", out.display());
+}

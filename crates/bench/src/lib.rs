@@ -10,6 +10,8 @@
 pub mod cache;
 pub mod pipeline;
 pub mod scale;
+pub mod supply;
 
 pub use pipeline::{run_all_apps, run_app_pipelines, AppResults, Variant};
 pub use scale::Scale;
+pub use supply::{solar_trace, sweep_supplies, SupplyPoint};

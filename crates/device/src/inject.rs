@@ -1,0 +1,137 @@
+//! Fault-injection hook: adversarially chosen power failures.
+//!
+//! The capacitor model only fails where `½·C·(V_on² − V_off²)` happens to
+//! run dry, so the engine's recovery paths are exercised at whatever
+//! boundaries the energy balance lands on. A [`FaultHook`] installed via
+//! [`crate::sim::DeviceSim::set_fault_hook`] lets a campaign force
+//! [`crate::sim::Commit::PowerFailed`] at *arbitrary* job attempts and at an
+//! arbitrary fraction of the job window — including mid-way through the
+//! progress-preservation write, where a crash-consistency bug would tear
+//! the footprint.
+//!
+//! The hook sees every accelerator-job attempt twice: once *before* the
+//! energy accounting (to decide whether to cut power) and once *after*
+//! (to observe the outcome, e.g. for a shadow-NVM model recording how many
+//! preservation bytes became durable). Blocking transfers and CPU work
+//! retry power failures internally and are not interceptable — the unit of
+//! adversarial scheduling is the job, the unit of progress in HAWAII-style
+//! inference.
+
+use crate::sim::JobCost;
+use std::fmt;
+
+/// What the simulator tells the hook about one job attempt, before running
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobView {
+    /// Zero-based index of this attempt (committed + failed so far).
+    pub index: u64,
+    /// Jobs committed before this attempt.
+    pub committed: u64,
+    /// The attempt's cost.
+    pub cost: JobCost,
+    /// Wall-clock duration of the attempt's window (seconds), from the
+    /// commit frontier to the end of the preservation write.
+    pub window_s: f64,
+    /// Commit frontier when the attempt starts (seconds).
+    pub now_s: f64,
+}
+
+/// A hook's verdict on one job attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultDecision {
+    /// Let the energy model decide (the only failure source without a
+    /// hook).
+    Pass,
+    /// Cut power at this fraction of the job window, clamped to `[0, 1)`.
+    /// Values near `1.0` strike mid-way through the preservation write;
+    /// values near `0.0` strike during the accelerator phase.
+    FailAt(f64),
+}
+
+/// What actually happened to a job attempt, reported back to the hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobOutcome {
+    /// The job's outputs and footprint reached NVM in full.
+    Committed,
+    /// Power failed inside the attempt's window.
+    Failed {
+        /// Whether the failure was injected by the hook (vs the capacitor
+        /// genuinely running dry).
+        injected: bool,
+        /// Wall-clock time of the cut (seconds).
+        fail_time_s: f64,
+        /// Fraction of the preservation write that became durable before
+        /// the cut (`0.0` when the cut struck before the DMA write began,
+        /// strictly below `1.0` otherwise).
+        preserve_frac: f64,
+    },
+}
+
+/// Detailed record of the most recent power failure (natural or injected),
+/// kept by the simulator for post-mortem inspection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureDetail {
+    /// Wall-clock time of the cut (seconds).
+    pub time_s: f64,
+    /// Whether the failure was injected by the fault hook.
+    pub injected: bool,
+    /// Fraction of the interrupted job's preservation write that became
+    /// durable.
+    pub preserve_frac: f64,
+    /// Attempt index of the interrupted job.
+    pub job_index: u64,
+}
+
+/// Adversarial power-failure scheduler, installed into a
+/// [`crate::sim::DeviceSim`].
+///
+/// `Send` is required so hooked simulators stay movable across the
+/// workspace's scoped worker threads.
+pub trait FaultHook: fmt::Debug + Send {
+    /// Decides the fate of one job attempt, before it runs.
+    fn on_job(&mut self, view: &JobView) -> FaultDecision;
+
+    /// Observes the outcome of one job attempt (committed or failed).
+    fn on_outcome(&mut self, _view: &JobView, _outcome: &JobOutcome) {}
+
+    /// Clones the hook behind the object (keeps `DeviceSim: Clone`).
+    fn box_clone(&self) -> Box<dyn FaultHook>;
+}
+
+impl Clone for Box<dyn FaultHook> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Always(f64);
+    impl FaultHook for Always {
+        fn on_job(&mut self, _view: &JobView) -> FaultDecision {
+            FaultDecision::FailAt(self.0)
+        }
+        fn box_clone(&self) -> Box<dyn FaultHook> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn boxed_hooks_clone() {
+        let b: Box<dyn FaultHook> = Box::new(Always(0.5));
+        let c = b.clone();
+        let mut d = c;
+        let view = JobView {
+            index: 0,
+            committed: 0,
+            cost: JobCost { lea_macs: 1, preserve_bytes: 2, cpu_cycles: 3 },
+            window_s: 1.0,
+            now_s: 0.0,
+        };
+        assert_eq!(d.on_job(&view), FaultDecision::FailAt(0.5));
+    }
+}

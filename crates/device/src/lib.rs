@@ -32,12 +32,14 @@
 //! ```
 
 pub mod energy;
+pub mod inject;
 pub mod power;
 pub mod sim;
 pub mod spec;
 pub mod timing;
 pub mod trace;
 
+pub use inject::{FaultDecision, FaultHook, JobOutcome, JobView};
 pub use power::PowerStrength;
 pub use sim::{Commit, DeviceSim, JobCost};
 pub use spec::DeviceSpec;

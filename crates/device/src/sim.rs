@@ -11,6 +11,7 @@
 //! before retrying the interrupted activity.
 
 use crate::energy::EnergyModel;
+use crate::inject::{FailureDetail, FaultDecision, FaultHook, JobOutcome, JobView};
 use crate::power::{Capacitor, PowerStrength, Supply};
 use crate::spec::DeviceSpec;
 use crate::timing::TimingModel;
@@ -85,6 +86,10 @@ pub struct DeviceSim {
     /// Time at which the DMA/NVM channel becomes free.
     dma_free: f64,
     stats: SimStats,
+    /// Adversarial fault injector consulted on every job attempt.
+    hook: Option<Box<dyn FaultHook>>,
+    /// Detail of the most recent power failure (natural or injected).
+    last_failure: Option<FailureDetail>,
 }
 
 impl DeviceSim {
@@ -145,6 +150,8 @@ impl DeviceSim {
             lea_free: 0.0,
             dma_free: 0.0,
             stats: SimStats::default(),
+            hook: None,
+            last_failure: None,
         }
     }
 
@@ -176,6 +183,24 @@ impl DeviceSim {
     /// The configured power supply.
     pub fn supply(&self) -> &Supply {
         &self.supply
+    }
+
+    /// Installs an adversarial fault injector. Every subsequent job attempt
+    /// is offered to the hook, which may force a power failure at an
+    /// arbitrary fraction of the attempt's window (see [`crate::inject`]).
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes and returns the installed fault hook, if any.
+    pub fn clear_fault_hook(&mut self) -> Option<Box<dyn FaultHook>> {
+        self.hook.take()
+    }
+
+    /// Detail of the most recent power failure, natural or injected
+    /// (`None` until the first failure).
+    pub fn last_failure(&self) -> Option<&FailureDetail> {
+        self.last_failure.as_ref()
     }
 
     /// Runs one accelerator job: LEA compute pipelined with the DMA
@@ -214,14 +239,54 @@ impl DeviceSim {
             });
         }
 
-        let before = self.cap.energy_j();
-        if self.cap.apply(-net) {
-            // Power failed somewhere inside this window; interpolate.
-            let frac = if net > 0.0 { (before / net).clamp(0.0, 1.0) } else { 1.0 };
+        // Natural failure: the capacitor drains to empty somewhere inside
+        // the window (linear-draw interpolation over the wall time).
+        let natural = if net > 0.0 && self.cap.energy_j() <= net {
+            Some((self.cap.energy_j() / net).clamp(0.0, 1.0))
+        } else {
+            None
+        };
+        // Adversarial failure: an installed hook may cut power at a chosen
+        // fraction of the window.
+        let view = JobView {
+            index: self.stats.jobs_committed + self.stats.jobs_failed,
+            committed: self.stats.jobs_committed,
+            cost,
+            window_s: wall,
+            now_s: self.now,
+        };
+        let injected = match self.hook.as_mut().map(|h| h.on_job(&view)) {
+            Some(FaultDecision::FailAt(f)) => Some(f.clamp(0.0, 1.0).min(1.0 - 1e-12)),
+            _ => None,
+        };
+        // Whichever cut strikes first wins.
+        let failure = match (natural, injected) {
+            (Some(n), Some(i)) => Some((n.min(i), i < n)),
+            (Some(n), None) => Some((n, false)),
+            (None, Some(i)) => Some((i, true)),
+            (None, None) => None,
+        };
+
+        if let Some((frac, is_injected)) = failure {
             let fail_time = self.now + frac * wall;
+            // Fraction of the preservation write durable before the cut:
+            // the DMA streams bytes in order, so everything written before
+            // `fail_time` stays in NVM and everything after is lost.
+            let preserve_frac =
+                if t_wr > 0.0 { ((fail_time - wr_start) / t_wr).clamp(0.0, 1.0) } else { 0.0 };
             self.stats.wasted_s += fail_time - self.now;
             self.stats.jobs_failed += 1;
             self.stats.power_cycles += 1;
+            if is_injected {
+                // An injected brown-out (the ambient source vanishing) drains
+                // whatever charge remains; the device stays off until the
+                // capacitor refills from empty, like a natural cut-out.
+                self.stats.injected_failures += 1;
+                let drain = self.cap.energy_j();
+                self.cap.apply(-drain);
+            } else {
+                self.cap.apply(-net);
+            }
             let off = self.recharge_duration(fail_time);
             self.cap.refill();
             let resume = fail_time + off + self.timing.reboot_s;
@@ -230,9 +295,24 @@ impl DeviceSim {
             self.now = resume;
             self.lea_free = resume;
             self.dma_free = resume;
+            self.last_failure = Some(FailureDetail {
+                time_s: fail_time,
+                injected: is_injected,
+                preserve_frac,
+                job_index: view.index,
+            });
+            if let Some(h) = self.hook.as_mut() {
+                let outcome = JobOutcome::Failed {
+                    injected: is_injected,
+                    fail_time_s: fail_time,
+                    preserve_frac,
+                };
+                h.on_outcome(&view, &outcome);
+            }
             return Ok(Commit::PowerFailed);
         }
 
+        self.cap.apply(-net);
         self.now = wr_end;
         self.lea_free = lea_end;
         self.dma_free = wr_end;
@@ -242,6 +322,9 @@ impl DeviceSim {
         self.stats.nvm_write_bytes += cost.preserve_bytes as u64;
         self.stats.lea_macs += cost.lea_macs as u64;
         self.stats.jobs_committed += 1;
+        if let Some(h) = self.hook.as_mut() {
+            h.on_outcome(&view, &JobOutcome::Committed);
+        }
         Ok(Commit::Committed)
     }
 
@@ -581,6 +664,145 @@ mod tests {
         }
         assert!(sim.stats().power_cycles > 0);
         assert!(sim.now() > fast.now(), "trace with dark phases must be slower");
+    }
+
+    /// Hook failing exactly one chosen attempt at a chosen window fraction.
+    #[derive(Debug, Clone)]
+    struct FailNth {
+        attempt: u64,
+        frac: f64,
+        fired: bool,
+    }
+
+    impl crate::inject::FaultHook for FailNth {
+        fn on_job(&mut self, view: &crate::inject::JobView) -> crate::inject::FaultDecision {
+            if !self.fired && view.index == self.attempt {
+                self.fired = true;
+                crate::inject::FaultDecision::FailAt(self.frac)
+            } else {
+                crate::inject::FaultDecision::Pass
+            }
+        }
+        fn box_clone(&self) -> Box<dyn crate::inject::FaultHook> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn injected_failure_strikes_under_bench_power() {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        sim.set_fault_hook(Box::new(FailNth { attempt: 2, frac: 0.9, fired: false }));
+        let cost = JobCost { lea_macs: 100, preserve_bytes: 34, cpu_cycles: 10 };
+        let mut outcomes = Vec::new();
+        for _ in 0..5 {
+            outcomes.push(sim.run_job(cost).unwrap());
+        }
+        assert_eq!(
+            outcomes,
+            vec![
+                Commit::Committed,
+                Commit::Committed,
+                Commit::PowerFailed,
+                Commit::Committed,
+                Commit::Committed,
+            ]
+        );
+        assert_eq!(sim.stats().injected_failures, 1);
+        assert_eq!(sim.stats().power_cycles, 1);
+        assert_eq!(sim.stats().jobs_failed, 1);
+        assert_eq!(sim.stats().jobs_committed, 4);
+        let detail = sim.last_failure().expect("failure recorded");
+        assert!(detail.injected);
+        assert_eq!(detail.job_index, 2);
+        // frac 0.9 of the window lands inside the preservation write for
+        // this write-dominated cost: part of the footprint became durable.
+        assert!(
+            detail.preserve_frac > 0.0 && detail.preserve_frac < 1.0,
+            "mid-footprint tear expected, got {}",
+            detail.preserve_frac
+        );
+    }
+
+    #[test]
+    fn injection_during_compute_phase_preserves_nothing() {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        sim.set_fault_hook(Box::new(FailNth { attempt: 0, frac: 0.0, fired: false }));
+        let cost = JobCost { lea_macs: 5000, preserve_bytes: 8, cpu_cycles: 0 };
+        assert_eq!(sim.run_job(cost).unwrap(), Commit::PowerFailed);
+        assert_eq!(sim.last_failure().unwrap().preserve_frac, 0.0);
+        // the interrupted window up to the cut is wasted, not committed
+        assert_eq!(sim.stats().lea_macs, 0);
+    }
+
+    #[test]
+    fn cleared_hook_stops_injecting() {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        sim.set_fault_hook(Box::new(FailNth { attempt: 0, frac: 0.5, fired: false }));
+        let cost = JobCost { lea_macs: 100, preserve_bytes: 34, cpu_cycles: 10 };
+        assert_eq!(sim.run_job(cost).unwrap(), Commit::PowerFailed);
+        assert!(sim.clear_fault_hook().is_some());
+        for _ in 0..100 {
+            assert_eq!(sim.run_job(cost).unwrap(), Commit::Committed);
+        }
+        assert_eq!(sim.stats().injected_failures, 1);
+    }
+
+    #[test]
+    fn natural_failures_are_not_counted_as_injected() {
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        let cost = JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 };
+        let mut committed = 0;
+        while committed < 5_000 {
+            match sim.run_job(cost).unwrap() {
+                Commit::Committed => committed += 1,
+                Commit::PowerFailed => sim.recover(128).unwrap(),
+            }
+        }
+        assert!(sim.stats().power_cycles > 0);
+        assert_eq!(sim.stats().injected_failures, 0);
+        let detail = sim.last_failure().expect("natural failure recorded");
+        assert!(!detail.injected);
+    }
+
+    #[test]
+    fn recovery_refetch_that_exceeds_the_budget_is_nontermination() {
+        // A recovery read whose single DMA chunk needs more energy than one
+        // full capacitor charge can never complete: Section II-B's
+        // nontermination hazard, surfaced as a direct error.
+        let energy = EnergyModel { p_nvm_read_w: 1.0e3, ..EnergyModel::default() };
+        let mut sim = DeviceSim::with_models(
+            DeviceSpec::default(),
+            TimingModel::default(),
+            energy,
+            PowerStrength::Weak,
+            0,
+        );
+        let err = sim.recover(64).unwrap_err();
+        match err {
+            SimError::Nontermination { activity, needed_j, budget_j } => {
+                assert!(activity.contains("recovery"), "activity: {activity}");
+                assert!(needed_j > budget_j);
+            }
+        }
+    }
+
+    #[test]
+    fn recover_accounts_reboots_as_recovery_time() {
+        // A large recovery re-fetch under weak power browns out repeatedly;
+        // every reboot plus the whole transfer must land in `recovery_s`,
+        // with nothing leaking into the read column.
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        sim.recover(200 * 1024).unwrap();
+        let stats = sim.stats();
+        assert!(stats.power_cycles > 0, "a 200 KB re-fetch cannot fit one cycle");
+        assert!(stats.nvm_read_s.abs() < 1e-15, "read time must move to recovery");
+        let reboots = stats.power_cycles as f64 * sim.timing().reboot_s;
+        assert!(
+            stats.recovery_s > reboots,
+            "recovery_s {} must exceed pure reboot time {}",
+            stats.recovery_s,
+            reboots
+        );
     }
 
     #[test]

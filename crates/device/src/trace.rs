@@ -32,6 +32,9 @@ pub struct SimStats {
     pub jobs_failed: u64,
     /// Number of power cycles (failure + recharge + reboot).
     pub power_cycles: u64,
+    /// Power cycles forced by an installed fault hook (subset of
+    /// `power_cycles`; see [`crate::inject`]).
+    pub injected_failures: u64,
 }
 
 impl SimStats {

@@ -1,0 +1,349 @@
+//! Differential crash-consistency campaigns.
+//!
+//! The central invariant of the HAWAII⁺ engine is that intermittent
+//! execution — under *any* power-failure schedule — produces outputs
+//! bit-identical to a continuous, never-failing execution. The campaign
+//! runner proves it under injected faults: for each workload × execution
+//! mode × fault plan it runs one inference with the plan installed, checks
+//! the logits against the continuous reference, runs the shadow-NVM oracle,
+//! and folds everything into a structured [`CampaignReport`] (the `faults`
+//! bench serializes it to `BENCH_faults.json`).
+
+use crate::plan::{EnergyDriven, FaultPlan, JobBoundary, PlanHook, SeededRandom};
+use crate::shadow::{ShadowNvm, ShadowStats};
+use iprune_device::power::Supply;
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_hawaii::DeployedModel;
+use iprune_tensor::Tensor;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Report label for an execution mode.
+pub fn mode_label(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Intermittent => "intermittent",
+        ExecMode::TileAtomic => "tile-atomic",
+        ExecMode::Continuous => "continuous",
+    }
+}
+
+/// Logits of the golden execution: continuous mode under bench power.
+pub fn reference_logits(dm: &DeployedModel, input: &Tensor) -> Vec<f32> {
+    let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+    infer(dm, input, &mut sim, ExecMode::Continuous).expect("continuous reference").logits
+}
+
+/// Failure-free cost of one mode, used to size sweeps and to measure
+/// re-executed work.
+#[derive(Debug, Clone, Copy)]
+pub struct Nominal {
+    /// Jobs one clean inference commits.
+    pub jobs: u64,
+    /// MACs one clean inference commits.
+    pub macs: u64,
+}
+
+/// One fault-plan run and its verdicts.
+#[derive(Debug, Clone)]
+pub struct FaultRun {
+    /// Schedule name (see [`FaultPlan::name`]).
+    pub plan: String,
+    /// Execution mode label.
+    pub mode: &'static str,
+    /// Supply label.
+    pub supply: String,
+    /// Differential oracle: logits bit-identical to the continuous
+    /// reference AND the shadow-NVM consistency check passed.
+    pub ok: bool,
+    /// Power cycles forced by the plan.
+    pub injected_failures: u64,
+    /// Total power cycles (injected + capacitor-driven).
+    pub power_cycles: u64,
+    /// Jobs committed.
+    pub jobs: u64,
+    /// Job/tile attempts re-issued after failures.
+    pub retries: u64,
+    /// Committed MACs beyond the failure-free execution (re-executed work).
+    pub reexecuted_macs: u64,
+    /// Shadow-NVM counters for the run.
+    pub shadow: ShadowStats,
+    /// End-to-end latency on the simulated device (seconds).
+    pub latency_s: f64,
+    /// Engine error, if the schedule denied forward progress (e.g. a
+    /// periodic cut faster than a tile re-execution livelocks tile-atomic
+    /// recovery — the nontermination hazard of coarse footprints).
+    pub error: Option<String>,
+}
+
+/// A workload pinned to its golden reference, shared by every run of a
+/// campaign.
+pub struct CampaignCtx<'a> {
+    dm: &'a DeployedModel,
+    input: &'a Tensor,
+    reference: Vec<f32>,
+}
+
+impl<'a> CampaignCtx<'a> {
+    /// Computes the continuous reference for `input` once.
+    pub fn new(dm: &'a DeployedModel, input: &'a Tensor) -> Self {
+        let reference = reference_logits(dm, input);
+        Self { dm, input, reference }
+    }
+
+    /// The golden logits.
+    pub fn reference(&self) -> &[f32] {
+        &self.reference
+    }
+
+    /// Failure-free job/MAC counts of `mode` under bench power.
+    pub fn nominal(&self, mode: ExecMode) -> Nominal {
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let out = infer(self.dm, self.input, &mut sim, mode).expect("nominal probe");
+        Nominal { jobs: out.jobs, macs: out.stats.lea_macs }
+    }
+
+    /// Runs `mode` once with `plan` installed over `supply` and checks the
+    /// differential + shadow oracles.
+    pub fn run_one(
+        &self,
+        mode: ExecMode,
+        plan: Box<dyn FaultPlan>,
+        supply: Supply,
+        supply_label: &str,
+        seed: u64,
+        nominal: &Nominal,
+    ) -> FaultRun {
+        let plan_name = plan.name();
+        let shadow = Arc::new(Mutex::new(ShadowNvm::with_device_capacity()));
+        let mut sim = DeviceSim::with_supply(supply, seed);
+        sim.set_fault_hook(Box::new(PlanHook::new(plan, Arc::clone(&shadow))));
+        let result = infer(self.dm, self.input, &mut sim, mode);
+        let shadow = shadow.lock().expect("shadow NVM lock");
+        match result {
+            Ok(out) => {
+                let bit_identical = out.logits == self.reference;
+                let consistent = shadow.check_completed().is_ok();
+                FaultRun {
+                    plan: plan_name,
+                    mode: mode_label(mode),
+                    supply: supply_label.to_string(),
+                    ok: bit_identical && consistent,
+                    injected_failures: out.stats.injected_failures,
+                    power_cycles: out.power_cycles,
+                    jobs: out.jobs,
+                    retries: out.retries,
+                    reexecuted_macs: out.stats.lea_macs.saturating_sub(nominal.macs),
+                    shadow: shadow.stats().clone(),
+                    latency_s: out.latency_s,
+                    error: None,
+                }
+            }
+            Err(e) => FaultRun {
+                plan: plan_name,
+                mode: mode_label(mode),
+                supply: supply_label.to_string(),
+                ok: false,
+                injected_failures: sim.stats().injected_failures,
+                power_cycles: sim.stats().power_cycles,
+                jobs: sim.stats().jobs_committed,
+                retries: 0,
+                reexecuted_macs: 0,
+                shadow: shadow.stats().clone(),
+                latency_s: sim.now(),
+                error: Some(e.to_string()),
+            },
+        }
+    }
+}
+
+/// Exhaustive job-boundary sweep: for each mode, fail once at every
+/// `stride`-th job boundary (cut at `frac` of the job window) under bench
+/// power, so every failure is adversarial rather than energy-driven.
+pub fn exhaustive_boundary_sweep(
+    ctx: &CampaignCtx<'_>,
+    modes: &[ExecMode],
+    stride: usize,
+    frac: f64,
+) -> Vec<FaultRun> {
+    assert!(stride > 0, "stride must be positive");
+    let mut runs = Vec::new();
+    for &mode in modes {
+        let nominal = ctx.nominal(mode);
+        for boundary in (0..nominal.jobs).step_by(stride) {
+            runs.push(ctx.run_one(
+                mode,
+                Box::new(JobBoundary::new(boundary, frac)),
+                Supply::from(PowerStrength::Continuous),
+                "continuous",
+                0,
+                &nominal,
+            ));
+        }
+    }
+    runs
+}
+
+/// Seeded-random campaign: `reps` independent random schedules per mode
+/// (per-attempt failure probability `prob`), deterministic from `seed`.
+pub fn random_campaign(
+    ctx: &CampaignCtx<'_>,
+    modes: &[ExecMode],
+    reps: usize,
+    prob: f64,
+    seed: u64,
+) -> Vec<FaultRun> {
+    let mut runs = Vec::new();
+    for &mode in modes {
+        let nominal = ctx.nominal(mode);
+        for rep in 0..reps {
+            runs.push(ctx.run_one(
+                mode,
+                Box::new(SeededRandom::new(prob, seed.wrapping_add(rep as u64))),
+                Supply::from(PowerStrength::Continuous),
+                "continuous",
+                0,
+                &nominal,
+            ));
+        }
+    }
+    runs
+}
+
+/// Energy-model campaign: no injection — power fails only where the
+/// capacitor runs dry under each supplied profile (the pre-existing
+/// behaviour, now behind the same plan interface and oracle).
+pub fn energy_campaign(
+    ctx: &CampaignCtx<'_>,
+    modes: &[ExecMode],
+    supplies: &[(String, Supply)],
+    seed: u64,
+) -> Vec<FaultRun> {
+    let mut runs = Vec::new();
+    for &mode in modes {
+        let nominal = ctx.nominal(mode);
+        for (i, (label, supply)) in supplies.iter().enumerate() {
+            runs.push(ctx.run_one(
+                mode,
+                Box::new(EnergyDriven),
+                supply.clone(),
+                label,
+                seed.wrapping_add(i as u64),
+                &nominal,
+            ));
+        }
+    }
+    runs
+}
+
+/// A full campaign: schedules run, failures injected, re-executed work,
+/// and NVM bytes torn/replayed, per run and in aggregate.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Workload name.
+    pub workload: String,
+    /// Master seed the campaign derives every schedule from.
+    pub seed: u64,
+    /// All runs, in execution order.
+    pub runs: Vec<FaultRun>,
+}
+
+impl CampaignReport {
+    /// An empty report for `workload`.
+    pub fn new(workload: impl Into<String>, seed: u64) -> Self {
+        Self { workload: workload.into(), seed, runs: Vec::new() }
+    }
+
+    /// Whether every run passed both oracles.
+    pub fn all_ok(&self) -> bool {
+        self.runs.iter().all(|r| r.ok)
+    }
+
+    /// Total failures injected across the campaign.
+    pub fn total_injected(&self) -> u64 {
+        self.runs.iter().map(|r| r.injected_failures).sum()
+    }
+
+    /// Total power cycles (injected + natural) across the campaign.
+    pub fn total_cycles(&self) -> u64 {
+        self.runs.iter().map(|r| r.power_cycles).sum()
+    }
+
+    /// Total NVM bytes torn across the campaign.
+    pub fn total_torn_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.shadow.torn_bytes).sum()
+    }
+
+    /// Total NVM bytes replayed across the campaign.
+    pub fn total_replayed_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.shadow.replayed_bytes).sum()
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} runs ({} ok), {} injected failures / {} power cycles, \
+             {} NVM bytes torn, {} replayed",
+            self.workload,
+            self.runs.len(),
+            self.runs.iter().filter(|r| r.ok).count(),
+            self.total_injected(),
+            self.total_cycles(),
+            self.total_torn_bytes(),
+            self.total_replayed_bytes(),
+        )
+    }
+
+    /// Machine-readable JSON (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"workload\": \"{}\",", self.workload);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"all_ok\": {},", self.all_ok());
+        s.push_str("  \"summary\": {\n");
+        let _ = writeln!(s, "    \"runs\": {},", self.runs.len());
+        let _ = writeln!(s, "    \"ok\": {},", self.runs.iter().filter(|r| r.ok).count());
+        let _ = writeln!(s, "    \"injected_failures\": {},", self.total_injected());
+        let _ = writeln!(s, "    \"power_cycles\": {},", self.total_cycles());
+        let _ = writeln!(s, "    \"torn_bytes\": {},", self.total_torn_bytes());
+        let _ = writeln!(s, "    \"replayed_bytes\": {}", self.total_replayed_bytes());
+        s.push_str("  },\n");
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"plan\": \"{}\", \"mode\": \"{}\", \"supply\": \"{}\", \"ok\": {}, \
+                 \"injected_failures\": {}, \"power_cycles\": {}, \"jobs\": {}, \"retries\": {}, \
+                 \"reexecuted_macs\": {}, \"preserve_writes\": {}, \"torn_events\": {}, \
+                 \"torn_bytes\": {}, \"lost_writes\": {}, \"replayed_writes\": {}, \
+                 \"replayed_bytes\": {}, \"latency_s\": {:.9}",
+                r.plan,
+                r.mode,
+                r.supply,
+                r.ok,
+                r.injected_failures,
+                r.power_cycles,
+                r.jobs,
+                r.retries,
+                r.reexecuted_macs,
+                r.shadow.preserve_writes,
+                r.shadow.torn_events,
+                r.shadow.torn_bytes,
+                r.shadow.lost_writes,
+                r.shadow.replayed_writes,
+                r.shadow.replayed_bytes,
+                r.latency_s,
+            );
+            match &r.error {
+                Some(err) => {
+                    let _ = write!(s, ", \"error\": \"{}\"}}", err.replace('"', "'"));
+                }
+                None => s.push('}'),
+            }
+            s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}

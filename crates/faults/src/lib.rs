@@ -1,0 +1,37 @@
+//! Fault injection and crash-consistency checking for intermittent
+//! inference (`iprune-faults`).
+//!
+//! The HAWAII⁺ engine promises that inference survives *any* power-failure
+//! point with progress preserved, yet the capacitor model only fails where
+//! `½·C·(V_on² − V_off²)` happens to run dry. This crate turns that promise
+//! into systematic coverage with three pieces:
+//!
+//! 1. **Fault scheduling** ([`plan`]): a [`plan::FaultPlan`] decides, per
+//!    accelerator-job attempt, whether to cut power and where inside the
+//!    job window. Implementations cover exhaustive job-boundary sweeps
+//!    ([`plan::JobBoundary`]), periodic cuts ([`plan::EveryKth`]),
+//!    seeded-random schedules ([`plan::SeededRandom`]), and the plain
+//!    energy model ([`plan::EnergyDriven`]) behind the same interface.
+//!    Plans drive the simulator through the
+//!    [`iprune_device::inject::FaultHook`] installed by
+//!    [`plan::PlanHook`].
+//! 2. **Shadow NVM** ([`shadow`]): a byte-addressed FRAM model that records
+//!    every progress-preservation write together with how many of its bytes
+//!    became durable before the cut — a mid-footprint failure observably
+//!    *tears* state instead of being silently atomic.
+//! 3. **Differential campaigns** ([`campaign`]): for each workload ×
+//!    execution mode × fault plan, the runner asserts the faulted outputs
+//!    are bit-identical to a never-failing continuous execution and emits a
+//!    structured [`campaign::CampaignReport`] (consumed by the `faults`
+//!    bench, which writes `BENCH_faults.json`).
+
+pub mod campaign;
+pub mod plan;
+pub mod shadow;
+
+pub use campaign::{
+    energy_campaign, exhaustive_boundary_sweep, mode_label, random_campaign, reference_logits,
+    CampaignCtx, CampaignReport, FaultRun, Nominal,
+};
+pub use plan::{EnergyDriven, EveryKth, FaultPlan, JobBoundary, PlanHook, SeededRandom};
+pub use shadow::{ShadowNvm, ShadowStats, WriteRecord, WriteStatus};

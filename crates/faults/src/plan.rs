@@ -1,0 +1,268 @@
+//! Fault schedules: who decides where power dies.
+//!
+//! A [`FaultPlan`] is consulted once per accelerator-job attempt and may
+//! cut power at any fraction of the attempt's window. Plans are
+//! deterministic by construction — either stateless, driven by job
+//! indices, or seeded — so every campaign run is exactly reproducible.
+
+use crate::shadow::ShadowNvm;
+use iprune_device::inject::{FaultDecision, FaultHook, JobOutcome, JobView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A deterministic power-failure schedule over accelerator-job attempts.
+pub trait FaultPlan: fmt::Debug + Send {
+    /// Human-readable schedule name for reports.
+    fn name(&self) -> String;
+
+    /// Decides the fate of one job attempt.
+    fn decide(&mut self, view: &JobView) -> FaultDecision;
+
+    /// Clones the plan behind the object.
+    fn box_clone(&self) -> Box<dyn FaultPlan>;
+}
+
+impl Clone for Box<dyn FaultPlan> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Fails exactly one attempt: the first one issued after `after_commits`
+/// jobs have committed, at `frac` of its window. Sweeping `after_commits`
+/// over `0..total_jobs` visits every job boundary of a workload.
+#[derive(Debug, Clone)]
+pub struct JobBoundary {
+    after_commits: u64,
+    frac: f64,
+    fired: bool,
+}
+
+impl JobBoundary {
+    /// Cut power on the attempt following `after_commits` committed jobs,
+    /// at `frac ∈ [0, 1)` of that attempt's window.
+    pub fn new(after_commits: u64, frac: f64) -> Self {
+        Self { after_commits, frac, fired: false }
+    }
+}
+
+impl FaultPlan for JobBoundary {
+    fn name(&self) -> String {
+        format!("boundary@{}+{:.2}", self.after_commits, self.frac)
+    }
+
+    fn decide(&mut self, view: &JobView) -> FaultDecision {
+        if !self.fired && view.committed >= self.after_commits {
+            self.fired = true;
+            FaultDecision::FailAt(self.frac)
+        } else {
+            FaultDecision::Pass
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultPlan> {
+        Box::new(self.clone())
+    }
+}
+
+/// Fails once at every k-th committed job (after `k`, `2k`, `3k`, …
+/// commits), at `frac` of the window. The retry of a failed job always
+/// passes, so forward progress is guaranteed.
+#[derive(Debug, Clone)]
+pub struct EveryKth {
+    k: u64,
+    frac: f64,
+    next: u64,
+}
+
+impl EveryKth {
+    /// Cut power on the attempt after every `k`-th committed job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u64, frac: f64) -> Self {
+        assert!(k > 0, "period must be positive");
+        Self { k, frac, next: k }
+    }
+}
+
+impl FaultPlan for EveryKth {
+    fn name(&self) -> String {
+        format!("every-{}th+{:.2}", self.k, self.frac)
+    }
+
+    fn decide(&mut self, view: &JobView) -> FaultDecision {
+        if view.committed >= self.next {
+            self.next = view.committed + self.k;
+            FaultDecision::FailAt(self.frac)
+        } else {
+            FaultDecision::Pass
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultPlan> {
+        Box::new(self.clone())
+    }
+}
+
+/// Fails each attempt independently with probability `prob`, at a random
+/// fraction of the window — deterministic for a given seed (the workspace's
+/// seeded xoshiro generator, as used by `iprune_datasets::rng`).
+#[derive(Debug, Clone)]
+pub struct SeededRandom {
+    prob: f64,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// Cut each attempt with probability `prob ∈ [0, 1)`, seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1)` (an always-failing schedule can
+    /// never make progress).
+    pub fn new(prob: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "prob must be in [0, 1)");
+        Self { prob, seed, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl FaultPlan for SeededRandom {
+    fn name(&self) -> String {
+        format!("random(p={:.2},seed={})", self.prob, self.seed)
+    }
+
+    fn decide(&mut self, _view: &JobView) -> FaultDecision {
+        let roll: f64 = self.rng.gen_range(0.0..1.0);
+        let frac: f64 = self.rng.gen_range(0.0..1.0);
+        if roll < self.prob {
+            FaultDecision::FailAt(frac)
+        } else {
+            FaultDecision::Pass
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultPlan> {
+        Box::new(self.clone())
+    }
+}
+
+/// Injects nothing: power fails only where the capacitor model runs dry.
+/// Exists so campaigns can iterate the existing energy-driven behaviour
+/// behind the same interface as the adversarial schedules.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyDriven;
+
+impl FaultPlan for EnergyDriven {
+    fn name(&self) -> String {
+        "energy-model".to_string()
+    }
+
+    fn decide(&mut self, _view: &JobView) -> FaultDecision {
+        FaultDecision::Pass
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultPlan> {
+        Box::new(self.clone())
+    }
+}
+
+/// Adapter installing a [`FaultPlan`] into a device simulator while
+/// mirroring every preservation write into a shared [`ShadowNvm`].
+///
+/// The shadow store is behind `Arc<Mutex<…>>` so the campaign runner keeps
+/// a handle for post-run inspection after the hook is moved into the
+/// simulator.
+#[derive(Debug)]
+pub struct PlanHook {
+    plan: Box<dyn FaultPlan>,
+    shadow: Arc<Mutex<ShadowNvm>>,
+}
+
+impl PlanHook {
+    /// Couples a schedule with a shadow-NVM store.
+    pub fn new(plan: Box<dyn FaultPlan>, shadow: Arc<Mutex<ShadowNvm>>) -> Self {
+        Self { plan, shadow }
+    }
+}
+
+impl FaultHook for PlanHook {
+    fn on_job(&mut self, view: &JobView) -> FaultDecision {
+        self.plan.decide(view)
+    }
+
+    fn on_outcome(&mut self, view: &JobView, outcome: &JobOutcome) {
+        self.shadow.lock().expect("shadow NVM lock").record_preserve(
+            view.index,
+            view.cost.preserve_bytes,
+            outcome,
+        );
+    }
+
+    fn box_clone(&self) -> Box<dyn FaultHook> {
+        Box::new(Self { plan: self.plan.clone(), shadow: Arc::clone(&self.shadow) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iprune_device::sim::JobCost;
+
+    fn view(index: u64, committed: u64) -> JobView {
+        JobView {
+            index,
+            committed,
+            cost: JobCost { lea_macs: 10, preserve_bytes: 20, cpu_cycles: 5 },
+            window_s: 1.0e-3,
+            now_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn job_boundary_fires_exactly_once() {
+        let mut p = JobBoundary::new(3, 0.5);
+        assert_eq!(p.decide(&view(0, 0)), FaultDecision::Pass);
+        assert_eq!(p.decide(&view(2, 2)), FaultDecision::Pass);
+        assert_eq!(p.decide(&view(3, 3)), FaultDecision::FailAt(0.5));
+        // the retry of the failed attempt (same commit count) passes
+        assert_eq!(p.decide(&view(4, 3)), FaultDecision::Pass);
+        assert_eq!(p.decide(&view(9, 8)), FaultDecision::Pass);
+    }
+
+    #[test]
+    fn every_kth_reschedules_after_each_cut() {
+        let mut p = EveryKth::new(2, 0.9);
+        assert_eq!(p.decide(&view(0, 0)), FaultDecision::Pass);
+        assert_eq!(p.decide(&view(1, 1)), FaultDecision::Pass);
+        assert_eq!(p.decide(&view(2, 2)), FaultDecision::FailAt(0.9));
+        // retry at the same boundary passes, next cut waits for 2 more
+        assert_eq!(p.decide(&view(3, 2)), FaultDecision::Pass);
+        assert_eq!(p.decide(&view(4, 3)), FaultDecision::Pass);
+        assert_eq!(p.decide(&view(5, 4)), FaultDecision::FailAt(0.9));
+    }
+
+    #[test]
+    fn seeded_random_is_deterministic() {
+        let run = |seed| {
+            let mut p = SeededRandom::new(0.3, seed);
+            (0..64).map(|i| p.decide(&view(i, i))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+        let fails = run(7).iter().filter(|d| matches!(d, FaultDecision::FailAt(_))).count();
+        assert!(fails > 0 && fails < 64, "p=0.3 over 64 draws, got {fails}");
+    }
+
+    #[test]
+    fn energy_driven_never_injects() {
+        let mut p = EnergyDriven;
+        for i in 0..32 {
+            assert_eq!(p.decide(&view(i, i)), FaultDecision::Pass);
+        }
+    }
+}

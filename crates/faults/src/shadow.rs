@@ -1,0 +1,348 @@
+//! Shadow-NVM model: a byte-addressed FRAM store that makes torn
+//! progress-preservation writes observable.
+//!
+//! The device simulator accounts preservation writes only as time and
+//! energy; whether a mid-write power failure left the footprint half
+//! written is invisible to it. The shadow store mirrors every preservation
+//! write into a byte image of the FRAM: bytes that the DMA streamed out
+//! before the cut keep their payload pattern, bytes after the cut hold
+//! [`TORN_BYTE`]. A crash-consistency oracle can then check that the
+//! engine never *commits* on top of torn state and that every interrupted
+//! write is eventually replayed in place.
+//!
+//! Addresses follow the HAWAII⁺ double-buffered footprint discipline:
+//! committed writes advance a bump cursor (wrapping over the FRAM
+//! capacity, like a circular preservation log), while an interrupted write
+//! stays at its address so the re-issued attempt overwrites — and thereby
+//! heals — the torn region.
+
+use iprune_device::inject::JobOutcome;
+use iprune_device::DeviceSpec;
+
+/// Fill byte for the unwritten (erased) FRAM image.
+pub const ERASED_BYTE: u8 = 0xFF;
+/// Fill byte marking bytes a power failure cut off mid-write.
+pub const TORN_BYTE: u8 = 0xDB;
+
+/// Durability status of one recorded preservation write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// Every byte reached the FRAM before the job committed.
+    Committed,
+    /// The cut struck mid-write: a durable prefix, then torn bytes.
+    Torn,
+    /// The cut struck before the DMA moved a single byte.
+    Lost,
+}
+
+/// One recorded preservation write.
+#[derive(Debug, Clone)]
+pub struct WriteRecord {
+    /// Start address in the shadow image.
+    pub addr: usize,
+    /// Requested length in bytes.
+    pub len: usize,
+    /// Bytes durable before the cut (equals `len` when committed).
+    pub durable: usize,
+    /// Durability status.
+    pub status: WriteStatus,
+    /// Attempt index of the job that issued the write.
+    pub job_index: u64,
+    /// Whether this write re-executed work lost to an earlier failure.
+    pub replay: bool,
+}
+
+/// Aggregate shadow-store counters for campaign reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowStats {
+    /// Preservation writes observed (committed or not).
+    pub preserve_writes: u64,
+    /// Writes whose every byte became durable.
+    pub committed_writes: u64,
+    /// Bytes committed durably.
+    pub committed_bytes: u64,
+    /// Failures that left a partially-written (torn) region.
+    pub torn_events: u64,
+    /// Bytes lost off the tail of torn writes.
+    pub torn_bytes: u64,
+    /// Failures that struck before any byte was written.
+    pub lost_writes: u64,
+    /// Committed writes that re-executed previously lost work.
+    pub replayed_writes: u64,
+    /// Bytes of re-executed preservation work.
+    pub replayed_bytes: u64,
+}
+
+/// A detected crash-consistency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShadowViolation {
+    /// A write was reported committed with fewer durable bytes than its
+    /// length — the "silently atomic" bug this store exists to catch.
+    CommittedButTorn {
+        /// Attempt index of the offending write.
+        job_index: u64,
+    },
+    /// The run ended with the latest preservation write not committed.
+    TrailingTear {
+        /// Attempt index of the dangling write.
+        job_index: u64,
+    },
+    /// The image region of the final committed write still contains torn
+    /// bytes (an interrupted write was never replayed in place).
+    UnhealedRegion {
+        /// Start address of the unhealed region.
+        addr: usize,
+    },
+}
+
+/// The byte-addressed shadow FRAM.
+#[derive(Debug, Clone)]
+pub struct ShadowNvm {
+    mem: Vec<u8>,
+    cursor: usize,
+    records: Vec<WriteRecord>,
+    stats: ShadowStats,
+    /// A failure was observed and its re-execution has not committed yet.
+    pending_replay: bool,
+}
+
+impl ShadowNvm {
+    /// A shadow store of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shadow NVM needs capacity");
+        Self {
+            mem: vec![ERASED_BYTE; capacity],
+            cursor: 0,
+            records: Vec::new(),
+            stats: ShadowStats::default(),
+            pending_replay: false,
+        }
+    }
+
+    /// A shadow store sized like the evaluation platform's FRAM (512 KB).
+    pub fn with_device_capacity() -> Self {
+        Self::new(DeviceSpec::default().nvm_bytes)
+    }
+
+    /// Payload pattern for a job's preservation bytes — never collides
+    /// with [`ERASED_BYTE`] or [`TORN_BYTE`].
+    fn pattern(job_index: u64) -> u8 {
+        (job_index % 200) as u8
+    }
+
+    /// Records the preservation write of one job attempt. `len` of zero
+    /// (a job without preservation, e.g. tile-atomic compute) records
+    /// nothing, but a failure still arms replay tracking: whatever commits
+    /// next re-executes lost work.
+    pub fn record_preserve(&mut self, job_index: u64, len: usize, outcome: &JobOutcome) {
+        let failed_frac = match outcome {
+            JobOutcome::Committed => None,
+            JobOutcome::Failed { preserve_frac, .. } => Some(*preserve_frac),
+        };
+        if len == 0 {
+            if failed_frac.is_some() {
+                self.pending_replay = true;
+            }
+            return;
+        }
+        self.stats.preserve_writes += 1;
+        let addr = self.cursor;
+        match failed_frac {
+            None => {
+                self.fill(addr, len, Self::pattern(job_index));
+                let replay = self.pending_replay;
+                if replay {
+                    self.stats.replayed_writes += 1;
+                    self.stats.replayed_bytes += len as u64;
+                    self.pending_replay = false;
+                }
+                self.stats.committed_writes += 1;
+                self.stats.committed_bytes += len as u64;
+                self.records.push(WriteRecord {
+                    addr,
+                    len,
+                    durable: len,
+                    status: WriteStatus::Committed,
+                    job_index,
+                    replay,
+                });
+                // only a committed write advances the preservation log
+                self.cursor = (self.cursor + len) % self.mem.len();
+            }
+            Some(frac) => {
+                let durable = ((len as f64 * frac).floor() as usize).min(len);
+                self.fill(addr, durable, Self::pattern(job_index));
+                self.fill_raw(addr + durable, len - durable, TORN_BYTE);
+                let status = if durable == 0 {
+                    self.stats.lost_writes += 1;
+                    WriteStatus::Lost
+                } else {
+                    self.stats.torn_events += 1;
+                    self.stats.torn_bytes += (len - durable) as u64;
+                    WriteStatus::Torn
+                };
+                self.pending_replay = true;
+                self.records.push(WriteRecord {
+                    addr,
+                    len,
+                    durable,
+                    status,
+                    job_index,
+                    replay: false,
+                });
+                // cursor stays: the re-issued attempt overwrites in place
+            }
+        }
+    }
+
+    fn fill(&mut self, addr: usize, len: usize, byte: u8) {
+        self.fill_raw(addr, len, byte);
+    }
+
+    fn fill_raw(&mut self, addr: usize, len: usize, byte: u8) {
+        let cap = self.mem.len();
+        for i in 0..len {
+            self.mem[(addr + i) % cap] = byte;
+        }
+    }
+
+    /// Reads `len` bytes at `addr` from the shadow image (wrapping).
+    pub fn read(&self, addr: usize, len: usize) -> Vec<u8> {
+        let cap = self.mem.len();
+        (0..len).map(|i| self.mem[(addr + i) % cap]).collect()
+    }
+
+    /// All recorded writes, in issue order.
+    pub fn records(&self) -> &[WriteRecord] {
+        &self.records
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &ShadowStats {
+        &self.stats
+    }
+
+    /// Crash-consistency oracle for a run that claims to have completed:
+    ///
+    /// * no write may be both committed and torn (atomicity of commit);
+    /// * the final preservation write must be committed (no dangling
+    ///   footprint);
+    /// * the final committed write's image region must be fully healed
+    ///   (every interrupted write was replayed in place).
+    ///
+    /// # Errors
+    ///
+    /// The first [`ShadowViolation`] found, if any.
+    pub fn check_completed(&self) -> Result<(), ShadowViolation> {
+        for r in &self.records {
+            if r.status == WriteStatus::Committed && r.durable != r.len {
+                return Err(ShadowViolation::CommittedButTorn { job_index: r.job_index });
+            }
+        }
+        if let Some(last) = self.records.last() {
+            if last.status != WriteStatus::Committed {
+                return Err(ShadowViolation::TrailingTear { job_index: last.job_index });
+            }
+            if self.read(last.addr, last.len).contains(&TORN_BYTE) {
+                return Err(ShadowViolation::UnhealedRegion { addr: last.addr });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed() -> JobOutcome {
+        JobOutcome::Committed
+    }
+
+    fn failed(frac: f64) -> JobOutcome {
+        JobOutcome::Failed { injected: true, fail_time_s: 0.0, preserve_frac: frac }
+    }
+
+    #[test]
+    fn committed_writes_advance_the_log() {
+        let mut nvm = ShadowNvm::new(1024);
+        nvm.record_preserve(0, 16, &committed());
+        nvm.record_preserve(1, 16, &committed());
+        assert_eq!(nvm.records()[0].addr, 0);
+        assert_eq!(nvm.records()[1].addr, 16);
+        assert_eq!(nvm.stats().committed_bytes, 32);
+        assert!(nvm.check_completed().is_ok());
+    }
+
+    #[test]
+    fn mid_footprint_failure_observably_tears() {
+        let mut nvm = ShadowNvm::new(1024);
+        nvm.record_preserve(0, 40, &failed(0.5));
+        let r = &nvm.records()[0];
+        assert_eq!(r.status, WriteStatus::Torn);
+        assert_eq!(r.durable, 20);
+        let image = nvm.read(0, 40);
+        assert!(image[..20].iter().all(|&b| b == ShadowNvm::pattern(0)));
+        assert!(image[20..].iter().all(|&b| b == TORN_BYTE), "tail must be torn");
+        assert_eq!(nvm.stats().torn_events, 1);
+        assert_eq!(nvm.stats().torn_bytes, 20);
+        // a run ending here is NOT consistent
+        assert_eq!(nvm.check_completed(), Err(ShadowViolation::TrailingTear { job_index: 0 }));
+    }
+
+    #[test]
+    fn replay_heals_the_torn_region_in_place() {
+        let mut nvm = ShadowNvm::new(1024);
+        nvm.record_preserve(0, 40, &failed(0.7));
+        nvm.record_preserve(1, 40, &committed());
+        let replay = &nvm.records()[1];
+        assert_eq!(replay.addr, 0, "replay overwrites in place");
+        assert!(replay.replay);
+        assert_eq!(nvm.stats().replayed_bytes, 40);
+        assert!(nvm.read(0, 40).iter().all(|&b| b != TORN_BYTE));
+        assert!(nvm.check_completed().is_ok());
+    }
+
+    #[test]
+    fn cut_before_the_write_loses_everything_cleanly() {
+        let mut nvm = ShadowNvm::new(1024);
+        nvm.record_preserve(0, 32, &failed(0.0));
+        assert_eq!(nvm.records()[0].status, WriteStatus::Lost);
+        assert_eq!(nvm.stats().lost_writes, 1);
+        assert_eq!(nvm.stats().torn_events, 0);
+        assert!(nvm.read(0, 32).iter().all(|&b| b == TORN_BYTE));
+    }
+
+    #[test]
+    fn zero_length_failure_still_arms_replay_tracking() {
+        let mut nvm = ShadowNvm::new(64);
+        nvm.record_preserve(0, 0, &failed(0.0));
+        nvm.record_preserve(1, 8, &committed());
+        assert!(nvm.records()[0].replay, "tile re-execution write counts as replay");
+        assert_eq!(nvm.stats().replayed_writes, 1);
+    }
+
+    #[test]
+    fn the_log_wraps_like_a_ring() {
+        let mut nvm = ShadowNvm::new(32);
+        for i in 0..5 {
+            nvm.record_preserve(i, 10, &committed());
+        }
+        assert!(nvm.records().iter().all(|r| r.addr < 32));
+        assert!(nvm.check_completed().is_ok());
+    }
+
+    #[test]
+    fn silent_atomicity_bug_is_flagged() {
+        // Simulate the bug class the oracle exists for: a commit whose
+        // durable count disagrees with its length.
+        let mut nvm = ShadowNvm::new(64);
+        nvm.record_preserve(0, 16, &committed());
+        nvm.records[0].durable = 8;
+        assert_eq!(nvm.check_completed(), Err(ShadowViolation::CommittedButTorn { job_index: 0 }));
+    }
+}

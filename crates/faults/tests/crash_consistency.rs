@@ -1,0 +1,237 @@
+//! End-to-end crash-consistency campaigns over a real deployed model.
+//!
+//! These are the adversarial counterparts of `iprune-hawaii`'s
+//! "intermittent equals continuous" tests: instead of failing where the
+//! capacitor happens to run dry, power is cut at chosen job boundaries and
+//! window fractions, and the differential + shadow-NVM oracles must still
+//! hold.
+
+use iprune_device::power::{PowerTrace, Supply};
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_faults::{
+    energy_campaign, exhaustive_boundary_sweep, random_campaign, CampaignCtx, CampaignReport,
+    EveryKth, JobBoundary,
+};
+use iprune_hawaii::deploy::{deploy, DeployedModel};
+use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_models::zoo::App;
+
+const FAULT_MODES: [ExecMode; 2] = [ExecMode::Intermittent, ExecMode::TileAtomic];
+
+fn har_workload() -> (DeployedModel, iprune_datasets::Dataset) {
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 42);
+    let dm = deploy(&mut model, &ds, 2);
+    (dm, ds)
+}
+
+/// Jobs in the largest tile (weight chunks + write-back): a periodic cut
+/// with a shorter period can livelock tile-atomic recovery, because every
+/// tile re-execution commits enough jobs to arm the next cut.
+fn max_tile_jobs(dm: &DeployedModel) -> u64 {
+    dm.layers
+        .iter()
+        .flat_map(|dl| {
+            (0..dl.plan.row_blocks()).map(|rb| dl.bsr.row_blocks_iter(rb).count() as u64 + 1)
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+#[test]
+fn strided_boundary_sweep_passes_both_oracles() {
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+    // Stride the boundaries so the test stays fast; the faults bench runs
+    // the exhaustive (stride-1) sweep.
+    let nominal_jobs = ctx.nominal(ExecMode::Intermittent).jobs;
+    let stride = (nominal_jobs as usize / 12).max(1);
+    let mut report = CampaignReport::new("har-tiny", 0);
+    report.runs = exhaustive_boundary_sweep(&ctx, &FAULT_MODES, stride, 0.9);
+    assert!(report.runs.len() >= 12, "expected a real sweep, got {}", report.runs.len());
+    assert!(report.all_ok(), "oracle failures:\n{}", report.summary());
+    assert_eq!(report.total_injected() as usize, report.runs.len(), "one cut per run");
+    // frac 0.9 lands inside write-dominated windows often enough that the
+    // campaign must observe real torn footprints
+    assert!(report.total_torn_bytes() > 0, "no tears observed at frac 0.9");
+    assert!(report.total_replayed_bytes() > 0, "tears must be replayed");
+}
+
+#[test]
+fn boundary_cut_during_compute_phase_also_recovers() {
+    let (dm, ds) = har_workload();
+    let x = ds.sample(1);
+    let ctx = CampaignCtx::new(&dm, &x);
+    let nominal = ctx.nominal(ExecMode::Intermittent);
+    let stride = (nominal.jobs as usize / 6).max(1);
+    for boundary in (0..nominal.jobs).step_by(stride) {
+        let run = ctx.run_one(
+            ExecMode::Intermittent,
+            Box::new(JobBoundary::new(boundary, 0.0)),
+            Supply::from(PowerStrength::Continuous),
+            "continuous",
+            0,
+            &nominal,
+        );
+        assert!(run.ok, "boundary {boundary} at frac 0.0 failed the oracle");
+        assert_eq!(run.injected_failures, 1);
+    }
+}
+
+#[test]
+fn tile_atomic_reexecutes_whole_tiles_and_accounts_the_macs() {
+    // Satellite: a forced failure mid-tile must re-run the whole tile, and
+    // the re-executed MACs must show up in SimStats.
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+    let nominal = ctx.nominal(ExecMode::TileAtomic);
+    // Cut mid-tile, with a period long enough that every re-executed tile
+    // can complete before the next cut arms. HAR's output layer is one
+    // 513-job tile spanning most of the workload, so with a livelock-safe
+    // period only a cut or two fits.
+    let period = (nominal.jobs / 3).max(max_tile_jobs(&dm) + 1);
+    let run = ctx.run_one(
+        ExecMode::TileAtomic,
+        Box::new(EveryKth::new(period, 0.5)),
+        Supply::from(PowerStrength::Continuous),
+        "continuous",
+        0,
+        &nominal,
+    );
+    assert!(run.ok, "tile-atomic oracle failed");
+    assert!(run.injected_failures >= 1, "expected a mid-tile cut, got none");
+    assert!(run.retries >= run.injected_failures, "every cut forces a tile retry");
+    assert!(
+        run.reexecuted_macs > 0,
+        "re-executed tile MACs must appear in SimStats.lea_macs beyond the nominal {}",
+        nominal.macs
+    );
+    assert!(run.jobs > nominal.jobs, "re-run tiles commit extra jobs");
+
+    // The same schedule under job-granular preservation re-executes *less*
+    // accelerator work — the paper's core argument for fine footprints.
+    let nominal_i = ctx.nominal(ExecMode::Intermittent);
+    let run_i = ctx.run_one(
+        ExecMode::Intermittent,
+        Box::new(EveryKth::new(period, 0.5)),
+        Supply::from(PowerStrength::Continuous),
+        "continuous",
+        0,
+        &nominal_i,
+    );
+    assert!(run_i.ok);
+    assert!(
+        run_i.reexecuted_macs <= run.reexecuted_macs,
+        "job-granular preservation must not re-execute more than tile-atomic \
+         ({} vs {})",
+        run_i.reexecuted_macs,
+        run.reexecuted_macs
+    );
+}
+
+#[test]
+fn seeded_random_campaign_is_deterministic_and_consistent() {
+    let (dm, ds) = har_workload();
+    let x = ds.sample(2);
+    let ctx = CampaignCtx::new(&dm, &x);
+    // p must stay small: a tile of m jobs only completes a pass with
+    // probability (1-p)^m, and HAR's largest tile has m = 513, so even
+    // p = 0.02 livelocks tile-atomic recovery.
+    let mut a = CampaignReport::new("har-tiny", 7);
+    a.runs = random_campaign(&ctx, &FAULT_MODES, 3, 0.005, 7);
+    let mut b = CampaignReport::new("har-tiny", 7);
+    b.runs = random_campaign(&ctx, &FAULT_MODES, 3, 0.005, 7);
+    assert!(a.all_ok(), "{}", a.summary());
+    assert!(a.total_injected() > 0, "p=0.005 across runs should fire");
+    assert_eq!(a.to_json(), b.to_json(), "same seed must reproduce the report");
+}
+
+#[test]
+fn cuts_faster_than_a_tile_livelock_tile_atomic_but_not_hawaii() {
+    // Adversarial finding the subsystem makes checkable: with a cut after
+    // every committed job, tile-atomic recovery re-executes each tile
+    // forever (every re-run commits enough chunks to arm the next cut),
+    // while job-granular preservation still terminates — it never re-runs
+    // more than the single interrupted job.
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+    let nominal_i = ctx.nominal(ExecMode::Intermittent);
+    let hawaii = ctx.run_one(
+        ExecMode::Intermittent,
+        Box::new(EveryKth::new(1, 0.5)),
+        Supply::from(PowerStrength::Continuous),
+        "continuous",
+        0,
+        &nominal_i,
+    );
+    assert!(hawaii.ok, "job-granular recovery must survive per-job cuts");
+    assert!(hawaii.retries >= nominal_i.jobs - 1);
+
+    let nominal_t = ctx.nominal(ExecMode::TileAtomic);
+    let tile = ctx.run_one(
+        ExecMode::TileAtomic,
+        Box::new(EveryKth::new(1, 0.5)),
+        Supply::from(PowerStrength::Continuous),
+        "continuous",
+        0,
+        &nominal_t,
+    );
+    assert!(!tile.ok);
+    let err = tile.error.as_deref().expect("livelock must be reported, not looped");
+    assert!(err.contains("no forward progress"), "unexpected error: {err}");
+}
+
+#[test]
+fn energy_campaign_covers_constant_and_trace_supplies() {
+    let (dm, ds) = har_workload();
+    let x = ds.sample(3);
+    let ctx = CampaignCtx::new(&dm, &x);
+    let supplies = vec![
+        ("strong (8 mW)".to_string(), Supply::from(PowerStrength::Strong)),
+        ("weak (4 mW)".to_string(), Supply::from(PowerStrength::Weak)),
+        ("solar trace".to_string(), Supply::Trace(PowerTrace::solar(8.0e-3, 2.0, 64, 3))),
+    ];
+    let mut report = CampaignReport::new("har-tiny", 1);
+    report.runs = energy_campaign(&ctx, &FAULT_MODES, &supplies, 1);
+    assert_eq!(report.runs.len(), 6);
+    assert!(report.all_ok(), "{}", report.summary());
+    assert_eq!(report.total_injected(), 0, "energy-driven plans inject nothing");
+    assert!(report.total_cycles() > 0, "harvested supplies must brown out");
+}
+
+#[test]
+fn injection_composes_with_harvested_power() {
+    // Adversarial cuts layered on top of natural capacitor failures: the
+    // earliest cut wins inside each window and the oracle still holds.
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+    let nominal = ctx.nominal(ExecMode::Intermittent);
+    let run = ctx.run_one(
+        ExecMode::Intermittent,
+        Box::new(EveryKth::new((nominal.jobs / 5).max(1), 0.7)),
+        Supply::from(PowerStrength::Weak),
+        "weak (4 mW)",
+        3,
+        &nominal,
+    );
+    assert!(run.ok, "mixed natural+injected schedule failed the oracle");
+    assert!(run.injected_failures > 0);
+    assert!(
+        run.power_cycles > run.injected_failures,
+        "weak power should add natural cycles on top of injected ones"
+    );
+}
+
+#[test]
+fn reference_is_reproducible_across_sim_instances() {
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let a = iprune_faults::reference_logits(&dm, &x);
+    let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+    let b = infer(&dm, &x, &mut sim, ExecMode::Continuous).unwrap().logits;
+    assert_eq!(a, b);
+}

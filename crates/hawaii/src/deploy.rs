@@ -30,6 +30,16 @@ pub struct DeployedLayer {
     pub bias_fmt: QFormat,
 }
 
+impl DeployedLayer {
+    /// NVM bytes re-fetched during progress recovery for this layer:
+    /// footprint and index arrays, the partial-accumulator scratch, the
+    /// input sub-strip, and the interrupted weight block.
+    pub fn recovery_bytes(&self) -> usize {
+        let t = self.plan.tile;
+        16 + 4 * t.br * t.strip + 2 * t.bc * t.strip + 2 * t.br * t.bc
+    }
+}
+
 /// A model ready to execute on the device simulator.
 #[derive(Debug, Clone)]
 pub struct DeployedModel {

@@ -57,6 +57,9 @@ pub struct InferenceOutcome {
     /// Accelerator outputs preserved as partials (intermittent mode);
     /// matches the analytic pruning criterion.
     pub preserved_partials: u64,
+    /// Job or tile attempts re-issued after a power failure (each one is
+    /// re-executed work the progress-preservation granularity paid for).
+    pub retries: u64,
     /// Full simulator statistics at completion.
     pub stats: SimStats,
 }
@@ -106,6 +109,7 @@ const FOOTPRINT_BYTES: usize = 4;
 struct Counters {
     jobs: u64,
     partials: u64,
+    retries: u64,
 }
 
 /// Runs one end-to-end inference of `dm` on `input` (`[c,h,w]` or
@@ -132,7 +136,7 @@ pub fn infer(
         *dst = in_fmt.quantize(v);
     }
 
-    let mut counters = Counters { jobs: 0, partials: 0 };
+    let mut counters = Counters { jobs: 0, partials: 0, retries: 0 };
     let cycles_at_start = sim.stats().power_cycles;
 
     for op in &dm.info.graph {
@@ -246,6 +250,7 @@ pub fn infer(
         power_cycles: sim.stats().power_cycles,
         jobs: counters.jobs,
         preserved_partials: counters.partials,
+        retries: counters.retries,
         stats: sim.stats().clone(),
     })
 }
@@ -342,14 +347,6 @@ fn write_output(
             dst[(dst_c_off + m_index) * oh * ow + pos] = value;
         }
     }
-}
-
-/// NVM bytes re-fetched during progress recovery for this layer: footprint
-/// and index arrays, the partial-accumulator scratch, the input sub-strip,
-/// and the interrupted weight block.
-fn recovery_bytes(dl: &DeployedLayer) -> usize {
-    let t = dl.plan.tile;
-    16 + 4 * t.br * t.strip + 2 * t.bc * t.strip + 2 * t.br * t.bc
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -457,7 +454,7 @@ fn exec_tile(
                         preserve_bytes: 4 * rows * s_len + FOOTPRINT_BYTES,
                         cpu_cycles: rows + 8,
                     };
-                    commit_job(dl, sim, mode, read_bytes, cost)?;
+                    commit_job(dl, sim, mode, read_bytes, cost, counters)?;
                     counters.jobs += 1;
                     counters.partials += (rows * s_len) as u64;
                 }
@@ -473,6 +470,7 @@ fn exec_tile(
                             // task-atomic: volatile accumulators are gone;
                             // re-read the loop indices and redo the tile
                             sim.recover(16)?;
+                            counters.retries += 1;
                             tile_retries += 1;
                             if tile_retries > MAX_RETRIES_PER_JOB {
                                 return Err(EngineError::NoProgress { layer: dl.layer_id });
@@ -502,7 +500,7 @@ fn exec_tile(
                     preserve_bytes: out_bytes + FOOTPRINT_BYTES,
                     cpu_cycles: 2 * rows * s_len,
                 };
-                commit_job(dl, sim, mode, 0, cost)?;
+                commit_job(dl, sim, mode, 0, cost, counters)?;
                 counters.jobs += 1;
             }
             ExecMode::TileAtomic => {
@@ -515,6 +513,7 @@ fn exec_tile(
                     Commit::Committed => counters.jobs += 1,
                     Commit::PowerFailed => {
                         sim.recover(16)?;
+                        counters.retries += 1;
                         tile_retries += 1;
                         if tile_retries > MAX_RETRIES_PER_JOB {
                             return Err(EngineError::NoProgress { layer: dl.layer_id });
@@ -540,6 +539,7 @@ fn commit_job(
     mode: ExecMode,
     read_bytes: usize,
     cost: JobCost,
+    counters: &mut Counters,
 ) -> Result<(), EngineError> {
     let mut retries = 0u32;
     loop {
@@ -550,7 +550,8 @@ fn commit_job(
                 if mode == ExecMode::Continuous {
                     return Err(EngineError::PowerLostInContinuousMode);
                 }
-                sim.recover(recovery_bytes(dl))?;
+                sim.recover(dl.recovery_bytes())?;
+                counters.retries += 1;
                 retries += 1;
                 if retries > MAX_RETRIES_PER_JOB {
                     return Err(EngineError::NoProgress { layer: dl.layer_id });
