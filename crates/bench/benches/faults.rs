@@ -67,5 +67,5 @@ fn main() {
 
     let out = workspace_root().join("BENCH_faults.json");
     std::fs::write(&out, report.to_json()).expect("write BENCH_faults.json");
-    println!("wrote {}", out.display());
+    iprune_obs::log_info!("faults", "wrote {}", out.display());
 }

@@ -10,6 +10,7 @@ use iprune_device::{DeviceSim, PowerStrength};
 use iprune_hawaii::deploy::deploy;
 use iprune_hawaii::exec::{infer, ExecMode};
 use iprune_models::zoo::App;
+use iprune_obs::{drain_shared, Attribution, MemorySink};
 
 fn bar(frac: f64) -> String {
     let n = (frac * 40.0).round() as usize;
@@ -27,8 +28,13 @@ fn main() {
 
         let mut sim_c = DeviceSim::new(PowerStrength::Continuous, 0);
         let cont = infer(&dm, &x, &mut sim_c, ExecMode::Continuous).expect("continuous");
+        let sink = MemorySink::shared();
         let mut sim_i = DeviceSim::new(PowerStrength::Continuous, 0);
+        sim_i.set_trace_sink(sink.clone());
         let inter = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).expect("intermittent");
+        let attr = Attribution::from_events(&drain_shared(&sink));
+        attr.reconcile(&iprune_obs::StatsTotals::from(&inter.stats))
+            .expect("attribution reconciles with SimStats");
 
         println!();
         println!("{} (unpruned)", app.name());
@@ -53,6 +59,11 @@ fn main() {
                 100.0 * s.nvm_write_s / busy,
                 bar(s.nvm_write_s / busy)
             );
+        }
+        println!();
+        println!("  per-layer attribution of (b), audited against SimStats:");
+        for line in attr.render_table().lines() {
+            println!("    {line}");
         }
     }
     println!();

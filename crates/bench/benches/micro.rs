@@ -21,7 +21,7 @@ fn sparse_dense(n: usize) -> Vec<i16> {
     (0..n * n)
         .map(|i| {
             let h = (i as u64).wrapping_mul(0x9E37_79B9);
-            if h % 4 == 0 {
+            if h.is_multiple_of(4) {
                 ((h >> 8) % 200) as i16 - 100
             } else {
                 0

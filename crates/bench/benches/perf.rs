@@ -47,16 +47,20 @@ struct KernelRow {
     tiled_gflops: f64,
 }
 
+/// A GEMM kernel entry point: `(a, b, c, m, k, n)`.
+type GemmFn = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
 /// Benchmarks one kernel shape at one thread count. The reference kernel is
 /// always serial; the tiled kernel fans rows out over `threads` workers.
+#[allow(clippy::too_many_arguments)]
 fn bench_kernel(
     kernel: &'static str,
     m: usize,
     k: usize,
     n: usize,
     threads: usize,
-    tiled: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
-    reference: fn(&[f32], &[f32], &mut [f32], usize, usize, usize),
+    tiled: GemmFn,
+    reference: GemmFn,
     a_len: usize,
     b_len: usize,
 ) -> KernelRow {
@@ -225,6 +229,11 @@ fn main() {
 
     let out = workspace_root().join("BENCH_perf.json");
     std::fs::write(&out, &json).expect("write BENCH_perf.json");
-    println!();
-    println!("wrote {}", out.display());
+    iprune_obs::log_info!("perf", "wrote {}", out.display());
+
+    // Host-metrics registry accumulated over the whole bench (GEMM calls,
+    // parallel-region shapes); IPRUNE_LOG=debug to see it.
+    for line in iprune_obs::metrics::render_snapshot().lines() {
+        iprune_obs::log_debug!("metrics", "{line}");
+    }
 }

@@ -1,0 +1,75 @@
+//! Trace smoke — traced intermittent inference with the observability
+//! stack end to end.
+//!
+//! Runs the unpruned HAR model intermittently under the weak-solar supply
+//! with a trace sink attached, then:
+//!
+//! 1. checks tracing changed nothing (outputs and stats bit-identical to
+//!    an untraced run, and a second traced run emits byte-identical JSONL);
+//! 2. folds the event stream into the per-layer attribution table and
+//!    reconciles it against the simulator's aggregate `SimStats`;
+//! 3. writes the Chrome `trace_event` export to `BENCH_trace.json` at the
+//!    workspace root — load it in `chrome://tracing` or Perfetto.
+//!
+//! The human-readable attribution table goes to stdout; narration goes
+//! through the `IPRUNE_LOG` stderr logger.
+
+use iprune_bench::cache::workspace_root;
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_hawaii::deploy::deploy;
+use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_models::zoo::App;
+use iprune_obs::{drain_shared, log_info, to_chrome_json, to_jsonl, Attribution, MemorySink};
+
+fn main() {
+    println!("Trace smoke — traced intermittent inference, audit, Chrome export");
+    println!("=================================================================");
+
+    let mut model = App::Har.build();
+    let calib = App::Har.dataset(4, 77);
+    let dm = deploy(&mut model, &calib, 4);
+    let x = calib.sample(0);
+
+    // Untraced reference run.
+    let mut sim_ref = DeviceSim::new(PowerStrength::Weak, 0);
+    let base = infer(&dm, &x, &mut sim_ref, ExecMode::Intermittent).expect("untraced run");
+
+    // Traced run.
+    let sink = MemorySink::shared();
+    let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+    sim.set_trace_sink(sink.clone());
+    let out = infer(&dm, &x, &mut sim, ExecMode::Intermittent).expect("traced run");
+    let events = drain_shared(&sink);
+
+    assert_eq!(out.logits, base.logits, "tracing changed inference outputs");
+    assert_eq!(out.stats, base.stats, "tracing changed simulator statistics");
+
+    // Second traced run: the event stream must be byte-reproducible.
+    let sink2 = MemorySink::shared();
+    let mut sim2 = DeviceSim::new(PowerStrength::Weak, 0);
+    sim2.set_trace_sink(sink2.clone());
+    let _ = infer(&dm, &x, &mut sim2, ExecMode::Intermittent).expect("second traced run");
+    let jsonl = to_jsonl(&events);
+    assert_eq!(jsonl, to_jsonl(&drain_shared(&sink2)), "trace is not deterministic");
+
+    // Attribution audit: the folded table must reconcile with SimStats.
+    let attr = Attribution::from_events(&events);
+    let totals = iprune_obs::StatsTotals::from(&out.stats);
+    attr.reconcile(&totals).expect("attribution does not reconcile with SimStats");
+
+    println!();
+    println!(
+        "HAR unpruned, weak solar, intermittent: {} events, {} jobs, {} power cycles, {:.3} s",
+        events.len(),
+        out.jobs,
+        out.power_cycles,
+        out.latency_s
+    );
+    println!();
+    print!("{}", attr.render_table());
+
+    let chrome = to_chrome_json(&events);
+    let out_path = workspace_root().join("BENCH_trace.json");
+    std::fs::write(&out_path, &chrome).expect("write BENCH_trace.json");
+    log_info!("trace", "wrote {} ({} bytes)", out_path.display(), chrome.len());
+}

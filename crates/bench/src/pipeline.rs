@@ -14,6 +14,7 @@ use iprune_hawaii::DeployedModel;
 use iprune_models::train::train_sgd;
 use iprune_models::zoo::App;
 use iprune_models::Model;
+use iprune_obs::log_info;
 
 /// The three model variants of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,16 +87,16 @@ pub fn trained_model(app: App, scale: &Scale, log: bool) -> (Model, Dataset, Dat
     let mut model = app.build();
     if cache::load(&mut model, app.name(), "base", scale.name) {
         if log {
-            eprintln!("[{}] loaded cached base model", app.name());
+            log_info!(app.name(), "loaded cached base model");
         }
         return (model, train, val);
     }
     let mut recipe = app.train_recipe();
     recipe.epochs *= scale.epoch_mul;
     if log {
-        eprintln!(
-            "[{}] training base model: {} samples x {} epochs",
+        log_info!(
             app.name(),
+            "training base model: {} samples x {} epochs",
             train.len(),
             recipe.epochs
         );
@@ -130,21 +131,21 @@ pub fn run_app_pipelines(app: App, scale: &Scale, log: bool) -> AppResults {
                 let vname = variant.label();
                 if cache::load(&mut model, app.name(), vname, scale.name) {
                     if log {
-                        eprintln!("[{}] loaded cached {} model", app.name(), vname);
+                        log_info!(app.name(), "loaded cached {} model", vname);
                     }
                     None
                 } else {
                     model.load_weights(&base.extract_weights());
                     let cfg = prune_config(app, variant, scale);
                     if log {
-                        eprintln!("[{}] running {} pipeline…", app.name(), vname);
+                        log_info!(app.name(), "running {} pipeline…", vname);
                     }
                     let report = prune(&mut model, &train, &val, &cfg);
                     if log {
                         for it in &report.iterations {
-                            eprintln!(
-                                "[{}]   iter {}: gamma {:.3} acc {:.3} density {:.3}{}",
+                            log_info!(
                                 app.name(),
+                                "  iter {}: gamma {:.3} acc {:.3} density {:.3}{}",
                                 it.iteration,
                                 it.gamma,
                                 it.accuracy,
@@ -152,9 +153,9 @@ pub fn run_app_pipelines(app: App, scale: &Scale, log: bool) -> AppResults {
                                 if it.struck { " (struck)" } else { "" }
                             );
                         }
-                        eprintln!(
-                            "[{}]   adopted {:?} (baseline {:.3})",
+                        log_info!(
                             app.name(),
+                            "  adopted {:?} (baseline {:.3})",
                             report.adopted_iteration,
                             report.baseline_accuracy
                         );
@@ -166,7 +167,7 @@ pub fn run_app_pipelines(app: App, scale: &Scale, log: bool) -> AppResults {
         };
         let (ch, deployed) = characterize(&mut model, &val, variant.label());
         if log {
-            eprintln!("[{}] {}", app.name(), ch.row());
+            log_info!(app.name(), "{}", ch.row());
         }
         variants.push(VariantResult { variant, ch, deployed, report });
     }

@@ -86,7 +86,7 @@ impl Scale {
             Ok("paper") => PAPER,
             Ok("standard") | Err(_) => STANDARD,
             Ok(other) => {
-                eprintln!("unknown IPRUNE_SCALE `{other}`, using standard");
+                iprune_obs::log_warn!("scale", "unknown IPRUNE_SCALE `{other}`, using standard");
                 STANDARD
             }
         }

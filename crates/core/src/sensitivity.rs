@@ -9,8 +9,10 @@ use crate::blocks::{mask_as_weight_shape, mask_out_block, LayerState};
 use iprune_datasets::Dataset;
 use iprune_models::train::evaluate;
 use iprune_models::Model;
+use iprune_obs::metrics::{self, Counter};
 use iprune_tensor::par;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Result of the per-layer sensitivity analysis.
 #[derive(Debug, Clone)]
@@ -61,8 +63,10 @@ pub fn analyze(
 ) -> Sensitivity {
     let baseline = evaluate(model, eval, batch);
 
+    static PROBES: OnceLock<Arc<Counter>> = OnceLock::new();
     let model_ref = &*model;
     let drops = par::par_map(states.len(), |li| {
+        PROBES.get_or_init(|| metrics::counter("sensitivity.probes")).inc();
         let state = &states[li];
         let sched = state.removal_schedule();
         let budget = ((state.alive_weights as f64) * probe_ratio).round() as usize;

@@ -164,6 +164,6 @@ mod tests {
             total += lw.w.numel();
         }
         let frac = zeroed as f64 / total as f64;
-        assert!(frac >= 0.28 && frac <= 0.35, "pruned {frac}");
+        assert!((0.28..=0.35).contains(&frac), "pruned {frac}");
     }
 }

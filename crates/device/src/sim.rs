@@ -16,6 +16,7 @@ use crate::power::{Capacitor, PowerStrength, Supply};
 use crate::spec::DeviceSpec;
 use crate::timing::TimingModel;
 use crate::trace::SimStats;
+use iprune_obs::{SharedSink, TraceEvent};
 use std::error::Error;
 use std::fmt;
 
@@ -90,6 +91,21 @@ pub struct DeviceSim {
     hook: Option<Box<dyn FaultHook>>,
     /// Detail of the most recent power failure (natural or injected).
     last_failure: Option<FailureDetail>,
+    /// Structured trace sink; `None` means tracing is off and emission
+    /// points cost a single branch.
+    sink: Option<SharedSink>,
+}
+
+/// Accounting class of a blocking DMA transfer: where its committed busy
+/// time lands in [`SimStats`] and which trace event it emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferClass {
+    /// Tile inputs, weights — `nvm_read_s`.
+    Read,
+    /// Non-preservation output writes — `nvm_write_s`.
+    Write,
+    /// Progress-recovery re-fetch — `recovery_s`.
+    Recovery,
 }
 
 impl DeviceSim {
@@ -152,6 +168,7 @@ impl DeviceSim {
             stats: SimStats::default(),
             hook: None,
             last_failure: None,
+            sink: None,
         }
     }
 
@@ -203,6 +220,42 @@ impl DeviceSim {
         self.last_failure.as_ref()
     }
 
+    /// Installs a structured trace sink. Every subsequent device activity
+    /// emits [`TraceEvent`]s carrying the exact durations credited to
+    /// [`SimStats`], timestamped in simulated seconds.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any.
+    pub fn clear_trace_sink(&mut self) -> Option<SharedSink> {
+        self.sink.take()
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits one event if tracing is on. The closure defers event
+    /// construction so a sink-less simulator pays only this branch.
+    #[inline]
+    fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            let ev = make();
+            sink.lock().expect("trace sink lock").emit(&ev);
+        }
+    }
+
+    /// Emits an engine-level scope event (layer/tile markers) into the
+    /// installed sink, if any. Engines timestamp scopes with [`Self::now`]
+    /// so they interleave correctly with the simulator's own activity
+    /// events; the closure is never called when tracing is off.
+    #[inline]
+    pub fn emit_scope(&self, make: impl FnOnce() -> TraceEvent) {
+        self.emit(make);
+    }
+
     /// Runs one accelerator job: LEA compute pipelined with the DMA
     /// write-back of its outputs and footprint.
     ///
@@ -215,7 +268,9 @@ impl DeviceSim {
     /// [`SimError::Nontermination`] if the job can never fit in one power
     /// cycle's energy budget.
     pub fn run_job(&mut self, cost: JobCost) -> Result<Commit, SimError> {
-        let t_lea = self.timing.lea_s(cost.lea_macs) + self.timing.cpu_s(cost.cpu_cycles);
+        let lea_busy = self.timing.lea_s(cost.lea_macs);
+        let cpu_busy = self.timing.cpu_s(cost.cpu_cycles);
+        let t_lea = lea_busy + cpu_busy;
         let t_wr = self.timing.nvm_write_s(cost.preserve_bytes);
 
         // The LEA may start the next job while the DMA still writes the
@@ -255,6 +310,13 @@ impl DeviceSim {
             window_s: wall,
             now_s: self.now,
         };
+        self.emit(|| TraceEvent::JobStart {
+            t: self.now,
+            index: view.index,
+            macs: cost.lea_macs as u64,
+            preserve_bytes: cost.preserve_bytes as u64,
+            window_s: wall,
+        });
         let injected = match self.hook.as_mut().map(|h| h.on_job(&view)) {
             Some(FaultDecision::FailAt(f)) => Some(f.clamp(0.0, 1.0).min(1.0 - 1e-12)),
             _ => None,
@@ -274,7 +336,8 @@ impl DeviceSim {
             // `fail_time` stays in NVM and everything after is lost.
             let preserve_frac =
                 if t_wr > 0.0 { ((fail_time - wr_start) / t_wr).clamp(0.0, 1.0) } else { 0.0 };
-            self.stats.wasted_s += fail_time - self.now;
+            let wasted = fail_time - self.now;
+            self.stats.wasted_s += wasted;
             self.stats.jobs_failed += 1;
             self.stats.power_cycles += 1;
             if is_injected {
@@ -295,6 +358,19 @@ impl DeviceSim {
             self.now = resume;
             self.lea_free = resume;
             self.dma_free = resume;
+            self.emit(|| TraceEvent::JobAbort {
+                t: fail_time,
+                index: view.index,
+                injected: is_injected,
+                preserve_frac,
+            });
+            self.emit(|| TraceEvent::PowerFail {
+                t: fail_time,
+                injected: is_injected,
+                wasted_s: wasted,
+            });
+            self.emit(|| TraceEvent::Recharge { t: fail_time, dur: off });
+            self.emit(|| TraceEvent::Reboot { t: fail_time + off, dur: self.timing.reboot_s });
             self.last_failure = Some(FailureDetail {
                 time_s: fail_time,
                 injected: is_injected,
@@ -316,12 +392,23 @@ impl DeviceSim {
         self.now = wr_end;
         self.lea_free = lea_end;
         self.dma_free = wr_end;
-        self.stats.lea_s += self.timing.lea_s(cost.lea_macs);
-        self.stats.cpu_s += self.timing.cpu_s(cost.cpu_cycles);
+        self.stats.lea_s += lea_busy;
+        self.stats.cpu_s += cpu_busy;
         self.stats.nvm_write_s += t_wr;
         self.stats.nvm_write_bytes += cost.preserve_bytes as u64;
         self.stats.lea_macs += cost.lea_macs as u64;
         self.stats.jobs_committed += 1;
+        self.emit(|| TraceEvent::JobCommit {
+            t: wr_end,
+            index: view.index,
+            lea_start,
+            lea_s: lea_busy,
+            cpu_s: cpu_busy,
+            write_start: wr_start,
+            write_s: t_wr,
+            write_bytes: cost.preserve_bytes as u64,
+            macs: cost.lea_macs as u64,
+        });
         if let Some(h) = self.hook.as_mut() {
             h.on_outcome(&view, &JobOutcome::Committed);
         }
@@ -337,10 +424,7 @@ impl DeviceSim {
     /// [`SimError::Nontermination`] if the re-fetch itself cannot fit in one
     /// power cycle.
     pub fn recover(&mut self, refetch_bytes: usize) -> Result<(), SimError> {
-        let t = self.run_blocking_transfer(refetch_bytes, false, "recovery read")?;
-        self.stats.recovery_s += t;
-        // blocking transfer accounted it as a read; move it to recovery
-        self.stats.nvm_read_s -= t;
+        self.run_blocking_transfer(refetch_bytes, TransferClass::Recovery, "recovery read")?;
         Ok(())
     }
 
@@ -354,9 +438,8 @@ impl DeviceSim {
     /// [`SimError::Nontermination`] if the transfer cannot fit in one power
     /// cycle. Split transfers into smaller DMA commands instead.
     pub fn run_read(&mut self, bytes: usize) -> Result<(), SimError> {
-        let t = self.run_blocking_transfer(bytes, false, "nvm read")?;
+        self.run_blocking_transfer(bytes, TransferClass::Read, "nvm read")?;
         self.stats.nvm_read_bytes += bytes as u64;
-        let _ = t;
         Ok(())
     }
 
@@ -369,9 +452,8 @@ impl DeviceSim {
     /// [`SimError::Nontermination`] if the transfer cannot fit in one power
     /// cycle.
     pub fn run_write(&mut self, bytes: usize) -> Result<(), SimError> {
-        let t = self.run_blocking_transfer(bytes, true, "nvm write")?;
+        self.run_blocking_transfer(bytes, TransferClass::Write, "nvm write")?;
         self.stats.nvm_write_bytes += bytes as u64;
-        let _ = t;
         Ok(())
     }
 
@@ -389,6 +471,7 @@ impl DeviceSim {
         let e_rate = self.energy.p_base_w;
         self.advance_blocking(t, e_rate, "cpu work")?;
         self.stats.cpu_s += t;
+        self.emit(|| TraceEvent::CpuWork { t: self.now - t, dur: t, cycles: cycles as u64 });
         Ok(())
     }
 
@@ -433,13 +516,15 @@ impl DeviceSim {
     fn run_blocking_transfer(
         &mut self,
         bytes: usize,
-        is_write: bool,
+        class: TransferClass,
         what: &'static str,
     ) -> Result<f64, SimError> {
         if bytes == 0 {
             return Ok(0.0);
         }
+        let is_write = class == TransferClass::Write;
         let extra = if is_write { self.energy.p_nvm_write_w } else { self.energy.p_nvm_read_w };
+        let t_start = self.now.max(self.dma_free).max(self.lea_free);
         let mut total = 0.0;
         let mut remaining = bytes;
         while remaining > 0 {
@@ -453,11 +538,22 @@ impl DeviceSim {
             total += t;
             remaining -= chunk;
         }
-        if is_write {
-            self.stats.nvm_write_s += total;
-        } else {
-            self.stats.nvm_read_s += total;
+        match class {
+            TransferClass::Read => self.stats.nvm_read_s += total,
+            TransferClass::Write => self.stats.nvm_write_s += total,
+            TransferClass::Recovery => self.stats.recovery_s += total,
         }
+        self.emit(|| match class {
+            TransferClass::Read => {
+                TraceEvent::NvmRead { t: t_start, dur: total, bytes: bytes as u64 }
+            }
+            TransferClass::Write => {
+                TraceEvent::NvmWrite { t: t_start, dur: total, bytes: bytes as u64 }
+            }
+            TransferClass::Recovery => {
+                TraceEvent::RecoveryRead { t: t_start, dur: total, bytes: bytes as u64 }
+            }
+        });
         Ok(total)
     }
 
@@ -496,12 +592,16 @@ impl DeviceSim {
             // failed mid-activity: lose it, recharge, reboot, retry
             let frac = if net > 0.0 { (before / net).clamp(0.0, 1.0) } else { 1.0 };
             let fail_time = cursor + frac * t;
-            self.stats.wasted_s += fail_time - cursor;
+            let wasted = fail_time - cursor;
+            self.stats.wasted_s += wasted;
             self.stats.power_cycles += 1;
             let off = self.recharge_duration(fail_time);
             self.cap.refill();
             self.stats.charging_s += off;
             self.stats.recovery_s += self.timing.reboot_s;
+            self.emit(|| TraceEvent::PowerFail { t: fail_time, injected: false, wasted_s: wasted });
+            self.emit(|| TraceEvent::Recharge { t: fail_time, dur: off });
+            self.emit(|| TraceEvent::Reboot { t: fail_time + off, dur: self.timing.reboot_s });
             cursor = fail_time + off + self.timing.reboot_s;
         }
     }
@@ -540,6 +640,7 @@ mod tests {
         }
         assert!(failures > 0, "weak power should brown out");
         assert_eq!(sim.stats().power_cycles, failures);
+        sim.stats().check_invariants().unwrap();
     }
 
     #[test]
@@ -664,6 +765,8 @@ mod tests {
         }
         assert!(sim.stats().power_cycles > 0);
         assert!(sim.now() > fast.now(), "trace with dark phases must be slower");
+        sim.stats().check_invariants().unwrap();
+        fast.stats().check_invariants().unwrap();
     }
 
     /// Hook failing exactly one chosen attempt at a chosen window fraction.
@@ -812,5 +915,68 @@ mod tests {
         sim.run_write(0).unwrap();
         sim.run_cpu(0).unwrap();
         assert_eq!(sim.now(), 0.0);
+    }
+
+    #[test]
+    fn invariants_catch_corrupted_stats() {
+        let mut s = SimStats::default();
+        s.check_invariants().unwrap();
+        s.charging_s = -1.0;
+        assert!(s.check_invariants().unwrap_err().contains("charging_s"));
+        s.charging_s = 0.0;
+        s.injected_failures = 3;
+        assert!(s.check_invariants().unwrap_err().contains("injected_failures"));
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_stats() {
+        use iprune_obs::{drain_shared, Attribution, MemorySink, StatsTotals};
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        let sink = MemorySink::shared();
+        sim.set_trace_sink(sink.clone());
+        assert!(sim.tracing());
+        let cost = JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 };
+        let mut committed = 0;
+        while committed < 2_000 {
+            match sim.run_job(cost).unwrap() {
+                Commit::Committed => committed += 1,
+                Commit::PowerFailed => sim.recover(128).unwrap(),
+            }
+        }
+        sim.run_read(4096).unwrap();
+        sim.run_write(256).unwrap();
+        sim.run_cpu(500).unwrap();
+        sim.stats().check_invariants().unwrap();
+        let events = drain_shared(&sink);
+        assert!(sim.stats().power_cycles > 0, "weak power should brown out");
+        let attr = Attribution::from_events(&events);
+        let totals = StatsTotals::from(sim.stats());
+        if let Err(e) = attr.reconcile(&totals) {
+            panic!("trace does not reconcile with SimStats:\n{e:?}");
+        }
+    }
+
+    #[test]
+    fn untraced_and_traced_runs_are_identical() {
+        use iprune_obs::MemorySink;
+        let run = |traced: bool| {
+            let mut sim = DeviceSim::new(PowerStrength::Weak, 7);
+            if traced {
+                sim.set_trace_sink(MemorySink::shared());
+            }
+            let cost = JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 };
+            let mut committed = 0;
+            while committed < 1_000 {
+                match sim.run_job(cost).unwrap() {
+                    Commit::Committed => committed += 1,
+                    Commit::PowerFailed => sim.recover(128).unwrap(),
+                }
+            }
+            (sim.now(), sim.stats().clone())
+        };
+        let (t_plain, s_plain) = run(false);
+        let (t_traced, s_traced) = run(true);
+        assert_eq!(t_plain, t_traced);
+        assert_eq!(s_plain, s_traced);
     }
 }

@@ -52,6 +52,77 @@ impl SimStats {
             self.nvm_write_s / b
         }
     }
+
+    /// Structural sanity checks that hold for every reachable simulator
+    /// state: all times finite and non-negative, injected failures a subset
+    /// of power cycles, failed jobs each backed by a power cycle, and the
+    /// derived shares well-formed. Returns a description of the first
+    /// violated invariant.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let times = [
+            ("nvm_read_s", self.nvm_read_s),
+            ("nvm_write_s", self.nvm_write_s),
+            ("lea_s", self.lea_s),
+            ("cpu_s", self.cpu_s),
+            ("recovery_s", self.recovery_s),
+            ("charging_s", self.charging_s),
+            ("wasted_s", self.wasted_s),
+        ];
+        for (name, v) in times {
+            if !v.is_finite() {
+                return Err(format!("{name} is not finite: {v}"));
+            }
+            if v < 0.0 {
+                return Err(format!("{name} is negative: {v}"));
+            }
+        }
+        if self.injected_failures > self.power_cycles {
+            return Err(format!(
+                "injected_failures {} exceeds power_cycles {}",
+                self.injected_failures, self.power_cycles
+            ));
+        }
+        if self.jobs_failed > self.power_cycles {
+            return Err(format!(
+                "jobs_failed {} exceeds power_cycles {} (every abort costs a cycle)",
+                self.jobs_failed, self.power_cycles
+            ));
+        }
+        let busy = self.busy_s();
+        if !busy.is_finite() || busy < 0.0 {
+            return Err(format!("busy_s() is ill-formed: {busy}"));
+        }
+        let share = self.write_share();
+        if !(0.0..=1.0).contains(&share) {
+            return Err(format!("write_share() outside [0, 1]: {share}"));
+        }
+        Ok(())
+    }
+}
+
+impl From<&SimStats> for iprune_obs::StatsTotals {
+    fn from(s: &SimStats) -> Self {
+        iprune_obs::StatsTotals {
+            nvm_read_s: s.nvm_read_s,
+            nvm_write_s: s.nvm_write_s,
+            lea_s: s.lea_s,
+            cpu_s: s.cpu_s,
+            recovery_s: s.recovery_s,
+            charging_s: s.charging_s,
+            wasted_s: s.wasted_s,
+            nvm_read_bytes: s.nvm_read_bytes,
+            nvm_write_bytes: s.nvm_write_bytes,
+            lea_macs: s.lea_macs,
+            jobs_committed: s.jobs_committed,
+            jobs_failed: s.jobs_failed,
+            power_cycles: s.power_cycles,
+            injected_failures: s.injected_failures,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,8 +15,10 @@ use iprune_device::power::Supply;
 use iprune_device::{DeviceSim, PowerStrength};
 use iprune_hawaii::exec::{infer, ExecMode};
 use iprune_hawaii::DeployedModel;
+use iprune_obs::{log_error, MemorySink, TraceEvent};
 use iprune_tensor::Tensor;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Report label for an execution mode.
@@ -105,6 +107,12 @@ impl<'a> CampaignCtx<'a> {
 
     /// Runs `mode` once with `plan` installed over `supply` and checks the
     /// differential + shadow oracles.
+    ///
+    /// Every run is traced into a [`MemorySink`]; when a run fails either
+    /// oracle (or violates the `SimStats` invariants), its full event trace
+    /// is dumped as JSONL — to `IPRUNE_TRACE_DIR` if set, else the system
+    /// temp dir — and the path is logged at error level, so a red
+    /// differential campaign leaves the evidence behind.
     pub fn run_one(
         &self,
         mode: ExecMode,
@@ -118,9 +126,12 @@ impl<'a> CampaignCtx<'a> {
         let shadow = Arc::new(Mutex::new(ShadowNvm::with_device_capacity()));
         let mut sim = DeviceSim::with_supply(supply, seed);
         sim.set_fault_hook(Box::new(PlanHook::new(plan, Arc::clone(&shadow))));
+        let sink = MemorySink::shared();
+        sim.set_trace_sink(sink.clone());
         let result = infer(self.dm, self.input, &mut sim, mode);
         let shadow = shadow.lock().expect("shadow NVM lock");
-        match result {
+        let invariants = sim.stats().check_invariants();
+        let run = match result {
             Ok(out) => {
                 let bit_identical = out.logits == self.reference;
                 let consistent = shadow.check_completed().is_ok();
@@ -128,7 +139,7 @@ impl<'a> CampaignCtx<'a> {
                     plan: plan_name,
                     mode: mode_label(mode),
                     supply: supply_label.to_string(),
-                    ok: bit_identical && consistent,
+                    ok: bit_identical && consistent && invariants.is_ok(),
                     injected_failures: out.stats.injected_failures,
                     power_cycles: out.power_cycles,
                     jobs: out.jobs,
@@ -136,7 +147,7 @@ impl<'a> CampaignCtx<'a> {
                     reexecuted_macs: out.stats.lea_macs.saturating_sub(nominal.macs),
                     shadow: shadow.stats().clone(),
                     latency_s: out.latency_s,
-                    error: None,
+                    error: invariants.err().map(|e| format!("stats invariant violated: {e}")),
                 }
             }
             Err(e) => FaultRun {
@@ -153,8 +164,46 @@ impl<'a> CampaignCtx<'a> {
                 latency_s: sim.now(),
                 error: Some(e.to_string()),
             },
+        };
+        if !run.ok && run.error.is_none() {
+            // A failed *differential* run (oracle mismatch, not an engine
+            // error the caller asserts on) is exactly the case the trace
+            // exists for: dump it and say where it went.
+            let events = iprune_obs::drain_shared(&sink);
+            match dump_failed_trace(&run, &events) {
+                Some(path) => log_error!(
+                    "faults",
+                    "differential run failed (plan={} mode={} supply={}); trace dumped to {}",
+                    run.plan,
+                    run.mode,
+                    run.supply,
+                    path.display()
+                ),
+                None => log_error!(
+                    "faults",
+                    "differential run failed (plan={} mode={} supply={}); trace dump failed",
+                    run.plan,
+                    run.mode,
+                    run.supply
+                ),
+            }
         }
+        run
     }
+}
+
+/// Writes a failed run's event trace as JSONL and returns the path
+/// (`IPRUNE_TRACE_DIR` if set, else the system temp dir).
+fn dump_failed_trace(run: &FaultRun, events: &[TraceEvent]) -> Option<PathBuf> {
+    let dir =
+        std::env::var_os("IPRUNE_TRACE_DIR").map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    let slug: String = format!("{}-{}-{}", run.plan, run.mode, run.supply)
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("iprune-failed-{slug}.trace.jsonl"));
+    std::fs::write(&path, iprune_obs::to_jsonl(events)).ok()?;
+    Some(path)
 }
 
 /// Exhaustive job-boundary sweep: for each mode, fail once at every

@@ -21,6 +21,7 @@ use crate::deploy::{DeployedLayer, DeployedModel};
 use iprune_device::sim::{Commit, DeviceSim, JobCost, SimError};
 use iprune_device::trace::SimStats;
 use iprune_models::arch::{GraphOp, PrunableKind};
+use iprune_obs::TraceEvent;
 use iprune_tensor::quant::{requantize, QFormat};
 use iprune_tensor::Tensor;
 use std::error::Error;
@@ -139,13 +140,18 @@ pub fn infer(
     let mut counters = Counters { jobs: 0, partials: 0, retries: 0 };
     let cycles_at_start = sim.stats().power_cycles;
 
-    for op in &dm.info.graph {
+    for (op_idx, op) in dm.info.graph.iter().enumerate() {
         // Continuous mode has no progress preservation at all: any power
         // cycle so far (even one absorbed inside a blocking transfer) has
         // wiped the volatile accumulators and the inference is lost.
         if mode == ExecMode::Continuous && sim.stats().power_cycles > cycles_at_start {
             return Err(EngineError::PowerLostInContinuousMode);
         }
+        sim.emit_scope(|| TraceEvent::LayerStart {
+            t: sim.now(),
+            op: op_idx as u32,
+            label: op_label(op),
+        });
         match op {
             GraphOp::Conv { layer_id, src, dst, dst_c_off, relu } => {
                 let dl = &dm.layers[*layer_id];
@@ -228,6 +234,7 @@ pub fn infer(
                 // address reinterpretation — no device work
             }
         }
+        sim.emit_scope(|| TraceEvent::LayerEnd { t: sim.now(), op: op_idx as u32 });
     }
 
     if mode == ExecMode::Continuous && sim.stats().power_cycles > cycles_at_start {
@@ -253,6 +260,17 @@ pub fn infer(
         retries: counters.retries,
         stats: sim.stats().clone(),
     })
+}
+
+/// Human-readable label for one graph operation, used in layer scopes.
+fn op_label(op: &GraphOp) -> String {
+    match op {
+        GraphOp::Conv { layer_id, .. } => format!("conv{layer_id}"),
+        GraphOp::Fc { layer_id, .. } => format!("fc{layer_id}"),
+        GraphOp::MaxPool { .. } => "maxpool".to_string(),
+        GraphOp::GlobalAvgPool { .. } => "gap".to_string(),
+        GraphOp::Flatten { .. } => "flatten".to_string(),
+    }
 }
 
 /// Conv geometry needed for input gathering.
@@ -376,7 +394,18 @@ fn exec_gemm(
         for rb in 0..plan.row_blocks() {
             let rows = plan.rows_in_block(rb);
             let outputs = exec_tile(
-                dl, sim, mode, counters, &col, rb, s_len, bias_shift, in_frac, w_frac, out_fmt,
+                dl,
+                sim,
+                mode,
+                counters,
+                &col,
+                rb,
+                strip_start,
+                s_len,
+                bias_shift,
+                in_frac,
+                w_frac,
+                out_fmt,
                 relu,
             )?;
             for r in 0..rows {
@@ -408,6 +437,7 @@ fn exec_tile(
     counters: &mut Counters,
     col: &[i16],
     rb: usize,
+    strip_start: usize,
     s_len: usize,
     bias_shift: u32,
     in_frac: u8,
@@ -421,6 +451,11 @@ fn exec_tile(
     let mut tile_retries = 0u32;
 
     'tile: loop {
+        sim.emit_scope(|| TraceEvent::TileStart {
+            t: sim.now(),
+            rb: rb as u32,
+            strip: strip_start as u32,
+        });
         // bias goes into the accumulators before the first chunk
         let mut scratch: Vec<i64> = (0..rows * s_len)
             .map(|i| (dl.bias[rb * br + i / s_len] as i64) << bias_shift)
@@ -527,6 +562,11 @@ fn exec_tile(
                 sim.run_write(out_bytes)?;
             }
         }
+        sim.emit_scope(|| TraceEvent::TileCommit {
+            t: sim.now(),
+            rb: rb as u32,
+            strip: strip_start as u32,
+        });
         return Ok(outputs);
     }
 }
@@ -727,6 +767,46 @@ mod tests {
         let inter = infer(&dm, &x, &mut sim_i, ExecMode::Intermittent).unwrap();
         assert_eq!(cont.logits, inter.logits);
         assert!(cont.logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn traced_inference_has_layer_scopes_and_reconciles() {
+        use iprune_obs::{drain_shared, Attribution, MemorySink, StatsTotals};
+        let (dm, ds) = har_deployed();
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 3);
+        let sink = MemorySink::shared();
+        sim.set_trace_sink(sink.clone());
+        let out = infer(&dm, &ds.sample(0), &mut sim, ExecMode::Intermittent).unwrap();
+        out.stats.check_invariants().unwrap();
+        let events = drain_shared(&sink);
+        let starts = events.iter().filter(|e| matches!(e, TraceEvent::LayerStart { .. })).count();
+        let ends = events.iter().filter(|e| matches!(e, TraceEvent::LayerEnd { .. })).count();
+        assert_eq!(starts, dm.info.graph.len(), "one LayerStart per graph op");
+        assert_eq!(ends, starts, "every layer scope closes");
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::TileCommit { .. })));
+        assert!(out.power_cycles > 0, "weak power should brown out");
+        let attr = Attribution::from_events(&events);
+        if let Err(e) = attr.reconcile(&StatsTotals::from(&out.stats)) {
+            panic!("trace does not reconcile with SimStats:\n{e:?}");
+        }
+        let labels: Vec<&str> = attr.rows().iter().map(|r| r.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("conv")), "labels: {labels:?}");
+        assert!(labels.iter().any(|l| l.starts_with("fc")), "labels: {labels:?}");
+    }
+
+    #[test]
+    fn tracing_does_not_change_inference_results() {
+        use iprune_obs::MemorySink;
+        let (dm, ds) = har_deployed();
+        let x = ds.sample(1);
+        let mut plain = DeviceSim::new(PowerStrength::Weak, 9);
+        let a = infer(&dm, &x, &mut plain, ExecMode::Intermittent).unwrap();
+        let mut traced = DeviceSim::new(PowerStrength::Weak, 9);
+        traced.set_trace_sink(MemorySink::shared());
+        let b = infer(&dm, &x, &mut traced, ExecMode::Intermittent).unwrap();
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(a.latency_s, b.latency_s);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Per-layer × per-activity-class attribution of simulated time.
+//!
+//! Folding a trace gives the paper's Figure 2 latency breakdown *per
+//! layer*: for every graph operation, how much committed busy time went to
+//! NVM reads, NVM writes (progress preservation), LEA compute, and CPU
+//! work — plus the intermittence overheads (recovery, recharge, wasted
+//! re-executed time) that struck while that layer was executing.
+//!
+//! The table is not an estimate: device events carry the exact durations
+//! the simulator added to its `SimStats`, so [`Attribution::reconcile`]
+//! audits the trace against the aggregate statistics field by field.
+//! A reconciled trace provably accounts for every simulated second (to
+//! 1e-9, the slack fp summation order is allowed) and every byte, MAC,
+//! job, and power cycle exactly.
+
+use crate::event::TraceEvent;
+use std::fmt;
+
+/// Activity classes, matching the `SimStats` time fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivityClass {
+    /// Committed NVM read busy time.
+    NvmRead,
+    /// Committed NVM write busy time (incl. progress preservation).
+    NvmWrite,
+    /// Committed LEA busy time.
+    Lea,
+    /// Committed CPU busy time.
+    Cpu,
+    /// Reboot + progress-recovery time.
+    Recovery,
+    /// Off time, recharging the capacitor.
+    Charging,
+    /// Busy time lost to power failures (re-executed).
+    Wasted,
+}
+
+impl ActivityClass {
+    /// All classes, in `SimStats` field order.
+    pub const ALL: [ActivityClass; 7] = [
+        ActivityClass::NvmRead,
+        ActivityClass::NvmWrite,
+        ActivityClass::Lea,
+        ActivityClass::Cpu,
+        ActivityClass::Recovery,
+        ActivityClass::Charging,
+        ActivityClass::Wasted,
+    ];
+
+    /// Short column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ActivityClass::NvmRead => "nvm_read",
+            ActivityClass::NvmWrite => "nvm_write",
+            ActivityClass::Lea => "lea",
+            ActivityClass::Cpu => "cpu",
+            ActivityClass::Recovery => "recovery",
+            ActivityClass::Charging => "charging",
+            ActivityClass::Wasted => "wasted",
+        }
+    }
+}
+
+const N_CLASSES: usize = ActivityClass::ALL.len();
+
+/// One attribution row: a graph operation (or the inter-layer gap).
+#[derive(Debug, Clone)]
+pub struct LayerRow {
+    /// Graph-operation index; `None` for time outside any layer scope.
+    pub op: Option<u32>,
+    /// Operation label from the `LayerStart` event.
+    pub label: String,
+    /// Seconds per activity class, indexed by [`ActivityClass::ALL`] order.
+    pub secs: [f64; N_CLASSES],
+    /// Bytes read from NVM inside this scope.
+    pub read_bytes: u64,
+    /// Bytes written to NVM inside this scope (preservation + output).
+    pub write_bytes: u64,
+    /// MACs committed inside this scope.
+    pub macs: u64,
+    /// Jobs committed inside this scope.
+    pub jobs: u64,
+    /// Power failures that struck inside this scope.
+    pub power_fails: u64,
+}
+
+impl LayerRow {
+    fn new(op: Option<u32>, label: String) -> Self {
+        Self {
+            op,
+            label,
+            secs: [0.0; N_CLASSES],
+            read_bytes: 0,
+            write_bytes: 0,
+            macs: 0,
+            jobs: 0,
+            power_fails: 0,
+        }
+    }
+
+    /// This row's seconds in `class`.
+    pub fn secs_in(&self, class: ActivityClass) -> f64 {
+        self.secs[ActivityClass::ALL.iter().position(|c| *c == class).expect("known class")]
+    }
+
+    /// Committed busy seconds (read + write + lea + cpu) of this row.
+    pub fn busy_s(&self) -> f64 {
+        self.secs_in(ActivityClass::NvmRead)
+            + self.secs_in(ActivityClass::NvmWrite)
+            + self.secs_in(ActivityClass::Lea)
+            + self.secs_in(ActivityClass::Cpu)
+    }
+
+    /// All seconds including intermittence overheads.
+    pub fn total_s(&self) -> f64 {
+        self.secs.iter().sum()
+    }
+}
+
+/// Aggregate totals to reconcile a trace against — a mirror of the device
+/// crate's `SimStats` (this crate sits below `iprune-device` in the
+/// dependency order, so the device crate provides the conversion).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsTotals {
+    /// Committed NVM read busy time (s).
+    pub nvm_read_s: f64,
+    /// Committed NVM write busy time (s).
+    pub nvm_write_s: f64,
+    /// Committed LEA busy time (s).
+    pub lea_s: f64,
+    /// Committed CPU busy time (s).
+    pub cpu_s: f64,
+    /// Reboot + recovery time (s).
+    pub recovery_s: f64,
+    /// Capacitor recharge time (s).
+    pub charging_s: f64,
+    /// Busy time lost to power failures (s).
+    pub wasted_s: f64,
+    /// Bytes read from NVM.
+    pub nvm_read_bytes: u64,
+    /// Bytes written to NVM.
+    pub nvm_write_bytes: u64,
+    /// MACs committed.
+    pub lea_macs: u64,
+    /// Jobs committed.
+    pub jobs_committed: u64,
+    /// Job attempts aborted by power failure.
+    pub jobs_failed: u64,
+    /// Power cycles.
+    pub power_cycles: u64,
+    /// Power cycles forced by a fault hook.
+    pub injected_failures: u64,
+}
+
+/// A failed reconciliation: every field that disagreed.
+#[derive(Debug, Clone)]
+pub struct AuditError {
+    /// One `field: trace=… stats=…` entry per mismatch.
+    pub mismatches: Vec<String>,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace does not reconcile with SimStats: {}", self.mismatches.join("; "))
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// The folded per-layer attribution table.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    rows: Vec<LayerRow>,
+    /// Per-class totals accumulated in event order (the same chronological
+    /// order the simulator used), so reconciliation is immune to row
+    /// regrouping.
+    class_totals: [f64; N_CLASSES],
+    read_bytes: u64,
+    write_bytes: u64,
+    macs: u64,
+    jobs_committed: u64,
+    jobs_failed: u64,
+    power_cycles: u64,
+    injected_failures: u64,
+}
+
+impl Attribution {
+    /// Folds a trace into the attribution table.
+    ///
+    /// Device activity between a `LayerStart { op }` and its matching
+    /// `LayerEnd` is attributed to that operation; activity outside any
+    /// scope lands in a synthetic `(outside)` row. Re-entering an `op`
+    /// (which the engine never does within one inference) accumulates into
+    /// the existing row.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut attr = Attribution {
+            rows: Vec::new(),
+            class_totals: [0.0; N_CLASSES],
+            read_bytes: 0,
+            write_bytes: 0,
+            macs: 0,
+            jobs_committed: 0,
+            jobs_failed: 0,
+            power_cycles: 0,
+            injected_failures: 0,
+        };
+        let mut current: Option<usize> = None;
+        for ev in events {
+            match ev {
+                TraceEvent::LayerStart { op, label, .. } => {
+                    let idx = match attr.rows.iter().position(|r| r.op == Some(*op)) {
+                        Some(i) => i,
+                        None => {
+                            attr.rows.push(LayerRow::new(Some(*op), label.clone()));
+                            attr.rows.len() - 1
+                        }
+                    };
+                    current = Some(idx);
+                }
+                TraceEvent::LayerEnd { .. } => current = None,
+                TraceEvent::TileStart { .. } | TraceEvent::TileCommit { .. } => {}
+                TraceEvent::JobStart { .. } => {}
+                TraceEvent::JobCommit { lea_s, cpu_s, write_s, write_bytes, macs, .. } => {
+                    let row = attr.row_mut(current);
+                    row.secs[2] += *lea_s; // Lea
+                    row.secs[3] += *cpu_s; // Cpu
+                    row.secs[1] += *write_s; // NvmWrite
+                    row.write_bytes += *write_bytes;
+                    row.macs += *macs;
+                    row.jobs += 1;
+                    attr.class_totals[2] += *lea_s;
+                    attr.class_totals[3] += *cpu_s;
+                    attr.class_totals[1] += *write_s;
+                    attr.write_bytes += *write_bytes;
+                    attr.macs += *macs;
+                    attr.jobs_committed += 1;
+                }
+                TraceEvent::JobAbort { .. } => attr.jobs_failed += 1,
+                TraceEvent::NvmRead { dur, bytes, .. } => {
+                    let row = attr.row_mut(current);
+                    row.secs[0] += *dur;
+                    row.read_bytes += *bytes;
+                    attr.class_totals[0] += *dur;
+                    attr.read_bytes += *bytes;
+                }
+                TraceEvent::NvmWrite { dur, bytes, .. } => {
+                    let row = attr.row_mut(current);
+                    row.secs[1] += *dur;
+                    row.write_bytes += *bytes;
+                    attr.class_totals[1] += *dur;
+                    attr.write_bytes += *bytes;
+                }
+                TraceEvent::CpuWork { dur, .. } => {
+                    attr.row_mut(current).secs[3] += *dur;
+                    attr.class_totals[3] += *dur;
+                }
+                TraceEvent::RecoveryRead { dur, .. } => {
+                    attr.row_mut(current).secs[4] += *dur;
+                    attr.class_totals[4] += *dur;
+                }
+                TraceEvent::PowerFail { injected, wasted_s, .. } => {
+                    let row = attr.row_mut(current);
+                    row.secs[6] += *wasted_s;
+                    row.power_fails += 1;
+                    attr.class_totals[6] += *wasted_s;
+                    attr.power_cycles += 1;
+                    if *injected {
+                        attr.injected_failures += 1;
+                    }
+                }
+                TraceEvent::Recharge { dur, .. } => {
+                    attr.row_mut(current).secs[5] += *dur;
+                    attr.class_totals[5] += *dur;
+                }
+                TraceEvent::Reboot { dur, .. } => {
+                    attr.row_mut(current).secs[4] += *dur;
+                    attr.class_totals[4] += *dur;
+                }
+            }
+        }
+        attr
+    }
+
+    fn row_mut(&mut self, current: Option<usize>) -> &mut LayerRow {
+        match current {
+            Some(i) => &mut self.rows[i],
+            None => {
+                if self.rows.last().map(|r| r.op.is_none()) != Some(true) {
+                    self.rows.push(LayerRow::new(None, "(outside)".to_string()));
+                }
+                self.rows.last_mut().expect("just ensured")
+            }
+        }
+    }
+
+    /// The per-layer rows, in first-seen order.
+    pub fn rows(&self) -> &[LayerRow] {
+        &self.rows
+    }
+
+    /// Total seconds in `class` across all rows (chronological
+    /// accumulation).
+    pub fn total_in(&self, class: ActivityClass) -> f64 {
+        self.class_totals[ActivityClass::ALL.iter().position(|c| *c == class).expect("known")]
+    }
+
+    /// Committed busy seconds across all rows.
+    pub fn busy_s(&self) -> f64 {
+        self.total_in(ActivityClass::NvmRead)
+            + self.total_in(ActivityClass::NvmWrite)
+            + self.total_in(ActivityClass::Lea)
+            + self.total_in(ActivityClass::Cpu)
+    }
+
+    /// Audits the table against the simulator's aggregate statistics.
+    ///
+    /// Time fields must agree within `1e-9` (absolute, and relative for
+    /// values above one second); count fields must agree exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError`] listing every disagreeing field.
+    pub fn reconcile(&self, stats: &StatsTotals) -> Result<(), AuditError> {
+        let mut mismatches = Vec::new();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        let time_fields: [(&str, f64, f64); 7] = [
+            ("nvm_read_s", self.total_in(ActivityClass::NvmRead), stats.nvm_read_s),
+            ("nvm_write_s", self.total_in(ActivityClass::NvmWrite), stats.nvm_write_s),
+            ("lea_s", self.total_in(ActivityClass::Lea), stats.lea_s),
+            ("cpu_s", self.total_in(ActivityClass::Cpu), stats.cpu_s),
+            ("recovery_s", self.total_in(ActivityClass::Recovery), stats.recovery_s),
+            ("charging_s", self.total_in(ActivityClass::Charging), stats.charging_s),
+            ("wasted_s", self.total_in(ActivityClass::Wasted), stats.wasted_s),
+        ];
+        for (name, trace, expect) in time_fields {
+            if !close(trace, expect) {
+                mismatches.push(format!("{name}: trace={trace:.12e} stats={expect:.12e}"));
+            }
+        }
+        let count_fields: [(&str, u64, u64); 7] = [
+            ("nvm_read_bytes", self.read_bytes, stats.nvm_read_bytes),
+            ("nvm_write_bytes", self.write_bytes, stats.nvm_write_bytes),
+            ("lea_macs", self.macs, stats.lea_macs),
+            ("jobs_committed", self.jobs_committed, stats.jobs_committed),
+            ("jobs_failed", self.jobs_failed, stats.jobs_failed),
+            ("power_cycles", self.power_cycles, stats.power_cycles),
+            ("injected_failures", self.injected_failures, stats.injected_failures),
+        ];
+        for (name, trace, expect) in count_fields {
+            if trace != expect {
+                mismatches.push(format!("{name}: trace={trace} stats={expect}"));
+            }
+        }
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(AuditError { mismatches })
+        }
+    }
+
+    /// Renders the table as aligned text: one row per layer, one column
+    /// per activity class (seconds), plus each row's share of the total
+    /// committed busy time.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:<12}", "layer");
+        for c in ActivityClass::ALL {
+            let _ = write!(out, " {:>11}", c.label());
+        }
+        let _ = writeln!(out, " {:>7}", "busy%");
+        let busy = self.busy_s().max(f64::MIN_POSITIVE);
+        for row in &self.rows {
+            let _ = write!(out, "{:<12}", row.label);
+            for s in row.secs {
+                let _ = write!(out, " {:>11.6}", s);
+            }
+            let _ = writeln!(out, " {:>6.1}%", 100.0 * row.busy_s() / busy);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_job(lea_s: f64, write_s: f64, bytes: u64, macs: u64) -> TraceEvent {
+        TraceEvent::JobCommit {
+            t: 0.0,
+            index: 0,
+            lea_start: 0.0,
+            lea_s,
+            cpu_s: 0.0,
+            write_start: 0.0,
+            write_s,
+            write_bytes: bytes,
+            macs,
+        }
+    }
+
+    #[test]
+    fn attribution_assigns_to_the_open_layer() {
+        let events = vec![
+            TraceEvent::LayerStart { t: 0.0, op: 0, label: "conv0".into() },
+            committed_job(1.0, 2.0, 34, 64),
+            TraceEvent::LayerEnd { t: 3.0, op: 0 },
+            TraceEvent::LayerStart { t: 3.0, op: 1, label: "fc1".into() },
+            committed_job(0.5, 0.25, 10, 8),
+            TraceEvent::LayerEnd { t: 4.0, op: 1 },
+        ];
+        let attr = Attribution::from_events(&events);
+        assert_eq!(attr.rows().len(), 2);
+        assert_eq!(attr.rows()[0].label, "conv0");
+        assert_eq!(attr.rows()[0].secs_in(ActivityClass::Lea), 1.0);
+        assert_eq!(attr.rows()[1].secs_in(ActivityClass::NvmWrite), 0.25);
+        assert_eq!(attr.total_in(ActivityClass::Lea), 1.5);
+        assert_eq!(attr.busy_s(), 3.75);
+    }
+
+    #[test]
+    fn unscoped_activity_lands_outside() {
+        let events = vec![
+            TraceEvent::NvmRead { t: 0.0, dur: 0.5, bytes: 100 },
+            TraceEvent::LayerStart { t: 1.0, op: 0, label: "conv0".into() },
+            TraceEvent::LayerEnd { t: 1.0, op: 0 },
+        ];
+        let attr = Attribution::from_events(&events);
+        assert_eq!(attr.rows()[0].op, None);
+        assert_eq!(attr.rows()[0].secs_in(ActivityClass::NvmRead), 0.5);
+    }
+
+    #[test]
+    fn reconcile_accepts_matching_totals() {
+        let events = vec![
+            TraceEvent::LayerStart { t: 0.0, op: 0, label: "conv0".into() },
+            committed_job(1.0, 2.0, 34, 64),
+            TraceEvent::PowerFail { t: 3.0, injected: true, wasted_s: 0.125 },
+            TraceEvent::JobAbort { t: 3.0, index: 1, injected: true, preserve_frac: 0.0 },
+            TraceEvent::Recharge { t: 3.0, dur: 4.0 },
+            TraceEvent::Reboot { t: 7.0, dur: 0.5 },
+            TraceEvent::RecoveryRead { t: 7.5, dur: 0.25, bytes: 16 },
+            TraceEvent::LayerEnd { t: 8.0, op: 0 },
+        ];
+        let attr = Attribution::from_events(&events);
+        let stats = StatsTotals {
+            nvm_write_s: 2.0,
+            lea_s: 1.0,
+            recovery_s: 0.75,
+            charging_s: 4.0,
+            wasted_s: 0.125,
+            nvm_write_bytes: 34,
+            lea_macs: 64,
+            jobs_committed: 1,
+            jobs_failed: 1,
+            power_cycles: 1,
+            injected_failures: 1,
+            ..Default::default()
+        };
+        attr.reconcile(&stats).expect("reconciles");
+    }
+
+    #[test]
+    fn reconcile_rejects_and_names_mismatches() {
+        let attr = Attribution::from_events(&[committed_job(1.0, 2.0, 34, 64)]);
+        let err = attr
+            .reconcile(&StatsTotals {
+                nvm_write_s: 2.0,
+                lea_s: 1.0,
+                nvm_write_bytes: 34,
+                lea_macs: 99, // wrong
+                jobs_committed: 1,
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(err.mismatches.len(), 1);
+        assert!(err.mismatches[0].contains("lea_macs"), "{err}");
+    }
+
+    #[test]
+    fn render_table_has_one_line_per_row_plus_header() {
+        let events = vec![
+            TraceEvent::LayerStart { t: 0.0, op: 0, label: "conv0".into() },
+            committed_job(1.0, 2.0, 34, 64),
+            TraceEvent::LayerEnd { t: 3.0, op: 0 },
+        ];
+        let table = Attribution::from_events(&events).render_table();
+        assert_eq!(table.lines().count(), 2);
+        assert!(table.contains("nvm_write"));
+        assert!(table.contains("conv0"));
+    }
+}

@@ -1,0 +1,208 @@
+//! The trace event taxonomy.
+//!
+//! Events fall into three groups:
+//!
+//! * **Engine scope markers**, emitted by the HAWAII⁺ executor:
+//!   [`TraceEvent::LayerStart`]/[`TraceEvent::LayerEnd`] bracket one graph
+//!   operation, [`TraceEvent::TileStart`]/[`TraceEvent::TileCommit`] mark
+//!   output-tile attempts inside a layer.
+//! * **Device activity spans**, emitted by the simulator with the *exact*
+//!   durations it adds to `SimStats` — this is what makes the attribution
+//!   audit an equality check rather than an estimate.
+//! * **Power events**: a failure (natural or injected), the recharge span
+//!   while the device is off, and the reboot span after it.
+//!
+//! All timestamps (`t`) and durations are simulated seconds. For span-like
+//! events `t` is the span's *start*; for instants it is the event time.
+
+/// One structured trace event. See the module docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The executor enters graph operation `op` (its index in the model
+    /// graph). `label` names it for humans, e.g. `conv0` or `maxpool`.
+    LayerStart {
+        /// Event time (s).
+        t: f64,
+        /// Graph-operation index.
+        op: u32,
+        /// Human-readable operation label.
+        label: String,
+    },
+    /// The executor leaves graph operation `op`.
+    LayerEnd {
+        /// Event time (s).
+        t: f64,
+        /// Graph-operation index.
+        op: u32,
+    },
+    /// One output-tile attempt begins (row block `rb` over spatial strip
+    /// starting at `strip`). Re-emitted on every tile re-execution.
+    TileStart {
+        /// Event time (s).
+        t: f64,
+        /// Row-block index within the layer.
+        rb: u32,
+        /// First spatial position of the strip.
+        strip: u32,
+    },
+    /// The tile's outputs were written back.
+    TileCommit {
+        /// Event time (s).
+        t: f64,
+        /// Row-block index within the layer.
+        rb: u32,
+        /// First spatial position of the strip.
+        strip: u32,
+    },
+    /// One accelerator-job attempt is submitted.
+    JobStart {
+        /// Event time (s) — the commit frontier when the attempt starts.
+        t: f64,
+        /// Attempt index (committed + failed so far).
+        index: u64,
+        /// MACs the job will perform.
+        macs: u64,
+        /// Progress-preservation bytes the job will write.
+        preserve_bytes: u64,
+        /// Wall-clock window of the attempt (s).
+        window_s: f64,
+    },
+    /// The job's outputs and footprint reached NVM. Carries the exact
+    /// per-class busy times the simulator credited to `SimStats`.
+    JobCommit {
+        /// Commit time (s) — end of the preservation write.
+        t: f64,
+        /// Attempt index.
+        index: u64,
+        /// Start of the LEA+CPU busy span (s).
+        lea_start: f64,
+        /// Committed LEA busy time (s).
+        lea_s: f64,
+        /// Committed CPU busy time (s).
+        cpu_s: f64,
+        /// Start of the DMA preservation write (s).
+        write_start: f64,
+        /// Committed NVM write busy time (s).
+        write_s: f64,
+        /// Preservation bytes written.
+        write_bytes: u64,
+        /// MACs committed.
+        macs: u64,
+    },
+    /// The job attempt was cut by a power failure before its footprint
+    /// committed. The lost time is carried by the paired
+    /// [`TraceEvent::PowerFail`].
+    JobAbort {
+        /// Failure time (s).
+        t: f64,
+        /// Attempt index.
+        index: u64,
+        /// Whether the cut was injected by a fault hook.
+        injected: bool,
+        /// Fraction of the preservation write durable before the cut.
+        preserve_frac: f64,
+    },
+    /// A committed blocking NVM read (one DMA command).
+    NvmRead {
+        /// Span start (s).
+        t: f64,
+        /// Busy time (s).
+        dur: f64,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// A committed blocking NVM write outside progress preservation.
+    NvmWrite {
+        /// Span start (s).
+        t: f64,
+        /// Busy time (s).
+        dur: f64,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Committed blocking CPU work.
+    CpuWork {
+        /// Span start (s).
+        t: f64,
+        /// Busy time (s).
+        dur: f64,
+        /// CPU cycles.
+        cycles: u64,
+    },
+    /// A progress-recovery NVM re-fetch (accounted as recovery time, not
+    /// read time).
+    RecoveryRead {
+        /// Span start (s).
+        t: f64,
+        /// Busy time (s).
+        dur: f64,
+        /// Bytes re-fetched.
+        bytes: u64,
+    },
+    /// Power failed. `wasted_s` is the busy time lost with the volatile
+    /// state (it will be re-executed).
+    PowerFail {
+        /// Failure time (s).
+        t: f64,
+        /// Whether a fault hook forced the cut.
+        injected: bool,
+        /// Interrupted busy time lost to the cut (s).
+        wasted_s: f64,
+    },
+    /// The device is off, recharging the capacitor.
+    Recharge {
+        /// Span start (s) — the failure time.
+        t: f64,
+        /// Off time until the capacitor refills (s).
+        dur: f64,
+    },
+    /// Reboot after recharge (accounted as recovery time).
+    Reboot {
+        /// Span start (s).
+        t: f64,
+        /// Reboot duration (s).
+        dur: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind tag, used by the exporters and the JSONL parser.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::LayerStart { .. } => "layer_start",
+            TraceEvent::LayerEnd { .. } => "layer_end",
+            TraceEvent::TileStart { .. } => "tile_start",
+            TraceEvent::TileCommit { .. } => "tile_commit",
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::JobCommit { .. } => "job_commit",
+            TraceEvent::JobAbort { .. } => "job_abort",
+            TraceEvent::NvmRead { .. } => "nvm_read",
+            TraceEvent::NvmWrite { .. } => "nvm_write",
+            TraceEvent::CpuWork { .. } => "cpu_work",
+            TraceEvent::RecoveryRead { .. } => "recovery_read",
+            TraceEvent::PowerFail { .. } => "power_fail",
+            TraceEvent::Recharge { .. } => "recharge",
+            TraceEvent::Reboot { .. } => "reboot",
+        }
+    }
+
+    /// The event's timestamp (span start for spans), simulated seconds.
+    pub fn t(&self) -> f64 {
+        match *self {
+            TraceEvent::LayerStart { t, .. }
+            | TraceEvent::LayerEnd { t, .. }
+            | TraceEvent::TileStart { t, .. }
+            | TraceEvent::TileCommit { t, .. }
+            | TraceEvent::JobStart { t, .. }
+            | TraceEvent::JobCommit { t, .. }
+            | TraceEvent::JobAbort { t, .. }
+            | TraceEvent::NvmRead { t, .. }
+            | TraceEvent::NvmWrite { t, .. }
+            | TraceEvent::CpuWork { t, .. }
+            | TraceEvent::RecoveryRead { t, .. }
+            | TraceEvent::PowerFail { t, .. }
+            | TraceEvent::Recharge { t, .. }
+            | TraceEvent::Reboot { t, .. } => t,
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! Trace exporters: Chrome `trace_event` JSON and round-trippable JSONL.
+//!
+//! Both formats are hand-rolled (the workspace has no serde) and
+//! deterministic: floats are written with Rust's shortest-round-trip
+//! formatting, so identical event streams serialize to identical bytes,
+//! and [`parse_jsonl`] recovers the exact `f64`/`u64` values.
+//!
+//! The Chrome export follows the [Trace Event Format] (`ph: "X"` complete
+//! spans, `"B"`/`"E"` scoped layers, `"i"` instants, `"M"` metadata) with
+//! timestamps in microseconds, and opens directly in `chrome://tracing` or
+//! Perfetto. Tracks: engine (layers/tiles), LEA, DMA/NVM, CPU, power/EMU.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::TraceEvent;
+use std::fmt::Write as _;
+
+/// Seconds → Chrome trace microseconds.
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const TID_ENGINE: u32 = 1;
+const TID_LEA: u32 = 2;
+const TID_NVM: u32 = 3;
+const TID_CPU: u32 = 4;
+const TID_POWER: u32 = 5;
+
+fn push_meta(out: &mut String, tid: u32, name: &str) {
+    let _ = writeln!(
+        out,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+         \"args\":{{\"name\":\"{name}\"}}}},"
+    );
+}
+
+fn push_span(out: &mut String, name: &str, cat: &str, tid: u32, t: f64, dur: f64, args: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+         \"pid\":1,\"tid\":{tid}",
+        us(t),
+        us(dur)
+    );
+    if !args.is_empty() {
+        let _ = write!(out, ",\"args\":{{{args}}}");
+    }
+    out.push_str("},\n");
+}
+
+fn push_instant(out: &mut String, name: &str, cat: &str, tid: u32, t: f64, args: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+         \"pid\":1,\"tid\":{tid}",
+        us(t)
+    );
+    if !args.is_empty() {
+        let _ = write!(out, ",\"args\":{{{args}}}");
+    }
+    out.push_str("},\n");
+}
+
+/// Serializes a trace to Chrome `trace_event` JSON.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 512);
+    out.push_str("{\"traceEvents\":[\n");
+    push_meta(&mut out, TID_ENGINE, "engine (layers/tiles)");
+    push_meta(&mut out, TID_LEA, "LEA accelerator");
+    push_meta(&mut out, TID_NVM, "DMA / NVM");
+    push_meta(&mut out, TID_CPU, "CPU");
+    push_meta(&mut out, TID_POWER, "power / EMU");
+    for ev in events {
+        match ev {
+            TraceEvent::LayerStart { t, op, label } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"layer\",\"ph\":\"B\",\"ts\":{},\
+                     \"pid\":1,\"tid\":{TID_ENGINE},\"args\":{{\"op\":{op}}}}},",
+                    escape(label),
+                    us(*t)
+                );
+            }
+            TraceEvent::LayerEnd { t, op } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{TID_ENGINE},\
+                     \"args\":{{\"op\":{op}}}}},",
+                    us(*t)
+                );
+            }
+            TraceEvent::TileStart { t, rb, strip } => {
+                push_instant(
+                    &mut out,
+                    "tile_start",
+                    "tile",
+                    TID_ENGINE,
+                    *t,
+                    &format!("\"rb\":{rb},\"strip\":{strip}"),
+                );
+            }
+            TraceEvent::TileCommit { t, rb, strip } => {
+                push_instant(
+                    &mut out,
+                    "tile_commit",
+                    "tile",
+                    TID_ENGINE,
+                    *t,
+                    &format!("\"rb\":{rb},\"strip\":{strip}"),
+                );
+            }
+            TraceEvent::JobStart { .. } => {} // JSONL only: one per attempt, too dense to render
+            TraceEvent::JobCommit {
+                index,
+                lea_start,
+                lea_s,
+                cpu_s,
+                write_start,
+                write_s,
+                write_bytes,
+                macs,
+                ..
+            } => {
+                if lea_s + cpu_s > 0.0 {
+                    push_span(
+                        &mut out,
+                        "job",
+                        "lea",
+                        TID_LEA,
+                        *lea_start,
+                        lea_s + cpu_s,
+                        &format!("\"index\":{index},\"macs\":{macs}"),
+                    );
+                }
+                if *write_s > 0.0 {
+                    push_span(
+                        &mut out,
+                        "preserve",
+                        "nvm_write",
+                        TID_NVM,
+                        *write_start,
+                        *write_s,
+                        &format!("\"index\":{index},\"bytes\":{write_bytes}"),
+                    );
+                }
+            }
+            TraceEvent::JobAbort { t, index, injected, preserve_frac } => {
+                push_instant(
+                    &mut out,
+                    "job_abort",
+                    "lea",
+                    TID_LEA,
+                    *t,
+                    &format!(
+                        "\"index\":{index},\"injected\":{injected},\
+                         \"preserve_frac\":{preserve_frac}"
+                    ),
+                );
+            }
+            TraceEvent::NvmRead { t, dur, bytes } => {
+                push_span(
+                    &mut out,
+                    "read",
+                    "nvm_read",
+                    TID_NVM,
+                    *t,
+                    *dur,
+                    &format!("\"bytes\":{bytes}"),
+                );
+            }
+            TraceEvent::NvmWrite { t, dur, bytes } => {
+                push_span(
+                    &mut out,
+                    "write",
+                    "nvm_write",
+                    TID_NVM,
+                    *t,
+                    *dur,
+                    &format!("\"bytes\":{bytes}"),
+                );
+            }
+            TraceEvent::CpuWork { t, dur, cycles } => {
+                push_span(
+                    &mut out,
+                    "cpu",
+                    "cpu",
+                    TID_CPU,
+                    *t,
+                    *dur,
+                    &format!("\"cycles\":{cycles}"),
+                );
+            }
+            TraceEvent::RecoveryRead { t, dur, bytes } => {
+                push_span(
+                    &mut out,
+                    "recovery_read",
+                    "recovery",
+                    TID_NVM,
+                    *t,
+                    *dur,
+                    &format!("\"bytes\":{bytes}"),
+                );
+            }
+            TraceEvent::PowerFail { t, injected, wasted_s } => {
+                push_instant(
+                    &mut out,
+                    "power_fail",
+                    "power",
+                    TID_POWER,
+                    *t,
+                    &format!("\"injected\":{injected},\"wasted_s\":{wasted_s}"),
+                );
+            }
+            TraceEvent::Recharge { t, dur } => {
+                push_span(&mut out, "recharge", "power", TID_POWER, *t, *dur, "");
+            }
+            TraceEvent::Reboot { t, dur } => {
+                push_span(&mut out, "reboot", "power", TID_POWER, *t, *dur, "");
+            }
+        }
+    }
+    // close the list without a trailing comma
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Serializes a trace to JSONL: one flat JSON object per line, first key
+/// `kind`. Inverse of [`parse_jsonl`].
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 80);
+    for ev in events {
+        let _ = write!(out, "{{\"kind\":\"{}\",\"t\":{}", ev.kind(), ev.t());
+        match ev {
+            TraceEvent::LayerStart { label, op, .. } => {
+                let _ = write!(out, ",\"op\":{op},\"label\":\"{}\"", escape(label));
+            }
+            TraceEvent::LayerEnd { op, .. } => {
+                let _ = write!(out, ",\"op\":{op}");
+            }
+            TraceEvent::TileStart { rb, strip, .. } | TraceEvent::TileCommit { rb, strip, .. } => {
+                let _ = write!(out, ",\"rb\":{rb},\"strip\":{strip}");
+            }
+            TraceEvent::JobStart { index, macs, preserve_bytes, window_s, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"macs\":{macs},\"preserve_bytes\":{preserve_bytes},\
+                     \"window_s\":{window_s}"
+                );
+            }
+            TraceEvent::JobCommit {
+                index,
+                lea_start,
+                lea_s,
+                cpu_s,
+                write_start,
+                write_s,
+                write_bytes,
+                macs,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"lea_start\":{lea_start},\"lea_s\":{lea_s},\
+                     \"cpu_s\":{cpu_s},\"write_start\":{write_start},\"write_s\":{write_s},\
+                     \"write_bytes\":{write_bytes},\"macs\":{macs}"
+                );
+            }
+            TraceEvent::JobAbort { index, injected, preserve_frac, .. } => {
+                let _ = write!(
+                    out,
+                    ",\"index\":{index},\"injected\":{injected},\"preserve_frac\":{preserve_frac}"
+                );
+            }
+            TraceEvent::NvmRead { dur, bytes, .. }
+            | TraceEvent::NvmWrite { dur, bytes, .. }
+            | TraceEvent::RecoveryRead { dur, bytes, .. } => {
+                let _ = write!(out, ",\"dur\":{dur},\"bytes\":{bytes}");
+            }
+            TraceEvent::CpuWork { dur, cycles, .. } => {
+                let _ = write!(out, ",\"dur\":{dur},\"cycles\":{cycles}");
+            }
+            TraceEvent::PowerFail { injected, wasted_s, .. } => {
+                let _ = write!(out, ",\"injected\":{injected},\"wasted_s\":{wasted_s}");
+            }
+            TraceEvent::Recharge { dur, .. } | TraceEvent::Reboot { dur, .. } => {
+                let _ = write!(out, ",\"dur\":{dur}");
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// JSONL parse failure, with the 1-based offending line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace JSONL line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed field value. Numbers keep their source token so integer
+/// fields round-trip without an `f64` detour.
+enum Value {
+    Num(String),
+    Str(String),
+    Bool(bool),
+}
+
+/// Parses one flat JSON object (no nesting) into key/value pairs.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    let bytes = inner.as_bytes();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return Err("expected '\"'".into());
+        }
+        *i += 1;
+        let mut out = String::new();
+        while *i < bytes.len() {
+            match bytes[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match bytes.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'u') => {
+                            let hex = inner
+                                .get(*i + 1..*i + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                            *i += 4;
+                        }
+                        _ => return Err("unsupported escape".into()),
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    // multi-byte UTF-8 is copied through byte by byte via char
+                    let ch_start = *i;
+                    let ch = inner[ch_start..].chars().next().ok_or("bad utf-8")?;
+                    out.push(ch);
+                    *i += ch.len_utf8();
+                }
+            }
+        }
+        Err("unterminated string".into())
+    };
+
+    while i < bytes.len() {
+        let key = parse_string(&mut i)?;
+        if bytes.get(i) != Some(&b':') {
+            return Err(format!("expected ':' after key `{key}`"));
+        }
+        i += 1;
+        let value = match bytes.get(i) {
+            Some(b'"') => Value::Str(parse_string(&mut i)?),
+            Some(b't') if inner[i..].starts_with("true") => {
+                i += 4;
+                Value::Bool(true)
+            }
+            Some(b'f') if inner[i..].starts_with("false") => {
+                i += 5;
+                Value::Bool(false)
+            }
+            Some(_) => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b',' {
+                    i += 1;
+                }
+                Value::Num(inner[start..i].trim().to_string())
+            }
+            None => return Err(format!("missing value for key `{key}`")),
+        };
+        fields.push((key, value));
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&Value, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            Value::Num(s) => s.parse::<f64>().map_err(|_| format!("field `{key}` is not a number")),
+            _ => Err(format!("field `{key}` is not a number")),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            Value::Num(s) => {
+                s.parse::<u64>().map_err(|_| format!("field `{key}` is not an integer"))
+            }
+            _ => Err(format!("field `{key}` is not an integer")),
+        }
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        self.u64(key)?.try_into().map_err(|_| format!("field `{key}` overflows u32"))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("field `{key}` is not a bool")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key)? {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("field `{key}` is not a string")),
+        }
+    }
+}
+
+fn event_from_fields(f: &Fields) -> Result<TraceEvent, String> {
+    let kind = f.str("kind")?;
+    let t = f.f64("t")?;
+    Ok(match kind {
+        "layer_start" => {
+            TraceEvent::LayerStart { t, op: f.u32("op")?, label: f.str("label")?.to_string() }
+        }
+        "layer_end" => TraceEvent::LayerEnd { t, op: f.u32("op")? },
+        "tile_start" => TraceEvent::TileStart { t, rb: f.u32("rb")?, strip: f.u32("strip")? },
+        "tile_commit" => TraceEvent::TileCommit { t, rb: f.u32("rb")?, strip: f.u32("strip")? },
+        "job_start" => TraceEvent::JobStart {
+            t,
+            index: f.u64("index")?,
+            macs: f.u64("macs")?,
+            preserve_bytes: f.u64("preserve_bytes")?,
+            window_s: f.f64("window_s")?,
+        },
+        "job_commit" => TraceEvent::JobCommit {
+            t,
+            index: f.u64("index")?,
+            lea_start: f.f64("lea_start")?,
+            lea_s: f.f64("lea_s")?,
+            cpu_s: f.f64("cpu_s")?,
+            write_start: f.f64("write_start")?,
+            write_s: f.f64("write_s")?,
+            write_bytes: f.u64("write_bytes")?,
+            macs: f.u64("macs")?,
+        },
+        "job_abort" => TraceEvent::JobAbort {
+            t,
+            index: f.u64("index")?,
+            injected: f.bool("injected")?,
+            preserve_frac: f.f64("preserve_frac")?,
+        },
+        "nvm_read" => TraceEvent::NvmRead { t, dur: f.f64("dur")?, bytes: f.u64("bytes")? },
+        "nvm_write" => TraceEvent::NvmWrite { t, dur: f.f64("dur")?, bytes: f.u64("bytes")? },
+        "cpu_work" => TraceEvent::CpuWork { t, dur: f.f64("dur")?, cycles: f.u64("cycles")? },
+        "recovery_read" => {
+            TraceEvent::RecoveryRead { t, dur: f.f64("dur")?, bytes: f.u64("bytes")? }
+        }
+        "power_fail" => {
+            TraceEvent::PowerFail { t, injected: f.bool("injected")?, wasted_s: f.f64("wasted_s")? }
+        }
+        "recharge" => TraceEvent::Recharge { t, dur: f.f64("dur")? },
+        "reboot" => TraceEvent::Reboot { t, dur: f.f64("dur")? },
+        other => return Err(format!("unknown event kind `{other}`")),
+    })
+}
+
+/// Parses a JSONL trace produced by [`to_jsonl`]. Empty lines are skipped.
+///
+/// # Errors
+///
+/// Returns the first malformed line (1-based) and a description.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_flat_object(line).map_err(|m| ParseError { line: i + 1, message: m })?;
+        let ev = event_from_fields(&Fields(fields))
+            .map_err(|m| ParseError { line: i + 1, message: m })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::LayerStart { t: 0.0, op: 0, label: "conv0".into() },
+            TraceEvent::TileStart { t: 0.0, rb: 0, strip: 0 },
+            TraceEvent::JobStart { t: 0.0, index: 0, macs: 64, preserve_bytes: 34, window_s: 1e-4 },
+            TraceEvent::JobCommit {
+                t: 1.25e-4,
+                index: 0,
+                lea_start: 0.0,
+                lea_s: 6.4e-5,
+                cpu_s: 1.5e-6,
+                write_start: 6.55e-5,
+                write_s: 5.95e-5,
+                write_bytes: 34,
+                macs: 64,
+            },
+            TraceEvent::JobAbort { t: 2e-4, index: 1, injected: true, preserve_frac: 0.5 },
+            TraceEvent::PowerFail { t: 2e-4, injected: true, wasted_s: 7.5e-5 },
+            TraceEvent::Recharge { t: 2e-4, dur: 0.013 },
+            TraceEvent::Reboot { t: 0.0132, dur: 0.001 },
+            TraceEvent::RecoveryRead { t: 0.0142, dur: 1e-5, bytes: 128 },
+            TraceEvent::NvmRead { t: 0.015, dur: 2e-5, bytes: 2048 },
+            TraceEvent::NvmWrite { t: 0.016, dur: 2e-5, bytes: 512 },
+            TraceEvent::CpuWork { t: 0.017, dur: 3e-6, cycles: 48 },
+            TraceEvent::TileCommit { t: 0.018, rb: 0, strip: 0 },
+            TraceEvent::LayerEnd { t: 0.018, op: 0 },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed, events);
+        // byte-stable second serialization
+        assert_eq!(to_jsonl(&parsed), text);
+    }
+
+    #[test]
+    fn jsonl_label_escaping_round_trips() {
+        let events = vec![TraceEvent::LayerStart { t: 0.5, op: 3, label: "we\"ird\\\n".into() }];
+        let parsed = parse_jsonl(&to_jsonl(&events)).expect("parse");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parse_reports_offending_line() {
+        let err = parse_jsonl("{\"kind\":\"reboot\",\"t\":0,\"dur\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_kind() {
+        let err = parse_jsonl("{\"kind\":\"warp\",\"t\":0}\n").unwrap_err();
+        assert!(err.message.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn chrome_export_is_schemaish() {
+        let json = to_chrome_json(&sample_events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+        // balanced B/E layer markers
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+        // spans carry non-negative microsecond timestamps
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(!json.contains("\"ts\":-"));
+    }
+
+    #[test]
+    fn chrome_export_has_no_trailing_comma() {
+        let json = to_chrome_json(&sample_events());
+        assert!(!json.contains(",\n]"));
+        assert!(!json.contains(",]"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Observability for the iPrune reproduction (`iprune-obs`).
+//!
+//! Three independent pieces, shared by every execution path in the
+//! workspace:
+//!
+//! 1. **Sim-time event tracing** ([`event`], [`sink`], [`export`]): the
+//!    device simulator and the HAWAII⁺ engine emit structured
+//!    [`event::TraceEvent`]s into a [`sink::TraceSink`]. Timestamps are
+//!    *simulated* seconds, so a trace of a deterministic simulation is
+//!    itself deterministic — byte-reproducible run to run. Exporters
+//!    produce Chrome `trace_event` JSON (open in `chrome://tracing` or
+//!    [Perfetto](https://ui.perfetto.dev)) and a line-oriented JSONL form
+//!    that round-trips through [`export::parse_jsonl`].
+//! 2. **Attribution** ([`attr`]): folding a trace into a per-layer ×
+//!    per-activity-class latency/energy table — the paper's Figure 2
+//!    breakdown *per layer* instead of per run. The table carries an audit:
+//!    [`attr::Attribution::reconcile`] must agree with the simulator's own
+//!    aggregate `SimStats` to 1e-9, so the trace provably accounts for
+//!    every simulated second.
+//! 3. **Host-side metrics & logging** ([`metrics`], [`log`]): cheap atomic
+//!    counters/histograms for the prune–retrain pipeline (GEMM calls,
+//!    sensitivity probes, thread-pool fan-outs) and a leveled stderr
+//!    logger controlled by `IPRUNE_LOG` that keeps human narration off
+//!    stdout, where benches emit machine-readable rows.
+//!
+//! Tracing is zero-overhead when disabled: with no sink installed the
+//! simulator's emission points are a single `Option` branch, and no event
+//! values are constructed.
+
+pub mod attr;
+pub mod event;
+pub mod export;
+pub mod log;
+pub mod metrics;
+pub mod sink;
+
+pub use attr::{ActivityClass, Attribution, AuditError, StatsTotals};
+pub use event::TraceEvent;
+pub use export::{parse_jsonl, to_chrome_json, to_jsonl};
+pub use log::Level;
+pub use sink::{drain_shared, MemorySink, NullSink, SharedSink, TraceSink};

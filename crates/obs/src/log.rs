@@ -1,0 +1,155 @@
+//! Leveled stderr logger controlled by the `IPRUNE_LOG` environment
+//! variable (`error|warn|info|debug|trace|off`, default `info`).
+//!
+//! All human-oriented narration goes to **stderr**, keeping stdout clean
+//! for machine-readable artifacts (`BENCH_*.json`). The level is read
+//! once, on first use; lines look like `[iprune info bench] message`.
+//!
+//! ```
+//! iprune_obs::log_info!("bench", "ran {} apps", 3);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or correctness-relevant problems.
+    Error,
+    /// Suspicious conditions the run survives.
+    Warn,
+    /// Progress narration (the default).
+    Info,
+    /// Per-step detail.
+    Debug,
+    /// Firehose.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name as printed in log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// The maximum enabled level, `None` when logging is off entirely.
+fn max_level() -> Option<Level> {
+    static MAX: OnceLock<Option<Level>> = OnceLock::new();
+    *MAX.get_or_init(|| match std::env::var("IPRUNE_LOG") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => None,
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => Some(Level::Info),
+        },
+        Err(_) => Some(Level::Info),
+    })
+}
+
+/// Whether messages at `level` are currently emitted.
+pub fn enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Writes one formatted line to stderr if `level` is enabled.
+///
+/// Prefer the [`log_info!`](crate::log_info)-family macros, which skip
+/// argument formatting when the level is disabled.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[iprune {} {}] {}", level.name(), target, args);
+    }
+}
+
+/// Logs at [`Level::Error`]: `log_error!("target", "fmt", args...)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`]: `log_warn!("target", "fmt", args...)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`]: `log_info!("target", "fmt", args...)`.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`]: `log_debug!("target", "fmt", args...)`.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Trace`]: `log_trace!("target", "fmt", args...)`.
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Trace) {
+            $crate::log::log($crate::log::Level::Trace, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::Warn.name(), "warn");
+    }
+
+    #[test]
+    fn default_level_is_info() {
+        // The env var is unset in the test environment, so Info is on and
+        // Debug is off.
+        if std::env::var("IPRUNE_LOG").is_err() {
+            assert!(enabled(Level::Error));
+            assert!(enabled(Level::Info));
+            assert!(!enabled(Level::Debug));
+        }
+    }
+
+    #[test]
+    fn macros_compile_at_every_level() {
+        crate::log_error!("test", "e {}", 1);
+        crate::log_warn!("test", "w");
+        crate::log_info!("test", "i");
+        crate::log_debug!("test", "d");
+        crate::log_trace!("test", "t");
+    }
+}

@@ -1,0 +1,227 @@
+//! Host-side metrics: a process-global registry of cheap atomic counters
+//! and log₂-bucketed histograms.
+//!
+//! Hot call sites cache the `Arc<Counter>` in a `OnceLock` so the steady
+//! state is one atomic add — the registry lookup (hash + RwLock read)
+//! happens once per site:
+//!
+//! ```
+//! use iprune_obs::metrics::{self, Counter};
+//! use std::sync::{Arc, OnceLock};
+//!
+//! static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+//! CALLS.get_or_init(|| metrics::counter("mycrate.calls")).inc();
+//! ```
+//!
+//! [`snapshot`] returns all instruments sorted by name, so reports are
+//! deterministic regardless of registration order. Counters monotonically
+//! increase over the process lifetime; benches that want per-phase deltas
+//! snapshot before and after.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically-increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ histogram buckets (`u64` value range).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with one bucket per power of two:
+/// bucket `i` counts samples whose value has `i` significant bits
+/// (bucket 0 holds zeros, bucket 1 holds ones, bucket 2 holds 2–3, …).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS], sum: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// `(lower_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    Some((if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+                }
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The counter named `name`, creating it on first use.
+pub fn counter(name: &str) -> Arc<Counter> {
+    if let Some(c) = registry().counters.read().expect("metrics lock").get(name) {
+        return Arc::clone(c);
+    }
+    let mut map = registry().counters.write().expect("metrics lock");
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+/// The histogram named `name`, creating it on first use.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    if let Some(h) = registry().histograms.read().expect("metrics lock").get(name) {
+        return Arc::clone(h);
+    }
+    let mut map = registry().histograms.write().expect("metrics lock");
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+/// One instrument's current reading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reading {
+    /// A counter value.
+    Counter(u64),
+    /// A histogram: sample count, sum, mean.
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Mean sample.
+        mean: f64,
+    },
+}
+
+/// All registered instruments, sorted by name.
+pub fn snapshot() -> Vec<(String, Reading)> {
+    let mut out: Vec<(String, Reading)> = Vec::new();
+    for (name, c) in registry().counters.read().expect("metrics lock").iter() {
+        out.push((name.clone(), Reading::Counter(c.get())));
+    }
+    for (name, h) in registry().histograms.read().expect("metrics lock").iter() {
+        out.push((
+            name.clone(),
+            Reading::Histogram { count: h.count(), sum: h.sum(), mean: h.mean() },
+        ));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Renders [`snapshot`] as one aligned `name value` line per instrument.
+pub fn render_snapshot() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, reading) in snapshot() {
+        match reading {
+            Reading::Counter(v) => {
+                let _ = writeln!(out, "{name:<40} {v}");
+            }
+            Reading::Histogram { count, sum, mean } => {
+                let _ = writeln!(out, "{name:<40} n={count} sum={sum} mean={mean:.2}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let a = counter("test.shared");
+        let b = counter("test.shared");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (1024, 1)]);
+        assert!((h.mean() - 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        counter("test.zz").inc();
+        histogram("test.aa").record(7);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        let aa = names.iter().position(|n| *n == "test.aa").unwrap();
+        let zz = names.iter().position(|n| *n == "test.zz").unwrap();
+        assert!(aa < zz);
+        assert!(matches!(snap[aa].1, Reading::Histogram { count: 1, sum: 7, .. }));
+        assert!(render_snapshot().contains("test.zz"));
+    }
+}

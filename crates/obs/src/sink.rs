@@ -1,0 +1,121 @@
+//! Trace sinks: where emitted events go.
+//!
+//! Emitters hold an `Option<SharedSink>`; with `None` installed, tracing
+//! costs one branch per emission point and no event is ever constructed.
+//! [`NullSink`] exists for measuring the cost of *emission itself* (event
+//! construction + dynamic dispatch) separately from collection.
+
+use crate::event::TraceEvent;
+use std::sync::{Arc, Mutex};
+
+/// Receives trace events, in emission order.
+///
+/// Sinks must be `Send` (simulators are created inside host worker
+/// threads) and `Debug` (the simulator derives `Debug`). Implementations
+/// must not reorder or drop events if they intend to feed
+/// [`crate::attr::Attribution`], whose audit reconciles against the
+/// simulator's aggregate statistics.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Handles one event.
+    fn emit(&mut self, ev: &TraceEvent);
+}
+
+/// The shared, clonable handle emitters hold.
+///
+/// A plain `Arc<Mutex<..>>` rather than a channel: simulation is
+/// single-threaded, so the lock is uncontended and events arrive in
+/// deterministic order.
+pub type SharedSink = Arc<Mutex<dyn TraceSink>>;
+
+/// Discards every event (but still pays for constructing them) — the
+/// "tracing enabled, collection free" baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Collects events into a `Vec` for later export or attribution.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty sink behind the shared handle emitters take. Keep a clone
+    /// of the returned `Arc` to read the events back after the run.
+    pub fn shared() -> Arc<Mutex<MemorySink>> {
+        Arc::new(Mutex::new(MemorySink::new()))
+    }
+
+    /// The collected events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Takes the events out of a shared [`MemorySink`] once the run is done.
+///
+/// # Panics
+///
+/// Panics if the sink's lock is poisoned (an emitter panicked mid-run).
+pub fn drain_shared(sink: &Arc<Mutex<MemorySink>>) -> Vec<TraceEvent> {
+    std::mem::take(&mut sink.lock().expect("trace sink lock").events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut s = MemorySink::new();
+        s.emit(&TraceEvent::Reboot { t: 0.5, dur: 0.1 });
+        s.emit(&TraceEvent::Recharge { t: 1.0, dur: 2.0 });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].t(), 0.5);
+        assert_eq!(s.events()[1].kind(), "recharge");
+    }
+
+    #[test]
+    fn shared_sink_drains() {
+        let shared = MemorySink::shared();
+        shared.lock().unwrap().emit(&TraceEvent::Reboot { t: 0.0, dur: 0.1 });
+        let evs = drain_shared(&shared);
+        assert_eq!(evs.len(), 1);
+        assert!(shared.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut s = NullSink;
+        s.emit(&TraceEvent::Reboot { t: 0.0, dur: 0.1 });
+    }
+}

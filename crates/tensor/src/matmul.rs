@@ -31,10 +31,21 @@
 //! without allocating tensor wrappers.
 
 use crate::par;
+use iprune_obs::metrics::{self, Counter, Histogram};
+use std::sync::{Arc, OnceLock};
 
 /// Register-blocked rows per quad (and micro-tile edge for `a_bt`).
 const MR: usize = 4;
 const NR: usize = 4;
+
+/// Counts one kernel call and its multiply-add volume in the host metrics
+/// registry. Two relaxed atomic ops per GEMM call — negligible next to the
+/// kernel itself.
+fn record_gemm(calls: &'static OnceLock<Arc<Counter>>, name: &'static str, macs: usize) {
+    static MACS: OnceLock<Arc<Histogram>> = OnceLock::new();
+    calls.get_or_init(|| metrics::counter(name)).inc();
+    MACS.get_or_init(|| metrics::histogram("gemm.macs")).record(macs as u64);
+}
 
 /// Below this many multiply-adds a kernel stays on the calling thread; the
 /// scoped spawn overhead dwarfs the work.
@@ -71,6 +82,8 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     if m == 0 || n == 0 {
         return;
     }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    record_gemm(&CALLS, "gemm.acc_calls", m * k * n);
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
@@ -136,6 +149,8 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     if m == 0 || n == 0 {
         return;
     }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    record_gemm(&CALLS, "gemm.at_b_calls", m * k * n);
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
@@ -226,6 +241,8 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     if m == 0 || n == 0 {
         return;
     }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    record_gemm(&CALLS, "gemm.a_bt_calls", m * k * n);
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;

@@ -25,8 +25,10 @@
 //! `IPRUNE_THREADS` environment variable, else
 //! `std::thread::available_parallelism()`.
 
+use iprune_obs::metrics::{self, Counter, Histogram};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Programmatic thread-count override (0 = not set).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -79,6 +81,23 @@ pub fn workers_for(n: usize) -> usize {
     }
 }
 
+/// Records one parallel region in the host metrics registry: how many
+/// fanned out vs ran serially, and the item/worker fan-out distributions
+/// (pool-utilization signal for `metrics::snapshot()` reports).
+fn record_region(items: usize, workers: usize) {
+    static PARALLEL: OnceLock<Arc<Counter>> = OnceLock::new();
+    static SERIAL: OnceLock<Arc<Counter>> = OnceLock::new();
+    static ITEMS: OnceLock<Arc<Histogram>> = OnceLock::new();
+    static WORKERS: OnceLock<Arc<Histogram>> = OnceLock::new();
+    if workers > 1 {
+        PARALLEL.get_or_init(|| metrics::counter("par.regions_parallel")).inc();
+        ITEMS.get_or_init(|| metrics::histogram("par.region_items")).record(items as u64);
+        WORKERS.get_or_init(|| metrics::histogram("par.region_workers")).record(workers as u64);
+    } else {
+        SERIAL.get_or_init(|| metrics::counter("par.regions_serial")).inc();
+    }
+}
+
 struct WorkerGuard;
 
 impl WorkerGuard {
@@ -105,6 +124,7 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let w = workers_for(n);
+    record_region(n, w);
     if w <= 1 {
         return (0..n).map(f).collect();
     }
@@ -154,6 +174,7 @@ where
     assert_eq!(data.len() % chunk, 0, "chunk must divide data length");
     let n = data.len() / chunk;
     let w = workers_for(n);
+    record_region(n, w);
     if w <= 1 {
         return data.chunks_mut(chunk).enumerate().map(|(i, c)| f(i, c)).collect();
     }
@@ -204,6 +225,7 @@ where
     }
     assert!(block > 0, "block must be positive");
     let nblocks = data.len().div_ceil(block);
+    record_region(nblocks, workers_for(nblocks));
     if nblocks == 1 || workers_for(nblocks) <= 1 {
         for (i, ch) in data.chunks_mut(block).enumerate() {
             f(i, ch);

@@ -203,6 +203,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled-out stride formula documents the layout
     fn offset4_nchw() {
         let t = Tensor::zeros(&[2, 3, 4, 5]);
         assert_eq!(t.offset4(0, 0, 0, 0), 0);

@@ -19,4 +19,5 @@ pub use iprune_device as device;
 pub use iprune_faults as faults;
 pub use iprune_hawaii as hawaii;
 pub use iprune_models as models;
+pub use iprune_obs as obs;
 pub use iprune_tensor as tensor;

@@ -1,0 +1,88 @@
+//! The observability contract: tracing is invisible to the simulation,
+//! the event stream is byte-reproducible, and the attribution table
+//! reconciles exactly with the simulator's aggregate statistics.
+//!
+//! These tests run the fig2-scale workload (unpruned HAR, weak solar,
+//! intermittent mode — real power failures, recovery, and recharge) so the
+//! audit covers every activity class, not just the happy path.
+
+use iprune_repro::device::{DeviceSim, PowerStrength};
+use iprune_repro::hawaii::deploy::deploy;
+use iprune_repro::hawaii::exec::{infer, ExecMode};
+use iprune_repro::models::zoo::App;
+use iprune_repro::obs::{
+    drain_shared, parse_jsonl, to_chrome_json, to_jsonl, Attribution, MemorySink, StatsTotals,
+    TraceEvent,
+};
+
+/// One traced fig2-scale run: unpruned HAR under weak solar, intermittent.
+fn traced_har_run() -> (Vec<TraceEvent>, iprune_repro::hawaii::exec::InferenceOutcome) {
+    let mut model = App::Har.build();
+    let calib = App::Har.dataset(4, 77);
+    let dm = deploy(&mut model, &calib, 4);
+    let x = calib.sample(0);
+
+    let sink = MemorySink::shared();
+    let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+    sim.set_trace_sink(sink.clone());
+    let out = infer(&dm, &x, &mut sim, ExecMode::Intermittent).expect("traced inference");
+    (drain_shared(&sink), out)
+}
+
+#[test]
+fn golden_attribution_reconciles_with_sim_stats() {
+    let (events, out) = traced_har_run();
+    assert!(out.power_cycles > 0, "weak solar should force power cycles");
+    assert!(out.stats.recovery_s > 0.0, "run should exercise recovery");
+
+    let attr = Attribution::from_events(&events);
+    let totals = StatsTotals::from(&out.stats);
+    if let Err(e) = attr.reconcile(&totals) {
+        panic!("attribution does not reconcile with SimStats:\n{e}");
+    }
+    // The table itself must cover the whole committed busy time.
+    let busy = attr.busy_s();
+    assert!((busy - out.stats.busy_s()).abs() <= 1e-9 * busy.max(1.0));
+}
+
+#[test]
+fn trace_is_deterministic_across_runs() {
+    let (a, out_a) = traced_har_run();
+    let (b, out_b) = traced_har_run();
+    assert_eq!(out_a.logits, out_b.logits);
+    assert_eq!(out_a.stats, out_b.stats);
+    assert_eq!(to_jsonl(&a), to_jsonl(&b), "JSONL export differs between identical runs");
+    assert_eq!(to_chrome_json(&a), to_chrome_json(&b), "Chrome export differs");
+}
+
+#[test]
+fn jsonl_round_trips_a_real_trace() {
+    let (events, _) = traced_har_run();
+    assert!(events.len() > 100, "expected a substantial event stream");
+    let text = to_jsonl(&events);
+    let parsed = parse_jsonl(&text).expect("parse back the exported JSONL");
+    assert_eq!(parsed, events);
+    // Re-serializing the parsed stream must be byte-identical.
+    assert_eq!(to_jsonl(&parsed), text);
+}
+
+#[test]
+fn tracing_leaves_the_simulation_untouched() {
+    let mut model = App::Har.build();
+    let calib = App::Har.dataset(4, 77);
+    let dm = deploy(&mut model, &calib, 4);
+    let x = calib.sample(0);
+
+    let mut sim_plain = DeviceSim::new(PowerStrength::Weak, 0);
+    let plain = infer(&dm, &x, &mut sim_plain, ExecMode::Intermittent).expect("untraced");
+    let (_, traced) = traced_har_run();
+    assert_eq!(plain.logits, traced.logits);
+    assert_eq!(plain.stats, traced.stats);
+    assert_eq!(plain.latency_s, traced.latency_s);
+}
+
+#[test]
+fn end_of_run_stats_pass_invariants() {
+    let (_, out) = traced_har_run();
+    out.stats.check_invariants().expect("SimStats invariants hold after a traced run");
+}
