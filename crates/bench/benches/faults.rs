@@ -7,21 +7,32 @@
 //!
 //! 1. **Boundary sweep** — one injected cut per run, at every job boundary
 //!    (`smoke` scale strides the boundaries, `standard`/`paper` sweep all
-//!    of them), for Intermittent and TileAtomic modes.
+//!    of them), for Intermittent and TileAtomic modes. The sweep runs
+//!    twice: via checkpoint/fork prefix reuse (the production path) and
+//!    from scratch (one full simulation per boundary), asserting both
+//!    produce the same runs and recording the cost of each in the JSON
+//!    (`sweep_jobs_before/after`, `sweep_wall_s_before/after`).
 //! 2. **Seeded random** — per-attempt cut probability 0.005, reproducible
 //!    from the master seed.
 //! 3. **Energy model** — no injection; power fails where the capacitor
 //!    runs dry under each supply of the bench sweep (incl. the solar
 //!    trace).
 //!
-//! Everything in the simulation is deterministic, so the emitted
-//! `BENCH_faults.json` is byte-identical run to run at a given scale.
+//! Independent runs fan out over the worker pool (`IPRUNE_THREADS`, capped
+//! at physical cores) and are assembled in index order, so the emitted
+//! `BENCH_faults.json` is byte-identical run to run at a given scale and
+//! *any* thread count — except the two `sweep_wall_s_*` lines, which
+//! measure the host (CI's byte-compare filters them out).
+//!
+//! `IPRUNE_FAULTS_DETAIL=1` emits one JSON row per run instead of the
+//! deduplicated outcome groups.
 
 use iprune_bench::cache::workspace_root;
 use iprune_bench::{sweep_supplies, Scale};
 use iprune_device::power::Supply;
 use iprune_faults::{
-    energy_campaign, exhaustive_boundary_sweep, random_campaign, CampaignCtx, CampaignReport,
+    energy_campaign, exhaustive_boundary_sweep_cost, exhaustive_boundary_sweep_scratch_cost,
+    random_campaign, CampaignCtx, CampaignReport,
 };
 use iprune_hawaii::deploy::deploy;
 use iprune_hawaii::exec::ExecMode;
@@ -50,7 +61,45 @@ fn main() {
 
     println!();
     println!("boundary sweep: {} jobs, stride {stride}, cut at 0.9 of the window", nominal_jobs);
-    report.runs.extend(exhaustive_boundary_sweep(&ctx, &FAULT_MODES, stride, 0.9));
+    let (fast_runs, fast_cost) = exhaustive_boundary_sweep_cost(&ctx, &FAULT_MODES, stride, 0.9);
+    let (scratch_runs, scratch_cost) =
+        exhaustive_boundary_sweep_scratch_cost(&ctx, &FAULT_MODES, stride, 0.9);
+    println!(
+        "  prefix reuse: {} simulated jobs, {:.2} s wall  (scratch: {} jobs, {:.2} s — {:.1}x fewer jobs)",
+        fast_cost.simulated_jobs,
+        fast_cost.wall_s,
+        scratch_cost.simulated_jobs,
+        scratch_cost.wall_s,
+        scratch_cost.simulated_jobs as f64 / fast_cost.simulated_jobs as f64,
+    );
+
+    // The fast path's correctness bar: the same runs, field for field
+    // (latency at the report's 9-decimal precision — splicing reassociates
+    // f64 sums).
+    assert_eq!(fast_runs.len(), scratch_runs.len(), "sweep sizes diverged");
+    for (f, s) in fast_runs.iter().zip(&scratch_runs) {
+        let same = f.plan == s.plan
+            && f.mode == s.mode
+            && f.supply == s.supply
+            && f.ok == s.ok
+            && f.injected_failures == s.injected_failures
+            && f.power_cycles == s.power_cycles
+            && f.jobs == s.jobs
+            && f.retries == s.retries
+            && f.reexecuted_macs == s.reexecuted_macs
+            && f.shadow == s.shadow
+            && f.error == s.error
+            && format!("{:.9}", f.latency_s) == format!("{:.9}", s.latency_s);
+        assert!(same, "fast/scratch sweep divergence at plan {} mode {}", s.plan, s.mode);
+    }
+    let min_savings = if scale.name == "smoke" { 2 } else { 5 };
+    assert!(
+        fast_cost.simulated_jobs * min_savings <= scratch_cost.simulated_jobs,
+        "prefix reuse below {min_savings}x: {} vs {} simulated jobs",
+        fast_cost.simulated_jobs,
+        scratch_cost.simulated_jobs,
+    );
+    report.runs.extend(fast_runs);
 
     let reps = if scale.name == "smoke" { 2 } else { 5 };
     println!("random campaign: {reps} schedules/mode, p=0.005, seed {MASTER_SEED}");
@@ -65,7 +114,25 @@ fn main() {
     println!("{}", report.summary());
     assert!(report.all_ok(), "campaign failed the crash-consistency oracle");
 
+    let detail = std::env::var("IPRUNE_FAULTS_DETAIL").is_ok_and(|v| v == "1");
+    let body = if detail { report.to_json_detailed() } else { report.to_json() };
+    // Sweep-cost block spliced in at the top level. `sweep_wall_s_*` are
+    // the only host-dependent lines in the file.
+    let cost = format!(
+        "  \"sweep_jobs_before\": {},\n  \"sweep_jobs_after\": {},\n  \
+         \"sweep_jobs_ratio\": {:.2},\n  \"sweep_wall_s_before\": {:.3},\n  \
+         \"sweep_wall_s_after\": {:.3},\n",
+        scratch_cost.simulated_jobs,
+        fast_cost.simulated_jobs,
+        scratch_cost.simulated_jobs as f64 / fast_cost.simulated_jobs as f64,
+        scratch_cost.wall_s,
+        fast_cost.wall_s,
+    );
+    let marker = "  \"all_ok\"";
+    assert!(body.contains(marker), "report JSON lost its all_ok field");
+    let json = body.replacen(marker, &format!("{cost}{marker}"), 1);
+
     let out = workspace_root().join("BENCH_faults.json");
-    std::fs::write(&out, report.to_json()).expect("write BENCH_faults.json");
+    std::fs::write(&out, json).expect("write BENCH_faults.json");
     iprune_obs::log_info!("faults", "wrote {}", out.display());
 }

@@ -86,9 +86,12 @@ pub struct FailureDetail {
 /// Adversarial power-failure scheduler, installed into a
 /// [`crate::sim::DeviceSim`].
 ///
-/// `Send` is required so hooked simulators stay movable across the
-/// workspace's scoped worker threads.
-pub trait FaultHook: fmt::Debug + Send {
+/// `Send + Sync` is required so hooked simulators (and [`crate::sim::SimCheckpoint`]s
+/// holding cloned hooks) can be moved across — and shared by reference
+/// with — the workspace's scoped worker threads. Hooks receive `&mut self`
+/// on every call, so `Sync` costs implementations nothing beyond avoiding
+/// un-shareable interior mutability (`Cell`, `Rc`, …).
+pub trait FaultHook: fmt::Debug + Send + Sync {
     /// Decides the fate of one job attempt, before it runs.
     fn on_job(&mut self, view: &JobView) -> FaultDecision;
 

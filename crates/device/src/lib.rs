@@ -41,5 +41,5 @@ pub mod trace;
 
 pub use inject::{FaultDecision, FaultHook, JobOutcome, JobView};
 pub use power::PowerStrength;
-pub use sim::{Commit, DeviceSim, JobCost};
+pub use sim::{Commit, DeviceSim, JobCost, SimCheckpoint};
 pub use spec::DeviceSpec;

@@ -96,6 +96,32 @@ pub struct DeviceSim {
     sink: Option<SharedSink>,
 }
 
+/// Snapshot of a simulator's dynamic state at a commit point: capacitor
+/// charge, timeline frontiers, statistics, fault-hook state, and the last
+/// failure detail.
+///
+/// The immutable models (spec/timing/energy) and the supply are *not*
+/// captured — a checkpoint must be restored into (or forked from) a
+/// simulator built with the same configuration. The trace sink is not
+/// captured either: forks install their own sinks, so checkpointing a
+/// traced simulator never aliases its event stream.
+///
+/// Every future decision the simulator makes (natural failure points,
+/// pipelining, energy balance) depends only on the fields captured here
+/// plus the shared models, so a simulator forked at job *k* and run to
+/// completion is bit-identical to one that reached *k* from scratch —
+/// the equivalence the fault-campaign fast path relies on.
+#[derive(Debug, Clone)]
+pub struct SimCheckpoint {
+    cap: Capacitor,
+    now: f64,
+    lea_free: f64,
+    dma_free: f64,
+    stats: SimStats,
+    hook: Option<Box<dyn FaultHook>>,
+    last_failure: Option<FailureDetail>,
+}
+
 /// Accounting class of a blocking DMA transfer: where its committed busy
 /// time lands in [`SimStats`] and which trace event it emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +261,60 @@ impl DeviceSim {
     /// Whether a trace sink is installed.
     pub fn tracing(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Energy currently stored in the capacitor (J). Exposed so campaign
+    /// fast paths can compare forked and recorded simulators at a resync
+    /// point without widening access to the whole capacitor model.
+    pub fn cap_energy_j(&self) -> f64 {
+        self.cap.energy_j()
+    }
+
+    /// Captures the simulator's dynamic state. See [`SimCheckpoint`] for
+    /// what is (and deliberately is not) included.
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        SimCheckpoint {
+            cap: self.cap.clone(),
+            now: self.now,
+            lea_free: self.lea_free,
+            dma_free: self.dma_free,
+            stats: self.stats.clone(),
+            hook: self.hook.clone(),
+            last_failure: self.last_failure,
+        }
+    }
+
+    /// Rewinds this simulator to a previously captured checkpoint. The
+    /// models, supply, and trace sink are left untouched; only dynamic
+    /// state is overwritten.
+    pub fn restore(&mut self, ckpt: &SimCheckpoint) {
+        self.cap = ckpt.cap.clone();
+        self.now = ckpt.now;
+        self.lea_free = ckpt.lea_free;
+        self.dma_free = ckpt.dma_free;
+        self.stats = ckpt.stats.clone();
+        self.hook = ckpt.hook.clone();
+        self.last_failure = ckpt.last_failure;
+    }
+
+    /// Builds an independent simulator that shares this one's models and
+    /// supply but resumes from `ckpt`. The fork starts without a trace
+    /// sink; install one with [`Self::set_trace_sink`] if needed.
+    pub fn fork(&self, ckpt: &SimCheckpoint) -> DeviceSim {
+        DeviceSim {
+            spec: self.spec.clone(),
+            timing: self.timing.clone(),
+            energy: self.energy.clone(),
+            supply: self.supply.clone(),
+            cap: ckpt.cap.clone(),
+            now: ckpt.now,
+            lea_free: ckpt.lea_free,
+            dma_free: ckpt.dma_free,
+            stats: ckpt.stats.clone(),
+            hook: ckpt.hook.clone(),
+            last_failure: ckpt.last_failure,
+            sink: None,
+        }
     }
 
     /// Emits one event if tracing is on. The closure defers event
@@ -926,6 +1006,77 @@ mod tests {
         s.charging_s = 0.0;
         s.injected_failures = 3;
         assert!(s.check_invariants().unwrap_err().contains("injected_failures"));
+    }
+
+    #[test]
+    fn fork_resumes_bit_identically_to_the_original() {
+        // Drive a weak-power sim through a failure-rich workload, snapshot
+        // mid-way, then run fork and original forward in lockstep: every
+        // observable must stay bit-identical.
+        let cost = JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 };
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 3);
+        sim.set_fault_hook(Box::new(FailNth { attempt: 700, frac: 0.4, fired: false }));
+        let mut committed = 0;
+        while committed < 500 {
+            match sim.run_job(cost).unwrap() {
+                Commit::Committed => committed += 1,
+                Commit::PowerFailed => sim.recover(128).unwrap(),
+            }
+        }
+        let ckpt = sim.checkpoint();
+        let mut fork = sim.fork(&ckpt);
+        assert_eq!(fork.now(), sim.now());
+        for _ in 0..2_000 {
+            let a = sim.run_job(cost).unwrap();
+            let b = fork.run_job(cost).unwrap();
+            assert_eq!(a, b);
+            if a == Commit::PowerFailed {
+                sim.recover(128).unwrap();
+                fork.recover(128).unwrap();
+            }
+        }
+        assert_eq!(sim.now().to_bits(), fork.now().to_bits());
+        assert_eq!(sim.stats(), fork.stats());
+        // the injected failure at attempt 700 fired identically in both
+        assert_eq!(sim.stats().injected_failures, 1);
+    }
+
+    #[test]
+    fn restore_rewinds_in_place() {
+        let cost = JobCost { lea_macs: 60, preserve_bytes: 34, cpu_cycles: 8 };
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
+        for _ in 0..200 {
+            if sim.run_job(cost).unwrap() == Commit::PowerFailed {
+                sim.recover(128).unwrap();
+            }
+        }
+        let ckpt = sim.checkpoint();
+        let mark = (sim.now(), sim.stats().clone());
+        for _ in 0..500 {
+            if sim.run_job(cost).unwrap() == Commit::PowerFailed {
+                sim.recover(128).unwrap();
+            }
+        }
+        assert_ne!(sim.now(), mark.0);
+        sim.restore(&ckpt);
+        assert_eq!(sim.now().to_bits(), mark.0.to_bits());
+        assert_eq!(sim.stats(), &mark.1);
+    }
+
+    #[test]
+    fn checkpoint_excludes_the_trace_sink() {
+        use iprune_obs::{drain_shared, MemorySink};
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let sink = MemorySink::shared();
+        sim.set_trace_sink(sink.clone());
+        let cost = JobCost { lea_macs: 100, preserve_bytes: 34, cpu_cycles: 10 };
+        sim.run_job(cost).unwrap();
+        let before = drain_shared(&sink).len();
+        let mut fork = sim.fork(&sim.checkpoint());
+        assert!(!fork.tracing(), "forks start without a sink");
+        fork.run_job(cost).unwrap();
+        assert_eq!(drain_shared(&sink).len(), 0, "fork must not feed the parent's sink");
+        assert!(before > 0);
     }
 
     #[test]

@@ -8,18 +8,58 @@
 //! the logits against the continuous reference, runs the shadow-NVM oracle,
 //! and folds everything into a structured [`CampaignReport`] (the `faults`
 //! bench serializes it to `BENCH_faults.json`).
+//!
+//! # Prefix reuse
+//!
+//! The exhaustive boundary sweep is the expensive campaign: failing once at
+//! each of `J` job boundaries naively re-simulates the failure-free prefix
+//! of every run, `O(J²)` simulated jobs in total. [`exhaustive_boundary_sweep`]
+//! instead simulates the failure-free execution *once*, checkpointing the
+//! simulator ([`iprune_device::SimCheckpoint`]) and cloning the engine at
+//! every swept boundary, then forks each checkpoint, injects the failure,
+//! and runs the fork only until recovery reconverges with the recording —
+//! the next committed job (intermittent mode) or the next tile write-back
+//! (tile-atomic mode). The suffix of the run is then *spliced* from the
+//! recording's per-commit marks. In tile-atomic mode a failure rolls the
+//! whole tile back, so the post-failure re-execution is the same job
+//! sequence for every boundary of a tile: only the first swept boundary of
+//! each tile (its *leader*) simulates it; the tile's other forks stop at
+//! their first post-failure commit and splice the leader's segment in,
+//! keeping the sweep `O(jobs)` even when tiles are large.
+//! Reconvergence is not assumed: every fork
+//! compares its engine-state digest ([`iprune_hawaii::Engine::state_fingerprint`])
+//! and its own shadow-NVM oracle against the recording, and any mismatch
+//! falls back to an honest from-scratch run of that boundary (which also
+//! dumps its trace). [`exhaustive_boundary_sweep_scratch`] keeps the naive
+//! sweep for differential testing, and the `*_cost` variants report
+//! simulated-job and wall-clock costs ([`SweepCost`]) for both.
+//!
+//! Independent campaign entries (forks of a batch, boundaries of the
+//! scratch sweep, random/energy schedules) run in parallel on the workspace
+//! worker pool ([`iprune_tensor::par`]); results are assembled in index
+//! order, so reports are byte-identical at any thread count.
 
 use crate::plan::{EnergyDriven, FaultPlan, JobBoundary, PlanHook, SeededRandom};
 use crate::shadow::{ShadowNvm, ShadowStats};
 use iprune_device::power::Supply;
-use iprune_device::{DeviceSim, PowerStrength};
-use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_device::trace::SimStats;
+use iprune_device::{DeviceSim, PowerStrength, SimCheckpoint};
+use iprune_hawaii::exec::{infer, Engine, ExecMode, Step};
 use iprune_hawaii::DeployedModel;
 use iprune_obs::{log_error, MemorySink, TraceEvent};
+use iprune_tensor::par::par_map;
 use iprune_tensor::Tensor;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How many boundary forks are captured before dispatching them as one
+/// parallel batch. Bounds the live checkpoints (engine + shadow-NVM clones)
+/// held at once; the batch boundary does not depend on the worker count, so
+/// results are identical at any parallelism.
+const FORK_BATCH: usize = 32;
 
 /// Report label for an execution mode.
 pub fn mode_label(mode: ExecMode) -> &'static str {
@@ -44,6 +84,16 @@ pub struct Nominal {
     pub jobs: u64,
     /// MACs one clean inference commits.
     pub macs: u64,
+}
+
+/// Simulation cost of one boundary sweep, for before/after accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCost {
+    /// Accelerator-job attempts simulated (committed + failed), across
+    /// recordings, forks, and any fallback runs.
+    pub simulated_jobs: u64,
+    /// Host wall-clock time of the sweep (seconds).
+    pub wall_s: f64,
 }
 
 /// One fault-plan run and its verdicts.
@@ -206,35 +256,480 @@ fn dump_failed_trace(run: &FaultRun, events: &[TraceEvent]) -> Option<PathBuf> {
     Some(path)
 }
 
+/// State of the failure-free recording at one committed job: enough to
+/// splice a forked run's suffix and to verify the fork reconverged.
+struct CommitMark {
+    now: f64,
+    stats: SimStats,
+    shadow: ShadowStats,
+    fp: u64,
+}
+
+impl CommitMark {
+    fn capture(sim: &DeviceSim, eng: &Engine<'_>, shadow: &Arc<Mutex<ShadowNvm>>) -> Self {
+        CommitMark {
+            now: sim.now(),
+            stats: sim.stats().clone(),
+            shadow: shadow.lock().expect("shadow NVM lock").stats().clone(),
+            fp: eng.state_fingerprint(),
+        }
+    }
+}
+
+/// A resumable copy of the failure-free execution at one job boundary.
+struct ForkPoint<'m> {
+    boundary: u64,
+    /// Tile leader: in tile-atomic mode, the first swept boundary of each
+    /// tile simulates the whole post-failure re-execution; the tile's other
+    /// forks stop at their first post-failure commit and splice the
+    /// leader's segment (see [`sweep_mode_fast`]).
+    full: bool,
+    ckpt: SimCheckpoint,
+    eng: Engine<'m>,
+    shadow: ShadowNvm,
+}
+
+/// Fork state at its first committed job after the injected failure — for
+/// a tile leader, the start of the re-executed segment that the tile's
+/// cheap forks splice in.
+struct Mid {
+    now: f64,
+    stats: SimStats,
+    shadow: ShadowStats,
+    eng_jobs: u64,
+    eng_retries: u64,
+    fp: u64,
+}
+
+impl Mid {
+    fn capture(sim: &DeviceSim, eng: &Engine<'_>, shadow: &Arc<Mutex<ShadowNvm>>) -> Self {
+        Mid {
+            now: sim.now(),
+            stats: sim.stats().clone(),
+            shadow: shadow.lock().expect("shadow NVM lock").stats().clone(),
+            eng_jobs: eng.jobs_committed(),
+            eng_retries: eng.retries(),
+            fp: eng.state_fingerprint(),
+        }
+    }
+}
+
+/// What one boundary fork observed by the time it reconverged (or died).
+struct RawFork {
+    boundary: u64,
+    full: bool,
+    plan: String,
+    now: f64,
+    stats: SimStats,
+    shadow_stats: ShadowStats,
+    shadow_ok: bool,
+    eng_jobs: u64,
+    eng_retries: u64,
+    fp: u64,
+    done: bool,
+    attempts: u64,
+    mid: Option<Mid>,
+    error: Option<String>,
+}
+
+/// `fork + (fin - mark)`, field-wise: the forked prefix plus the
+/// recording's suffix. Integer fields are exact; float fields agree with a
+/// from-scratch run to f64 re-association error.
+fn splice_stats(fork: &SimStats, fin: &SimStats, mark: &SimStats) -> SimStats {
+    SimStats {
+        nvm_read_s: fork.nvm_read_s + (fin.nvm_read_s - mark.nvm_read_s),
+        nvm_write_s: fork.nvm_write_s + (fin.nvm_write_s - mark.nvm_write_s),
+        lea_s: fork.lea_s + (fin.lea_s - mark.lea_s),
+        cpu_s: fork.cpu_s + (fin.cpu_s - mark.cpu_s),
+        recovery_s: fork.recovery_s + (fin.recovery_s - mark.recovery_s),
+        charging_s: fork.charging_s + (fin.charging_s - mark.charging_s),
+        wasted_s: fork.wasted_s + (fin.wasted_s - mark.wasted_s),
+        nvm_read_bytes: fork.nvm_read_bytes + (fin.nvm_read_bytes - mark.nvm_read_bytes),
+        nvm_write_bytes: fork.nvm_write_bytes + (fin.nvm_write_bytes - mark.nvm_write_bytes),
+        lea_macs: fork.lea_macs + (fin.lea_macs - mark.lea_macs),
+        jobs_committed: fork.jobs_committed + (fin.jobs_committed - mark.jobs_committed),
+        jobs_failed: fork.jobs_failed + (fin.jobs_failed - mark.jobs_failed),
+        power_cycles: fork.power_cycles + (fin.power_cycles - mark.power_cycles),
+        injected_failures: fork.injected_failures
+            + (fin.injected_failures - mark.injected_failures),
+    }
+}
+
+fn splice_shadow(fork: &ShadowStats, fin: &ShadowStats, mark: &ShadowStats) -> ShadowStats {
+    ShadowStats {
+        preserve_writes: fork.preserve_writes + (fin.preserve_writes - mark.preserve_writes),
+        committed_writes: fork.committed_writes + (fin.committed_writes - mark.committed_writes),
+        committed_bytes: fork.committed_bytes + (fin.committed_bytes - mark.committed_bytes),
+        torn_events: fork.torn_events + (fin.torn_events - mark.torn_events),
+        torn_bytes: fork.torn_bytes + (fin.torn_bytes - mark.torn_bytes),
+        lost_writes: fork.lost_writes + (fin.lost_writes - mark.lost_writes),
+        replayed_writes: fork.replayed_writes + (fin.replayed_writes - mark.replayed_writes),
+        replayed_bytes: fork.replayed_bytes + (fin.replayed_bytes - mark.replayed_bytes),
+    }
+}
+
+/// Forks the recording at `point`, injects the boundary failure, and runs
+/// only until the engine is back at a recorded state: the retried job's
+/// commit in intermittent mode (a failed job never mutates engine state),
+/// or — in tile-atomic mode — the next tile write-back for a tile leader
+/// (`point.full`), capturing the re-executed segment's start as a [`Mid`]
+/// mark on the way, and just the first post-failure commit for every other
+/// fork of the tile (the leader's segment is spliced in later; rollback
+/// makes the re-execution identical for every boundary of a tile).
+/// Reconvergence is *verified* later against the recording's marks, not
+/// assumed here.
+fn fork_raw(base: &DeviceSim, point: &ForkPoint<'_>, mode: ExecMode, frac: f64) -> RawFork {
+    let plan = JobBoundary::new(point.boundary, frac);
+    let plan_name = plan.name();
+    let shadow = Arc::new(Mutex::new(point.shadow.clone()));
+    let mut sim = base.fork(&point.ckpt);
+    sim.set_fault_hook(Box::new(PlanHook::new(Box::new(plan), Arc::clone(&shadow))));
+    let mut eng = point.eng.clone();
+    let mut done = false;
+    let mut error = None;
+    let mut mid: Option<Mid> = None;
+    loop {
+        match eng.step(&mut sim) {
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
+            }
+            Ok(Step::Done) => {
+                done = true;
+                break;
+            }
+            Ok(Step::Committed) => {
+                if sim.stats().injected_failures == 0 {
+                    continue;
+                }
+                if mode == ExecMode::TileAtomic && point.full {
+                    if mid.is_none() {
+                        mid = Some(Mid::capture(&sim, &eng, &shadow));
+                    }
+                    if eng.at_tile_boundary() {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    let stats = sim.stats().clone();
+    let sh = shadow.lock().expect("shadow NVM lock");
+    RawFork {
+        boundary: point.boundary,
+        full: point.full,
+        plan: plan_name,
+        now: sim.now(),
+        shadow_ok: sh.check_completed().is_ok(),
+        shadow_stats: sh.stats().clone(),
+        eng_jobs: eng.jobs_committed(),
+        eng_retries: eng.retries(),
+        fp: eng.state_fingerprint(),
+        done,
+        attempts: (stats.jobs_committed - point.boundary) + stats.jobs_failed,
+        mid,
+        stats,
+        error,
+    }
+}
+
+/// One mode's boundary sweep via prefix reuse. Returns the runs in
+/// boundary order plus the number of job attempts simulated, or `Err` if
+/// the failure-free recording itself died (the caller then falls back to
+/// the scratch sweep for the mode).
+fn sweep_mode_fast(
+    ctx: &CampaignCtx<'_>,
+    mode: ExecMode,
+    stride: usize,
+    frac: f64,
+) -> Result<(Vec<FaultRun>, u64), String> {
+    let mut attempts: u64 = 0;
+
+    // Failure-free recording: one stepped inference under bench power with
+    // the shadow oracle installed (an `EnergyDriven` plan injects nothing,
+    // and hooks don't perturb timing), capturing a mark per commit and a
+    // fork point per swept boundary. Fork points are dispatched in fixed
+    // batches as the recording advances, so at most `FORK_BATCH`
+    // checkpoints are alive at once.
+    let shadow = Arc::new(Mutex::new(ShadowNvm::with_device_capacity()));
+    let mut sim = DeviceSim::with_supply(Supply::from(PowerStrength::Continuous), 0);
+    sim.set_fault_hook(Box::new(PlanHook::new(Box::new(EnergyDriven), Arc::clone(&shadow))));
+    let mut eng = Engine::new(ctx.dm, ctx.input, &sim, mode);
+    let mut marks = vec![CommitMark::capture(&sim, &eng, &shadow)];
+    let mut tile_ends: Vec<u64> = Vec::new();
+    let mut raws: Vec<RawFork> = Vec::new();
+    let mut batch: Vec<ForkPoint<'_>> = Vec::new();
+    let mut commits: u64 = 0;
+    let mut tile_has_leader = false;
+    loop {
+        // Capture before stepping, but only keep the point if a job
+        // actually follows (the last boundary is `jobs - 1`). The first
+        // swept boundary of each tile is its leader — the one fork that
+        // simulates the tile's whole post-failure re-execution.
+        let pending = commits.is_multiple_of(stride as u64).then(|| ForkPoint {
+            boundary: commits,
+            full: mode != ExecMode::TileAtomic || !tile_has_leader,
+            ckpt: sim.checkpoint(),
+            eng: eng.clone(),
+            shadow: shadow.lock().expect("shadow NVM lock").clone(),
+        });
+        match eng.step(&mut sim).map_err(|e| e.to_string())? {
+            Step::Done => break,
+            Step::Committed => {
+                attempts += 1;
+                if let Some(point) = pending {
+                    tile_has_leader = true;
+                    batch.push(point);
+                    if batch.len() >= FORK_BATCH {
+                        raws.extend(par_map(batch.len(), |i| {
+                            fork_raw(&sim, &batch[i], mode, frac)
+                        }));
+                        batch.clear();
+                    }
+                }
+                commits += 1;
+                marks.push(CommitMark::capture(&sim, &eng, &shadow));
+                if eng.at_tile_boundary() {
+                    tile_ends.push(commits);
+                    tile_has_leader = false;
+                }
+            }
+        }
+    }
+    if !batch.is_empty() {
+        raws.extend(par_map(batch.len(), |i| fork_raw(&sim, &batch[i], mode, frac)));
+        batch.clear();
+    }
+    let out = eng.outcome(&sim);
+    let total = out.jobs;
+    let nominal = Nominal { jobs: total, macs: out.stats.lea_macs };
+    let logits_ok = out.logits == ctx.reference;
+    let rec_shadow_ok = shadow.lock().expect("shadow NVM lock").check_completed().is_ok();
+    let fin = marks.last().expect("recording has a final mark");
+
+    // Resolve each fork: verify reconvergence against the recording's mark
+    // at the fork's resync commit, then splice the recording's suffix onto
+    // the forked prefix. Cheap tile forks additionally splice their tile
+    // leader's re-executed segment between the two. Any doubt — engine
+    // error, state-digest mismatch, shadow-oracle failure, bad verdicts on
+    // the recording itself, or a stats-invariant violation in the spliced
+    // totals — re-runs that boundary from scratch (traced, so failures
+    // leave evidence).
+    let mut runs = Vec::with_capacity(raws.len());
+    // The current tile's leader fork, its tile-end commit, and its health.
+    let mut lead: Option<(&RawFork, u64, bool)> = None;
+    for raw in &raws {
+        let resolved = if mode == ExecMode::TileAtomic && !raw.full {
+            // Cheap tile fork: own prefix (through the first re-executed
+            // commit) + the tile leader's re-executed segment + the
+            // recording's suffix. The fork is compared against the
+            // *leader's* mid-mark, not the recording's — rollback restores
+            // the preserved tile-start image, whose dead bytes legitimately
+            // differ from the recording's mid-tile buffers; the leader's
+            // verified end-of-tile digest anchors the segment to the
+            // recording. Its own `shadow_ok` is likewise not consulted —
+            // mid-tile the failure's torn write is legitimately not yet
+            // replayed; the leader's end-of-tile oracle covers the tile.
+            let te = tile_ends.iter().copied().find(|&t| t > raw.boundary).unwrap_or(total);
+            let end = &marks[te as usize];
+            lead.filter(|&(_, lte, lok)| lte == te && lok).and_then(|(l, _, _)| {
+                let m = l.mid.as_ref()?;
+                let base_ok = raw.error.is_none() && raw.fp == m.fp && logits_ok && rec_shadow_ok;
+                if !base_ok {
+                    return None;
+                }
+                let seg = splice_stats(&raw.stats, &l.stats, &m.stats);
+                let spliced = splice_stats(&seg, &fin.stats, &end.stats);
+                if spliced.check_invariants().is_err() {
+                    return None;
+                }
+                Some(FaultRun {
+                    plan: raw.plan.clone(),
+                    mode: mode_label(mode),
+                    supply: "continuous".to_string(),
+                    ok: true,
+                    injected_failures: spliced.injected_failures,
+                    power_cycles: spliced.power_cycles,
+                    jobs: raw.eng_jobs + (l.eng_jobs - m.eng_jobs) + (total - te),
+                    retries: raw.eng_retries + (l.eng_retries - m.eng_retries),
+                    reexecuted_macs: spliced.lea_macs.saturating_sub(nominal.macs),
+                    shadow: splice_shadow(
+                        &splice_shadow(&raw.shadow_stats, &l.shadow_stats, &m.shadow),
+                        &fin.shadow,
+                        &end.shadow,
+                    ),
+                    latency_s: raw.now + (l.now - m.now) + (fin.now - end.now),
+                    error: None,
+                })
+            })
+        } else {
+            let resync = if raw.done {
+                total
+            } else if mode == ExecMode::TileAtomic {
+                tile_ends.iter().copied().find(|&t| t > raw.boundary).unwrap_or(total)
+            } else {
+                raw.eng_jobs
+            };
+            let mark = &marks[resync as usize];
+            let spliced = splice_stats(&raw.stats, &fin.stats, &mark.stats);
+            let healthy = raw.error.is_none()
+                && raw.fp == mark.fp
+                && raw.shadow_ok
+                && logits_ok
+                && rec_shadow_ok
+                && spliced.check_invariants().is_ok();
+            if mode == ExecMode::TileAtomic {
+                lead = Some((raw, resync, healthy));
+            }
+            healthy.then(|| FaultRun {
+                plan: raw.plan.clone(),
+                mode: mode_label(mode),
+                supply: "continuous".to_string(),
+                ok: true,
+                injected_failures: spliced.injected_failures,
+                power_cycles: spliced.power_cycles,
+                jobs: raw.eng_jobs + (total - resync),
+                retries: raw.eng_retries,
+                reexecuted_macs: spliced.lea_macs.saturating_sub(nominal.macs),
+                shadow: splice_shadow(&raw.shadow_stats, &fin.shadow, &mark.shadow),
+                latency_s: raw.now + (fin.now - mark.now),
+                error: None,
+            })
+        };
+        match resolved {
+            Some(run) => {
+                attempts += raw.attempts;
+                runs.push(run);
+            }
+            None => {
+                let run = ctx.run_one(
+                    mode,
+                    Box::new(JobBoundary::new(raw.boundary, frac)),
+                    Supply::from(PowerStrength::Continuous),
+                    "continuous",
+                    0,
+                    &nominal,
+                );
+                attempts += run.jobs + run.power_cycles;
+                runs.push(run);
+            }
+        }
+    }
+    Ok((runs, attempts))
+}
+
 /// Exhaustive job-boundary sweep: for each mode, fail once at every
 /// `stride`-th job boundary (cut at `frac` of the job window) under bench
 /// power, so every failure is adversarial rather than energy-driven.
+///
+/// Uses prefix reuse (see the module docs): the failure-free prefix of
+/// every run is simulated once per mode, forked per boundary, and each
+/// fork's suffix is spliced from the recording after its reconvergence is
+/// verified — `O(jobs)` simulated work instead of `O(jobs²)`, with
+/// per-boundary fallback to [`exhaustive_boundary_sweep_scratch`] semantics
+/// on any mismatch.
 pub fn exhaustive_boundary_sweep(
     ctx: &CampaignCtx<'_>,
     modes: &[ExecMode],
     stride: usize,
     frac: f64,
 ) -> Vec<FaultRun> {
+    exhaustive_boundary_sweep_cost(ctx, modes, stride, frac).0
+}
+
+/// [`exhaustive_boundary_sweep`] plus its simulation cost.
+pub fn exhaustive_boundary_sweep_cost(
+    ctx: &CampaignCtx<'_>,
+    modes: &[ExecMode],
+    stride: usize,
+    frac: f64,
+) -> (Vec<FaultRun>, SweepCost) {
     assert!(stride > 0, "stride must be positive");
+    let start = Instant::now();
     let mut runs = Vec::new();
+    let mut simulated_jobs: u64 = 0;
     for &mode in modes {
-        let nominal = ctx.nominal(mode);
-        for boundary in (0..nominal.jobs).step_by(stride) {
-            runs.push(ctx.run_one(
-                mode,
-                Box::new(JobBoundary::new(boundary, frac)),
-                Supply::from(PowerStrength::Continuous),
-                "continuous",
-                0,
-                &nominal,
-            ));
+        match sweep_mode_fast(ctx, mode, stride, frac) {
+            Ok((mode_runs, attempts)) => {
+                runs.extend(mode_runs);
+                simulated_jobs += attempts;
+            }
+            Err(_) => {
+                // The failure-free recording itself failed to complete —
+                // nothing to fork from. Run this mode the slow, honest way.
+                let (mode_runs, attempts) = sweep_mode_scratch(ctx, mode, stride, frac);
+                runs.extend(mode_runs);
+                simulated_jobs += attempts;
+            }
         }
     }
-    runs
+    (runs, SweepCost { simulated_jobs, wall_s: start.elapsed().as_secs_f64() })
+}
+
+/// One mode's boundary sweep from scratch: a full independent run per
+/// boundary (in parallel, assembled in boundary order).
+fn sweep_mode_scratch(
+    ctx: &CampaignCtx<'_>,
+    mode: ExecMode,
+    stride: usize,
+    frac: f64,
+) -> (Vec<FaultRun>, u64) {
+    let nominal = ctx.nominal(mode);
+    let mut attempts = nominal.jobs;
+    let boundaries: Vec<u64> = (0..nominal.jobs).step_by(stride).collect();
+    let runs = par_map(boundaries.len(), |i| {
+        ctx.run_one(
+            mode,
+            Box::new(JobBoundary::new(boundaries[i], frac)),
+            Supply::from(PowerStrength::Continuous),
+            "continuous",
+            0,
+            &nominal,
+        )
+    });
+    for r in &runs {
+        attempts += r.jobs + r.power_cycles;
+    }
+    (runs, attempts)
+}
+
+/// The naive exhaustive boundary sweep: one full simulation per boundary.
+/// Bit-identical to [`exhaustive_boundary_sweep`] (the fast path's
+/// correctness bar) but `O(jobs²)`; kept for differential testing and
+/// cost accounting.
+pub fn exhaustive_boundary_sweep_scratch(
+    ctx: &CampaignCtx<'_>,
+    modes: &[ExecMode],
+    stride: usize,
+    frac: f64,
+) -> Vec<FaultRun> {
+    exhaustive_boundary_sweep_scratch_cost(ctx, modes, stride, frac).0
+}
+
+/// [`exhaustive_boundary_sweep_scratch`] plus its simulation cost.
+pub fn exhaustive_boundary_sweep_scratch_cost(
+    ctx: &CampaignCtx<'_>,
+    modes: &[ExecMode],
+    stride: usize,
+    frac: f64,
+) -> (Vec<FaultRun>, SweepCost) {
+    assert!(stride > 0, "stride must be positive");
+    let start = Instant::now();
+    let mut runs = Vec::new();
+    let mut simulated_jobs: u64 = 0;
+    for &mode in modes {
+        let (mode_runs, attempts) = sweep_mode_scratch(ctx, mode, stride, frac);
+        runs.extend(mode_runs);
+        simulated_jobs += attempts;
+    }
+    (runs, SweepCost { simulated_jobs, wall_s: start.elapsed().as_secs_f64() })
 }
 
 /// Seeded-random campaign: `reps` independent random schedules per mode
 /// (per-attempt failure probability `prob`), deterministic from `seed`.
+/// Entries run in parallel; the returned order is mode-major, then rep.
 pub fn random_campaign(
     ctx: &CampaignCtx<'_>,
     modes: &[ExecMode],
@@ -242,47 +737,55 @@ pub fn random_campaign(
     prob: f64,
     seed: u64,
 ) -> Vec<FaultRun> {
-    let mut runs = Vec::new();
+    let mut entries: Vec<(ExecMode, Nominal, u64)> = Vec::new();
     for &mode in modes {
         let nominal = ctx.nominal(mode);
         for rep in 0..reps {
-            runs.push(ctx.run_one(
-                mode,
-                Box::new(SeededRandom::new(prob, seed.wrapping_add(rep as u64))),
-                Supply::from(PowerStrength::Continuous),
-                "continuous",
-                0,
-                &nominal,
-            ));
+            entries.push((mode, nominal, rep as u64));
         }
     }
-    runs
+    par_map(entries.len(), |i| {
+        let (mode, nominal, rep) = entries[i];
+        ctx.run_one(
+            mode,
+            Box::new(SeededRandom::new(prob, seed.wrapping_add(rep))),
+            Supply::from(PowerStrength::Continuous),
+            "continuous",
+            0,
+            &nominal,
+        )
+    })
 }
 
 /// Energy-model campaign: no injection — power fails only where the
 /// capacitor runs dry under each supplied profile (the pre-existing
-/// behaviour, now behind the same plan interface and oracle).
+/// behaviour, now behind the same plan interface and oracle). Entries run
+/// in parallel; the returned order is mode-major, then supply.
 pub fn energy_campaign(
     ctx: &CampaignCtx<'_>,
     modes: &[ExecMode],
     supplies: &[(String, Supply)],
     seed: u64,
 ) -> Vec<FaultRun> {
-    let mut runs = Vec::new();
+    let mut entries: Vec<(ExecMode, Nominal, usize)> = Vec::new();
     for &mode in modes {
         let nominal = ctx.nominal(mode);
-        for (i, (label, supply)) in supplies.iter().enumerate() {
-            runs.push(ctx.run_one(
-                mode,
-                Box::new(EnergyDriven),
-                supply.clone(),
-                label,
-                seed.wrapping_add(i as u64),
-                &nominal,
-            ));
+        for i in 0..supplies.len() {
+            entries.push((mode, nominal, i));
         }
     }
-    runs
+    par_map(entries.len(), |e| {
+        let (mode, nominal, i) = entries[e];
+        let (label, supply) = &supplies[i];
+        ctx.run_one(
+            mode,
+            Box::new(EnergyDriven),
+            supply.clone(),
+            label,
+            seed.wrapping_add(i as u64),
+            &nominal,
+        )
+    })
 }
 
 /// A full campaign: schedules run, failures injected, re-executed work,
@@ -295,6 +798,31 @@ pub struct CampaignReport {
     pub seed: u64,
     /// All runs, in execution order.
     pub runs: Vec<FaultRun>,
+}
+
+/// Everything serialized about a run except its plan name: two runs with
+/// equal fingerprints are indistinguishable outcomes, which is what the
+/// deduplicated report groups by.
+fn outcome_fingerprint(r: &FaultRun) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:.9}|{:?}",
+        r.mode,
+        r.supply,
+        r.ok,
+        r.injected_failures,
+        r.power_cycles,
+        r.jobs,
+        r.retries,
+        r.reexecuted_macs,
+        r.shadow.preserve_writes,
+        r.shadow.torn_events,
+        r.shadow.torn_bytes,
+        r.shadow.lost_writes,
+        r.shadow.replayed_writes,
+        r.shadow.replayed_bytes,
+        r.latency_s,
+        r.error,
+    )
 }
 
 impl CampaignReport {
@@ -328,14 +856,32 @@ impl CampaignReport {
         self.runs.iter().map(|r| r.shadow.replayed_bytes).sum()
     }
 
+    /// Distinct run outcomes (see [`Self::to_json`]'s grouping), in first-
+    /// appearance order: `(index of first run with the outcome, count)`.
+    fn outcome_groups(&self) -> Vec<(usize, u64)> {
+        let mut groups: Vec<(usize, u64)> = Vec::new();
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for (i, r) in self.runs.iter().enumerate() {
+            match seen.entry(outcome_fingerprint(r)) {
+                std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].1 += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push((i, 1));
+                }
+            }
+        }
+        groups
+    }
+
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} runs ({} ok), {} injected failures / {} power cycles, \
+            "{}: {} runs ({} ok, {} distinct outcomes), {} injected failures / {} power cycles, \
              {} NVM bytes torn, {} replayed",
             self.workload,
             self.runs.len(),
             self.runs.iter().filter(|r| r.ok).count(),
+            self.outcome_groups().len(),
             self.total_injected(),
             self.total_cycles(),
             self.total_torn_bytes(),
@@ -343,9 +889,7 @@ impl CampaignReport {
         )
     }
 
-    /// Machine-readable JSON (hand-rolled: the workspace has no serde).
-    pub fn to_json(&self) -> String {
-        let mut s = String::new();
+    fn json_header(&self, s: &mut String) {
         s.push_str("{\n");
         let _ = writeln!(s, "  \"workload\": \"{}\",", self.workload);
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
@@ -353,43 +897,80 @@ impl CampaignReport {
         s.push_str("  \"summary\": {\n");
         let _ = writeln!(s, "    \"runs\": {},", self.runs.len());
         let _ = writeln!(s, "    \"ok\": {},", self.runs.iter().filter(|r| r.ok).count());
+        let _ = writeln!(s, "    \"distinct_outcomes\": {},", self.outcome_groups().len());
         let _ = writeln!(s, "    \"injected_failures\": {},", self.total_injected());
         let _ = writeln!(s, "    \"power_cycles\": {},", self.total_cycles());
         let _ = writeln!(s, "    \"torn_bytes\": {},", self.total_torn_bytes());
         let _ = writeln!(s, "    \"replayed_bytes\": {}", self.total_replayed_bytes());
         s.push_str("  },\n");
+    }
+
+    fn json_run(s: &mut String, r: &FaultRun, count: Option<u64>) {
+        let _ = write!(s, "    {{\"plan\": \"{}\", ", r.plan);
+        if let Some(c) = count {
+            let _ = write!(s, "\"count\": {c}, ");
+        }
+        let _ = write!(
+            s,
+            "\"mode\": \"{}\", \"supply\": \"{}\", \"ok\": {}, \
+             \"injected_failures\": {}, \"power_cycles\": {}, \"jobs\": {}, \"retries\": {}, \
+             \"reexecuted_macs\": {}, \"preserve_writes\": {}, \"torn_events\": {}, \
+             \"torn_bytes\": {}, \"lost_writes\": {}, \"replayed_writes\": {}, \
+             \"replayed_bytes\": {}, \"latency_s\": {:.9}",
+            r.mode,
+            r.supply,
+            r.ok,
+            r.injected_failures,
+            r.power_cycles,
+            r.jobs,
+            r.retries,
+            r.reexecuted_macs,
+            r.shadow.preserve_writes,
+            r.shadow.torn_events,
+            r.shadow.torn_bytes,
+            r.shadow.lost_writes,
+            r.shadow.replayed_writes,
+            r.shadow.replayed_bytes,
+            r.latency_s,
+        );
+        match &r.error {
+            Some(err) => {
+                let _ = write!(s, ", \"error\": \"{}\"}}", err.replace('"', "'"));
+            }
+            None => s.push('}'),
+        }
+    }
+
+    /// Machine-readable JSON (hand-rolled: the workspace has no serde),
+    /// with identical run outcomes deduplicated: runs differing only in
+    /// their plan name are emitted once, in first-appearance order, with a
+    /// `"count"` field and the first plan's name. A boundary sweep where
+    /// every cut inside a layer behaves identically collapses to one row
+    /// per distinct behaviour; [`Self::to_json_detailed`] keeps every row.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.json_header(&mut s);
+        s.push_str("  \"runs_deduped\": true,\n");
+        s.push_str("  \"runs\": [\n");
+        let groups = self.outcome_groups();
+        for (gi, (first, count)) in groups.iter().enumerate() {
+            Self::json_run(&mut s, &self.runs[*first], Some(*count));
+            s.push_str(if gi + 1 < groups.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Machine-readable JSON with one row per run, no deduplication (the
+    /// pre-dedup report format; the `faults` bench emits it when
+    /// `IPRUNE_FAULTS_DETAIL=1`).
+    pub fn to_json_detailed(&self) -> String {
+        let mut s = String::new();
+        self.json_header(&mut s);
+        s.push_str("  \"runs_deduped\": false,\n");
         s.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
-            let _ = write!(
-                s,
-                "    {{\"plan\": \"{}\", \"mode\": \"{}\", \"supply\": \"{}\", \"ok\": {}, \
-                 \"injected_failures\": {}, \"power_cycles\": {}, \"jobs\": {}, \"retries\": {}, \
-                 \"reexecuted_macs\": {}, \"preserve_writes\": {}, \"torn_events\": {}, \
-                 \"torn_bytes\": {}, \"lost_writes\": {}, \"replayed_writes\": {}, \
-                 \"replayed_bytes\": {}, \"latency_s\": {:.9}",
-                r.plan,
-                r.mode,
-                r.supply,
-                r.ok,
-                r.injected_failures,
-                r.power_cycles,
-                r.jobs,
-                r.retries,
-                r.reexecuted_macs,
-                r.shadow.preserve_writes,
-                r.shadow.torn_events,
-                r.shadow.torn_bytes,
-                r.shadow.lost_writes,
-                r.shadow.replayed_writes,
-                r.shadow.replayed_bytes,
-                r.latency_s,
-            );
-            match &r.error {
-                Some(err) => {
-                    let _ = write!(s, ", \"error\": \"{}\"}}", err.replace('"', "'"));
-                }
-                None => s.push('}'),
-            }
+            Self::json_run(&mut s, r, None);
             s.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
         }
         s.push_str("  ]\n}\n");

@@ -13,7 +13,11 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// A deterministic power-failure schedule over accelerator-job attempts.
-pub trait FaultPlan: fmt::Debug + Send {
+///
+/// `Send + Sync` (inherited by every plan) lets hooked simulators cross
+/// into the workspace's worker threads, which is how campaigns run their
+/// independent entries in parallel.
+pub trait FaultPlan: fmt::Debug + Send + Sync {
     /// Human-readable schedule name for reports.
     fn name(&self) -> String;
 

@@ -36,7 +36,7 @@ pub enum WriteStatus {
 }
 
 /// One recorded preservation write.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteRecord {
     /// Start address in the shadow image.
     pub addr: usize,

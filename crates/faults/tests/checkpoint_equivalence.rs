@@ -1,0 +1,260 @@
+//! Checkpoint/fork equivalence and fast-sweep fidelity.
+//!
+//! The boundary-sweep fast path rests on two claims, each tested here
+//! against ground truth:
+//!
+//! 1. **Fork exactness** — cloning the engine and checkpointing the
+//!    simulator at job boundary `k` of a failure-free run, then forking and
+//!    injecting the boundary failure, is bit-identical (logits, `SimStats`,
+//!    shadow-NVM torn-write accounting) to a from-scratch run that fails at
+//!    `k`. This holds for all three execution modes.
+//! 2. **Sweep fidelity** — [`exhaustive_boundary_sweep`] (prefix reuse +
+//!    suffix splicing) reports the same runs as
+//!    [`exhaustive_boundary_sweep_scratch`] (one full simulation per
+//!    boundary), at a fraction of the simulated jobs, and byte-identically
+//!    at any worker-thread count.
+
+use iprune_device::power::Supply;
+use iprune_device::{DeviceSim, PowerStrength};
+use iprune_faults::{
+    exhaustive_boundary_sweep, exhaustive_boundary_sweep_cost,
+    exhaustive_boundary_sweep_scratch_cost, random_campaign, CampaignCtx, CampaignReport,
+    EnergyDriven, FaultPlan, JobBoundary, PlanHook, ShadowNvm,
+};
+use iprune_hawaii::deploy::{deploy, DeployedModel};
+use iprune_hawaii::exec::ExecMode;
+use iprune_hawaii::Engine;
+use iprune_models::zoo::App;
+use iprune_tensor::par;
+use std::sync::{Arc, Mutex, OnceLock};
+
+const ALL_MODES: [ExecMode; 3] =
+    [ExecMode::Intermittent, ExecMode::TileAtomic, ExecMode::Continuous];
+const FAULT_MODES: [ExecMode; 2] = [ExecMode::Intermittent, ExecMode::TileAtomic];
+const FRAC: f64 = 0.9;
+
+fn har_workload() -> (DeployedModel, iprune_datasets::Dataset) {
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 42);
+    let dm = deploy(&mut model, &ds, 2);
+    (dm, ds)
+}
+
+/// Serializes tests that flip the process-wide parallelism overrides.
+fn par_overrides_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the parallelism overrides even if the test panics.
+struct ParOverrideGuard;
+impl Drop for ParOverrideGuard {
+    fn drop(&mut self) {
+        par::set_threads(0);
+        par::set_host_cores(0);
+    }
+}
+
+struct RunResult {
+    logits: Vec<f32>,
+    stats: iprune_device::trace::SimStats,
+    shadow: ShadowNvm,
+    jobs: u64,
+    retries: u64,
+    error: Option<String>,
+}
+
+/// Runs `dm` stepwise with `plan` installed, from a fresh simulator.
+fn run_scratch(
+    dm: &DeployedModel,
+    input: &iprune_tensor::Tensor,
+    mode: ExecMode,
+    plan: Box<dyn FaultPlan>,
+) -> RunResult {
+    let shadow = Arc::new(Mutex::new(ShadowNvm::with_device_capacity()));
+    let mut sim = DeviceSim::with_supply(Supply::from(PowerStrength::Continuous), 0);
+    sim.set_fault_hook(Box::new(PlanHook::new(plan, Arc::clone(&shadow))));
+    let mut eng = Engine::new(dm, input, &sim, mode);
+    let error = run_to_end(&mut eng, &mut sim);
+    finish(eng, sim, &shadow, error)
+}
+
+/// Runs failure-free to `boundary` commits, snapshots (checkpoint + engine
+/// clone + shadow clone), forks, installs `plan` on the fork only, and runs
+/// the fork to completion.
+fn run_forked(
+    dm: &DeployedModel,
+    input: &iprune_tensor::Tensor,
+    mode: ExecMode,
+    boundary: u64,
+    plan: Box<dyn FaultPlan>,
+) -> RunResult {
+    let rec_shadow = Arc::new(Mutex::new(ShadowNvm::with_device_capacity()));
+    let mut rec_sim = DeviceSim::with_supply(Supply::from(PowerStrength::Continuous), 0);
+    rec_sim
+        .set_fault_hook(Box::new(PlanHook::new(Box::new(EnergyDriven), Arc::clone(&rec_shadow))));
+    let mut rec_eng = Engine::new(dm, input, &rec_sim, mode);
+    for _ in 0..boundary {
+        assert_eq!(
+            rec_eng.step(&mut rec_sim).expect("failure-free prefix"),
+            iprune_hawaii::Step::Committed,
+            "boundary beyond the workload"
+        );
+    }
+    let ckpt = rec_sim.checkpoint();
+    let fork_shadow = Arc::new(Mutex::new(rec_shadow.lock().unwrap().clone()));
+    let mut sim = rec_sim.fork(&ckpt);
+    sim.set_fault_hook(Box::new(PlanHook::new(plan, Arc::clone(&fork_shadow))));
+    let mut eng = rec_eng.clone();
+    let error = run_to_end(&mut eng, &mut sim);
+    finish(eng, sim, &fork_shadow, error)
+}
+
+fn run_to_end(eng: &mut Engine<'_>, sim: &mut DeviceSim) -> Option<String> {
+    loop {
+        match eng.step(sim) {
+            Err(e) => return Some(e.to_string()),
+            Ok(iprune_hawaii::Step::Done) => return None,
+            Ok(iprune_hawaii::Step::Committed) => {}
+        }
+    }
+}
+
+fn finish(
+    eng: Engine<'_>,
+    sim: DeviceSim,
+    shadow: &Arc<Mutex<ShadowNvm>>,
+    error: Option<String>,
+) -> RunResult {
+    let (logits, jobs, retries) = if error.is_none() {
+        let out = eng.outcome(&sim);
+        (out.logits, out.jobs, out.retries)
+    } else {
+        (Vec::new(), eng.jobs_committed(), eng.retries())
+    };
+    RunResult {
+        logits,
+        stats: sim.stats().clone(),
+        shadow: shadow.lock().unwrap().clone(),
+        jobs,
+        retries,
+        error,
+    }
+}
+
+#[test]
+fn fork_at_boundary_matches_from_scratch_in_every_mode() {
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+    for mode in ALL_MODES {
+        let jobs = ctx.nominal(mode).jobs;
+        // first boundary, one mid-stream, one near the end
+        for boundary in [0, jobs / 2, jobs - 1] {
+            let plan = || Box::new(JobBoundary::new(boundary, FRAC));
+            let scratch = run_scratch(&dm, &x, mode, plan());
+            let forked = run_forked(&dm, &x, mode, boundary, plan());
+            let tag = format!("mode {mode:?}, boundary {boundary}");
+            assert_eq!(scratch.error, forked.error, "{tag}: error divergence");
+            assert_eq!(scratch.logits, forked.logits, "{tag}: logits diverged");
+            assert_eq!(scratch.stats, forked.stats, "{tag}: SimStats diverged");
+            assert_eq!(scratch.jobs, forked.jobs, "{tag}: job counters diverged");
+            assert_eq!(scratch.retries, forked.retries, "{tag}: retry counters diverged");
+            // Torn-write accounting must agree record by record, bytes and
+            // all — the shadow NVM is the crash-consistency ground truth.
+            assert_eq!(
+                scratch.shadow.stats(),
+                forked.shadow.stats(),
+                "{tag}: shadow stats diverged"
+            );
+            assert_eq!(
+                scratch.shadow.records(),
+                forked.shadow.records(),
+                "{tag}: shadow write records diverged"
+            );
+            if mode == ExecMode::Continuous {
+                // Continuous mode treats any cut as an unrecoverable brownout;
+                // the point of parity is that fork and scratch agree on it.
+                assert!(scratch.error.is_some(), "{tag}: continuous run should brown out");
+            } else {
+                assert!(scratch.error.is_none(), "{tag}: unexpected engine error");
+                assert_eq!(scratch.logits, ctx.reference(), "{tag}: differential oracle");
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_sweep_matches_scratch_sweep_with_fewer_simulated_jobs() {
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+    let jobs = ctx.nominal(ExecMode::Intermittent).jobs;
+    let stride = (jobs as usize / 16).max(1);
+
+    let (fast, fast_cost) = exhaustive_boundary_sweep_cost(&ctx, &FAULT_MODES, stride, FRAC);
+    let (scratch, scratch_cost) =
+        exhaustive_boundary_sweep_scratch_cost(&ctx, &FAULT_MODES, stride, FRAC);
+
+    assert_eq!(fast.len(), scratch.len(), "run counts diverged");
+    for (f, s) in fast.iter().zip(&scratch) {
+        let tag = format!("plan {} mode {}", s.plan, s.mode);
+        assert_eq!(f.plan, s.plan, "{tag}: plan");
+        assert_eq!(f.mode, s.mode, "{tag}: mode");
+        assert_eq!(f.supply, s.supply, "{tag}: supply");
+        assert_eq!(f.ok, s.ok, "{tag}: verdict");
+        assert_eq!(f.injected_failures, s.injected_failures, "{tag}: injected");
+        assert_eq!(f.power_cycles, s.power_cycles, "{tag}: cycles");
+        assert_eq!(f.jobs, s.jobs, "{tag}: jobs");
+        assert_eq!(f.retries, s.retries, "{tag}: retries");
+        assert_eq!(f.reexecuted_macs, s.reexecuted_macs, "{tag}: re-executed MACs");
+        assert_eq!(f.shadow, s.shadow, "{tag}: shadow stats");
+        assert_eq!(f.error, s.error, "{tag}: error");
+        // Splicing reassociates f64 sums; report precision must still agree.
+        assert_eq!(
+            format!("{:.9}", f.latency_s),
+            format!("{:.9}", s.latency_s),
+            "{tag}: latency at report precision (fast {} vs scratch {})",
+            f.latency_s,
+            s.latency_s,
+        );
+    }
+    assert!(fast.iter().all(|r| r.ok), "fast sweep failed its oracles");
+    assert!(
+        fast_cost.simulated_jobs * 3 <= scratch_cost.simulated_jobs,
+        "prefix reuse saved too little: fast {} vs scratch {} simulated jobs",
+        fast_cost.simulated_jobs,
+        scratch_cost.simulated_jobs,
+    );
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_across_thread_counts() {
+    let _serial = par_overrides_lock();
+    let _restore = ParOverrideGuard;
+    // Pretend the host has 8 cores so the requested thread counts take
+    // effect even on single-core CI machines.
+    par::set_host_cores(8);
+
+    let (dm, ds) = har_workload();
+    let x = ds.sample(0);
+    let ctx = CampaignCtx::new(&dm, &x);
+    let jobs = ctx.nominal(ExecMode::Intermittent).jobs;
+    let stride = (jobs as usize / 8).max(1);
+
+    let report_at = |threads: usize| {
+        par::set_threads(threads);
+        let mut report = CampaignReport::new("har-tiny", 0);
+        report.runs.extend(exhaustive_boundary_sweep(&ctx, &FAULT_MODES, stride, FRAC));
+        report.runs.extend(random_campaign(&ctx, &FAULT_MODES, 2, 0.005, 7));
+        (report.to_json(), report.to_json_detailed())
+    };
+
+    let (base, base_detailed) = report_at(1);
+    assert!(base.contains("\"count\""), "deduped report should carry counts");
+    for threads in [2, 8] {
+        let (json, detailed) = report_at(threads);
+        assert_eq!(base, json, "deduped report diverged at {threads} threads");
+        assert_eq!(base_detailed, detailed, "detailed report diverged at {threads} threads");
+    }
+}

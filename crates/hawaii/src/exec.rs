@@ -16,6 +16,13 @@
 //!
 //! All modes perform the *same* 16-bit fixed-point arithmetic, so their
 //! outputs are bit-identical — the crate's central tested invariant.
+//!
+//! Execution is driven by a resumable [`Engine`]: a cloneable state machine
+//! that advances one committed accelerator job per [`Engine::step`] call.
+//! [`infer`] is the convenience driver that steps a fresh engine to
+//! completion; fault campaigns instead clone the engine mid-flight (paired
+//! with a [`iprune_device::sim::SimCheckpoint`]) to fork executions at job
+//! boundaries without replaying the prefix.
 
 use crate::deploy::{DeployedLayer, DeployedModel};
 use iprune_device::sim::{Commit, DeviceSim, JobCost, SimError};
@@ -107,10 +114,385 @@ const MAX_RETRIES_PER_JOB: u32 = 10_000;
 /// Footprint (job counter) bytes preserved with every job.
 const FOOTPRINT_BYTES: usize = 4;
 
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Counters {
     jobs: u64,
     partials: u64,
     retries: u64,
+}
+
+/// Result of one [`Engine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Exactly one accelerator job committed (progress became durable).
+    Committed,
+    /// The inference completed; call [`Engine::outcome`].
+    Done,
+}
+
+/// Which phase of the current output tile the engine is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TilePhase {
+    /// About to start the tile: emit the scope, load bias, fetch it.
+    Enter,
+    /// Accumulating non-zero weight chunks.
+    Chunk,
+    /// Requantize + store the tile's outputs.
+    WriteBack,
+}
+
+/// Volatile state of the output tile in progress.
+#[derive(Debug, Clone, PartialEq, Hash)]
+struct TileCursor {
+    phase: TilePhase,
+    /// Index into the row block's non-zero chunk sequence.
+    chunk_idx: usize,
+    /// i64 accumulators (bias + committed chunks so far).
+    scratch: Vec<i64>,
+    /// Tile re-execution count (task-atomic livelock guard).
+    retries: u32,
+}
+
+impl TileCursor {
+    fn enter() -> Self {
+        TileCursor { phase: TilePhase::Enter, chunk_idx: 0, scratch: Vec::new(), retries: 0 }
+    }
+}
+
+/// Progress through one GEMM-backed op (Conv or Fc).
+#[derive(Debug, Clone, PartialEq, Hash)]
+struct GemmCursor {
+    op_idx: usize,
+    layer_id: usize,
+    src: usize,
+    dst: usize,
+    dst_c_off: usize,
+    relu: bool,
+    geom: Geometry,
+    bias_shift: u32,
+    in_frac: u8,
+    w_frac: u8,
+    out_fmt: QFormat,
+    /// Current im2col strip `[k][s_len]`.
+    col: Vec<i16>,
+    strip_start: usize,
+    s_len: usize,
+    rb: usize,
+    tile: TileCursor,
+}
+
+/// Where the engine is in the graph.
+#[derive(Debug, Clone, PartialEq, Hash)]
+enum Cursor {
+    /// About to run graph op `i` (pools and flattens complete without
+    /// committing jobs and advance past in one sweep).
+    Op(usize),
+    /// Inside a GEMM-backed op.
+    Gemm(Box<GemmCursor>),
+    /// Inference complete.
+    Done,
+}
+
+/// Outcome of one phase advance inside a GEMM op.
+enum GemmAdvance {
+    /// A job committed; `op_done` marks the op's last tile written back.
+    Committed { op_done: bool },
+    /// No commit (scope entry, tile-atomic retry reset, continuous
+    /// write-back); keep advancing.
+    NoCommit { op_done: bool },
+}
+
+/// A resumable, cloneable inference execution.
+///
+/// The engine holds every piece of volatile *and* durable-progress state of
+/// one inference — quantized activation buffers, tile accumulators, loop
+/// indices, job counters — while the paired [`DeviceSim`] holds the timing
+/// and energy state. Cloning the engine and checkpointing the simulator at
+/// the same job boundary therefore captures the complete execution, which
+/// is what the fault-campaign fast path forks from.
+///
+/// One [`Engine::step`] call advances until exactly one accelerator job
+/// commits (retrying through power failures exactly like the monolithic
+/// executor did) or the inference completes.
+#[derive(Clone)]
+pub struct Engine<'m> {
+    dm: &'m DeployedModel,
+    mode: ExecMode,
+    bufs: Vec<Vec<i16>>,
+    counters: Counters,
+    cycles_at_start: u64,
+    cursor: Cursor,
+}
+
+impl fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("mode", &self.mode)
+            .field("cursor", &self.cursor)
+            .field("jobs", &self.counters.jobs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m> Engine<'m> {
+    /// Prepares an inference of `dm` on `input` (`[c,h,w]` or `[1,c,h,w]`)
+    /// in `mode`. `sim` is only inspected for its current power-cycle
+    /// count (the continuous-mode loss baseline); no device work happens
+    /// until [`Self::step`].
+    pub fn new(dm: &'m DeployedModel, input: &Tensor, sim: &DeviceSim, mode: ExecMode) -> Self {
+        let mut bufs: Vec<Vec<i16>> =
+            dm.info.buffers.iter().map(|b| vec![0i16; b.numel()]).collect();
+        assert_eq!(input.numel(), bufs[0].len(), "input size vs model input buffer");
+        let in_fmt = dm.buf_fmts[0];
+        for (dst, &v) in bufs[0].iter_mut().zip(input.data()) {
+            *dst = in_fmt.quantize(v);
+        }
+        Engine {
+            dm,
+            mode,
+            bufs,
+            counters: Counters { jobs: 0, partials: 0, retries: 0 },
+            cycles_at_start: sim.stats().power_cycles,
+            cursor: Cursor::Op(0),
+        }
+    }
+
+    /// Whether the inference has completed.
+    pub fn is_done(&self) -> bool {
+        self.cursor == Cursor::Done
+    }
+
+    /// Accelerator jobs committed so far.
+    pub fn jobs_committed(&self) -> u64 {
+        self.counters.jobs
+    }
+
+    /// Job/tile attempts re-issued after power failures so far.
+    pub fn retries(&self) -> u64 {
+        self.counters.retries
+    }
+
+    /// Whether the engine sits at a tile boundary: between graph ops, at
+    /// completion, or about to enter a fresh tile. After a [`Step::Committed`]
+    /// this is true exactly when the commit was a tile write-back — the
+    /// resynchronization points the campaign fast path splices at.
+    pub fn at_tile_boundary(&self) -> bool {
+        match &self.cursor {
+            Cursor::Done | Cursor::Op(_) => true,
+            Cursor::Gemm(gc) => gc.tile.phase == TilePhase::Enter,
+        }
+    }
+
+    /// Whether two engines are in bit-identical execution state: same
+    /// activation buffers and same position (including in-tile accumulators
+    /// and the gathered input strip). Job counters are deliberately *not*
+    /// compared — a forked execution that re-executed a tile has more
+    /// commits than the recording it resynchronized with.
+    pub fn state_matches(&self, other: &Engine<'_>) -> bool {
+        self.mode == other.mode && self.cursor == other.cursor && self.bufs == other.bufs
+    }
+
+    /// 64-bit digest of the execution state compared by
+    /// [`Self::state_matches`] (activation buffers + cursor, not job
+    /// counters). The fault-campaign fast path records one digest per
+    /// committed job, so a forked execution can verify — in O(1) memory per
+    /// commit — that post-failure recovery reconverged to the recorded
+    /// failure-free state before splicing its suffix.
+    pub fn state_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.bufs.hash(&mut h);
+        self.cursor.hash(&mut h);
+        h.finish()
+    }
+
+    /// Advances execution until one accelerator job commits or the
+    /// inference completes. Power failures inside the step are retried
+    /// (intermittent: re-issue the job; task-atomic: re-execute the tile)
+    /// before the step returns, exactly like the monolithic executor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator nontermination, reports
+    /// [`EngineError::PowerLostInContinuousMode`] when continuous mode
+    /// browns out, and [`EngineError::NoProgress`] when a job cannot commit.
+    pub fn step(&mut self, sim: &mut DeviceSim) -> Result<Step, EngineError> {
+        let Engine { dm, mode, bufs, counters, cycles_at_start, cursor } = self;
+        let dm: &DeployedModel = dm;
+        let mode = *mode;
+        let cycles_at_start = *cycles_at_start;
+        loop {
+            match cursor {
+                Cursor::Done => return Ok(Step::Done),
+                Cursor::Op(i) => {
+                    let op_idx = *i;
+                    // Continuous mode has no progress preservation at all:
+                    // any power cycle so far (even one absorbed inside a
+                    // blocking transfer) has wiped the volatile accumulators
+                    // and the inference is lost.
+                    if mode == ExecMode::Continuous && sim.stats().power_cycles > cycles_at_start {
+                        return Err(EngineError::PowerLostInContinuousMode);
+                    }
+                    if op_idx >= dm.info.graph.len() {
+                        *cursor = Cursor::Done;
+                        return Ok(Step::Done);
+                    }
+                    let op = &dm.info.graph[op_idx];
+                    sim.emit_scope(|| TraceEvent::LayerStart {
+                        t: sim.now(),
+                        op: op_idx as u32,
+                        label: op_label(op),
+                    });
+                    match op {
+                        GraphOp::Conv { layer_id, src, dst, dst_c_off, relu } => {
+                            match GemmCursor::begin(
+                                dm, op_idx, *layer_id, *src, *dst, *dst_c_off, *relu, bufs,
+                            ) {
+                                Some(gc) => *cursor = Cursor::Gemm(Box::new(gc)),
+                                None => {
+                                    sim.emit_scope(|| TraceEvent::LayerEnd {
+                                        t: sim.now(),
+                                        op: op_idx as u32,
+                                    });
+                                    *cursor = Cursor::Op(op_idx + 1);
+                                }
+                            }
+                        }
+                        GraphOp::Fc { layer_id, src, dst, relu } => {
+                            match GemmCursor::begin(
+                                dm, op_idx, *layer_id, *src, *dst, 0, *relu, bufs,
+                            ) {
+                                Some(gc) => *cursor = Cursor::Gemm(Box::new(gc)),
+                                None => {
+                                    sim.emit_scope(|| TraceEvent::LayerEnd {
+                                        t: sim.now(),
+                                        op: op_idx as u32,
+                                    });
+                                    *cursor = Cursor::Op(op_idx + 1);
+                                }
+                            }
+                        }
+                        GraphOp::MaxPool { src, dst, kh, kw } => {
+                            let sdims = dm.info.buffers[*src].dims.clone();
+                            let ddims = dm.info.buffers[*dst].dims.clone();
+                            let (src_buf, dst_buf) = split_bufs(bufs, *src, *dst);
+                            let (c, ih, iw) = (sdims[0], sdims[1], sdims[2]);
+                            let (oh, ow) = (ddims[1], ddims[2]);
+                            for ch in 0..c {
+                                for oy in 0..oh {
+                                    for ox in 0..ow {
+                                        let mut best = i16::MIN;
+                                        for ky in 0..*kh {
+                                            for kx in 0..*kw {
+                                                let v = src_buf
+                                                    [(ch * ih + oy * kh + ky) * iw + ox * kw + kx];
+                                                best = best.max(v);
+                                            }
+                                        }
+                                        dst_buf[(ch * oh + oy) * ow + ox] = best;
+                                    }
+                                }
+                            }
+                            sim.run_read(src_buf.len() * 2)?;
+                            sim.run_cpu(src_buf.len() * 2)?;
+                            sim.run_write(dst_buf.len() * 2)?;
+                            sim.emit_scope(|| TraceEvent::LayerEnd {
+                                t: sim.now(),
+                                op: op_idx as u32,
+                            });
+                            *cursor = Cursor::Op(op_idx + 1);
+                        }
+                        GraphOp::GlobalAvgPool { src, dst } => {
+                            let sdims = dm.info.buffers[*src].dims.clone();
+                            let (src_buf, dst_buf) = split_bufs(bufs, *src, *dst);
+                            let (c, h, w) = (sdims[0], sdims[1], sdims[2]);
+                            let hw = (h * w) as i64;
+                            for ch in 0..c {
+                                let sum: i64 = src_buf[ch * h * w..(ch + 1) * h * w]
+                                    .iter()
+                                    .map(|&v| v as i64)
+                                    .sum();
+                                let rounded = if sum >= 0 {
+                                    (sum + hw / 2) / hw
+                                } else {
+                                    (sum - hw / 2) / hw
+                                };
+                                dst_buf[ch] =
+                                    rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+                            }
+                            sim.run_read(src_buf.len() * 2)?;
+                            sim.run_cpu(src_buf.len())?;
+                            sim.run_write(dst_buf.len() * 2)?;
+                            sim.emit_scope(|| TraceEvent::LayerEnd {
+                                t: sim.now(),
+                                op: op_idx as u32,
+                            });
+                            *cursor = Cursor::Op(op_idx + 1);
+                        }
+                        GraphOp::Flatten { src, dst } => {
+                            let (src_buf, dst_buf) = split_bufs(bufs, *src, *dst);
+                            dst_buf.copy_from_slice(src_buf);
+                            // address reinterpretation — no device work
+                            sim.emit_scope(|| TraceEvent::LayerEnd {
+                                t: sim.now(),
+                                op: op_idx as u32,
+                            });
+                            *cursor = Cursor::Op(op_idx + 1);
+                        }
+                    }
+                }
+                Cursor::Gemm(gc) => {
+                    let adv = gemm_phase(dm, mode, bufs, counters, gc, sim)?;
+                    let op_idx = gc.op_idx;
+                    match adv {
+                        GemmAdvance::Committed { op_done } => {
+                            if op_done {
+                                sim.emit_scope(|| TraceEvent::LayerEnd {
+                                    t: sim.now(),
+                                    op: op_idx as u32,
+                                });
+                                *cursor = Cursor::Op(op_idx + 1);
+                            }
+                            return Ok(Step::Committed);
+                        }
+                        GemmAdvance::NoCommit { op_done } => {
+                            if op_done {
+                                sim.emit_scope(|| TraceEvent::LayerEnd {
+                                    t: sim.now(),
+                                    op: op_idx as u32,
+                                });
+                                *cursor = Cursor::Op(op_idx + 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the final outcome. Panics unless the engine [`Self::is_done`].
+    pub fn outcome(&self, sim: &DeviceSim) -> InferenceOutcome {
+        assert!(self.is_done(), "outcome requested before the inference completed");
+        let logits_buf = self.bufs.last().expect("at least one buffer");
+        let fmt = *self.dm.buf_fmts.last().expect("formats");
+        let logits: Vec<f32> = logits_buf.iter().map(|&q| fmt.dequantize(q)).collect();
+        let argmax = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        InferenceOutcome {
+            logits,
+            argmax,
+            latency_s: sim.now(),
+            power_cycles: sim.stats().power_cycles,
+            jobs: self.counters.jobs,
+            preserved_partials: self.counters.partials,
+            retries: self.counters.retries,
+            stats: sim.stats().clone(),
+        }
+    }
 }
 
 /// Runs one end-to-end inference of `dm` on `input` (`[c,h,w]` or
@@ -130,136 +512,260 @@ pub fn infer(
     sim: &mut DeviceSim,
     mode: ExecMode,
 ) -> Result<InferenceOutcome, EngineError> {
-    let mut bufs: Vec<Vec<i16>> = dm.info.buffers.iter().map(|b| vec![0i16; b.numel()]).collect();
-    assert_eq!(input.numel(), bufs[0].len(), "input size vs model input buffer");
-    let in_fmt = dm.buf_fmts[0];
-    for (dst, &v) in bufs[0].iter_mut().zip(input.data()) {
-        *dst = in_fmt.quantize(v);
-    }
-
-    let mut counters = Counters { jobs: 0, partials: 0, retries: 0 };
-    let cycles_at_start = sim.stats().power_cycles;
-
-    for (op_idx, op) in dm.info.graph.iter().enumerate() {
-        // Continuous mode has no progress preservation at all: any power
-        // cycle so far (even one absorbed inside a blocking transfer) has
-        // wiped the volatile accumulators and the inference is lost.
-        if mode == ExecMode::Continuous && sim.stats().power_cycles > cycles_at_start {
-            return Err(EngineError::PowerLostInContinuousMode);
+    let mut eng = Engine::new(dm, input, sim, mode);
+    loop {
+        if eng.step(sim)? == Step::Done {
+            return Ok(eng.outcome(sim));
         }
-        sim.emit_scope(|| TraceEvent::LayerStart {
-            t: sim.now(),
-            op: op_idx as u32,
-            label: op_label(op),
-        });
-        match op {
-            GraphOp::Conv { layer_id, src, dst, dst_c_off, relu } => {
-                let dl = &dm.layers[*layer_id];
-                let geom = conv_geometry(dm, *layer_id);
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                exec_gemm(
-                    dl,
-                    &geom,
-                    src_buf,
-                    dst_buf,
-                    *dst_c_off,
-                    *relu,
-                    dm.buf_fmts[*src],
-                    dm.buf_fmts[*dst],
-                    sim,
-                    mode,
-                    &mut counters,
-                )?;
+    }
+}
+
+impl GemmCursor {
+    /// Builds the cursor for a GEMM op with the first strip gathered, or
+    /// `None` when the op has no work (no spatial positions or a fully
+    /// pruned-away weight matrix with no row blocks).
+    #[allow(clippy::too_many_arguments)]
+    fn begin(
+        dm: &DeployedModel,
+        op_idx: usize,
+        layer_id: usize,
+        src: usize,
+        dst: usize,
+        dst_c_off: usize,
+        relu: bool,
+        bufs: &[Vec<i16>],
+    ) -> Option<GemmCursor> {
+        let dl = &dm.layers[layer_id];
+        let plan = &dl.plan;
+        if plan.n_spatial == 0 || plan.row_blocks() == 0 {
+            return None;
+        }
+        let geom = conv_geometry(dm, layer_id);
+        let in_fmt = dm.buf_fmts[src];
+        let out_fmt = dm.buf_fmts[dst];
+        let (in_frac, w_frac) = (in_fmt.frac_bits(), dl.bsr.format().frac_bits());
+        let bias_shift = (in_frac + w_frac - dl.bias_fmt.frac_bits()) as u32;
+        let strip = plan.tile.strip;
+        let mut col = vec![0i16; plan.k * strip];
+        let s_len = strip.min(plan.n_spatial);
+        gather_strip(&geom, &bufs[src], plan.k, 0, s_len, &mut col);
+        Some(GemmCursor {
+            op_idx,
+            layer_id,
+            src,
+            dst,
+            dst_c_off,
+            relu,
+            geom,
+            bias_shift,
+            in_frac,
+            w_frac,
+            out_fmt,
+            col,
+            strip_start: 0,
+            s_len,
+            rb: 0,
+            tile: TileCursor::enter(),
+        })
+    }
+}
+
+/// Advances one GEMM phase: tile entry, one weight chunk, or the write-back.
+fn gemm_phase(
+    dm: &DeployedModel,
+    mode: ExecMode,
+    bufs: &mut [Vec<i16>],
+    counters: &mut Counters,
+    gc: &mut GemmCursor,
+    sim: &mut DeviceSim,
+) -> Result<GemmAdvance, EngineError> {
+    let dl = &dm.layers[gc.layer_id];
+    let plan = &dl.plan;
+    let (br, bc) = (plan.tile.br, plan.tile.bc);
+    let rows = plan.rows_in_block(gc.rb);
+    let s_len = gc.s_len;
+
+    match gc.tile.phase {
+        TilePhase::Enter => {
+            let (rb, strip_start) = (gc.rb, gc.strip_start);
+            sim.emit_scope(|| TraceEvent::TileStart {
+                t: sim.now(),
+                rb: rb as u32,
+                strip: strip_start as u32,
+            });
+            // bias goes into the accumulators before the first chunk
+            gc.tile.scratch = (0..rows * s_len)
+                .map(|i| (dl.bias[gc.rb * br + i / s_len] as i64) << gc.bias_shift)
+                .collect();
+            sim.run_read(2 * rows)?; // bias fetch
+            gc.tile.phase = TilePhase::Chunk;
+            gc.tile.chunk_idx = 0;
+            Ok(GemmAdvance::NoCommit { op_done: false })
+        }
+        TilePhase::Chunk => {
+            let Some((slot, cb)) = dl.bsr.row_blocks_iter(gc.rb).nth(gc.tile.chunk_idx) else {
+                gc.tile.phase = TilePhase::WriteBack;
+                return Ok(GemmAdvance::NoCommit { op_done: false });
+            };
+            let block = dl.bsr.block(slot);
+            let cols = bc.min(plan.k - cb * bc);
+            // functional compute (identical on every retry)
+            let mut work = gc.tile.scratch.clone();
+            for r in 0..rows {
+                let wrow = &block[r * bc..r * bc + cols];
+                for (c, &wv) in wrow.iter().enumerate() {
+                    if wv == 0 {
+                        continue;
+                    }
+                    let xrow = &gc.col[(cb * bc + c) * s_len..(cb * bc + c) * s_len + s_len];
+                    let acc = &mut work[r * s_len..(r + 1) * s_len];
+                    for (a, &xv) in acc.iter_mut().zip(xrow.iter()) {
+                        *a += (wv as i64) * (xv as i64);
+                    }
+                }
             }
-            GraphOp::Fc { layer_id, src, dst, relu } => {
-                let dl = &dm.layers[*layer_id];
-                let geom = Geometry::Fc;
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                exec_gemm(
-                    dl,
-                    &geom,
-                    src_buf,
-                    dst_buf,
-                    0,
-                    *relu,
-                    dm.buf_fmts[*src],
-                    dm.buf_fmts[*dst],
-                    sim,
-                    mode,
-                    &mut counters,
-                )?;
-            }
-            GraphOp::MaxPool { src, dst, kh, kw } => {
-                let sdims = dm.info.buffers[*src].dims.clone();
-                let ddims = dm.info.buffers[*dst].dims.clone();
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                let (c, ih, iw) = (sdims[0], sdims[1], sdims[2]);
-                let (oh, ow) = (ddims[1], ddims[2]);
-                for ch in 0..c {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut best = i16::MIN;
-                            for ky in 0..*kh {
-                                for kx in 0..*kw {
-                                    let v = src_buf[(ch * ih + oy * kh + ky) * iw + ox * kw + kx];
-                                    best = best.max(v);
-                                }
+            let read_bytes = 2 * br * bc + 4 + 2 * cols * s_len;
+            let macs = rows * bc * s_len;
+            match mode {
+                ExecMode::Intermittent => {
+                    let cost = JobCost {
+                        lea_macs: macs,
+                        preserve_bytes: 4 * rows * s_len + FOOTPRINT_BYTES,
+                        cpu_cycles: rows + 8,
+                    };
+                    commit_job(dl, sim, mode, read_bytes, cost, counters)?;
+                    counters.jobs += 1;
+                    counters.partials += (rows * s_len) as u64;
+                }
+                ExecMode::TileAtomic | ExecMode::Continuous => {
+                    sim.run_read(read_bytes)?;
+                    let cost = JobCost { lea_macs: macs, preserve_bytes: 0, cpu_cycles: rows + 8 };
+                    match sim.run_job(cost)? {
+                        Commit::Committed => counters.jobs += 1,
+                        Commit::PowerFailed => {
+                            if mode == ExecMode::Continuous {
+                                return Err(EngineError::PowerLostInContinuousMode);
                             }
-                            dst_buf[(ch * oh + oy) * ow + ox] = best;
+                            // task-atomic: volatile accumulators are gone;
+                            // re-read the loop indices and redo the tile
+                            sim.recover(16)?;
+                            counters.retries += 1;
+                            gc.tile.retries += 1;
+                            if gc.tile.retries > MAX_RETRIES_PER_JOB {
+                                return Err(EngineError::NoProgress { layer: dl.layer_id });
+                            }
+                            let keep = gc.tile.retries;
+                            gc.tile = TileCursor::enter();
+                            gc.tile.retries = keep;
+                            return Ok(GemmAdvance::NoCommit { op_done: false });
                         }
                     }
                 }
-                sim.run_read(src_buf.len() * 2)?;
-                sim.run_cpu(src_buf.len() * 2)?;
-                sim.run_write(dst_buf.len() * 2)?;
             }
-            GraphOp::GlobalAvgPool { src, dst } => {
-                let sdims = dm.info.buffers[*src].dims.clone();
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                let (c, h, w) = (sdims[0], sdims[1], sdims[2]);
-                let hw = (h * w) as i64;
-                for ch in 0..c {
-                    let sum: i64 =
-                        src_buf[ch * h * w..(ch + 1) * h * w].iter().map(|&v| v as i64).sum();
-                    let rounded = if sum >= 0 { (sum + hw / 2) / hw } else { (sum - hw / 2) / hw };
-                    dst_buf[ch] = rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+            gc.tile.scratch = work;
+            gc.tile.chunk_idx += 1;
+            Ok(GemmAdvance::Committed { op_done: false })
+        }
+        TilePhase::WriteBack => {
+            // write-back: requantize + ReLU + store the i16 outputs
+            let mut outputs = vec![0i16; rows * s_len];
+            for (i, &acc) in gc.tile.scratch.iter().enumerate() {
+                let mut v = requantize(acc, gc.in_frac, gc.w_frac, gc.out_fmt.frac_bits());
+                if gc.relu && v < 0 {
+                    v = 0;
                 }
-                sim.run_read(src_buf.len() * 2)?;
-                sim.run_cpu(src_buf.len())?;
-                sim.run_write(dst_buf.len() * 2)?;
+                outputs[i] = v;
             }
-            GraphOp::Flatten { src, dst } => {
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                dst_buf.copy_from_slice(src_buf);
-                // address reinterpretation — no device work
+            let out_bytes = 2 * rows * s_len;
+            let mut committed = true;
+            match mode {
+                ExecMode::Intermittent => {
+                    let cost = JobCost {
+                        lea_macs: 0,
+                        preserve_bytes: out_bytes + FOOTPRINT_BYTES,
+                        cpu_cycles: 2 * rows * s_len,
+                    };
+                    commit_job(dl, sim, mode, 0, cost, counters)?;
+                    counters.jobs += 1;
+                }
+                ExecMode::TileAtomic => {
+                    let cost = JobCost {
+                        lea_macs: 0,
+                        preserve_bytes: out_bytes + FOOTPRINT_BYTES,
+                        cpu_cycles: 2 * rows * s_len,
+                    };
+                    match sim.run_job(cost)? {
+                        Commit::Committed => counters.jobs += 1,
+                        Commit::PowerFailed => {
+                            sim.recover(16)?;
+                            counters.retries += 1;
+                            gc.tile.retries += 1;
+                            if gc.tile.retries > MAX_RETRIES_PER_JOB {
+                                return Err(EngineError::NoProgress { layer: dl.layer_id });
+                            }
+                            let keep = gc.tile.retries;
+                            gc.tile = TileCursor::enter();
+                            gc.tile.retries = keep;
+                            return Ok(GemmAdvance::NoCommit { op_done: false });
+                        }
+                    }
+                }
+                ExecMode::Continuous => {
+                    sim.run_cpu(2 * rows * s_len)?;
+                    sim.run_write(out_bytes)?;
+                    committed = false;
+                }
+            }
+            let (rb, strip_start) = (gc.rb, gc.strip_start);
+            sim.emit_scope(|| TraceEvent::TileCommit {
+                t: sim.now(),
+                rb: rb as u32,
+                strip: strip_start as u32,
+            });
+            let dst = bufs[gc.dst].as_mut_slice();
+            for r in 0..rows {
+                for s in 0..s_len {
+                    write_output(
+                        &gc.geom,
+                        dst,
+                        gc.dst_c_off,
+                        gc.rb * br + r,
+                        gc.strip_start + s,
+                        outputs[r * s_len + s],
+                    );
+                }
+            }
+            // advance: next row block, else next strip, else op done
+            gc.rb += 1;
+            let op_done = if gc.rb < plan.row_blocks() {
+                gc.tile = TileCursor::enter();
+                false
+            } else {
+                gc.strip_start += gc.s_len;
+                if gc.strip_start >= plan.n_spatial {
+                    true
+                } else {
+                    gc.s_len = plan.tile.strip.min(plan.n_spatial - gc.strip_start);
+                    gather_strip(
+                        &gc.geom,
+                        &bufs[gc.src],
+                        plan.k,
+                        gc.strip_start,
+                        gc.s_len,
+                        &mut gc.col,
+                    );
+                    gc.rb = 0;
+                    gc.tile = TileCursor::enter();
+                    false
+                }
+            };
+            if committed {
+                Ok(GemmAdvance::Committed { op_done })
+            } else {
+                Ok(GemmAdvance::NoCommit { op_done })
             }
         }
-        sim.emit_scope(|| TraceEvent::LayerEnd { t: sim.now(), op: op_idx as u32 });
     }
-
-    if mode == ExecMode::Continuous && sim.stats().power_cycles > cycles_at_start {
-        return Err(EngineError::PowerLostInContinuousMode);
-    }
-
-    let logits_buf = bufs.last().expect("at least one buffer");
-    let fmt = *dm.buf_fmts.last().expect("formats");
-    let logits: Vec<f32> = logits_buf.iter().map(|&q| fmt.dequantize(q)).collect();
-    let argmax = logits
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(0);
-    Ok(InferenceOutcome {
-        logits,
-        argmax,
-        latency_s: sim.now(),
-        power_cycles: sim.stats().power_cycles,
-        jobs: counters.jobs,
-        preserved_partials: counters.partials,
-        retries: counters.retries,
-        stats: sim.stats().clone(),
-    })
 }
 
 /// Human-readable label for one graph operation, used in layer scopes.
@@ -274,6 +780,7 @@ fn op_label(op: &GraphOp) -> String {
 }
 
 /// Conv geometry needed for input gathering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Geometry {
     Conv {
         kh: usize,
@@ -364,210 +871,6 @@ fn write_output(
         Geometry::Conv { oh, ow, .. } => {
             dst[(dst_c_off + m_index) * oh * ow + pos] = value;
         }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn exec_gemm(
-    dl: &DeployedLayer,
-    geom: &Geometry,
-    src: &[i16],
-    dst: &mut [i16],
-    dst_c_off: usize,
-    relu: bool,
-    in_fmt: QFormat,
-    out_fmt: QFormat,
-    sim: &mut DeviceSim,
-    mode: ExecMode,
-    counters: &mut Counters,
-) -> Result<(), EngineError> {
-    let plan = &dl.plan;
-    let (br, bc, strip) = (plan.tile.br, plan.tile.bc, plan.tile.strip);
-    let (in_frac, w_frac) = (in_fmt.frac_bits(), dl.bsr.format().frac_bits());
-    let bias_shift = (in_frac + w_frac - dl.bias_fmt.frac_bits()) as u32;
-
-    let mut col = vec![0i16; plan.k * strip];
-    let mut strip_start = 0;
-    while strip_start < plan.n_spatial {
-        let s_len = strip.min(plan.n_spatial - strip_start);
-        gather_strip(geom, src, plan.k, strip_start, s_len, &mut col);
-        for rb in 0..plan.row_blocks() {
-            let rows = plan.rows_in_block(rb);
-            let outputs = exec_tile(
-                dl,
-                sim,
-                mode,
-                counters,
-                &col,
-                rb,
-                strip_start,
-                s_len,
-                bias_shift,
-                in_frac,
-                w_frac,
-                out_fmt,
-                relu,
-            )?;
-            for r in 0..rows {
-                for s in 0..s_len {
-                    write_output(
-                        geom,
-                        dst,
-                        dst_c_off,
-                        rb * br + r,
-                        strip_start + s,
-                        outputs[r * s_len + s],
-                    );
-                }
-            }
-        }
-        strip_start += s_len;
-    }
-    let _ = bc;
-    Ok(())
-}
-
-/// Executes one output tile (one block-row over one spatial strip) under
-/// the given preservation strategy and returns its requantized outputs.
-#[allow(clippy::too_many_arguments)]
-fn exec_tile(
-    dl: &DeployedLayer,
-    sim: &mut DeviceSim,
-    mode: ExecMode,
-    counters: &mut Counters,
-    col: &[i16],
-    rb: usize,
-    strip_start: usize,
-    s_len: usize,
-    bias_shift: u32,
-    in_frac: u8,
-    w_frac: u8,
-    out_fmt: QFormat,
-    relu: bool,
-) -> Result<Vec<i16>, EngineError> {
-    let plan = &dl.plan;
-    let (br, bc) = (plan.tile.br, plan.tile.bc);
-    let rows = plan.rows_in_block(rb);
-    let mut tile_retries = 0u32;
-
-    'tile: loop {
-        sim.emit_scope(|| TraceEvent::TileStart {
-            t: sim.now(),
-            rb: rb as u32,
-            strip: strip_start as u32,
-        });
-        // bias goes into the accumulators before the first chunk
-        let mut scratch: Vec<i64> = (0..rows * s_len)
-            .map(|i| (dl.bias[rb * br + i / s_len] as i64) << bias_shift)
-            .collect();
-        sim.run_read(2 * rows)?; // bias fetch
-
-        for (slot, cb) in dl.bsr.row_blocks_iter(rb) {
-            let block = dl.bsr.block(slot);
-            let cols = bc.min(plan.k - cb * bc);
-            // functional compute (identical on every retry)
-            let mut work = scratch.clone();
-            for r in 0..rows {
-                let wrow = &block[r * bc..r * bc + cols];
-                for (c, &wv) in wrow.iter().enumerate() {
-                    if wv == 0 {
-                        continue;
-                    }
-                    let xrow = &col[(cb * bc + c) * s_len..(cb * bc + c) * s_len + s_len];
-                    let acc = &mut work[r * s_len..(r + 1) * s_len];
-                    for (a, &xv) in acc.iter_mut().zip(xrow.iter()) {
-                        *a += (wv as i64) * (xv as i64);
-                    }
-                }
-            }
-            let read_bytes = 2 * br * bc + 4 + 2 * cols * s_len;
-            let macs = rows * bc * s_len;
-            match mode {
-                ExecMode::Intermittent => {
-                    let cost = JobCost {
-                        lea_macs: macs,
-                        preserve_bytes: 4 * rows * s_len + FOOTPRINT_BYTES,
-                        cpu_cycles: rows + 8,
-                    };
-                    commit_job(dl, sim, mode, read_bytes, cost, counters)?;
-                    counters.jobs += 1;
-                    counters.partials += (rows * s_len) as u64;
-                }
-                ExecMode::TileAtomic | ExecMode::Continuous => {
-                    sim.run_read(read_bytes)?;
-                    let cost = JobCost { lea_macs: macs, preserve_bytes: 0, cpu_cycles: rows + 8 };
-                    match sim.run_job(cost)? {
-                        Commit::Committed => counters.jobs += 1,
-                        Commit::PowerFailed => {
-                            if mode == ExecMode::Continuous {
-                                return Err(EngineError::PowerLostInContinuousMode);
-                            }
-                            // task-atomic: volatile accumulators are gone;
-                            // re-read the loop indices and redo the tile
-                            sim.recover(16)?;
-                            counters.retries += 1;
-                            tile_retries += 1;
-                            if tile_retries > MAX_RETRIES_PER_JOB {
-                                return Err(EngineError::NoProgress { layer: dl.layer_id });
-                            }
-                            continue 'tile;
-                        }
-                    }
-                }
-            }
-            scratch = work;
-        }
-
-        // write-back: requantize + ReLU + store the i16 outputs
-        let mut outputs = vec![0i16; rows * s_len];
-        for (i, &acc) in scratch.iter().enumerate() {
-            let mut v = requantize(acc, in_frac, w_frac, out_fmt.frac_bits());
-            if relu && v < 0 {
-                v = 0;
-            }
-            outputs[i] = v;
-        }
-        let out_bytes = 2 * rows * s_len;
-        match mode {
-            ExecMode::Intermittent => {
-                let cost = JobCost {
-                    lea_macs: 0,
-                    preserve_bytes: out_bytes + FOOTPRINT_BYTES,
-                    cpu_cycles: 2 * rows * s_len,
-                };
-                commit_job(dl, sim, mode, 0, cost, counters)?;
-                counters.jobs += 1;
-            }
-            ExecMode::TileAtomic => {
-                let cost = JobCost {
-                    lea_macs: 0,
-                    preserve_bytes: out_bytes + FOOTPRINT_BYTES,
-                    cpu_cycles: 2 * rows * s_len,
-                };
-                match sim.run_job(cost)? {
-                    Commit::Committed => counters.jobs += 1,
-                    Commit::PowerFailed => {
-                        sim.recover(16)?;
-                        counters.retries += 1;
-                        tile_retries += 1;
-                        if tile_retries > MAX_RETRIES_PER_JOB {
-                            return Err(EngineError::NoProgress { layer: dl.layer_id });
-                        }
-                        continue 'tile;
-                    }
-                }
-            }
-            ExecMode::Continuous => {
-                sim.run_cpu(2 * rows * s_len)?;
-                sim.run_write(out_bytes)?;
-            }
-        }
-        sim.emit_scope(|| TraceEvent::TileCommit {
-            t: sim.now(),
-            rb: rb as u32,
-            strip: strip_start as u32,
-        });
-        return Ok(outputs);
     }
 }
 
@@ -815,5 +1118,78 @@ mod tests {
         let mut sim = DeviceSim::new(PowerStrength::Weak, 0);
         let err = infer(&dm, &ds.sample(0), &mut sim, ExecMode::Continuous).unwrap_err();
         assert!(matches!(err, EngineError::PowerLostInContinuousMode), "{err}");
+    }
+
+    #[test]
+    fn stepping_commits_exactly_one_job_per_step() {
+        let (dm, ds) = har_deployed();
+        let x = ds.sample(0);
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let mut eng = Engine::new(&dm, &x, &sim, ExecMode::Intermittent);
+        let mut steps = 0u64;
+        loop {
+            let before = eng.jobs_committed();
+            match eng.step(&mut sim).unwrap() {
+                Step::Committed => {
+                    steps += 1;
+                    assert_eq!(eng.jobs_committed(), before + 1, "one commit per step");
+                }
+                Step::Done => break,
+            }
+        }
+        let out = eng.outcome(&sim);
+        assert_eq!(steps, out.jobs);
+        // the step-driven run matches the monolithic driver bit-for-bit
+        let mut sim2 = DeviceSim::new(PowerStrength::Continuous, 0);
+        let direct = infer(&dm, &x, &mut sim2, ExecMode::Intermittent).unwrap();
+        assert_eq!(out.logits, direct.logits);
+        assert_eq!(out.latency_s.to_bits(), direct.latency_s.to_bits());
+        assert_eq!(out.stats, direct.stats);
+    }
+
+    #[test]
+    fn cloned_engine_with_forked_sim_resumes_bit_identically() {
+        let (dm, ds) = har_deployed();
+        let x = ds.sample(1);
+        let mut sim = DeviceSim::new(PowerStrength::Weak, 7);
+        let mut eng = Engine::new(&dm, &x, &sim, ExecMode::Intermittent);
+        // advance 100 commits, snapshot, then run both copies to completion
+        for _ in 0..100 {
+            assert_eq!(eng.step(&mut sim).unwrap(), Step::Committed);
+        }
+        let ckpt = sim.checkpoint();
+        let mut fork_sim = sim.fork(&ckpt);
+        let mut fork_eng = eng.clone();
+        assert!(eng.state_matches(&fork_eng));
+        while eng.step(&mut sim).unwrap() != Step::Done {}
+        while fork_eng.step(&mut fork_sim).unwrap() != Step::Done {}
+        let a = eng.outcome(&sim);
+        let b = fork_eng.outcome(&fork_sim);
+        assert_eq!(a.logits, b.logits);
+        assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+        assert_eq!(a.stats, b.stats);
+        assert!(eng.state_matches(&fork_eng));
+    }
+
+    #[test]
+    fn tile_boundaries_are_visible_at_step_granularity() {
+        let (dm, ds) = har_deployed();
+        let x = ds.sample(0);
+        let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+        let mut eng = Engine::new(&dm, &x, &sim, ExecMode::Intermittent);
+        let mut boundaries = 0u64;
+        while eng.step(&mut sim).unwrap() == Step::Committed {
+            if eng.at_tile_boundary() {
+                boundaries += 1;
+            }
+        }
+        assert!(eng.at_tile_boundary(), "done is a boundary");
+        assert!(boundaries > 0, "write-backs must surface as boundaries");
+        assert!(
+            boundaries < eng.jobs_committed(),
+            "chunk commits must not be boundaries: {} vs {} jobs",
+            boundaries,
+            eng.jobs_committed()
+        );
     }
 }

@@ -26,6 +26,6 @@ pub mod tiling;
 
 pub use bsr::BsrMatrix;
 pub use deploy::{deploy, DeployedLayer, DeployedModel};
-pub use exec::{infer, EngineError, ExecMode, InferenceOutcome};
+pub use exec::{infer, Engine, EngineError, ExecMode, InferenceOutcome, Step};
 pub use plan::LayerPlan;
 pub use tiling::{TilePlan, VmBudget};
