@@ -1,5 +1,6 @@
 //! Host-performance benchmark: GEMM kernel throughput (tiled vs scalar
-//! reference) and prune-pipeline wall-clock at 1/2/4/8 requested threads.
+//! reference), block-sparse vs dense kernels at 30/50/80 % block sparsity,
+//! and prune-pipeline wall-clock at 1/2/4/8 requested threads.
 //!
 //! Prints a human-readable summary and writes the machine-readable
 //! `BENCH_perf.json` at the workspace root. Every row records both the
@@ -13,6 +14,13 @@
 //! re-measuring them would only record scheduler noise as a phantom
 //! slowdown. `speedup_vs_1 >= 1.0` is asserted for 2 and 4 requested
 //! threads — the regression guard for oversubscribed parallel regions.
+//!
+//! The `sparse_vs_dense` block times the sparse kernels against the dense
+//! ones on the *same masked weights* (dense keeps its per-element zero
+//! skip, so the comparison isolates the traversal win). The structural
+//! rows (`sparse_cases`: block counts, skipped MACs) are deterministic —
+//! CI compares them byte-for-byte across thread counts. `speedup_vs_dense
+//! >= 1.0` is asserted for every row at ≥ 70 % sparsity.
 
 use iprune_bench::cache::workspace_root;
 use iprune_bench::run_app_pipelines;
@@ -22,6 +30,7 @@ use iprune_tensor::matmul::{
     matmul_a_bt, matmul_a_bt_ref, matmul_acc, matmul_acc_ref, matmul_at_b, matmul_at_b_ref,
 };
 use iprune_tensor::par;
+use iprune_tensor::sparse::{self, SparseIndex};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -95,6 +104,155 @@ fn bench_kernel(
         ref_gflops: flops / t_ref / 1e9,
         tiled_gflops: flops / t_tiled / 1e9,
     }
+}
+
+struct SparseRow {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    sparsity: f64,
+    total_blocks: usize,
+    alive_blocks: usize,
+    alive_cells: usize,
+    skipped_macs: u64,
+    t_dense: f64,
+    t_sparse: f64,
+}
+
+/// A block mask over a `rows x cols` weight matrix with exactly
+/// `round(total_blocks * sparsity)` dead 4x16 blocks, chosen by a
+/// deterministic hash shuffle (no RNG state, no thread dependence).
+fn sparse_block_mask(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Vec<f32> {
+    let (br, bc) = (sparse::BLOCK_ROWS, sparse::BLOCK_COLS);
+    let (nbr, nbc) = (rows.div_ceil(br), cols.div_ceil(bc));
+    let total = nbr * nbc;
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&i| {
+        let mut x = (i as u64).wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    });
+    let kill = ((total as f64) * sparsity).round() as usize;
+    let mut mask = vec![1.0f32; rows * cols];
+    for &blk in &order[..kill.min(total)] {
+        let (rb, cb) = (blk / nbc, blk % nbc);
+        for i in rb * br..((rb + 1) * br).min(rows) {
+            for j in cb * bc..((cb + 1) * bc).min(cols) {
+                mask[i * cols + j] = 0.0;
+            }
+        }
+    }
+    mask
+}
+
+/// Times the three hot-loop sparse kernels against their dense
+/// counterparts on the standard bench shapes, with the weight operand
+/// masked at each target block sparsity. Dense kernels run on the same
+/// masked weights (keeping their per-element zero skip), so the measured
+/// speedup is purely the structural win of iterating alive blocks only.
+/// Serial (1 thread): the sparse/dense ratio is what's under test, not
+/// the fan-out, and serial timings are the most stable in CI.
+fn bench_sparse(sparsities: &[f64]) -> Vec<SparseRow> {
+    let reps = 7;
+    let mut rows = Vec::new();
+    par::set_threads(1);
+    for &s in sparsities {
+        let seed = (s * 1000.0) as u64;
+
+        // Forward conv GEMM: weight is the lhs, index over (m, k).
+        {
+            let (m, k, n) = (64usize, 576, 169);
+            let mask = sparse_block_mask(m, k, s, 0xACC + seed);
+            let mut a = fill(0.3, m * k);
+            for (w, mk) in a.iter_mut().zip(&mask) {
+                *w *= *mk;
+            }
+            let b = fill(0.7, k * n);
+            let idx = SparseIndex::from_mask(&mask, m, k);
+            let mut c = vec![0.0f32; m * n];
+            let t_dense = time_median(reps, || matmul_acc(&a, &b, &mut c, m, k, n));
+            let t_sparse =
+                time_median(reps, || sparse::matmul_acc_sparse_lhs(&idx, &a, &b, &mut c, m, k, n));
+            rows.push(SparseRow {
+                kernel: "matmul_acc_sparse_lhs",
+                m,
+                k,
+                n,
+                sparsity: s,
+                total_blocks: idx.total_blocks(),
+                alive_blocks: idx.alive_blocks(),
+                alive_cells: idx.alive_cells(),
+                skipped_macs: ((m * k - idx.alive_cells()) * n) as u64,
+                t_dense,
+                t_sparse,
+            });
+        }
+
+        // Backward conv dX GEMM: weight is the transposed lhs, stored
+        // [k x m]; index over the storage layout.
+        {
+            let (m, k, n) = (576usize, 64, 169);
+            let mask = sparse_block_mask(k, m, s, 0xA7B + seed);
+            let mut a = fill(0.3, k * m);
+            for (w, mk) in a.iter_mut().zip(&mask) {
+                *w *= *mk;
+            }
+            let b = fill(0.7, k * n);
+            let idx = SparseIndex::from_mask(&mask, k, m);
+            let mut c = vec![0.0f32; m * n];
+            let t_dense = time_median(reps, || matmul_at_b(&a, &b, &mut c, m, k, n));
+            let t_sparse =
+                time_median(reps, || sparse::matmul_at_b_sparse_lhs(&idx, &a, &b, &mut c, m, k, n));
+            rows.push(SparseRow {
+                kernel: "matmul_at_b_sparse_lhs",
+                m,
+                k,
+                n,
+                sparsity: s,
+                total_blocks: idx.total_blocks(),
+                alive_blocks: idx.alive_blocks(),
+                alive_cells: idx.alive_cells(),
+                skipped_macs: ((k * m - idx.alive_cells()) * n) as u64,
+                t_dense,
+                t_sparse,
+            });
+        }
+
+        // Linear forward GEMM: weight is the transposed rhs [n x k];
+        // index over the storage layout.
+        {
+            let (m, k, n) = (64usize, 169, 576);
+            let mask = sparse_block_mask(n, k, s, 0xAB7 + seed);
+            let a = fill(0.3, m * k);
+            let mut b = fill(0.7, n * k);
+            for (w, mk) in b.iter_mut().zip(&mask) {
+                *w *= *mk;
+            }
+            let idx = SparseIndex::from_mask(&mask, n, k);
+            let mut c = vec![0.0f32; m * n];
+            let t_dense = time_median(reps, || matmul_a_bt(&a, &b, &mut c, m, k, n));
+            let t_sparse =
+                time_median(reps, || sparse::matmul_a_bt_sparse_rhs(&idx, &a, &b, &mut c, m, k, n));
+            rows.push(SparseRow {
+                kernel: "matmul_a_bt_sparse_rhs",
+                m,
+                k,
+                n,
+                sparsity: s,
+                total_blocks: idx.total_blocks(),
+                alive_blocks: idx.alive_blocks(),
+                alive_cells: idx.alive_cells(),
+                skipped_macs: ((n * k - idx.alive_cells()) * m) as u64,
+                t_dense,
+                t_sparse,
+            });
+        }
+    }
+    par::set_threads(0);
+    rows
 }
 
 struct PipelineRow {
@@ -193,6 +351,59 @@ fn main() {
         );
     }
 
+    // Block-sparse kernels vs dense on masked weights.
+    let sparsities = [0.3f64, 0.5, 0.8];
+    let sparse_rows = bench_sparse(&sparsities);
+    println!();
+    println!("Block-sparse vs dense kernels (serial, 4x16 blocks, masked weights):");
+    println!(
+        "{:<24} {:>4}x{:<4}x{:<4} {:>8} {:>11} {:>12} {:>13} {:>8}",
+        "kernel", "m", "k", "n", "sparsity", "alive blks", "dense GF/s", "sparse GF/s", "speedup"
+    );
+    for r in &sparse_rows {
+        let flops = 2.0 * r.m as f64 * r.k as f64 * r.n as f64;
+        println!(
+            "{:<24} {:>4}x{:<4}x{:<4} {:>8.2} {:>5}/{:<5} {:>12.2} {:>13.2} {:>7.2}x",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.sparsity,
+            r.alive_blocks,
+            r.total_blocks,
+            flops / r.t_dense / 1e9,
+            flops / r.t_sparse / 1e9,
+            r.t_dense / r.t_sparse
+        );
+    }
+    // Aggregate GEMM-path speedup per sparsity: total dense time over
+    // total sparse time across the three hot-loop kernels.
+    let gemm_path: Vec<(f64, f64)> = sparsities
+        .iter()
+        .map(|&s| {
+            let (td, ts) = sparse_rows
+                .iter()
+                .filter(|r| r.sparsity == s)
+                .fold((0.0, 0.0), |(td, ts), r| (td + r.t_dense, ts + r.t_sparse));
+            (s, td / ts)
+        })
+        .collect();
+    for &(s, speedup) in &gemm_path {
+        println!("  GEMM-path speedup at {:>3.0}% block sparsity: {speedup:.2}x", s * 100.0);
+    }
+    for r in &sparse_rows {
+        let speedup = r.t_dense / r.t_sparse;
+        if r.sparsity >= 0.7 {
+            assert!(
+                speedup >= 1.0,
+                "sparse kernel slower than dense at {:.0}% sparsity: {} speedup {:.4}",
+                r.sparsity * 100.0,
+                r.kernel,
+                speedup
+            );
+        }
+    }
+
     // One measurement per *effective* worker count; requested counts that
     // the core cap collapses together share it.
     println!();
@@ -252,6 +463,53 @@ fn main() {
             r.tiled_gflops / r.ref_gflops
         );
         json.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // Structural rows: fully deterministic (no timing), compared
+    // byte-for-byte across thread counts in CI.
+    json.push_str("  \"sparse_cases\": [\n");
+    for (i, r) in sparse_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"sparsity\": {:.2}, \
+             \"total_blocks\": {}, \"alive_blocks\": {}, \"alive_cells\": {}, \
+             \"skipped_macs\": {}}}",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.sparsity,
+            r.total_blocks,
+            r.alive_blocks,
+            r.alive_cells,
+            r.skipped_macs
+        );
+        json.push_str(if i + 1 < sparse_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sparse_vs_dense\": [\n");
+    for (i, r) in sparse_rows.iter().enumerate() {
+        let flops = 2.0 * r.m as f64 * r.k as f64 * r.n as f64;
+        let _ = write!(
+            json,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"sparsity\": {:.2}, \
+             \"dense_gflops\": {:.4}, \"sparse_gflops\": {:.4}, \"speedup_vs_dense\": {:.4}}}",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.sparsity,
+            flops / r.t_dense / 1e9,
+            flops / r.t_sparse / 1e9,
+            r.t_dense / r.t_sparse
+        );
+        json.push_str(if i + 1 < sparse_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sparse_gemm_path\": [\n");
+    for (i, &(s, speedup)) in gemm_path.iter().enumerate() {
+        let _ = write!(json, "    {{\"sparsity\": {:.2}, \"gemm_path_speedup\": {speedup:.4}}}", s);
+        json.push_str(if i + 1 < gemm_path.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     json.push_str("  \"pipeline_har_smoke\": [\n");

@@ -165,6 +165,51 @@ pub fn build_states(
         .collect()
 }
 
+/// Sums the criterion cost of every alive block across all prunable
+/// layers — the quantity [`build_states`] reports as the sum of
+/// `alive_cost` — without materializing per-block records, RMS statistics,
+/// or weight extraction. Progress records that only need the scalar use
+/// this instead of rebuilding full [`LayerState`]s.
+pub fn alive_cost_total(
+    model: &mut Model,
+    criterion: Criterion,
+    timing: &TimingModel,
+    energy: &EnergyModel,
+) -> f64 {
+    let masks = model.masks();
+    model
+        .info
+        .prunables
+        .iter()
+        .enumerate()
+        .map(|(layer_id, p)| {
+            let plan = LayerPlan::for_layer(p);
+            let (br, bc) = (plan.tile.br, plan.tile.bc);
+            let mask = masks.get(&layer_id).map(|m| m.reshape(&[plan.m * plan.k]));
+            let mut total = 0.0f64;
+            for rb in 0..plan.row_blocks() {
+                let rows = plan.rows_in_block(rb);
+                for cb in 0..plan.chunks() {
+                    let alive = match &mask {
+                        None => true,
+                        Some(m) => {
+                            let cols = bc.min(plan.k - cb * bc);
+                            (0..rows).any(|r| {
+                                let row = (rb * br + r) * plan.k + cb * bc;
+                                m.data()[row..row + cols].iter().any(|&v| v != 0.0)
+                            })
+                        }
+                    };
+                    if alive {
+                        total += block_cost(criterion, &plan, rows, timing, energy);
+                    }
+                }
+            }
+            total
+        })
+        .sum()
+}
+
 /// Zeroes the mask region of one block.
 pub fn mask_out_block(state: &mut LayerState, block_idx: usize) {
     let plan = &state.plan;
@@ -219,6 +264,26 @@ mod tests {
             assert!((s.alive_cost - s.plan.dense_acc_outputs() as f64).abs() < 1e-6);
             assert!(s.blocks.iter().all(|b| b.alive));
         }
+    }
+
+    #[test]
+    fn alive_cost_total_matches_full_state_rebuild() {
+        let (mut m, mut states) = har_states();
+        // fresh model
+        let summed: f64 = states.iter().map(|s| s.alive_cost).sum();
+        let (timing, energy) = (TimingModel::default(), EnergyModel::default());
+        assert_eq!(alive_cost_total(&mut m, Criterion::AccOutputs, &timing, &energy), summed);
+        // after masking out a few blocks
+        mask_out_block(&mut states[0], 0);
+        mask_out_block(&mut states[0], 3);
+        mask_out_block(&mut states[2], 1);
+        let mut masks = std::collections::HashMap::new();
+        masks.insert(0usize, mask_as_weight_shape(&states[0], &m));
+        masks.insert(2usize, mask_as_weight_shape(&states[2], &m));
+        m.set_masks(&masks);
+        let rebuilt = build_states(&mut m, Criterion::Energy, &timing, &energy);
+        let summed: f64 = rebuilt.iter().map(|s| s.alive_cost).sum();
+        assert_eq!(alive_cost_total(&mut m, Criterion::Energy, &timing, &energy), summed);
     }
 
     #[test]

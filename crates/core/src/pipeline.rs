@@ -7,7 +7,7 @@
 //! exceeds the recoverable threshold ε *twice* (the "second chance"), then
 //! the most compact model whose accuracy recovered is adopted.
 
-use crate::blocks::build_states;
+use crate::blocks::{alive_cost_total, build_states};
 use crate::criterion::Criterion;
 use crate::sa::SaConfig;
 use crate::sensitivity::{analyze, Sensitivity};
@@ -206,8 +206,7 @@ pub fn prune(model: &mut Model, train: &Dataset, val: &Dataset, cfg: &PruneConfi
         train_sgd(model, train, &ft);
         let accuracy = evaluate(model, &eval_set, cfg.batch);
         let density = model.kept_weights() as f64 / total_weights;
-        let remaining_cost: f64 =
-            build_states(model, cfg.criterion, &timing, &energy).iter().map(|s| s.alive_cost).sum();
+        let remaining_cost = alive_cost_total(model, cfg.criterion, &timing, &energy);
 
         let struck = baseline_accuracy - accuracy > cfg.epsilon;
         iterations.push(IterationRecord {

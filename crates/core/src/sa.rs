@@ -97,8 +97,7 @@ pub fn allocate_ratios(
 
     // Start uniform: γᵢ = Γ for all layers satisfies the constraint.
     let mut gammas = vec![gamma.min(cfg.gamma_max); n];
-    let mut cost =
-        objective(states_ref(states), &scheds, &gammas, &sens_norm, cfg.lambda, total_cost);
+    let mut cost = objective(states, &scheds, &gammas, &sens_norm, cfg.lambda, total_cost);
     let mut best = Allocation { gammas: gammas.clone(), cost };
 
     if n == 1 {
@@ -121,25 +120,26 @@ pub fn allocate_ratios(
             temp *= cfg.cooling;
             continue;
         }
-        let mut cand = gammas.clone();
-        cand[i] = gi;
-        cand[j] = gj;
-        let c = objective(states_ref(states), &scheds, &cand, &sens_norm, cfg.lambda, total_cost);
+        // Apply the two-entry move in place and revert on rejection instead
+        // of cloning the whole ratio vector once per proposal.
+        let (old_i, old_j) = (gammas[i], gammas[j]);
+        gammas[i] = gi;
+        gammas[j] = gj;
+        let c = objective(states, &scheds, &gammas, &sens_norm, cfg.lambda, total_cost);
         let accept = c < cost || rng.gen_range(0.0..1.0) < ((cost - c) / temp.max(1e-12)).exp();
         if accept {
-            gammas = cand;
             cost = c;
             if cost < best.cost {
-                best = Allocation { gammas: gammas.clone(), cost };
+                best.cost = cost;
+                best.gammas.clone_from(&gammas);
             }
+        } else {
+            gammas[i] = old_i;
+            gammas[j] = old_j;
         }
         temp *= cfg.cooling;
     }
     best
-}
-
-fn states_ref(states: &[LayerState]) -> &[LayerState] {
-    states
 }
 
 /// Verifies that an allocation meets its weight budget (within one block of

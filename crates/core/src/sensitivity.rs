@@ -54,6 +54,11 @@ impl Sensitivity {
 /// guarantee the serial loop achieved by snapshot and rollback. Each probe
 /// performs identical work regardless of the thread count, so the drops are
 /// bit-identical to a serial run.
+///
+/// Probe evaluation inherits the layers' block-sparse GEMM dispatch: each
+/// probe's `set_masks` builds the probe mask's `SparseIndex`, so heavily
+/// probed layers are evaluated through the sparse kernels (bit-identical to
+/// dense, see `iprune_tensor::sparse`).
 pub fn analyze(
     model: &mut Model,
     states: &[LayerState],
@@ -64,9 +69,10 @@ pub fn analyze(
     let baseline = evaluate(model, eval, batch);
 
     static PROBES: OnceLock<Arc<Counter>> = OnceLock::new();
+    let probes = PROBES.get_or_init(|| metrics::counter("sensitivity.probes"));
     let model_ref = &*model;
     let drops = par::par_map(states.len(), |li| {
-        PROBES.get_or_init(|| metrics::counter("sensitivity.probes")).inc();
+        probes.inc();
         let state = &states[li];
         let sched = state.removal_schedule();
         let budget = ((state.alive_weights as f64) * probe_ratio).round() as usize;

@@ -53,6 +53,12 @@ impl TrainConfig {
 /// fan the per-sample im2col/GEMM work of every forward and backward pass
 /// out over [`iprune_tensor::par`] workers, with fixed-order reductions that
 /// keep the trained weights bit-identical at any thread count.
+///
+/// On a pruned model (masks installed) the layers route forward *and*
+/// backward GEMMs through the block-sparse kernels of
+/// `iprune_tensor::sparse` once a layer's alive-block coverage drops below
+/// the dispatch threshold — bit-identical to the dense path, so fine-tuning
+/// gets monotonically faster as pruning iterations shrink the model.
 pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
     let mut opt = Sgd::new(cfg.lr, cfg.momentum);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -83,6 +89,10 @@ pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
 /// are spread over [`iprune_tensor::par`] workers, each evaluating its own
 /// clone of the model. Per-worker meters hold integer counts, so the merged
 /// accuracy is exactly the serial result at any thread count.
+///
+/// Pruned layers inherit the block-sparse GEMM dispatch (see
+/// `iprune_tensor::sparse`); model clones share the mask's `SparseIndex`
+/// through an `Arc`, so worker cloning stays cheap.
 pub fn evaluate(model: &mut Model, ds: &Dataset, batch: usize) -> f64 {
     let batch = batch.max(1);
     let nb = ds.len().div_ceil(batch);

@@ -8,7 +8,9 @@
 //! fine-tuning.
 
 use crate::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
+use crate::sparse::{self, DispatchMode, SparseIndex};
 use crate::{init, par, Tensor};
+use std::sync::Arc;
 
 /// A trainable parameter: value, gradient accumulator, and optional pruning
 /// mask (1.0 = keep, 0.0 = pruned).
@@ -25,17 +27,33 @@ pub struct Param {
     pub grad: Tensor,
     /// Optional pruning mask, same shape as `value`.
     pub mask: Option<Tensor>,
+    /// Block-sparse index over `mask`, rebuilt whenever the mask changes.
+    /// `Arc` so that model clones (parallel evaluate, sensitivity probes)
+    /// share one index. Private: the field must stay in sync with `mask`.
+    sparse: Option<Arc<SparseIndex>>,
 }
 
 impl Param {
     /// Creates a parameter with a zeroed gradient and no mask.
     pub fn new(layer_id: usize, name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.dims());
-        Self { layer_id, name: name.into(), value, grad, mask: None }
+        Self { layer_id, name: name.into(), value, grad, mask: None, sparse: None }
     }
 
-    /// Installs (or replaces) the pruning mask and immediately zeroes the
-    /// masked weights.
+    /// Builds the block-sparse index for `mask` over this parameter viewed
+    /// as a `dims[0] × (numel / dims[0])` matrix — the shape every GEMM
+    /// call site uses.
+    fn build_sparse(&self, mask: &Tensor) -> Option<Arc<SparseIndex>> {
+        let rows = *self.value.dims().first()?;
+        if rows == 0 {
+            return None;
+        }
+        let cols = self.value.numel() / rows;
+        Some(Arc::new(SparseIndex::from_mask(mask.data(), rows, cols)))
+    }
+
+    /// Installs (or replaces) the pruning mask, immediately zeroes the
+    /// masked weights, and rebuilds the block-sparse index.
     ///
     /// # Panics
     ///
@@ -43,15 +61,46 @@ impl Param {
     pub fn set_mask(&mut self, mask: Tensor) {
         assert_eq!(mask.dims(), self.value.dims(), "mask shape mismatch for {}", self.name);
         self.value.mul_assign(&mask);
+        self.sparse = self.build_sparse(&mask);
         self.mask = Some(mask);
     }
 
-    /// Re-applies the mask to both value and gradient (no-op when unmasked).
+    /// Re-applies the mask to both value and gradient (no-op when
+    /// unmasked), building the block-sparse index if it is missing.
     pub fn apply_mask(&mut self) {
-        if let Some(mask) = &self.mask {
-            self.value.mul_assign(mask);
-            self.grad.mul_assign(mask);
+        if let Some(mask) = self.mask.take() {
+            self.value.mul_assign(&mask);
+            self.grad.mul_assign(&mask);
+            if self.sparse.is_none() {
+                self.sparse = self.build_sparse(&mask);
+            }
+            self.mask = Some(mask);
         }
+    }
+
+    /// The mask-derived block-sparse index, if a mask is installed.
+    pub fn sparse_index(&self) -> Option<&SparseIndex> {
+        self.sparse.as_deref()
+    }
+
+    /// The block-sparse index *iff* the current dispatch policy routes this
+    /// parameter's GEMMs through the sparse kernels: in [`DispatchMode::Auto`]
+    /// that means the alive-block coverage is below
+    /// [`sparse::SPARSE_DENSITY_THRESHOLD`].
+    pub fn gemm_sparse(&self) -> Option<&SparseIndex> {
+        let idx = self.sparse.as_deref()?;
+        match sparse::dispatch_mode() {
+            DispatchMode::ForceDense => None,
+            DispatchMode::ForceSparse => Some(idx),
+            DispatchMode::Auto => idx.below_dispatch_threshold().then_some(idx),
+        }
+    }
+
+    /// Like [`Self::gemm_sparse`] but clones the `Arc`, for call sites that
+    /// also need to borrow the parameter mutably (gradient accumulation).
+    pub fn gemm_sparse_arc(&self) -> Option<Arc<SparseIndex>> {
+        self.gemm_sparse()?;
+        self.sparse.clone()
     }
 
     /// Fraction of weights still unmasked (1.0 when no mask is installed).
@@ -283,10 +332,22 @@ impl Layer for Conv2d {
         // One par worker per sample: each owns its output slice and im2col
         // scratch, so there is no cross-sample reduction to order.
         let this = &*self;
+        let w_sparse = self.w.gemm_sparse();
         let cols = par::par_chunks_map(out.data_mut(), self.cout * hw_out, |s, out_slice| {
             let mut col = vec![0.0f32; k * hw_out];
             this.im2col(x, s, ho, wo, &mut col);
-            matmul_acc(this.w.value.data(), &col, out_slice, this.cout, k, hw_out);
+            match w_sparse {
+                Some(idx) => sparse::matmul_acc_sparse_lhs(
+                    idx,
+                    this.w.value.data(),
+                    &col,
+                    out_slice,
+                    this.cout,
+                    k,
+                    hw_out,
+                ),
+                None => matmul_acc(this.w.value.data(), &col, out_slice, this.cout, k, hw_out),
+            }
             for m in 0..this.cout {
                 let bias = this.b.value.data()[m];
                 for v in &mut out_slice[m * hw_out..(m + 1) * hw_out] {
@@ -320,12 +381,20 @@ impl Layer for Conv2d {
         // are then folded into the shared gradients in ascending sample
         // order, which replays the serial loop's add sequence exactly.
         let this = &*self;
+        let w_sparse = self.w.gemm_sparse();
         let partials = par::par_chunks_map(gx.data_mut(), self.cin * h * w, |s, gx_s| {
             let g_slice = &grad.data()[s * this.cout * hw_out..(s + 1) * this.cout * hw_out];
             let col = &this.cached_cols[s];
-            // dW_s = dY (M x HW) * col^T (HW x K)
+            // dW_s = dY (M x HW) * col^T (HW x K); on the sparse path only
+            // alive blocks accumulate — dead-block gradients would be
+            // zeroed by the optimizer's mask application anyway
             let mut dw = vec![0.0f32; this.w.grad.numel()];
-            matmul_a_bt(g_slice, col, &mut dw, this.cout, hw_out, k);
+            match w_sparse {
+                Some(idx) => {
+                    sparse::matmul_a_bt_sparse_out(idx, g_slice, col, &mut dw, this.cout, hw_out, k)
+                }
+                None => matmul_a_bt(g_slice, col, &mut dw, this.cout, hw_out, k),
+            }
             // db_s = row sums of dY
             let mut db = vec![0.0f32; this.cout];
             for (m, dbm) in db.iter_mut().enumerate() {
@@ -334,7 +403,20 @@ impl Layer for Conv2d {
             // dcol = W^T (K x M) * dY (M x HW), scattered into this
             // sample's gx slice
             let mut grad_col = vec![0.0f32; k * hw_out];
-            matmul_at_b(this.w.value.data(), g_slice, &mut grad_col, k, this.cout, hw_out);
+            match w_sparse {
+                Some(idx) => sparse::matmul_at_b_sparse_lhs(
+                    idx,
+                    this.w.value.data(),
+                    g_slice,
+                    &mut grad_col,
+                    k,
+                    this.cout,
+                    hw_out,
+                ),
+                None => {
+                    matmul_at_b(this.w.value.data(), g_slice, &mut grad_col, k, this.cout, hw_out)
+                }
+            }
             this.col2im(&grad_col, gx_s, h, w, ho, wo);
             (dw, db)
         });
@@ -420,7 +502,20 @@ impl Layer for Linear {
         assert_eq!(x.dims()[1], self.din, "Linear {} input dim", self.layer_id);
         let n = x.dims()[0];
         let mut out = Tensor::zeros(&[n, self.dout]);
-        matmul_a_bt(x.data(), self.w.value.data(), out.data_mut(), n, self.din, self.dout);
+        match self.w.gemm_sparse() {
+            Some(idx) => sparse::matmul_a_bt_sparse_rhs(
+                idx,
+                x.data(),
+                self.w.value.data(),
+                out.data_mut(),
+                n,
+                self.din,
+                self.dout,
+            ),
+            None => {
+                matmul_a_bt(x.data(), self.w.value.data(), out.data_mut(), n, self.din, self.dout)
+            }
+        }
         for s in 0..n {
             for (j, &bias) in self.b.value.data().iter().enumerate() {
                 out.data_mut()[s * self.dout + j] += bias;
@@ -436,8 +531,23 @@ impl Layer for Linear {
         let x = self.cached_input.as_ref().expect("Linear::backward before forward(train)");
         let n = x.dims()[0];
         assert_eq!(grad.dims(), &[n, self.dout]);
-        // dW += dY^T (F x N) * X (N x D)
-        matmul_at_b(grad.data(), x.data(), self.w.grad.data_mut(), self.dout, n, self.din);
+        // dW += dY^T (F x N) * X (N x D); on the sparse path only alive
+        // blocks accumulate — dead-block gradients would be zeroed by the
+        // optimizer's mask application anyway
+        match self.w.gemm_sparse_arc() {
+            Some(idx) => sparse::matmul_at_b_sparse_out(
+                &idx,
+                grad.data(),
+                x.data(),
+                self.w.grad.data_mut(),
+                self.dout,
+                n,
+                self.din,
+            ),
+            None => {
+                matmul_at_b(grad.data(), x.data(), self.w.grad.data_mut(), self.dout, n, self.din)
+            }
+        }
         for s in 0..n {
             for j in 0..self.dout {
                 self.b.grad.data_mut()[j] += grad.data()[s * self.dout + j];
@@ -445,7 +555,20 @@ impl Layer for Linear {
         }
         // dX = dY (N x F) * W (F x D)
         let mut gx = Tensor::zeros(&[n, self.din]);
-        matmul_acc(grad.data(), self.w.value.data(), gx.data_mut(), n, self.dout, self.din);
+        match self.w.gemm_sparse() {
+            Some(idx) => sparse::matmul_acc_sparse_rhs(
+                idx,
+                grad.data(),
+                self.w.value.data(),
+                gx.data_mut(),
+                n,
+                self.dout,
+                self.din,
+            ),
+            None => {
+                matmul_acc(grad.data(), self.w.value.data(), gx.data_mut(), n, self.dout, self.din)
+            }
+        }
         gx
     }
 

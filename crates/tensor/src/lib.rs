@@ -36,6 +36,7 @@ pub mod metrics;
 pub mod optim;
 pub mod par;
 pub mod quant;
+pub mod sparse;
 pub mod tensor;
 
 pub use quant::{QFormat, QTensor};

@@ -52,8 +52,10 @@ fn record_gemm(calls: &'static OnceLock<Arc<Counter>>, name: &'static str, macs:
 const PAR_FLOP_THRESHOLD: usize = 32 * 1024;
 
 /// Picks the per-worker row-block size for an `m`-row output, rounded up to
-/// whole micro-tiles, or `m` (no split) for small problems.
-fn row_block(m: usize, k: usize, n: usize) -> usize {
+/// whole micro-tiles, or `m` (no split) for small problems. Shared with the
+/// block-sparse kernels in [`crate::sparse`] so both paths split output rows
+/// identically.
+pub(crate) fn row_block(m: usize, k: usize, n: usize) -> usize {
     if m == 0 {
         return 1;
     }

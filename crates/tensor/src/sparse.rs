@@ -1,0 +1,870 @@
+//! Host-side block-sparse (BSR) execution for pruned weight matrices.
+//!
+//! Block pruning (the paper's guideline 3) kills whole rectangles of a
+//! weight matrix at once, yet the dense kernels in [`crate::matmul`] still
+//! *traverse* every pruned value and branch past it one element at a time.
+//! At the paper's final densities (~20–35 %) most of that traversal is
+//! wasted. This module mirrors the device-side `BsrMatrix` layout
+//! (`iprune-hawaii`) on the host: a [`SparseIndex`] of block-row pointers
+//! and block column indices built from a parameter's pruning mask, plus
+//! sparse counterparts of the three hot GEMM kernels that iterate only the
+//! alive blocks.
+//!
+//! One index serves every call site. The prune–retrain loop multiplies by a
+//! weight matrix `W[m_w × k_w]` in six roles — forward (`W` on the left of
+//! `matmul_acc`, or the transposed right operand of `matmul_a_bt`), input
+//! gradients (`W` traversed transposed in `matmul_at_b`, or the right
+//! operand of `matmul_acc`), and weight gradients (`W`-shaped *outputs* of
+//! `matmul_a_bt` / `matmul_at_b`) — and all six traverse the same row-major
+//! block grid, so the single mask-derived index covers them all.
+//!
+//! # Bit-identity
+//!
+//! The scalar references already define skip-zero semantics: ascending
+//! reduction index `p`, skip exact-zero left operands. Masking multiplies a
+//! pruned weight by `0.0`, leaving `±0.0`, and `v == 0.0` matches both
+//! signs — so for the kernels with a reference zero-skip
+//! ([`matmul_acc_sparse_lhs`], [`matmul_at_b_sparse_lhs`]) skipping a dead
+//! block elides exactly the iterations the reference skips, and the alive
+//! blocks keep the per-element test: results are *strictly* bit-identical
+//! for any input.
+//!
+//! The remaining kernels rely on one IEEE-754 fact: a chain of additions
+//! that starts at `+0.0` can never produce `-0.0` (only `(-0.0) + (-0.0)`
+//! is `-0.0`; exact cancellation rounds to `+0.0`), so adding a `±0.0`
+//! product never changes the accumulator's bits. Hence they are
+//! bit-identical to the reference provided the inputs are finite (the
+//! reference would turn `inf × pruned-zero` into NaN) and, for the
+//! accumulate-into-`c` variants, no dead-block-covered `c` entry starts as
+//! `-0.0` — both always true in the training pipeline, where activations
+//! are finite and gradient/output buffers are zero-initialized.
+//!
+//! The output-sparse variants ([`matmul_a_bt_sparse_out`],
+//! [`matmul_at_b_sparse_out`]) compute alive output blocks bit-identically
+//! and leave dead entries untouched. They exist for weight-gradient
+//! accumulation, where the optimizer multiplies the gradient by the mask
+//! before use ([`crate::optim`]) — the dense path computes dead-block
+//! gradients only to zero them, so restricting accumulation to alive
+//! blocks is bit-identical end to end and makes that mask re-application
+//! structurally redundant on the sparse path.
+//!
+//! # Thread-count invariance
+//!
+//! Like the dense kernels, parallelism splits the *output rows* over
+//! [`crate::par`] workers; each element is produced by exactly one worker
+//! with the same op order regardless of the split, so any `IPRUNE_THREADS`
+//! gives identical bits.
+
+use crate::matmul::row_block;
+use crate::par;
+use iprune_obs::metrics::{self, Counter, Histogram};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Host block height of a [`SparseIndex`]: matches the 4-row register quads
+/// of the dense kernels, so worker row splits align with block rows.
+pub const BLOCK_ROWS: usize = 4;
+
+/// Host block width of a [`SparseIndex`]: wide enough that a dead block
+/// skips a full cache line of traversal, narrow enough that the
+/// accelerator-operation pruning blocks rarely leave a partially-dead host
+/// block alive.
+pub const BLOCK_COLS: usize = 16;
+
+/// Alive-fraction threshold of the automatic dispatch: below this the
+/// layers route GEMMs through the sparse kernels, at or above it they stay
+/// dense. 0.75 keeps the first pruning iterations (≥ 30 % block sparsity)
+/// on the sparse path while barely-pruned models avoid the index-walk
+/// overhead.
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.75;
+
+/// How layer GEMMs choose between the dense and sparse kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Density-threshold dispatch (the default): sparse below
+    /// [`SPARSE_DENSITY_THRESHOLD`], dense otherwise.
+    Auto,
+    /// Always use the dense kernels (differential testing / benchmarking).
+    ForceDense,
+    /// Always use the sparse kernels when an index exists.
+    ForceSparse,
+}
+
+/// Process-wide dispatch mode (0 = auto, 1 = dense, 2 = sparse), seeded
+/// from `IPRUNE_SPARSE` (`0` forces dense, `1` forces sparse) on first use.
+static MODE: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn mode_bits(m: DispatchMode) -> u8 {
+    match m {
+        DispatchMode::Auto => 0,
+        DispatchMode::ForceDense => 1,
+        DispatchMode::ForceSparse => 2,
+    }
+}
+
+/// Sets the process-wide GEMM dispatch mode.
+pub fn set_dispatch_mode(mode: DispatchMode) {
+    MODE.store(mode_bits(mode), Ordering::Relaxed);
+}
+
+/// The current GEMM dispatch mode.
+pub fn dispatch_mode() -> DispatchMode {
+    let bits = MODE.load(Ordering::Relaxed);
+    if bits == u8::MAX {
+        let initial = match std::env::var("IPRUNE_SPARSE").ok().as_deref() {
+            Some("0") => DispatchMode::ForceDense,
+            Some("1") => DispatchMode::ForceSparse,
+            _ => DispatchMode::Auto,
+        };
+        // racing first calls agree on the env-derived value
+        MODE.store(mode_bits(initial), Ordering::Relaxed);
+        return initial;
+    }
+    match bits {
+        1 => DispatchMode::ForceDense,
+        2 => DispatchMode::ForceSparse,
+        _ => DispatchMode::Auto,
+    }
+}
+
+/// A block-sparse index over a pruning mask: which [`BLOCK_ROWS`] ×
+/// [`BLOCK_COLS`] blocks of the `rows × cols` weight matrix still contain
+/// any alive weight. Mirrors the device-side `BsrMatrix` layout (block-row
+/// pointers plus block column indices, ascending within each block row)
+/// but stores no values — the kernels read the weights from the dense
+/// buffer, which is what keeps them bit-identical to the dense reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseIndex {
+    rows: usize,
+    cols: usize,
+    br: usize,
+    bc: usize,
+    /// `row_ptr[rb]..row_ptr[rb+1]` indexes the alive blocks of block-row
+    /// `rb` in `col_idx`.
+    row_ptr: Vec<u32>,
+    /// Block column index of each alive block, ascending per block row.
+    col_idx: Vec<u32>,
+    /// Matrix cells covered by alive blocks (edge blocks clamped).
+    alive_cells: usize,
+}
+
+impl SparseIndex {
+    /// Builds the index from a flat row-major mask (`0.0` = pruned) with
+    /// the default host block shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != rows * cols`.
+    pub fn from_mask(mask: &[f32], rows: usize, cols: usize) -> Self {
+        Self::with_blocks(mask, rows, cols, BLOCK_ROWS, BLOCK_COLS)
+    }
+
+    /// Builds the index with an explicit block shape (tests exercise
+    /// non-default shapes; the layers always use [`Self::from_mask`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != rows * cols` or a block dimension is zero.
+    pub fn with_blocks(mask: &[f32], rows: usize, cols: usize, br: usize, bc: usize) -> Self {
+        assert!(br > 0 && bc > 0, "block dims must be positive");
+        assert_eq!(mask.len(), rows * cols, "mask length");
+        let rbs = rows.div_ceil(br);
+        let cbs = cols.div_ceil(bc);
+        let mut row_ptr = Vec::with_capacity(rbs + 1);
+        let mut col_idx = Vec::new();
+        let mut alive_cells = 0usize;
+        row_ptr.push(0u32);
+        for rb in 0..rbs {
+            let r1 = ((rb + 1) * br).min(rows);
+            for cb in 0..cbs {
+                let c0 = cb * bc;
+                let c1 = (c0 + bc).min(cols);
+                let alive = (rb * br..r1)
+                    .any(|r| mask[r * cols + c0..r * cols + c1].iter().any(|&v| v != 0.0));
+                if alive {
+                    col_idx.push(cb as u32);
+                    alive_cells += (r1 - rb * br) * (c1 - c0);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self { rows, cols, br, bc, row_ptr, col_idx, alive_cells }
+    }
+
+    /// Matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block height.
+    pub fn block_height(&self) -> usize {
+        self.br
+    }
+
+    /// Block width.
+    pub fn block_width(&self) -> usize {
+        self.bc
+    }
+
+    /// Number of block rows.
+    pub fn block_rows(&self) -> usize {
+        self.rows.div_ceil(self.br)
+    }
+
+    /// Number of blocks in the full grid.
+    pub fn total_blocks(&self) -> usize {
+        self.rows.div_ceil(self.br) * self.cols.div_ceil(self.bc)
+    }
+
+    /// Number of alive blocks.
+    pub fn alive_blocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Matrix cells covered by alive blocks.
+    pub fn alive_cells(&self) -> usize {
+        self.alive_cells
+    }
+
+    /// Fraction of matrix cells covered by alive blocks (1.0 for an empty
+    /// matrix, which no kernel traverses anyway).
+    pub fn alive_fraction(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            1.0
+        } else {
+            self.alive_cells as f64 / total as f64
+        }
+    }
+
+    /// Whether the automatic dispatch would pick the sparse kernels.
+    pub fn below_dispatch_threshold(&self) -> bool {
+        self.alive_fraction() < SPARSE_DENSITY_THRESHOLD
+    }
+
+    /// Alive blocks of block-row `rb` as `(col_start, col_end)` column
+    /// ranges, ascending.
+    fn row_segments(&self, rb: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (self.row_ptr[rb] as usize..self.row_ptr[rb + 1] as usize).map(move |s| {
+            let c0 = self.col_idx[s] as usize * self.bc;
+            (c0, (c0 + self.bc).min(self.cols))
+        })
+    }
+}
+
+/// Counts one sparse kernel call: per-kernel call counter, alive-MAC
+/// histogram, and the process-wide skipped-MAC tally (the traversal the
+/// dense path would have burned on dead blocks).
+fn record_sparse(
+    calls: &'static OnceLock<Arc<Counter>>,
+    name: &'static str,
+    alive: usize,
+    skipped: usize,
+) {
+    static SKIPPED: OnceLock<Arc<Counter>> = OnceLock::new();
+    static MACS: OnceLock<Arc<Histogram>> = OnceLock::new();
+    calls.get_or_init(|| metrics::counter(name)).inc();
+    SKIPPED.get_or_init(|| metrics::counter("gemm.sparse_skipped_macs")).add(skipped as u64);
+    MACS.get_or_init(|| metrics::histogram("gemm.sparse_macs")).record(alive as u64);
+}
+
+/// `c[m][n] += a[m][k] * b[k][n]` with a block-sparse left operand:
+/// [`crate::matmul::matmul_acc`] iterating only the alive blocks of `a`.
+/// Strictly bit-identical to `matmul_acc_ref` (dead blocks hold only
+/// `±0.0`, which the reference skips; alive blocks keep the per-element
+/// skip test).
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)` or the
+/// index shape is not `m × k`.
+pub fn matmul_acc_sparse_lhs(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    assert_eq!((idx.rows, idx.cols), (m, k), "index shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    let alive = idx.alive_cells * n;
+    record_sparse(&CALLS, "gemm.sparse.acc_lhs_calls", alive, m * k * n - alive);
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let mut i = i0;
+        while i < i0 + rows {
+            let rb = i / idx.br;
+            let blk_end = ((rb + 1) * idx.br).min(i0 + rows);
+            for (p0, p1) in idx.row_segments(rb) {
+                for p in p0..p1 {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for gi in i..blk_end {
+                        let av = a[gi * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let c_row = &mut c_block[(gi - i0) * n..(gi - i0 + 1) * n];
+                        for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                            *c_v += av * b_v;
+                        }
+                    }
+                }
+            }
+            i = blk_end;
+        }
+    });
+}
+
+/// `c[m][n] += a[m][k] * b[k][n]` with a block-sparse right operand (the
+/// input-gradient GEMM of a fully-connected layer, where `b` is the weight
+/// matrix). Each surviving axpy is restricted to the alive column segments
+/// of `b`'s row `p`; see the module docs for the `±0.0` bit-identity
+/// argument.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)` or the
+/// index shape is not `k × n`.
+pub fn matmul_acc_sparse_rhs(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    assert_eq!((idx.rows, idx.cols), (k, n), "index shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    let alive = idx.alive_cells * m;
+    record_sparse(&CALLS, "gemm.sparse.acc_rhs_calls", alive, m * k * n - alive);
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        for ci in 0..rows {
+            let a_row = &a[(i0 + ci) * k..(i0 + ci + 1) * k];
+            let c_row = &mut c_block[ci * n..(ci + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (j0, j1) in idx.row_segments(p / idx.br) {
+                    let b_seg = &b[p * n + j0..p * n + j1];
+                    for (c_v, &b_v) in c_row[j0..j1].iter_mut().zip(b_seg.iter()) {
+                        *c_v += av * b_v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `c[m][n] += a[k][m]ᵀ * b[k][n]` with a block-sparse `a` (the
+/// input-gradient GEMM of a convolution, where `a` is the weight matrix
+/// stored `[k][m]` and traversed transposed — the index is over `a` as
+/// stored, shape `k × m`). Strictly bit-identical to `matmul_at_b_ref`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)` or the
+/// index shape is not `k × m`.
+pub fn matmul_at_b_sparse_lhs(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), k * m, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    assert_eq!((idx.rows, idx.cols), (k, m), "index shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    let alive = idx.alive_cells * n;
+    record_sparse(&CALLS, "gemm.sparse.at_b_lhs_calls", alive, m * k * n - alive);
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        for p in 0..k {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (s0, s1) in idx.row_segments(p / idx.br) {
+                let lo = s0.max(i0);
+                let hi = s1.min(i0 + rows);
+                for i in lo..hi {
+                    let av = a[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c_block[(i - i0) * n..(i - i0 + 1) * n];
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                        *c_v += av * b_v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `c[m][n] += a[k][m]ᵀ * b[k][n]` computing only the alive blocks of a
+/// weight-shaped output (the weight-gradient GEMM of a fully-connected
+/// layer). Alive entries are bit-identical to the reference; dead entries
+/// are left untouched — the optimizer masks them before use anyway.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)` or the
+/// index shape is not `m × n`.
+pub fn matmul_at_b_sparse_out(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), k * m, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    assert_eq!((idx.rows, idx.cols), (m, n), "index shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    let alive = idx.alive_cells * k;
+    record_sparse(&CALLS, "gemm.sparse.at_b_out_calls", alive, m * k * n - alive);
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        for p in 0..k {
+            let b_row = &b[p * n..(p + 1) * n];
+            for i in i0..i0 + rows {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c_block[(i - i0) * n..(i - i0 + 1) * n];
+                for (j0, j1) in idx.row_segments(i / idx.br) {
+                    for (c_v, &b_v) in c_row[j0..j1].iter_mut().zip(b_row[j0..j1].iter()) {
+                        *c_v += av * b_v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `c[m][n] += a[m][k] * b[n][k]ᵀ` with a block-sparse right operand (the
+/// forward GEMM of a fully-connected layer, where `b` is the weight matrix
+/// stored `[n][k]` — index shape `n × k`). Each dot product runs over the
+/// alive reduction segments of `b`'s row `j`; see the module docs for the
+/// `±0.0` bit-identity argument.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)` or the
+/// index shape is not `n × k`.
+pub fn matmul_a_bt_sparse_rhs(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    assert_eq!((idx.rows, idx.cols), (n, k), "index shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    let alive = idx.alive_cells * m;
+    record_sparse(&CALLS, "gemm.sparse.a_bt_rhs_calls", alive, m * k * n - alive);
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let nbr = n.div_ceil(idx.br);
+        let mut ci = 0;
+        while ci < rows {
+            let ni = (rows - ci).min(4);
+            for rb in 0..nbr {
+                // a fully dead block row contributes exactly +0.0 per
+                // output; under the no-negative-zero-in-`c` contract the
+                // add is a bitwise no-op, so skip the block entirely
+                if idx.row_ptr[rb] == idx.row_ptr[rb + 1] {
+                    continue;
+                }
+                let j0 = rb * idx.br;
+                let nj = idx.br.min(n - j0);
+                if ni == 4 && nj == 4 {
+                    // 4x4 register tile: sixteen independent accumulator
+                    // chains, each still summing its alive products in
+                    // ascending-p order (bit-identical to the reference)
+                    let a0 = &a[(i0 + ci) * k..][..k];
+                    let a1 = &a[(i0 + ci + 1) * k..][..k];
+                    let a2 = &a[(i0 + ci + 2) * k..][..k];
+                    let a3 = &a[(i0 + ci + 3) * k..][..k];
+                    let b0 = &b[j0 * k..][..k];
+                    let b1 = &b[(j0 + 1) * k..][..k];
+                    let b2 = &b[(j0 + 2) * k..][..k];
+                    let b3 = &b[(j0 + 3) * k..][..k];
+                    let (mut t00, mut t01, mut t02, mut t03) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    let (mut t10, mut t11, mut t12, mut t13) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    let (mut t20, mut t21, mut t22, mut t23) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    let (mut t30, mut t31, mut t32, mut t33) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    for (p0, p1) in idx.row_segments(rb) {
+                        let (a0s, a1s, a2s, a3s) =
+                            (&a0[p0..p1], &a1[p0..p1], &a2[p0..p1], &a3[p0..p1]);
+                        let (b0s, b1s, b2s, b3s) =
+                            (&b0[p0..p1], &b1[p0..p1], &b2[p0..p1], &b3[p0..p1]);
+                        for p in 0..p1 - p0 {
+                            let (x0, x1, x2, x3) = (a0s[p], a1s[p], a2s[p], a3s[p]);
+                            let (y0, y1, y2, y3) = (b0s[p], b1s[p], b2s[p], b3s[p]);
+                            t00 += x0 * y0;
+                            t01 += x0 * y1;
+                            t02 += x0 * y2;
+                            t03 += x0 * y3;
+                            t10 += x1 * y0;
+                            t11 += x1 * y1;
+                            t12 += x1 * y2;
+                            t13 += x1 * y3;
+                            t20 += x2 * y0;
+                            t21 += x2 * y1;
+                            t22 += x2 * y2;
+                            t23 += x2 * y3;
+                            t30 += x3 * y0;
+                            t31 += x3 * y1;
+                            t32 += x3 * y2;
+                            t33 += x3 * y3;
+                        }
+                    }
+                    c_block[ci * n + j0] += t00;
+                    c_block[ci * n + j0 + 1] += t01;
+                    c_block[ci * n + j0 + 2] += t02;
+                    c_block[ci * n + j0 + 3] += t03;
+                    c_block[(ci + 1) * n + j0] += t10;
+                    c_block[(ci + 1) * n + j0 + 1] += t11;
+                    c_block[(ci + 1) * n + j0 + 2] += t12;
+                    c_block[(ci + 1) * n + j0 + 3] += t13;
+                    c_block[(ci + 2) * n + j0] += t20;
+                    c_block[(ci + 2) * n + j0 + 1] += t21;
+                    c_block[(ci + 2) * n + j0 + 2] += t22;
+                    c_block[(ci + 2) * n + j0 + 3] += t23;
+                    c_block[(ci + 3) * n + j0] += t30;
+                    c_block[(ci + 3) * n + j0 + 1] += t31;
+                    c_block[(ci + 3) * n + j0 + 2] += t32;
+                    c_block[(ci + 3) * n + j0 + 3] += t33;
+                } else {
+                    // ragged edge (short row chunk or narrow block row)
+                    for ii in 0..ni {
+                        let a_row = &a[(i0 + ci + ii) * k..][..k];
+                        let mut acc = [0.0f32; 8];
+                        debug_assert!(nj <= acc.len());
+                        for (p0, p1) in idx.row_segments(rb) {
+                            for p in p0..p1 {
+                                let av = a_row[p];
+                                for (jj, t) in acc[..nj].iter_mut().enumerate() {
+                                    *t += av * b[(j0 + jj) * k + p];
+                                }
+                            }
+                        }
+                        for (jj, &t) in acc[..nj].iter().enumerate() {
+                            c_block[(ci + ii) * n + j0 + jj] += t;
+                        }
+                    }
+                }
+            }
+            ci += ni;
+        }
+    });
+}
+
+/// `c[m][n] += a[m][k] * b[n][k]ᵀ` computing only the alive blocks of a
+/// weight-shaped output (the weight-gradient GEMM of a convolution). Alive
+/// entries are bit-identical to the reference; dead entries are left
+/// untouched — the optimizer masks them before use anyway.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)` or the
+/// index shape is not `m × n`.
+pub fn matmul_a_bt_sparse_out(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    assert_eq!((idx.rows, idx.cols), (m, n), "index shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    let alive = idx.alive_cells * k;
+    record_sparse(&CALLS, "gemm.sparse.a_bt_out_calls", alive, m * k * n - alive);
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let mut i = i0;
+        while i < i0 + rows {
+            let rb = i / idx.br;
+            let blk_end = ((rb + 1) * idx.br).min(i0 + rows);
+            for (j0, j1) in idx.row_segments(rb) {
+                for gi in i..blk_end {
+                    let a_row = &a[gi * k..(gi + 1) * k];
+                    for j in j0..j1 {
+                        let b_row = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                            acc += x * y;
+                        }
+                        c_block[(gi - i0) * n + j] += acc;
+                    }
+                }
+            }
+            i = blk_end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{matmul_a_bt_ref, matmul_acc_ref, matmul_at_b_ref};
+
+    fn arb(len: usize, seed: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32 * 0.37 + seed).sin() * 3.0).round() / 4.0).collect()
+    }
+
+    /// A block mask over an `m × k` grid: block `(rb, cb)` of shape
+    /// `br × bc` is dead when its hash is below `sparsity`.
+    fn block_mask(m: usize, k: usize, br: usize, bc: usize, sparsity: f64, seed: u64) -> Vec<f32> {
+        let mut mask = vec![1.0f32; m * k];
+        for rb in 0..m.div_ceil(br) {
+            for cb in 0..k.div_ceil(bc) {
+                let h = (rb as u64 * 1_000_003 + cb as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seed);
+                if ((h >> 32) as f64 / (1u64 << 32) as f64) < sparsity {
+                    for r in rb * br..((rb + 1) * br).min(m) {
+                        for c in cb * bc..((cb + 1) * bc).min(k) {
+                            mask[r * k + c] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    fn apply(w: &mut [f32], mask: &[f32]) {
+        for (v, &m) in w.iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn index_counts_alive_blocks_and_cells() {
+        // 6x10 grid, 4x16 blocks -> 2 block rows x 1 block col
+        let mut mask = vec![0.0f32; 60];
+        mask[5] = 1.0; // row 0 -> block row 0 alive
+        let idx = SparseIndex::from_mask(&mask, 6, 10);
+        assert_eq!(idx.total_blocks(), 2);
+        assert_eq!(idx.alive_blocks(), 1);
+        assert_eq!(idx.alive_cells(), 4 * 10);
+        assert!(idx.below_dispatch_threshold());
+        let full = SparseIndex::from_mask(&vec![1.0; 60], 6, 10);
+        assert_eq!(full.alive_blocks(), 2);
+        assert_eq!(full.alive_cells(), 60);
+        assert!((full.alive_fraction() - 1.0).abs() < 1e-12);
+        assert!(!full.below_dispatch_threshold());
+        let empty = SparseIndex::from_mask(&vec![0.0; 60], 6, 10);
+        assert_eq!(empty.alive_blocks(), 0);
+        assert_eq!(empty.alive_fraction(), 0.0);
+    }
+
+    #[test]
+    fn negative_zero_mask_entries_count_as_dead() {
+        let mask = vec![-0.0f32, 0.0, 0.0, 0.0];
+        let idx = SparseIndex::from_mask(&mask, 2, 2);
+        assert_eq!(idx.alive_blocks(), 0);
+    }
+
+    #[test]
+    fn sparse_kernels_bitwise_match_reference_across_shapes() {
+        let shapes = [(1, 1, 1), (4, 16, 4), (8, 32, 12), (5, 7, 9), (13, 33, 17), (23, 40, 19)];
+        for &(m, k, n) in &shapes {
+            for sparsity in [0.0, 0.5, 1.0] {
+                let mask = block_mask(m, k, BLOCK_ROWS, BLOCK_COLS, sparsity, 7);
+                let mut w = arb(m * k, 0.11);
+                // exercise the per-element skip inside alive blocks too
+                for (i, v) in w.iter_mut().enumerate() {
+                    if i % 5 == 0 {
+                        *v = 0.0;
+                    }
+                }
+                apply(&mut w, &mask);
+                let idx = SparseIndex::from_mask(&mask, m, k);
+                let x = arb(k * n, 0.77);
+                let c0 = arb(m * n, 0.42);
+
+                // acc_lhs: w[m x k] on the left
+                let mut c_ref = c0.clone();
+                matmul_acc_ref(&w, &x, &mut c_ref, m, k, n);
+                let mut c_sp = c0.clone();
+                matmul_acc_sparse_lhs(&idx, &w, &x, &mut c_sp, m, k, n);
+                assert_eq!(bits(&c_ref), bits(&c_sp), "acc_lhs {m}x{k}x{n} s={sparsity}");
+
+                // at_b_lhs: w stored [m x k], traversed transposed -> output k x n...
+                // here a = w as [k_gemm=m][m_gemm=k]
+                let mut c_ref = arb(k * n, 0.33);
+                let mut c_sp = c_ref.clone();
+                let g = arb(m * n, 0.5);
+                matmul_at_b_ref(&w, &g, &mut c_ref, k, m, n);
+                matmul_at_b_sparse_lhs(&idx, &w, &g, &mut c_sp, k, m, n);
+                assert_eq!(bits(&c_ref), bits(&c_sp), "at_b_lhs {m}x{k}x{n} s={sparsity}");
+
+                // a_bt_rhs: w [m x k] as the transposed right operand
+                let y = arb(n * k, 0.9);
+                let mut c_ref = vec![0.0f32; n * m];
+                let mut c_sp = c_ref.clone();
+                matmul_a_bt_ref(&y, &w, &mut c_ref, n, k, m);
+                matmul_a_bt_sparse_rhs(&idx, &y, &w, &mut c_sp, n, k, m);
+                assert_eq!(bits(&c_ref), bits(&c_sp), "a_bt_rhs {m}x{k}x{n} s={sparsity}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_sparse_kernels_match_reference_on_alive_blocks() {
+        let (m, k, n) = (11, 9, 37);
+        let mask = block_mask(m, n, BLOCK_ROWS, BLOCK_COLS, 0.5, 3);
+        let idx = SparseIndex::from_mask(&mask, m, n);
+        let g = arb(k * m, 0.2); // [k][m] for at_b
+        let x = arb(k * n, 0.6);
+        let mut c_ref = vec![0.0f32; m * n];
+        matmul_at_b_ref(&g, &x, &mut c_ref, m, k, n);
+        let mut c_sp = vec![0.0f32; m * n];
+        matmul_at_b_sparse_out(&idx, &g, &x, &mut c_sp, m, k, n);
+        for (i, (&r, &s)) in c_ref.iter().zip(c_sp.iter()).enumerate() {
+            if mask_covering(&idx, i / n, i % n) {
+                assert_eq!(r.to_bits(), s.to_bits(), "alive entry {i}");
+            } else {
+                assert_eq!(s, 0.0, "dead entry {i} must stay untouched");
+            }
+        }
+
+        let a = arb(m * k, 0.4);
+        let bt = arb(n * k, 0.8);
+        let mut c_ref = vec![0.0f32; m * n];
+        matmul_a_bt_ref(&a, &bt, &mut c_ref, m, k, n);
+        let mut c_sp = vec![0.0f32; m * n];
+        matmul_a_bt_sparse_out(&idx, &a, &bt, &mut c_sp, m, k, n);
+        for (i, (&r, &s)) in c_ref.iter().zip(c_sp.iter()).enumerate() {
+            if mask_covering(&idx, i / n, i % n) {
+                assert_eq!(r.to_bits(), s.to_bits(), "alive entry {i}");
+            } else {
+                assert_eq!(s, 0.0, "dead entry {i} must stay untouched");
+            }
+        }
+    }
+
+    /// Whether `(r, c)` lies in an alive block of `idx`.
+    fn mask_covering(idx: &SparseIndex, r: usize, c: usize) -> bool {
+        idx.row_segments(r / idx.br).any(|(c0, c1)| c >= c0 && c < c1)
+    }
+
+    #[test]
+    fn acc_rhs_matches_reference_on_zeroed_output() {
+        let (m, k, n) = (7, 12, 35);
+        let mask = block_mask(k, n, BLOCK_ROWS, BLOCK_COLS, 0.6, 11);
+        let mut w = arb(k * n, 0.15);
+        apply(&mut w, &mask);
+        let idx = SparseIndex::from_mask(&mask, k, n);
+        let g = arb(m * k, 0.25);
+        let mut c_ref = vec![0.0f32; m * n];
+        matmul_acc_ref(&g, &w, &mut c_ref, m, k, n);
+        let mut c_sp = vec![0.0f32; m * n];
+        matmul_acc_sparse_rhs(&idx, &g, &w, &mut c_sp, m, k, n);
+        assert_eq!(bits(&c_ref), bits(&c_sp));
+    }
+
+    #[test]
+    fn sparse_kernels_are_thread_count_invariant() {
+        let (m, k, n) = (61, 48, 47); // > parallel threshold, ragged rows
+        let mask = block_mask(m, k, BLOCK_ROWS, BLOCK_COLS, 0.7, 5);
+        let mut w = arb(m * k, 0.21);
+        apply(&mut w, &mask);
+        let idx = SparseIndex::from_mask(&mask, m, k);
+        let x = arb(k * n, 0.63);
+        crate::par::set_threads(1);
+        let mut c1 = vec![0.25f32; m * n];
+        matmul_acc_sparse_lhs(&idx, &w, &x, &mut c1, m, k, n);
+        crate::par::set_threads(4);
+        let mut c4 = vec![0.25f32; m * n];
+        matmul_acc_sparse_lhs(&idx, &w, &x, &mut c4, m, k, n);
+        crate::par::set_threads(0);
+        assert_eq!(bits(&c1), bits(&c4));
+    }
+
+    #[test]
+    fn dispatch_mode_roundtrip() {
+        let before = dispatch_mode();
+        set_dispatch_mode(DispatchMode::ForceDense);
+        assert_eq!(dispatch_mode(), DispatchMode::ForceDense);
+        set_dispatch_mode(DispatchMode::ForceSparse);
+        assert_eq!(dispatch_mode(), DispatchMode::ForceSparse);
+        set_dispatch_mode(before);
+    }
+
+    #[test]
+    #[should_panic(expected = "index shape")]
+    fn shape_mismatch_panics() {
+        let idx = SparseIndex::from_mask(&[1.0; 4], 2, 2);
+        let mut c = vec![0.0; 9];
+        matmul_acc_sparse_lhs(&idx, &[1.0; 9], &[1.0; 9], &mut c, 3, 3, 3);
+    }
+}
