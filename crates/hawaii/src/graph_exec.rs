@@ -1,191 +1,6 @@
-//! Float reference executor over a model's flat graph.
-//!
-//! Runs one sample through the [`iprune_models::arch::GraphOp`] list using
-//! plain f32 arithmetic. Used for quantization calibration (per-buffer
-//! ranges) and as the semantic reference the quantized engines are tested
-//! against. Must agree with the trainable network's own forward pass.
+//! Re-export shim: the float graph executor moved to
+//! [`iprune_models::graphref`] so the host Q15 evaluator can share it
+//! without a dependency cycle. Existing `crate::graph_exec` paths keep
+//! working.
 
-use iprune_models::arch::{GraphOp, ModelInfo, PrunableKind};
-use iprune_models::LayerWeights;
-use iprune_tensor::Tensor;
-
-/// Executes the graph for a single `[c, h, w]` input; returns the final
-/// buffer (logits) and, for calibration, every buffer's contents.
-///
-/// # Panics
-///
-/// Panics if `weights` is not indexed by layer id or shapes disagree with
-/// the graph.
-pub fn run_graph(info: &ModelInfo, weights: &[LayerWeights], input: &Tensor) -> Vec<Vec<f32>> {
-    assert_eq!(weights.len(), info.prunables.len(), "one LayerWeights per prunable layer");
-    let mut bufs: Vec<Vec<f32>> = info.buffers.iter().map(|b| vec![0.0; b.numel()]).collect();
-    let in_dims = &info.buffers[0].dims;
-    assert_eq!(input.numel(), bufs[0].len(), "input size vs buffer 0");
-    assert_eq!(in_dims.len(), 3, "input buffer must be [c, h, w]");
-    bufs[0].copy_from_slice(input.data());
-
-    for op in &info.graph {
-        match op {
-            GraphOp::Conv { layer_id, src, dst, dst_c_off, relu } => {
-                let p = &info.prunables[*layer_id];
-                let (cin, cout, kh, kw, stride, pad_h, pad_w, in_h, in_w) = match &p.kind {
-                    PrunableKind::Conv { cin, cout, kh, kw, stride, pad_h, pad_w, in_h, in_w } => {
-                        (*cin, *cout, *kh, *kw, *stride, *pad_h, *pad_w, *in_h, *in_w)
-                    }
-                    _ => unreachable!("conv op on non-conv layer"),
-                };
-                let (oh, ow) = p.out_hw();
-                let lw = &weights[*layer_id];
-                let w = lw.w.data();
-                let b = lw.b.data();
-                let dst_dims = info.buffers[*dst].dims.clone();
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                for m in 0..cout {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut acc = b[m];
-                            for c in 0..cin {
-                                for ky in 0..kh {
-                                    let iy = (oy * stride + ky) as isize - pad_h as isize;
-                                    if iy < 0 || iy >= in_h as isize {
-                                        continue;
-                                    }
-                                    for kx in 0..kw {
-                                        let ix = (ox * stride + kx) as isize - pad_w as isize;
-                                        if ix < 0 || ix >= in_w as isize {
-                                            continue;
-                                        }
-                                        let wv = w[((m * cin + c) * kh + ky) * kw + kx];
-                                        let xv =
-                                            src_buf[(c * in_h + iy as usize) * in_w + ix as usize];
-                                        acc += wv * xv;
-                                    }
-                                }
-                            }
-                            if *relu && acc < 0.0 {
-                                acc = 0.0;
-                            }
-                            let dc = dst_c_off + m;
-                            dst_buf[(dc * dst_dims[1] + oy) * dst_dims[2] + ox] = acc;
-                        }
-                    }
-                }
-            }
-            GraphOp::Fc { layer_id, src, dst, relu } => {
-                let p = &info.prunables[*layer_id];
-                let (din, dout) = match &p.kind {
-                    PrunableKind::Fc { din, dout } => (*din, *dout),
-                    _ => unreachable!("fc op on non-fc layer"),
-                };
-                let lw = &weights[*layer_id];
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                for (o, out) in dst_buf.iter_mut().take(dout).enumerate() {
-                    let mut acc = lw.b.data()[o];
-                    let row = &lw.w.data()[o * din..(o + 1) * din];
-                    for (wv, xv) in row.iter().zip(src_buf.iter()) {
-                        acc += wv * xv;
-                    }
-                    if *relu && acc < 0.0 {
-                        acc = 0.0;
-                    }
-                    *out = acc;
-                }
-            }
-            GraphOp::MaxPool { src, dst, kh, kw } => {
-                let sdims = info.buffers[*src].dims.clone();
-                let ddims = info.buffers[*dst].dims.clone();
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                let (c, ih, iw) = (sdims[0], sdims[1], sdims[2]);
-                let (oh, ow) = (ddims[1], ddims[2]);
-                for ch in 0..c {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut best = f32::NEG_INFINITY;
-                            for ky in 0..*kh {
-                                for kx in 0..*kw {
-                                    let v = src_buf[(ch * ih + oy * kh + ky) * iw + ox * kw + kx];
-                                    best = best.max(v);
-                                }
-                            }
-                            dst_buf[(ch * oh + oy) * ow + ox] = best;
-                        }
-                    }
-                }
-            }
-            GraphOp::GlobalAvgPool { src, dst } => {
-                let sdims = info.buffers[*src].dims.clone();
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                let (c, h, w) = (sdims[0], sdims[1], sdims[2]);
-                let inv = 1.0 / (h * w) as f32;
-                for ch in 0..c {
-                    let sum: f32 = src_buf[ch * h * w..(ch + 1) * h * w].iter().sum();
-                    dst_buf[ch] = sum * inv;
-                }
-            }
-            GraphOp::Flatten { src, dst } => {
-                let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
-                dst_buf.copy_from_slice(src_buf);
-            }
-        }
-    }
-    bufs
-}
-
-/// Logits of a single-sample graph execution.
-pub fn run_graph_logits(info: &ModelInfo, weights: &[LayerWeights], input: &Tensor) -> Vec<f32> {
-    run_graph(info, weights, input).pop().expect("at least one buffer")
-}
-
-/// Borrow two distinct buffers mutably.
-fn split_bufs(bufs: &mut [Vec<f32>], src: usize, dst: usize) -> (&[f32], &mut [f32]) {
-    assert_ne!(src, dst, "graph ops must not read and write the same buffer");
-    if src < dst {
-        let (a, b) = bufs.split_at_mut(dst);
-        (&a[src], &mut b[0])
-    } else {
-        let (a, b) = bufs.split_at_mut(src);
-        (&b[0], &mut a[dst])
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use iprune_models::zoo::App;
-    use iprune_tensor::layer::Layer;
-
-    /// The float graph executor must agree with the trainable network.
-    #[test]
-    fn graph_matches_trainable_forward() {
-        for app in App::all() {
-            let mut model = app.build();
-            let ds = app.dataset(3, 99);
-            let weights = model.extract_weights();
-            for i in 0..3 {
-                let x = ds.sample(i);
-                let net_logits = model.forward(&x, false);
-                let graph_logits = run_graph_logits(&model.info, &weights, &x);
-                for (a, b) in net_logits.data().iter().zip(graph_logits.iter()) {
-                    assert!(
-                        (a - b).abs() < 1e-3,
-                        "{} sample {}: net {} vs graph {}",
-                        app.name(),
-                        i,
-                        a,
-                        b
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn buffers_have_expected_count() {
-        let mut model = App::Har.build();
-        let weights = model.extract_weights();
-        let ds = App::Har.dataset(1, 0);
-        let bufs = run_graph(&model.info, &weights, &ds.sample(0));
-        assert_eq!(bufs.len(), model.info.buffers.len());
-        assert_eq!(bufs.last().unwrap().len(), model.info.classes);
-    }
-}
+pub use iprune_models::graphref::{run_graph, run_graph_logits};

@@ -16,7 +16,9 @@
 pub mod arch;
 pub mod builder;
 pub mod fire;
+pub mod graphref;
 pub mod model;
+pub mod qeval;
 pub mod train;
 pub mod zoo;
 

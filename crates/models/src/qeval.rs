@@ -1,0 +1,339 @@
+//! Host-side Q15 evaluation: device numerics at host speed.
+//!
+//! The device simulator (`iprune-hawaii`) evaluates quantized models one
+//! accelerator job at a time — faithful, but far too slow for sweeping
+//! accuracy over a model zoo. This module runs the *same* fixed-point
+//! arithmetic through the host Q15 GEMM ([`iprune_tensor::qgemm`]):
+//! identical calibration, identical i16×i16→i64 accumulation with the bias
+//! preloaded at accumulator scale, identical arithmetic-shift
+//! requantization, and identical integer pooling — so its logits are
+//! bit-equal to the device engine's, at the host's SIMD throughput.
+//!
+//! Calibration mirrors `iprune-hawaii`'s `deploy` step exactly: per-buffer
+//! ranges from the float reference executor ([`crate::graphref`]) over a
+//! handful of samples, shape-preserving ops pinned to their input format,
+//! and the bias format capped at the accumulator depth.
+//!
+//! Set `IPRUNE_EVAL=q15` to route [`crate::train::evaluate`] through this
+//! engine and measure the f32→Q15 accuracy delta of a trained model.
+
+use crate::arch::{GraphOp, ModelInfo, PrunableKind};
+use crate::graphref::run_graph;
+use crate::model::Model;
+use iprune_datasets::Dataset;
+use iprune_tensor::qgemm::q15_gemm;
+use iprune_tensor::quant::{QFormat, QTensor};
+use iprune_tensor::Tensor;
+
+/// Default number of calibration samples (matches the device deploy step).
+pub const DEFAULT_CALIBRATION: usize = 8;
+
+/// One quantized prunable layer: dense i16 weights in GEMM row-major
+/// (`[m][k]`) plus the bias at its own format.
+#[derive(Debug, Clone)]
+struct QLayer {
+    w: Vec<i16>,
+    w_frac: u8,
+    bias: Vec<i16>,
+    bias_frac: u8,
+    m: usize,
+    k: usize,
+}
+
+/// A model quantized for host Q15 inference.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    info: ModelInfo,
+    layers: Vec<QLayer>,
+    buf_fmts: Vec<QFormat>,
+}
+
+impl QuantizedModel {
+    /// Quantizes `model`, calibrating activation formats on up to `n_calib`
+    /// samples of `calib` — the same procedure as the device deployment, so
+    /// formats (and therefore logits) agree bitwise with the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty or its sample shape differs from the
+    /// model input.
+    pub fn quantize(model: &mut Model, calib: &Dataset, n_calib: usize) -> Self {
+        assert!(!calib.is_empty(), "calibration set must not be empty");
+        let weights = model.extract_weights();
+        let info = model.info.clone();
+
+        let mut max_abs = vec![0.0f32; info.buffers.len()];
+        for i in 0..n_calib.min(calib.len()) {
+            let bufs = run_graph(&info, &weights, &calib.sample(i));
+            for (m, buf) in max_abs.iter_mut().zip(bufs.iter()) {
+                for &v in buf {
+                    *m = m.max(v.abs());
+                }
+            }
+        }
+        let mut buf_fmts: Vec<QFormat> =
+            max_abs.iter().map(|&m| QFormat::for_max_abs(m * 1.1 + 1e-6)).collect();
+        for op in &info.graph {
+            match op {
+                GraphOp::MaxPool { src, dst, .. }
+                | GraphOp::GlobalAvgPool { src, dst }
+                | GraphOp::Flatten { src, dst } => buf_fmts[*dst] = buf_fmts[*src],
+                _ => {}
+            }
+        }
+
+        let layers: Vec<QLayer> = weights
+            .iter()
+            .map(|lw| {
+                let p = &info.prunables[lw.layer_id];
+                let (m, k) = match &p.kind {
+                    PrunableKind::Conv { cin, cout, kh, kw, .. } => (*cout, cin * kh * kw),
+                    PrunableKind::Fc { din, dout } => (*dout, *din),
+                };
+                let qw = QTensor::quantize(&lw.w);
+                let in_fmt = input_fmt_of_layer(&info, lw.layer_id, &buf_fmts);
+                let acc_frac = in_fmt.frac_bits() + qw.format().frac_bits();
+                let natural = QFormat::for_max_abs(lw.b.max_abs().max(1e-6));
+                let bias_fmt = QFormat::new(natural.frac_bits().min(acc_frac).min(15));
+                let bias: Vec<i16> = lw.b.data().iter().map(|&v| bias_fmt.quantize(v)).collect();
+                QLayer {
+                    w: qw.data().to_vec(),
+                    w_frac: qw.format().frac_bits(),
+                    bias,
+                    bias_frac: bias_fmt.frac_bits(),
+                    m,
+                    k,
+                }
+            })
+            .collect();
+
+        QuantizedModel { info, layers, buf_fmts }
+    }
+
+    /// Fixed-point format of each activation buffer.
+    pub fn buf_fmts(&self) -> &[QFormat] {
+        &self.buf_fmts
+    }
+
+    /// Runs one `[c, h, w]` sample in device numerics; returns dequantized
+    /// logits.
+    pub fn forward_q15(&self, input: &Tensor) -> Vec<f32> {
+        let mut bufs: Vec<Vec<i16>> =
+            self.info.buffers.iter().map(|b| vec![0i16; b.numel()]).collect();
+        assert_eq!(input.numel(), bufs[0].len(), "input size vs model input buffer");
+        let in_fmt = self.buf_fmts[0];
+        for (dst, &v) in bufs[0].iter_mut().zip(input.data()) {
+            *dst = in_fmt.quantize(v);
+        }
+
+        for op in &self.info.graph {
+            match op {
+                GraphOp::Conv { layer_id, src, dst, dst_c_off, relu } => {
+                    let ql = &self.layers[*layer_id];
+                    let p = &self.info.prunables[*layer_id];
+                    let (kh, kw, stride, pad_h, pad_w, in_h, in_w) = match &p.kind {
+                        PrunableKind::Conv { kh, kw, stride, pad_h, pad_w, in_h, in_w, .. } => {
+                            (*kh, *kw, *stride, *pad_h, *pad_w, *in_h, *in_w)
+                        }
+                        _ => unreachable!("conv op on non-conv layer"),
+                    };
+                    let (oh, ow) = p.out_hw();
+                    let n = oh * ow;
+                    let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                    // transposed im2col: one k-contiguous patch per output
+                    // position, zero-filled where the kernel hangs over the
+                    // padding — identical to the device's gathered strips.
+                    let mut col = vec![0i16; n * ql.k];
+                    let khw = kh * kw;
+                    for (j, patch) in col.chunks_exact_mut(ql.k).enumerate() {
+                        let (oy, ox) = (j / ow, j % ow);
+                        for (ki, out) in patch.iter_mut().enumerate() {
+                            let c = ki / khw;
+                            let (ky, kx) = ((ki % khw) / kw, ki % kw);
+                            let iy = (oy * stride + ky) as isize - pad_h as isize;
+                            let ix = (ox * stride + kx) as isize - pad_w as isize;
+                            if iy >= 0 && iy < in_h as isize && ix >= 0 && ix < in_w as isize {
+                                *out = src_buf[(c * in_h + iy as usize) * in_w + ix as usize];
+                            }
+                        }
+                    }
+                    let (in_frac, out_frac) =
+                        (self.buf_fmts[*src].frac_bits(), self.buf_fmts[*dst].frac_bits());
+                    let bias_shift = (in_frac + ql.w_frac - ql.bias_frac) as u32;
+                    // the destination rows are contiguous at the channel
+                    // offset, so the GEMM writes the buffer slice directly
+                    let c_out = &mut dst_buf[dst_c_off * n..(dst_c_off + ql.m) * n];
+                    q15_gemm(
+                        &ql.w, &col, &ql.bias, bias_shift, c_out, ql.m, ql.k, n, in_frac,
+                        ql.w_frac, out_frac, *relu,
+                    );
+                }
+                GraphOp::Fc { layer_id, src, dst, relu } => {
+                    let ql = &self.layers[*layer_id];
+                    let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                    let (in_frac, out_frac) =
+                        (self.buf_fmts[*src].frac_bits(), self.buf_fmts[*dst].frac_bits());
+                    let bias_shift = (in_frac + ql.w_frac - ql.bias_frac) as u32;
+                    q15_gemm(
+                        &ql.w,
+                        &src_buf[..ql.k],
+                        &ql.bias,
+                        bias_shift,
+                        &mut dst_buf[..ql.m],
+                        ql.m,
+                        ql.k,
+                        1,
+                        in_frac,
+                        ql.w_frac,
+                        out_frac,
+                        *relu,
+                    );
+                }
+                GraphOp::MaxPool { src, dst, kh, kw } => {
+                    let sdims = self.info.buffers[*src].dims.clone();
+                    let ddims = self.info.buffers[*dst].dims.clone();
+                    let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                    let (c, ih, iw) = (sdims[0], sdims[1], sdims[2]);
+                    let (oh, ow) = (ddims[1], ddims[2]);
+                    for ch in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut best = i16::MIN;
+                                for ky in 0..*kh {
+                                    for kx in 0..*kw {
+                                        let v =
+                                            src_buf[(ch * ih + oy * kh + ky) * iw + ox * kw + kx];
+                                        best = best.max(v);
+                                    }
+                                }
+                                dst_buf[(ch * oh + oy) * ow + ox] = best;
+                            }
+                        }
+                    }
+                }
+                GraphOp::GlobalAvgPool { src, dst } => {
+                    let sdims = self.info.buffers[*src].dims.clone();
+                    let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                    let (c, h, w) = (sdims[0], sdims[1], sdims[2]);
+                    let hw = (h * w) as i64;
+                    for ch in 0..c {
+                        let sum: i64 =
+                            src_buf[ch * h * w..(ch + 1) * h * w].iter().map(|&v| v as i64).sum();
+                        let rounded =
+                            if sum >= 0 { (sum + hw / 2) / hw } else { (sum - hw / 2) / hw };
+                        dst_buf[ch] = rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+                    }
+                }
+                GraphOp::Flatten { src, dst } => {
+                    let (src_buf, dst_buf) = split_bufs(&mut bufs, *src, *dst);
+                    dst_buf.copy_from_slice(src_buf);
+                }
+            }
+        }
+
+        let fmt = *self.buf_fmts.last().expect("formats");
+        bufs.pop().expect("at least one buffer").iter().map(|&q| fmt.dequantize(q)).collect()
+    }
+
+    /// Top-1 accuracy of the Q15 engine on `ds` (same argmax tie-breaking
+    /// as the float evaluator).
+    pub fn evaluate_q15(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for i in 0..ds.len() {
+            let logits = self.forward_q15(&ds.sample(i));
+            let pred = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            if pred == ds.labels()[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / ds.len() as f64
+    }
+}
+
+/// The activation format of the buffer a prunable layer reads.
+fn input_fmt_of_layer(info: &ModelInfo, layer_id: usize, fmts: &[QFormat]) -> QFormat {
+    for op in &info.graph {
+        match op {
+            GraphOp::Conv { layer_id: l, src, .. } | GraphOp::Fc { layer_id: l, src, .. }
+                if *l == layer_id =>
+            {
+                return fmts[*src];
+            }
+            _ => {}
+        }
+    }
+    panic!("layer {layer_id} not found in graph");
+}
+
+/// Borrow two distinct buffers mutably.
+fn split_bufs(bufs: &mut [Vec<i16>], src: usize, dst: usize) -> (&[i16], &mut [i16]) {
+    assert_ne!(src, dst, "graph ops must not read and write the same buffer");
+    if src < dst {
+        let (a, b) = bufs.split_at_mut(dst);
+        (&a[src], &mut b[0])
+    } else {
+        let (a, b) = bufs.split_at_mut(src);
+        (&b[0], &mut a[dst])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::App;
+    use iprune_tensor::layer::Layer;
+
+    /// Q15 logits track the float forward pass closely on every app.
+    #[test]
+    fn q15_logits_close_to_float() {
+        for app in App::all() {
+            let mut model = app.build();
+            let ds = app.dataset(4, 41);
+            let qm = QuantizedModel::quantize(&mut model, &ds, 4);
+            for i in 0..3 {
+                let x = ds.sample(i);
+                let f = model.forward(&x, false);
+                let q = qm.forward_q15(&x);
+                for (a, b) in f.data().iter().zip(q.iter()) {
+                    assert!((a - b).abs() < 0.05, "{} sample {i}: f32 {a} vs q15 {b}", app.name());
+                }
+            }
+        }
+    }
+
+    /// Shape-preserving ops keep their input format after calibration.
+    #[test]
+    fn pool_buffers_share_input_format() {
+        let mut model = App::Cks.build();
+        let ds = App::Cks.dataset(2, 3);
+        let qm = QuantizedModel::quantize(&mut model, &ds, 2);
+        for op in &qm.info.graph {
+            if let GraphOp::MaxPool { src, dst, .. }
+            | GraphOp::GlobalAvgPool { src, dst }
+            | GraphOp::Flatten { src, dst } = op
+            {
+                assert_eq!(qm.buf_fmts[*src], qm.buf_fmts[*dst]);
+            }
+        }
+    }
+
+    /// The Q15 evaluator is deterministic and in [0, 1].
+    #[test]
+    fn evaluate_q15_is_deterministic() {
+        let mut model = App::Har.build();
+        let ds = App::Har.dataset(24, 5);
+        let qm = QuantizedModel::quantize(&mut model, &ds, 8);
+        let a = qm.evaluate_q15(&ds);
+        let b = qm.evaluate_q15(&ds);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!((0.0..=1.0).contains(&a));
+    }
+}

@@ -83,7 +83,21 @@ pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
     last_epoch_loss
 }
 
+/// Whether `IPRUNE_EVAL=q15` routes evaluation through the host
+/// fixed-point engine (read once per process).
+fn eval_q15() -> bool {
+    use std::sync::OnceLock;
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::var("IPRUNE_EVAL").is_ok_and(|v| v == "q15"))
+}
+
 /// Evaluates top-1 accuracy of `model` on `ds` (float reference inference).
+///
+/// With `IPRUNE_EVAL=q15` the model is instead quantized (calibrating on
+/// the first [`crate::qeval::DEFAULT_CALIBRATION`] samples of `ds`, the
+/// same recipe as device deployment) and evaluated in device numerics via
+/// [`crate::qeval::QuantizedModel`] — for measuring the f32→Q15 accuracy
+/// delta without the device simulator's overhead.
 ///
 /// Batches are independent in inference mode, so contiguous runs of batches
 /// are spread over [`iprune_tensor::par`] workers, each evaluating its own
@@ -94,6 +108,11 @@ pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
 /// `iprune_tensor::sparse`); model clones share the mask's `SparseIndex`
 /// through an `Arc`, so worker cloning stays cheap.
 pub fn evaluate(model: &mut Model, ds: &Dataset, batch: usize) -> f64 {
+    if eval_q15() {
+        let qm =
+            crate::qeval::QuantizedModel::quantize(model, ds, crate::qeval::DEFAULT_CALIBRATION);
+        return qm.evaluate_q15(ds);
+    }
     let batch = batch.max(1);
     let nb = ds.len().div_ceil(batch);
     let workers = par::workers_for(nb);

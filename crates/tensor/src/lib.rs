@@ -35,7 +35,9 @@ pub mod matmul;
 pub mod metrics;
 pub mod optim;
 pub mod par;
+pub mod qgemm;
 pub mod quant;
+pub mod simd;
 pub mod sparse;
 pub mod tensor;
 

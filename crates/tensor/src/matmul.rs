@@ -1,36 +1,47 @@
-//! Dense matrix-multiply kernels: register-blocked with zero-skip,
-//! parallel over row blocks of the output.
+//! Dense matrix-multiply kernels: register-blocked scalar spec plus
+//! runtime-dispatched AVX2/FMA bodies, parallel over row blocks of the
+//! output.
 //!
-//! These are the hot loops of both training and sensitivity evaluation, and
-//! each kernel is blocked the way measurement favors it. The accumulate
-//! kernels ([`matmul_acc`], [`matmul_at_b`]) process output rows in quads:
-//! the four left-operand values live in registers, the zero-skip test runs
-//! once per value, and the surviving updates are full-width row axpys that
-//! auto-vectorize — a square 4×4 tile was measured slower here because the
-//! per-tile skip branches cut the vector width to 4. The dot-product kernel
-//! ([`matmul_a_bt`]) uses a 4×4 register tile of sixteen accumulators,
-//! which breaks the loop-carried dependence of the scalar dot and measures
-//! over 2× faster. All kernels fan row blocks out over [`crate::par`]
-//! workers
-//! when the problem is large enough; edge rows fall back to the scalar
-//! reference kernels.
+//! These are the hot loops of both training and sensitivity evaluation. The
+//! public entries ([`matmul_acc`], [`matmul_at_b`], [`matmul_a_bt`])
+//! dispatch on [`crate::simd::simd_level`]: on AVX2+FMA hosts they run the
+//! explicit-SIMD bodies in [`crate::simd`], otherwise (or under
+//! `IPRUNE_SIMD=0`) the scalar register-blocked kernels, which stay
+//! directly callable as [`matmul_acc_scalar`] / [`matmul_at_b_scalar`] /
+//! [`matmul_a_bt_scalar`] — the executable spec.
 //!
-//! Two invariants the rest of the workspace relies on:
+//! The scalar kernels are blocked the way measurement favors them. The
+//! accumulate kernels process output rows in quads: the four left-operand
+//! values live in registers, the zero-skip test runs once per value, and
+//! the surviving updates are full-width row axpys that auto-vectorize — a
+//! square 4×4 tile was measured slower here because the per-tile skip
+//! branches cut the vector width to 4. The dot-product kernel uses a 4×4
+//! register tile of sixteen accumulators, which breaks the loop-carried
+//! dependence of the scalar dot and measures over 2× faster. All kernels
+//! fan row blocks out over [`crate::par`] workers when the problem is large
+//! enough; edge rows fall back to the scalar reference kernels.
 //!
-//! - **Bit-identical to the scalar reference.** For every output element the
-//!   tiled kernels perform the same floating-point operations in the same
-//!   order as [`matmul_acc_ref`] / [`matmul_at_b_ref`] / [`matmul_a_bt_ref`]
-//!   (ascending `p`, same zero-skip test), so results match the pre-tiling
-//!   kernels bit for bit.
-//! - **Thread-count invariant.** Parallelism splits the *output rows*; each
-//!   element is produced by exactly one worker with the same op order
-//!   regardless of the split, so any `IPRUNE_THREADS` gives identical bits.
+//! Invariants the rest of the workspace relies on:
+//!
+//! - **Scalar path bit-identical to the scalar reference.** For every
+//!   output element the scalar tiled kernels perform the same
+//!   floating-point operations in the same order as [`matmul_acc_ref`] /
+//!   [`matmul_at_b_ref`] / [`matmul_a_bt_ref`] (ascending `p`, same
+//!   zero-skip test), so results match the pre-tiling kernels bit for bit.
+//! - **SIMD path ULP-bounded.** The AVX2 bodies fuse multiplies into FMAs
+//!   and accumulate dot products in eight lanes; results differ from the
+//!   spec only by reassociation/fusion rounding (see [`crate::simd`]).
+//! - **Thread-count invariant at either level.** Parallelism splits the
+//!   *output rows*; each element is produced by exactly one worker with the
+//!   same op order regardless of the split, so any `IPRUNE_THREADS` gives
+//!   identical bits.
 //!
 //! The kernels operate on raw slices rather than [`crate::Tensor`] so that
 //! the layer code can multiply scratch buffers (e.g. im2col matrices)
 //! without allocating tensor wrappers.
 
 use crate::par;
+use crate::simd::{self, SimdLevel};
 use iprune_obs::metrics::{self, Counter, Histogram};
 use std::sync::{Arc, OnceLock};
 
@@ -69,10 +80,13 @@ pub(crate) fn row_block(m: usize, k: usize, n: usize) -> usize {
     (m.div_ceil(w)).div_ceil(MR) * MR
 }
 
-/// `c[m][n] += a[m][k] * b[k][n]` over row-major slices.
+/// `c[m][n] += a[m][k] * b[k][n]` over row-major slices, dispatched on the
+/// process SIMD level.
 ///
-/// Skips multiplications where the left operand is exactly zero, which is
-/// the common case for pruned weight matrices and ReLU activations.
+/// The scalar path skips multiplications where the left operand is exactly
+/// zero (the common case for pruned weight matrices and ReLU activations);
+/// the AVX2 path is branchless — see [`crate::simd`] for the numerical
+/// contract.
 ///
 /// # Panics
 ///
@@ -86,11 +100,61 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     }
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     record_gemm(&CALLS, "gemm.acc_calls", m * k * n);
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return acc_avx2(a, b, c, m, k, n);
+    }
+    acc_path(a, b, c, m, k, n);
+}
+
+/// Scalar register-blocked path of [`matmul_acc`] — the executable spec,
+/// bit-identical to [`matmul_acc_ref`] at any thread count regardless of
+/// the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+pub fn matmul_acc_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    record_gemm(&CALLS, "gemm.acc_calls", m * k * n);
+    acc_path(a, b, c, m, k, n);
+}
+
+/// Parallel scalar body shared by [`matmul_acc`] and [`matmul_acc_scalar`].
+fn acc_path(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
         let rows = c_block.len() / n;
         acc_rows(&a[i0 * k..(i0 + rows) * k], b, c_block, rows, k, n);
+    });
+}
+
+/// AVX2 body of [`matmul_acc`]: row groups of [`MR`] through the branchless
+/// FMA axpy kernel, full reduction range.
+#[cfg(target_arch = "x86_64")]
+fn acc_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let rows_per = row_block(m, k, n);
+    let segs = [(0usize, k)];
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let mut i = 0;
+        while i < rows {
+            let g = (rows - i).min(MR);
+            // SAFETY: avx2+fma hold (dispatch level), indices in bounds by
+            // the entry asserts.
+            unsafe {
+                simd::avx2::axpy_rows(a, (i0 + i) * k, k, 1, g, b, c_block, i, n, &segs);
+            }
+            i += g;
+        }
     });
 }
 
@@ -139,7 +203,8 @@ fn acc_scalar(a: &[f32], b: &[f32], c: &mut [f32], i0: usize, i1: usize, k: usiz
 }
 
 /// `c[m][n] += a[k][m]ᵀ * b[k][n]`: multiplies the transpose of a row-major
-/// `a` without materializing it. Zero entries of `a` are skipped.
+/// `a` without materializing it, dispatched on the process SIMD level.
+/// Zero entries of `a` are skipped on the scalar path.
 ///
 /// # Panics
 ///
@@ -153,11 +218,62 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     }
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     record_gemm(&CALLS, "gemm.at_b_calls", m * k * n);
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return at_b_avx2(a, b, c, m, k, n);
+    }
+    at_b_path(a, b, c, m, k, n);
+}
+
+/// Scalar register-blocked path of [`matmul_at_b`] — the executable spec,
+/// bit-identical to [`matmul_at_b_ref`] at any thread count regardless of
+/// the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+pub fn matmul_at_b_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    record_gemm(&CALLS, "gemm.at_b_calls", m * k * n);
+    at_b_path(a, b, c, m, k, n);
+}
+
+/// Parallel scalar body shared by [`matmul_at_b`] and
+/// [`matmul_at_b_scalar`].
+fn at_b_path(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
         let rows = c_block.len() / n;
         at_b_rows(a, b, c_block, i0, rows, m, k, n);
+    });
+}
+
+/// AVX2 body of [`matmul_at_b`]: same FMA axpy kernel as [`matmul_acc`],
+/// reading `a` transposed (row stride 1, reduction stride `m`).
+#[cfg(target_arch = "x86_64")]
+fn at_b_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let rows_per = row_block(m, k, n);
+    let segs = [(0usize, k)];
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let mut i = 0;
+        while i < rows {
+            let g = (rows - i).min(MR);
+            // SAFETY: avx2+fma hold (dispatch level), indices in bounds by
+            // the entry asserts.
+            unsafe {
+                simd::avx2::axpy_rows(a, i0 + i, 1, m, g, b, c_block, i, n, &segs);
+            }
+            i += g;
+        }
     });
 }
 
@@ -230,8 +346,9 @@ fn at_b_scalar(
 }
 
 /// `c[m][n] += a[m][k] * b[n][k]ᵀ`: multiplies by the transpose of a
-/// row-major `b` without materializing it. Each output element is a dot
-/// product of two rows, accumulated from zero and added to `c` once.
+/// row-major `b` without materializing it, dispatched on the process SIMD
+/// level. Each output element is a dot product of two rows, accumulated
+/// from zero and added to `c` once.
 ///
 /// # Panics
 ///
@@ -245,11 +362,67 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     }
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     record_gemm(&CALLS, "gemm.a_bt_calls", m * k * n);
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return a_bt_avx2(a, b, c, m, k, n);
+    }
+    a_bt_path(a, b, c, m, k, n);
+}
+
+/// Scalar register-blocked path of [`matmul_a_bt`] — the executable spec,
+/// bit-identical to [`matmul_a_bt_ref`] at any thread count regardless of
+/// the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+pub fn matmul_a_bt_scalar(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+    record_gemm(&CALLS, "gemm.a_bt_calls", m * k * n);
+    a_bt_path(a, b, c, m, k, n);
+}
+
+/// Parallel scalar body shared by [`matmul_a_bt`] and
+/// [`matmul_a_bt_scalar`].
+fn a_bt_path(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
         let rows = c_block.len() / n;
         a_bt_rows(&a[i0 * k..(i0 + rows) * k], b, c_block, rows, k, n);
+    });
+}
+
+/// AVX2 body of [`matmul_a_bt`]: 4×2 tiles of eight-lane dot accumulators,
+/// full reduction range.
+#[cfg(target_arch = "x86_64")]
+fn a_bt_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let rows_per = row_block(m, k, n);
+    let segs = [(0usize, k)];
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let mut i = 0;
+        while i < rows {
+            let g = (rows - i).min(MR);
+            let mut j = 0;
+            while j < n {
+                let cg = (n - j).min(2);
+                // SAFETY: avx2+fma hold (dispatch level), indices in bounds
+                // by the entry asserts.
+                unsafe {
+                    simd::avx2::dot_tile(a, i0 + i, g, b, j, cg, k, &segs, c_block, i, j, n);
+                }
+                j += cg;
+            }
+            i += g;
+        }
     });
 }
 
@@ -489,19 +662,19 @@ mod tests {
                 let mut c_ref = c0.clone();
                 matmul_acc_ref(&a, &b, &mut c_ref, m, k, n);
                 let mut c_tiled = c0.clone();
-                matmul_acc(&a, &b, &mut c_tiled, m, k, n);
+                matmul_acc_scalar(&a, &b, &mut c_tiled, m, k, n);
                 assert_eq!(bits(&c_ref), bits(&c_tiled), "acc {m}x{k}x{n} t={threads}");
 
                 let mut c_ref = c0.clone();
                 matmul_at_b_ref(&at, &b, &mut c_ref, m, k, n);
                 let mut c_tiled = c0.clone();
-                matmul_at_b(&at, &b, &mut c_tiled, m, k, n);
+                matmul_at_b_scalar(&at, &b, &mut c_tiled, m, k, n);
                 assert_eq!(bits(&c_ref), bits(&c_tiled), "at_b {m}x{k}x{n} t={threads}");
 
                 let mut c_ref = c0.clone();
                 matmul_a_bt_ref(&a, &bt, &mut c_ref, m, k, n);
                 let mut c_tiled = c0.clone();
-                matmul_a_bt(&a, &bt, &mut c_tiled, m, k, n);
+                matmul_a_bt_scalar(&a, &bt, &mut c_tiled, m, k, n);
                 assert_eq!(bits(&c_ref), bits(&c_tiled), "a_bt {m}x{k}x{n} t={threads}");
             }
             crate::par::set_threads(0);
@@ -517,10 +690,10 @@ mod tests {
         let b = arb(k, n, 0.63);
         crate::par::set_threads(1);
         let mut c1 = vec![0.5f32; m * n];
-        matmul_acc(&a, &b, &mut c1, m, k, n);
+        matmul_acc_scalar(&a, &b, &mut c1, m, k, n);
         crate::par::set_threads(4);
         let mut c4 = vec![0.5f32; m * n];
-        matmul_acc(&a, &b, &mut c4, m, k, n);
+        matmul_acc_scalar(&a, &b, &mut c4, m, k, n);
         crate::par::set_threads(0);
         assert_eq!(bits(&c1), bits(&c4));
         let mut c_ref = vec![0.5f32; m * n];

@@ -1,0 +1,224 @@
+//! Q15 integer GEMM: the device's fixed-point arithmetic on the host.
+//!
+//! The simulated MSP430 accelerator (`iprune-hawaii`) computes every layer
+//! as i16×i16 products accumulated wide, bias preloaded at accumulator
+//! scale, then an arithmetic-shift requantization back to i16 (and a ReLU
+//! clamp for hidden layers). This module exposes exactly that arithmetic as
+//! a host GEMM so evaluation can run in device numerics (`IPRUNE_EVAL=q15`)
+//! and report f32-vs-Q15 accuracy deltas.
+//!
+//! Both operands are **k-contiguous** (dot form): `a` is `[m][k]` (weight
+//! rows), `b` is `[n][k]` (activation columns, e.g. a transposed im2col
+//! patch matrix), and `c[i][j] = requantize((bias[i] << bias_shift) +
+//! a_row(i) · b_row(j))`. This one shape covers both convolution
+//! (`m = c_out`, `n = output positions`) and fully-connected layers
+//! (`n = 1`).
+//!
+//! # Exactness contract
+//!
+//! The scalar body ([`q15_gemm_scalar`]) widens every product to i64 before
+//! accumulating — the executable spec, matching the device engine exactly.
+//! The AVX2 body (`_mm256_madd_epi16`) is **bitwise equal to the spec**
+//! whenever one operand contains no `i16::MIN`: pairwise i32 sums then
+//! cannot wrap, and integer addition is associative. Weights quantized via
+//! [`crate::quant::QFormat::for_max_abs`] (headroom 0.999) never produce
+//! `i16::MIN`, so the precondition holds structurally on the evaluation
+//! path; the dispatched entry debug-asserts it.
+
+use crate::quant::requantize;
+use crate::simd::{self, q15_dot_i64, SimdLevel};
+
+/// Q15 GEMM dispatched on the process SIMD level.
+///
+/// `c[i][j] = requantize((bias[i] << bias_shift) + Σ_p a[i*k+p] * b[j*k+p],
+/// in_frac, w_frac, out_frac)`, clamped at zero when `relu` is set.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`. Debug
+/// builds additionally assert the no-`i16::MIN` precondition on `a` (see
+/// module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn q15_gemm(
+    a: &[i16],
+    b: &[i16],
+    bias: &[i16],
+    bias_shift: u32,
+    c: &mut [i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    in_frac: u8,
+    w_frac: u8,
+    out_frac: u8,
+    relu: bool,
+) {
+    debug_assert!(
+        !a.contains(&i16::MIN),
+        "q15_gemm lhs contains i16::MIN; SIMD madd exactness not guaranteed"
+    );
+    let use_avx2 = simd::simd_level() == SimdLevel::Avx2;
+    q15_gemm_body(a, b, bias, bias_shift, c, m, k, n, in_frac, w_frac, out_frac, relu, use_avx2);
+}
+
+/// Scalar-spec Q15 GEMM: per-product i64 accumulation, identical to the
+/// device engine for any input, regardless of the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
+pub fn q15_gemm_scalar(
+    a: &[i16],
+    b: &[i16],
+    bias: &[i16],
+    bias_shift: u32,
+    c: &mut [i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    in_frac: u8,
+    w_frac: u8,
+    out_frac: u8,
+    relu: bool,
+) {
+    q15_gemm_body(a, b, bias, bias_shift, c, m, k, n, in_frac, w_frac, out_frac, relu, false);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn q15_gemm_body(
+    a: &[i16],
+    b: &[i16],
+    bias: &[i16],
+    bias_shift: u32,
+    c: &mut [i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    in_frac: u8,
+    w_frac: u8,
+    out_frac: u8,
+    relu: bool,
+    use_avx2: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(bias.len(), m, "bias length");
+    assert_eq!(c.len(), m * n, "out length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let preload = (bias[i] as i64) << bias_shift;
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let acc = preload + q15_dot_dispatch(a_row, b_row, use_avx2);
+            let mut v = requantize(acc, in_frac, w_frac, out_frac);
+            if relu && v < 0 {
+                v = 0;
+            }
+            c[i * n + j] = v;
+        }
+    }
+}
+
+#[inline]
+fn q15_dot_dispatch(a_row: &[i16], b_row: &[i16], use_avx2: bool) -> i64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if use_avx2 {
+            // SAFETY: the dispatch level only reports Avx2 on CPUs with
+            // avx2; both rows hold `k` elements (asserted by the entry).
+            return unsafe { simd::avx2::q15_dot(a_row.as_ptr(), b_row.as_ptr(), a_row.len()) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    q15_dot_i64(a_row, b_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QFormat;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    /// Weight-like operand: i16 values that exclude `i16::MIN`, as
+    /// `QFormat::for_max_abs` quantization guarantees.
+    fn weights(len: usize, next: &mut impl FnMut() -> u64) -> Vec<i16> {
+        (0..len).map(|_| (next() as i16).max(-i16::MAX)).collect()
+    }
+
+    #[test]
+    fn matches_hand_computed_requant() {
+        // one 2x3 · 3x1: Q1.14 weights, Q0.15 inputs, Q0.15 out
+        let a = [16384i16, -8192, 4096, 0, 16384, -16384]; // 1.0, -0.5, 0.25 / 0, 1.0, -1.0 in Q14
+        let b = [16384i16, 8192, -32767]; // b may hold any i16
+        let bias = [0i16, 100];
+        let mut c = [0i16; 2];
+        q15_gemm_scalar(&a, &b, &bias, 14, &mut c, 2, 3, 1, 15, 14, 15, false);
+        let acc0 = 16384i64 * 16384 + (-8192i64) * 8192 + 4096i64 * (-32767);
+        let acc1 = (100i64 << 14) + 16384i64 * 8192 + (-16384i64) * (-32767);
+        assert_eq!(c[0], requantize(acc0, 15, 14, 15));
+        assert_eq!(c[1], requantize(acc1, 15, 14, 15));
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let a = [-16384i16];
+        let b = [16384i16];
+        let mut c = [0i16; 1];
+        q15_gemm_scalar(&a, &b, &[0], 0, &mut c, 1, 1, 1, 15, 14, 15, true);
+        assert_eq!(c[0], 0);
+        q15_gemm_scalar(&a, &b, &[0], 0, &mut c, 1, 1, 1, 15, 14, 15, false);
+        assert!(c[0] < 0);
+    }
+
+    #[test]
+    fn output_saturates_at_i16_bounds() {
+        // huge positive accumulator saturates at i16::MAX
+        let a = vec![32767i16; 64];
+        let b = vec![32767i16; 64];
+        let mut c = [0i16; 1];
+        q15_gemm_scalar(&a, &b, &[0], 0, &mut c, 1, 64, 1, 15, 15, 15, false);
+        assert_eq!(c[0], i16::MAX);
+        let a = vec![-32767i16; 64];
+        q15_gemm_scalar(&a, &b, &[0], 0, &mut c, 1, 64, 1, 15, 15, 15, false);
+        assert_eq!(c[0], i16::MIN);
+    }
+
+    #[test]
+    fn avx2_body_is_exactly_scalar_spec() {
+        if !simd::avx2_supported() {
+            return;
+        }
+        let mut next = xorshift(0xfeed_beef);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 17, 5), (8, 64, 9), (5, 130, 2)] {
+            let a = weights(m * k, &mut next);
+            let b: Vec<i16> = (0..n * k).map(|_| next() as i16).collect();
+            let bias: Vec<i16> = (0..m).map(|_| next() as i16).collect();
+            let mut c_ref = vec![0i16; m * n];
+            let mut c_simd = vec![0i16; m * n];
+            q15_gemm_body(&a, &b, &bias, 7, &mut c_ref, m, k, n, 13, 14, 12, true, false);
+            q15_gemm_body(&a, &b, &bias, 7, &mut c_simd, m, k, n, 13, 14, 12, true, true);
+            assert_eq!(c_ref, c_simd, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn quantized_weights_never_hit_i16_min() {
+        // the structural precondition for madd exactness
+        let fmt = QFormat::for_max_abs(3.7);
+        for i in -2000..=2000 {
+            let x = i as f32 * 3.7 / 2000.0;
+            assert_ne!(fmt.quantize(x), i16::MIN, "x = {x}");
+        }
+    }
+}

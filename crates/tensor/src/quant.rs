@@ -227,5 +227,59 @@ mod tests {
                 prop_assert!(q != i16::MAX && q != i16::MIN || x.abs() >= 0.9 * 32767.0 / fmt.scale());
             }
         }
+
+        // quantize -> dequantize is within half a quantization step for any
+        // in-range value, at every format width.
+        #[test]
+        fn roundtrip_error_bounded_at_every_format(
+            x in -40_000.0f32..40_000.0,
+            f in 0u8..=15,
+        ) {
+            let fmt = QFormat::new(f);
+            let limit = 32767.0 / fmt.scale();
+            let x = x.clamp(-limit, limit);
+            let err = (x - fmt.dequantize(fmt.quantize(x))).abs();
+            prop_assert!(
+                err <= 0.5 / fmt.scale() + 1e-6,
+                "f={} x={} err={}", f, x, err
+            );
+        }
+
+        // Out-of-range values saturate at exactly the i16 bounds — never
+        // wrap — and the bound dequantizes to the format's extreme value.
+        #[test]
+        fn out_of_range_saturates_at_i16_bounds(
+            mag in 0.0f32..1.0e6,
+            f in 0u8..=15,
+        ) {
+            let fmt = QFormat::new(f);
+            let limit = 32767.0 / fmt.scale();
+            let x = limit + mag + 1.0 / fmt.scale();
+            prop_assert_eq!(fmt.quantize(x), i16::MAX, "f={} x={}", f, x);
+            prop_assert_eq!(fmt.quantize(-x), i16::MIN, "f={} x={}", f, x);
+            // non-finite inputs also clamp rather than wrap
+            prop_assert_eq!(fmt.quantize(f32::INFINITY), i16::MAX);
+            prop_assert_eq!(fmt.quantize(f32::NEG_INFINITY), i16::MIN);
+        }
+
+        // A pure format change through `requantize` is the exact arithmetic
+        // shift: scaling up by `2^d` then shifting back down reproduces the
+        // value bit-for-bit (round-to-nearest leaves exact multiples alone).
+        #[test]
+        fn requantize_shift_is_exact_for_representable_values(
+            q in -32_768i64..=32_767,
+            in_frac in 0u8..=15,
+            d in 0u8..=15,
+        ) {
+            // up then down: acc = q << d in (in_frac + d) frac bits
+            let acc = q << d;
+            prop_assert_eq!(requantize(acc, in_frac, d, in_frac) as i64, q);
+            // down then up on an already-exact accumulator
+            let up = requantize(q, in_frac, 0, (in_frac + d).min(15));
+            let back = requantize(up as i64, (in_frac + d).min(15), 0, in_frac);
+            if up as i64 == q << ((in_frac + d).min(15) - in_frac) {
+                prop_assert_eq!(back as i64, q, "no saturation -> exact round trip");
+            }
+        }
     }
 }

@@ -1,0 +1,549 @@
+//! Runtime-dispatched AVX2/FMA kernel bodies for the hot GEMM loops.
+//!
+//! The scalar register-blocked kernels in [`crate::matmul`] and
+//! [`crate::sparse`] remain the executable specification — bit-identical to
+//! the original reference loops, tested bitwise. This module adds explicit
+//! `core::arch` x86-64 SIMD bodies behind a process-wide dispatch level
+//! ([`simd_level`]): auto-detected via `is_x86_feature_detected!("avx2")` +
+//! `"fma"`, overridable with `IPRUNE_SIMD=0` (force scalar) / `IPRUNE_SIMD=1`
+//! (SIMD when available) or programmatically with [`set_simd_level`].
+//!
+//! # Numerical contract
+//!
+//! The SIMD f32 kernels are **ULP-bounded, not bitwise**, against the scalar
+//! spec: fused multiply-adds round once per product instead of twice, and
+//! the dot-product kernels accumulate in eight partial lanes. They are
+//! **branchless** — the scalar per-element zero-skip is dropped (skipping a
+//! `±0.0` product is arithmetically a no-op on finite data, so only timing
+//! changes; structured sparsity is the job of the BSR kernels). Inputs must
+//! be finite: `0 × inf` would produce NaN where the skipping scalar spec
+//! produces none. The training pipeline only feeds finite data.
+//!
+//! # Per-element operation contract (dense ≡ sparse under SIMD)
+//!
+//! The rest of the workspace relies on the block-sparse kernels being
+//! bit-identical to the dense path on masked weights. That invariant is
+//! preserved *within* the SIMD level by fixing, per output element, the
+//! exact operation schedule — shared by the dense body and every sparse
+//! body:
+//!
+//! - **axpy family** (`acc`, `at_b`): with `n8 = n - n % 8`, element
+//!   `(i, j)` with `j < n8` is an FMA chain over ascending reduction index
+//!   `p`; elements with `j >= n8` use separate multiply-then-add. The chain
+//!   may round-trip through memory between block rows — that does not
+//!   change the arithmetic.
+//! - **dot family** (`a_bt`): with `k8 = k - k % 8`, the reduction is eight
+//!   FMA lanes over 8-aligned chunks of `p < k8` (lane = `p % 8`), reduced
+//!   by the fixed [`hsum8`] tree, plus a scalar multiply-add tail over
+//!   `p >= k8`; the element update is `c += hsum + tail`.
+//!
+//! A sparse body that skips a dead block elides only `±0.0` products —
+//! bitwise no-ops on chains that never hold `-0.0` (guaranteed by the
+//! finite-data / zero-initialized-buffer contract already documented in
+//! [`crate::sparse`]) — and, because the default host block width (16) is a
+//! multiple of the 8-float lane width, alive strips preserve absolute lane
+//! positions. Hence forced-SIMD dense and forced-SIMD sparse agree bit for
+//! bit on pipeline data, at any thread count. (With non-default block
+//! shapes whose width is not a multiple of 8 the sparse results are still
+//! correct, merely not bit-equal to dense SIMD.)
+//!
+//! # Q15 integer GEMM
+//!
+//! [`q15_dot_i64`]'s SIMD counterpart in [`crate::qgemm`] uses
+//! `_mm256_madd_epi16` (pairwise i16×i16→i32) widened to i64. Integer
+//! addition is associative, so the SIMD variant is **exactly** equal to the
+//! scalar spec provided one operand never holds `i16::MIN` (then no i32
+//! pair can wrap); quantized weights produced by
+//! [`crate::quant::QFormat::for_max_abs`] satisfy this by construction.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Effective kernel dispatch level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Scalar register-blocked kernels (the executable spec).
+    Scalar,
+    /// AVX2 + FMA explicit-SIMD kernels.
+    Avx2,
+}
+
+/// Process-wide dispatch level (0 = scalar, 1 = AVX2), seeded from
+/// `IPRUNE_SIMD` and CPU detection on first use. Mirrors the
+/// `IPRUNE_SPARSE` dispatch state in [`crate::sparse`].
+static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Whether this CPU supports the AVX2+FMA kernel bodies.
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn level_bits(l: SimdLevel) -> u8 {
+    match l {
+        SimdLevel::Scalar => 0,
+        SimdLevel::Avx2 => 1,
+    }
+}
+
+/// The current dispatch level. First call seeds it: `IPRUNE_SIMD=0` forces
+/// scalar; `IPRUNE_SIMD=1` or unset selects AVX2 when the CPU supports it
+/// (there is no way to force SIMD onto a CPU that lacks it — `1` on such a
+/// host degrades to scalar, which the bench records as the effective
+/// level).
+pub fn simd_level() -> SimdLevel {
+    let bits = LEVEL.load(Ordering::Relaxed);
+    if bits == u8::MAX {
+        let want = !matches!(std::env::var("IPRUNE_SIMD").ok().as_deref(), Some("0"));
+        let initial = if want && avx2_supported() { SimdLevel::Avx2 } else { SimdLevel::Scalar };
+        // racing first calls agree on the env-derived value
+        LEVEL.store(level_bits(initial), Ordering::Relaxed);
+        return initial;
+    }
+    if bits == 1 {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// Sets the process-wide dispatch level.
+///
+/// # Panics
+///
+/// Panics when asked for [`SimdLevel::Avx2`] on a CPU without AVX2+FMA —
+/// callers probing both levels should gate on [`avx2_supported`].
+pub fn set_simd_level(level: SimdLevel) {
+    assert!(
+        level != SimdLevel::Avx2 || avx2_supported(),
+        "cannot force the AVX2 kernel path: CPU lacks avx2+fma"
+    );
+    LEVEL.store(level_bits(level), Ordering::Relaxed);
+}
+
+/// f32 lanes per vector operation at the current dispatch level.
+pub fn lane_width() -> usize {
+    match simd_level() {
+        SimdLevel::Scalar => 1,
+        SimdLevel::Avx2 => 8,
+    }
+}
+
+/// Stable label of the current dispatch level for bench/CI records.
+pub fn dispatch_label() -> &'static str {
+    match simd_level() {
+        SimdLevel::Scalar => "scalar",
+        SimdLevel::Avx2 => "avx2",
+    }
+}
+
+/// Scalar Q15 dot product in device arithmetic: every i16×i16 product is
+/// widened to i64 before accumulation, matching the simulated accelerator's
+/// accumulator exactly (and, per the module docs, the `madd`-based SIMD
+/// variant whenever one operand avoids `i16::MIN`).
+#[inline]
+pub fn q15_dot_i64(a: &[i16], b: &[i16]) -> i64 {
+    let mut acc = 0i64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += (x as i32 * y as i32) as i64;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    //! The AVX2/FMA kernel bodies. Every `unsafe fn` here requires
+    //! `avx2`+`fma` (checked by the dispatchers before any call) and
+    //! in-bounds slice geometry (asserted by the public kernel entries).
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+
+    /// One reduction range list: ascending, disjoint `(p0, p1)` cell
+    /// ranges. Dense kernels pass a single `(0, k)`; sparse kernels pass
+    /// the coalesced alive strips of a block row.
+    pub(crate) type Segs<'a> = &'a [(usize, usize)];
+
+    /// Fixed 8-lane horizontal-sum tree:
+    /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum8(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s2 = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s3 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0b01));
+        _mm_cvtss_f32(s3)
+    }
+
+    // -----------------------------------------------------------------
+    // axpy family: c[i][j] updated in ascending-p FMA chains (vector
+    // region j < n8) / multiply-add chains (scalar tail j >= n8).
+    // -----------------------------------------------------------------
+
+    /// Updates `rows_g` (1..=4) output rows whose left-operand value for
+    /// output row `r` and reduction index `p` is
+    /// `a[a_base + r*a_rstride + p*a_pstride]`; `c_row0` is the first
+    /// updated row inside `c`. The reduction runs over `segs`.
+    ///
+    /// This is the shared body of `matmul_acc` (`a[m][k]`: rstride `k`,
+    /// pstride 1), `matmul_at_b` (`a[k][m]` traversed transposed: rstride
+    /// 1, pstride `m`) and their sparse-lhs counterparts — the callers
+    /// differ only in `a` indexing and reduction segments.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2+fma; `a_base + r*a_rstride + p*a_pstride` must be in
+    /// bounds for `r < rows_g` and every `p` in `segs`; `b` must hold
+    /// `p*n + n` elements for every such `p`; `c` must hold
+    /// `(c_row0 + rows_g) * n` elements.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn axpy_rows(
+        a: &[f32],
+        a_base: usize,
+        a_rstride: usize,
+        a_pstride: usize,
+        rows_g: usize,
+        b: &[f32],
+        c: &mut [f32],
+        c_row0: usize,
+        n: usize,
+        segs: Segs,
+    ) {
+        debug_assert!((1..=4).contains(&rows_g));
+        let n8 = n & !7;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        if rows_g == 4 {
+            // 4 x 16 register tile: eight FMA chains resident across the
+            // whole reduction, two b loads + four broadcasts per p.
+            let mut jp = 0usize;
+            while jp + 16 <= n8 {
+                let mut acc = [_mm256_setzero_ps(); 8];
+                for r in 0..4 {
+                    acc[2 * r] = _mm256_loadu_ps(cp.add((c_row0 + r) * n + jp));
+                    acc[2 * r + 1] = _mm256_loadu_ps(cp.add((c_row0 + r) * n + jp + 8));
+                }
+                for &(p0, p1) in segs {
+                    for p in p0..p1 {
+                        let b0 = _mm256_loadu_ps(bp.add(p * n + jp));
+                        let b1 = _mm256_loadu_ps(bp.add(p * n + jp + 8));
+                        for r in 0..4 {
+                            let av =
+                                _mm256_set1_ps(*ap.add(a_base + r * a_rstride + p * a_pstride));
+                            acc[2 * r] = _mm256_fmadd_ps(av, b0, acc[2 * r]);
+                            acc[2 * r + 1] = _mm256_fmadd_ps(av, b1, acc[2 * r + 1]);
+                        }
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_ps(cp.add((c_row0 + r) * n + jp), acc[2 * r]);
+                    _mm256_storeu_ps(cp.add((c_row0 + r) * n + jp + 8), acc[2 * r + 1]);
+                }
+                jp += 16;
+            }
+            if jp < n8 {
+                let mut acc = [_mm256_setzero_ps(); 4];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    *accr = _mm256_loadu_ps(cp.add((c_row0 + r) * n + jp));
+                }
+                for &(p0, p1) in segs {
+                    for p in p0..p1 {
+                        let b0 = _mm256_loadu_ps(bp.add(p * n + jp));
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let av =
+                                _mm256_set1_ps(*ap.add(a_base + r * a_rstride + p * a_pstride));
+                            *accr = _mm256_fmadd_ps(av, b0, *accr);
+                        }
+                    }
+                }
+                for (r, &accr) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(cp.add((c_row0 + r) * n + jp), accr);
+                }
+            }
+        } else {
+            // edge rows: same chains, one row at a time
+            for r in 0..rows_g {
+                let mut jp = 0usize;
+                while jp < n8 {
+                    let mut acc = _mm256_loadu_ps(cp.add((c_row0 + r) * n + jp));
+                    for &(p0, p1) in segs {
+                        for p in p0..p1 {
+                            let av =
+                                _mm256_set1_ps(*ap.add(a_base + r * a_rstride + p * a_pstride));
+                            acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(p * n + jp)), acc);
+                        }
+                    }
+                    _mm256_storeu_ps(cp.add((c_row0 + r) * n + jp), acc);
+                    jp += 8;
+                }
+            }
+        }
+        // scalar tail columns j >= n8: separate multiply-then-add chains
+        for r in 0..rows_g {
+            for j in n8..n {
+                let mut t = *cp.add((c_row0 + r) * n + j);
+                for &(p0, p1) in segs {
+                    for p in p0..p1 {
+                        t += *ap.add(a_base + r * a_rstride + p * a_pstride) * *bp.add(p * n + j);
+                    }
+                }
+                *cp.add((c_row0 + r) * n + j) = t;
+            }
+        }
+    }
+
+    /// axpy-family update restricted to output *columns* `[j0, j1)`:
+    /// vector FMA chains for `j < n8`, multiply-add for the `j >= n8`
+    /// remainder, matching [`axpy_rows`]'s per-element schedule. Used by
+    /// the sparse kernels whose index restricts output or rhs columns
+    /// (`acc_sparse_rhs`, `at_b_sparse_out`). One left value `av` per call.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2+fma; `b_row` must hold `j1` elements and `c_row`
+    /// `j1` elements; `j0 <= j1 <= n`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn axpy_cols(
+        av: f32,
+        b_row: *const f32,
+        c_row: *mut f32,
+        j0: usize,
+        j1: usize,
+        n8: usize,
+    ) {
+        let vend = j1.min(n8);
+        let avv = _mm256_set1_ps(av);
+        let mut j = j0;
+        while j + 8 <= vend {
+            let cv = _mm256_loadu_ps(c_row.add(j));
+            _mm256_storeu_ps(c_row.add(j), _mm256_fmadd_ps(avv, _mm256_loadu_ps(b_row.add(j)), cv));
+            j += 8;
+        }
+        // sub-lane remainder inside the vector region (only reachable for
+        // non-8-multiple block widths) and the true scalar tail
+        while j < vend {
+            *c_row.add(j) += av * *b_row.add(j);
+            j += 1;
+        }
+        for j in j0.max(n8)..j1 {
+            *c_row.add(j) += av * *b_row.add(j);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // dot family: c[i][j] += hsum8(lanes over 8-chunks of p) + scalar tail.
+    // -----------------------------------------------------------------
+
+    /// One dot-family element: reduction of `a_row · b_row` over `segs`
+    /// with the fixed lane/tail schedule (`k8` = end of the vector
+    /// region).
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2+fma; both rows must hold `p1` elements for every
+    /// segment.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot_one(a_row: *const f32, b_row: *const f32, segs: Segs, k8: usize) -> f32 {
+        let mut acc = _mm256_setzero_ps();
+        let mut tail = 0.0f32;
+        for &(p0, p1) in segs {
+            let vend = p1.min(k8);
+            let mut p = p0;
+            while p + 8 <= vend {
+                acc = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(a_row.add(p)),
+                    _mm256_loadu_ps(b_row.add(p)),
+                    acc,
+                );
+                p += 8;
+            }
+            while p < vend {
+                tail += *a_row.add(p) * *b_row.add(p);
+                p += 1;
+            }
+            for p in p0.max(k8)..p1 {
+                tail += *a_row.add(p) * *b_row.add(p);
+            }
+        }
+        hsum8(acc) + tail
+    }
+
+    /// Dot-family tile: `rows_g` (1..=4) a-rows × `cols_g` (1..=2) b-rows,
+    /// each element following [`dot_one`]'s schedule; the 4×2 hot shape
+    /// keeps eight lane accumulators resident.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2+fma; `a` must hold `(a_row0 + rows_g) * k` elements,
+    /// `b` `(b_row0 + cols_g) * k`, and `c` must cover the updated tile.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(crate) unsafe fn dot_tile(
+        a: &[f32],
+        a_row0: usize,
+        rows_g: usize,
+        b: &[f32],
+        b_row0: usize,
+        cols_g: usize,
+        k: usize,
+        segs: Segs,
+        c: &mut [f32],
+        c_row0: usize,
+        c_col0: usize,
+        n: usize,
+    ) {
+        debug_assert!((1..=4).contains(&rows_g) && (1..=2).contains(&cols_g));
+        let k8 = k & !7;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        if rows_g == 4 && cols_g == 2 {
+            let b0 = bp.add(b_row0 * k);
+            let b1 = bp.add((b_row0 + 1) * k);
+            let mut acc = [_mm256_setzero_ps(); 8];
+            let mut tail = [0.0f32; 8];
+            for &(p0, p1) in segs {
+                let vend = p1.min(k8);
+                let mut p = p0;
+                while p + 8 <= vend {
+                    let vb0 = _mm256_loadu_ps(b0.add(p));
+                    let vb1 = _mm256_loadu_ps(b1.add(p));
+                    for r in 0..4 {
+                        let va = _mm256_loadu_ps(ap.add((a_row0 + r) * k + p));
+                        acc[2 * r] = _mm256_fmadd_ps(va, vb0, acc[2 * r]);
+                        acc[2 * r + 1] = _mm256_fmadd_ps(va, vb1, acc[2 * r + 1]);
+                    }
+                    p += 8;
+                }
+                while p < vend {
+                    for r in 0..4 {
+                        let av = *ap.add((a_row0 + r) * k + p);
+                        tail[2 * r] += av * *b0.add(p);
+                        tail[2 * r + 1] += av * *b1.add(p);
+                    }
+                    p += 1;
+                }
+                for p in p0.max(k8)..p1 {
+                    for r in 0..4 {
+                        let av = *ap.add((a_row0 + r) * k + p);
+                        tail[2 * r] += av * *b0.add(p);
+                        tail[2 * r + 1] += av * *b1.add(p);
+                    }
+                }
+            }
+            for r in 0..4 {
+                for cj in 0..2 {
+                    *cp.add((c_row0 + r) * n + c_col0 + cj) +=
+                        hsum8(acc[2 * r + cj]) + tail[2 * r + cj];
+                }
+            }
+        } else {
+            for r in 0..rows_g {
+                for cj in 0..cols_g {
+                    *cp.add((c_row0 + r) * n + c_col0 + cj) +=
+                        dot_one(ap.add((a_row0 + r) * k), bp.add((b_row0 + cj) * k), segs, k8);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Q15 integer GEMM body.
+    // -----------------------------------------------------------------
+
+    /// Q15 dot product via `_mm256_madd_epi16`: 16 i16 lanes per step,
+    /// pairwise i32 products widened to four i64 lanes, scalar tail for
+    /// `k % 16`. Exactly equal to [`super::q15_dot_i64`] whenever one
+    /// operand is free of `i16::MIN` (see module docs).
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2; both slices must hold `k` elements.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn q15_dot(a: *const i16, b: *const i16, k: usize) -> i64 {
+        let k16 = k & !15;
+        let mut acc_lo = _mm256_setzero_si256();
+        let mut acc_hi = _mm256_setzero_si256();
+        let mut p = 0usize;
+        while p + 16 <= k16 {
+            let va = _mm256_loadu_si256(a.add(p) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.add(p) as *const __m256i);
+            let prod = _mm256_madd_epi16(va, vb); // 8 x i32 pair sums
+            acc_lo = _mm256_add_epi64(acc_lo, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod)));
+            acc_hi =
+                _mm256_add_epi64(acc_hi, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1)));
+            p += 16;
+        }
+        let sum = _mm256_add_epi64(acc_lo, acc_hi);
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, sum);
+        let mut acc = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        for q in k16..k {
+            acc += (*a.add(q) as i32 * *b.add(q) as i32) as i64;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_level_roundtrip() {
+        let before = simd_level();
+        set_simd_level(SimdLevel::Scalar);
+        assert_eq!(simd_level(), SimdLevel::Scalar);
+        assert_eq!(lane_width(), 1);
+        assert_eq!(dispatch_label(), "scalar");
+        if avx2_supported() {
+            set_simd_level(SimdLevel::Avx2);
+            assert_eq!(simd_level(), SimdLevel::Avx2);
+            assert_eq!(lane_width(), 8);
+            assert_eq!(dispatch_label(), "avx2");
+        }
+        set_simd_level(before);
+    }
+
+    #[test]
+    fn q15_dot_scalar_matches_wide_products() {
+        let a = [30000i16, -30000, 12345, -1, 7];
+        let b = [30000i16, 30000, -12345, i16::MIN, 3];
+        let expect: i64 = a.iter().zip(b.iter()).map(|(&x, &y)| x as i64 * y as i64).sum();
+        assert_eq!(q15_dot_i64(&a, &b), expect);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn q15_dot_avx2_matches_scalar_spec() {
+        if !avx2_supported() {
+            return;
+        }
+        // deterministic operands over the full safe range (one side
+        // excludes i16::MIN, the precondition for madd exactness)
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for len in [0usize, 1, 7, 15, 16, 17, 31, 33, 64, 257] {
+            let a: Vec<i16> = (0..len)
+                .map(|_| ((next() as i32 % 32767).unsigned_abs() as i16).wrapping_sub(16383))
+                .collect();
+            let b: Vec<i16> = (0..len).map(|_| next() as i16).collect();
+            let expect = q15_dot_i64(&a, &b);
+            let got = unsafe { avx2::q15_dot(a.as_ptr(), b.as_ptr(), len) };
+            assert_eq!(got, expect, "len {len}");
+        }
+    }
+}

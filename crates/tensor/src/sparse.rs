@@ -54,9 +54,33 @@
 //! [`crate::par`] workers; each element is produced by exactly one worker
 //! with the same op order regardless of the split, so any `IPRUNE_THREADS`
 //! gives identical bits.
+//!
+//! # SIMD dispatch
+//!
+//! Like the dense kernels, the public sparse entries dispatch on
+//! [`crate::simd::simd_level`]; the scalar bodies stay directly callable as
+//! `matmul_*_scalar` variants and remain the bitwise spec described above.
+//! The AVX2 bodies follow the per-element operation contract in
+//! [`crate::simd`], so *within* the SIMD level the dense/sparse bit-identity
+//! story is unchanged: a sparse SIMD kernel elides only `±0.0` FMA no-ops
+//! relative to its dense SIMD counterpart, and with the default host block
+//! shape (width 16, a multiple of the 8-float lane) the dot-family lane
+//! positions are preserved too.
+//!
+//! # Strip coalescing
+//!
+//! The index stores, besides the BSR `col_idx`, the *coalesced* alive-column
+//! strips of each block row: runs of adjacent alive blocks merged into one
+//! `(c0, c1)` cell range. All kernels iterate strips, so at moderate
+//! sparsity (where most blocks survive and neighbors are usually alive) the
+//! inner loops stream over long contiguous ranges instead of re-entering
+//! the loop nest every 16 columns — this is what lifts the lhs-sparse
+//! kernels above dense at ≤50 % sparsity. Merging adjacent segments keeps
+//! the traversal order identical, so bit-identity is unaffected.
 
 use crate::matmul::row_block;
 use crate::par;
+use crate::simd::{self, SimdLevel};
 use iprune_obs::metrics::{self, Counter, Histogram};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -144,6 +168,12 @@ pub struct SparseIndex {
     row_ptr: Vec<u32>,
     /// Block column index of each alive block, ascending per block row.
     col_idx: Vec<u32>,
+    /// Coalesced alive strips: runs of adjacent alive blocks merged into
+    /// one `(c0, c1)` cell range (clamped to `cols`), ascending per block
+    /// row. `strip_ptr[rb]..strip_ptr[rb+1]` indexes the strips of
+    /// block-row `rb`.
+    strips: Vec<(usize, usize)>,
+    strip_ptr: Vec<u32>,
     /// Matrix cells covered by alive blocks (edge blocks clamped).
     alive_cells: usize,
 }
@@ -172,10 +202,14 @@ impl SparseIndex {
         let cbs = cols.div_ceil(bc);
         let mut row_ptr = Vec::with_capacity(rbs + 1);
         let mut col_idx = Vec::new();
+        let mut strips: Vec<(usize, usize)> = Vec::new();
+        let mut strip_ptr = Vec::with_capacity(rbs + 1);
         let mut alive_cells = 0usize;
         row_ptr.push(0u32);
+        strip_ptr.push(0u32);
         for rb in 0..rbs {
             let r1 = ((rb + 1) * br).min(rows);
+            let row_strip0 = strips.len();
             for cb in 0..cbs {
                 let c0 = cb * bc;
                 let c1 = (c0 + bc).min(cols);
@@ -184,11 +218,17 @@ impl SparseIndex {
                 if alive {
                     col_idx.push(cb as u32);
                     alive_cells += (r1 - rb * br) * (c1 - c0);
+                    let in_row = strips.len() > row_strip0;
+                    match strips.last_mut() {
+                        Some(last) if in_row && last.1 == c0 => last.1 = c1,
+                        _ => strips.push((c0, c1)),
+                    }
                 }
             }
             row_ptr.push(col_idx.len() as u32);
+            strip_ptr.push(strips.len() as u32);
         }
-        Self { rows, cols, br, bc, row_ptr, col_idx, alive_cells }
+        Self { rows, cols, br, bc, row_ptr, col_idx, strips, strip_ptr, alive_cells }
     }
 
     /// Matrix rows.
@@ -247,13 +287,16 @@ impl SparseIndex {
         self.alive_fraction() < SPARSE_DENSITY_THRESHOLD
     }
 
-    /// Alive blocks of block-row `rb` as `(col_start, col_end)` column
-    /// ranges, ascending.
+    /// Coalesced alive strips of block-row `rb` as `(col_start, col_end)`
+    /// cell ranges, ascending and disjoint (adjacent alive blocks merged).
+    pub(crate) fn strips_of(&self, rb: usize) -> &[(usize, usize)] {
+        &self.strips[self.strip_ptr[rb] as usize..self.strip_ptr[rb + 1] as usize]
+    }
+
+    /// Alive cells of block-row `rb` as `(col_start, col_end)` column
+    /// ranges, ascending (the coalesced strips).
     fn row_segments(&self, rb: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (self.row_ptr[rb] as usize..self.row_ptr[rb + 1] as usize).map(move |s| {
-            let c0 = self.col_idx[s] as usize * self.bc;
-            (c0, (c0 + self.bc).min(self.cols))
-        })
+        self.strips_of(rb).iter().copied()
     }
 }
 
@@ -292,6 +335,48 @@ pub fn matmul_acc_sparse_lhs(
     k: usize,
     n: usize,
 ) {
+    acc_sparse_lhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return acc_sparse_lhs_avx2(idx, a, b, c, m, k, n);
+    }
+    acc_sparse_lhs_path(idx, a, b, c, m, k, n);
+}
+
+/// Scalar path of [`matmul_acc_sparse_lhs`] — strictly bit-identical to
+/// `matmul_acc_ref` regardless of the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_acc_sparse_lhs`].
+pub fn matmul_acc_sparse_lhs_scalar(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    acc_sparse_lhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    acc_sparse_lhs_path(idx, a, b, c, m, k, n);
+}
+
+fn acc_sparse_lhs_checks(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -302,6 +387,17 @@ pub fn matmul_acc_sparse_lhs(
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     let alive = idx.alive_cells * n;
     record_sparse(&CALLS, "gemm.sparse.acc_lhs_calls", alive, m * k * n - alive);
+}
+
+fn acc_sparse_lhs_path(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
@@ -330,6 +426,45 @@ pub fn matmul_acc_sparse_lhs(
     });
 }
 
+/// AVX2 body of [`matmul_acc_sparse_lhs`]: each output row belongs to one
+/// block row, so its whole FMA chain runs here over the alive strips
+/// (ascending `p`), matching the dense AVX2 body minus `±0.0` no-ops.
+#[cfg(target_arch = "x86_64")]
+fn acc_sparse_lhs_avx2(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let mut i = i0;
+        while i < i0 + rows {
+            let rb = i / idx.br;
+            let blk_end = ((rb + 1) * idx.br).min(i0 + rows);
+            let segs = idx.strips_of(rb);
+            if !segs.is_empty() {
+                let mut g0 = i;
+                while g0 < blk_end {
+                    let g = (blk_end - g0).min(4);
+                    // SAFETY: avx2+fma hold (dispatch level); strips lie in
+                    // [0, k), rows in [0, m) by index construction.
+                    unsafe {
+                        simd::avx2::axpy_rows(a, g0 * k, k, 1, g, b, c_block, g0 - i0, n, segs);
+                    }
+                    g0 += g;
+                }
+            }
+            i = blk_end;
+        }
+    });
+}
+
 /// `c[m][n] += a[m][k] * b[k][n]` with a block-sparse right operand (the
 /// input-gradient GEMM of a fully-connected layer, where `b` is the weight
 /// matrix). Each surviving axpy is restricted to the alive column segments
@@ -349,6 +484,48 @@ pub fn matmul_acc_sparse_rhs(
     k: usize,
     n: usize,
 ) {
+    acc_sparse_rhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return acc_sparse_rhs_avx2(idx, a, b, c, m, k, n);
+    }
+    acc_sparse_rhs_path(idx, a, b, c, m, k, n);
+}
+
+/// Scalar path of [`matmul_acc_sparse_rhs`] — the bitwise spec behavior
+/// regardless of the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_acc_sparse_rhs`].
+pub fn matmul_acc_sparse_rhs_scalar(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    acc_sparse_rhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    acc_sparse_rhs_path(idx, a, b, c, m, k, n);
+}
+
+fn acc_sparse_rhs_checks(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -359,6 +536,17 @@ pub fn matmul_acc_sparse_rhs(
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     let alive = idx.alive_cells * m;
     record_sparse(&CALLS, "gemm.sparse.acc_rhs_calls", alive, m * k * n - alive);
+}
+
+fn acc_sparse_rhs_path(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
@@ -374,6 +562,45 @@ pub fn matmul_acc_sparse_rhs(
                     let b_seg = &b[p * n + j0..p * n + j1];
                     for (c_v, &b_v) in c_row[j0..j1].iter_mut().zip(b_seg.iter()) {
                         *c_v += av * b_v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// AVX2 body of [`matmul_acc_sparse_rhs`]: per output row, ascending-`p`
+/// FMA updates restricted to the alive column strips of `b`'s row `p` —
+/// the dense AVX2 chain minus `±0.0` no-ops (skipped `av == 0` products
+/// are no-ops too).
+#[cfg(target_arch = "x86_64")]
+fn acc_sparse_rhs_avx2(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let n8 = n & !7;
+        let bp = b.as_ptr();
+        let cp = c_block.as_mut_ptr();
+        for ci in 0..rows {
+            let a_row = &a[(i0 + ci) * k..(i0 + ci + 1) * k];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for &(j0, j1) in idx.strips_of(p / idx.br) {
+                    // SAFETY: avx2+fma hold (dispatch level); strips lie in
+                    // [0, n) and `p < k` by index construction.
+                    unsafe {
+                        simd::avx2::axpy_cols(av, bp.add(p * n), cp.add(ci * n), j0, j1, n8);
                     }
                 }
             }
@@ -399,6 +626,48 @@ pub fn matmul_at_b_sparse_lhs(
     k: usize,
     n: usize,
 ) {
+    at_b_sparse_lhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return at_b_sparse_lhs_avx2(idx, a, b, c, m, k, n);
+    }
+    at_b_sparse_lhs_path(idx, a, b, c, m, k, n);
+}
+
+/// Scalar path of [`matmul_at_b_sparse_lhs`] — strictly bit-identical to
+/// `matmul_at_b_ref` regardless of the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_at_b_sparse_lhs`].
+pub fn matmul_at_b_sparse_lhs_scalar(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    at_b_sparse_lhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    at_b_sparse_lhs_path(idx, a, b, c, m, k, n);
+}
+
+fn at_b_sparse_lhs_checks(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), k * m, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -409,24 +678,82 @@ pub fn matmul_at_b_sparse_lhs(
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     let alive = idx.alive_cells * n;
     record_sparse(&CALLS, "gemm.sparse.at_b_lhs_calls", alive, m * k * n - alive);
+}
+
+/// Scalar body: block-row outer loop so each alive strip is intersected
+/// with the worker's row range once per block row (not once per `p` as the
+/// pre-strip version did), then streams `idx.br` consecutive `b` rows over
+/// it. For a fixed output row the updates still run in ascending-`p`
+/// order (block rows ascend, `p` ascends within each), so bits are
+/// unchanged.
+fn at_b_sparse_lhs_path(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
         let rows = c_block.len() / n;
-        for p in 0..k {
-            let b_row = &b[p * n..(p + 1) * n];
-            for (s0, s1) in idx.row_segments(p / idx.br) {
+        for rb in 0..k.div_ceil(idx.br) {
+            let p_hi = ((rb + 1) * idx.br).min(k);
+            for (s0, s1) in idx.row_segments(rb) {
                 let lo = s0.max(i0);
                 let hi = s1.min(i0 + rows);
-                for i in lo..hi {
-                    let av = a[p * m + i];
-                    if av == 0.0 {
-                        continue;
+                for p in rb * idx.br..p_hi {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for i in lo..hi {
+                        let av = a[p * m + i];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let c_row = &mut c_block[(i - i0) * n..(i - i0 + 1) * n];
+                        for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                            *c_v += av * b_v;
+                        }
                     }
-                    let c_row = &mut c_block[(i - i0) * n..(i - i0 + 1) * n];
-                    for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                        *c_v += av * b_v;
+                }
+            }
+        }
+    });
+}
+
+/// AVX2 body of [`matmul_at_b_sparse_lhs`]: per block row of `a` (a `p`
+/// range), the alive strips name output rows; their FMA chains resume from
+/// memory in ascending block-row order, matching the dense AVX2 body minus
+/// `±0.0` no-ops.
+#[cfg(target_arch = "x86_64")]
+fn at_b_sparse_lhs_avx2(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        for rb in 0..k.div_ceil(idx.br) {
+            let pseg = [(rb * idx.br, ((rb + 1) * idx.br).min(k))];
+            for &(s0, s1) in idx.strips_of(rb) {
+                let lo = s0.max(i0);
+                let hi = s1.min(i0 + rows);
+                let mut g0 = lo;
+                while g0 < hi {
+                    let g = (hi - g0).min(4);
+                    // SAFETY: avx2+fma hold (dispatch level); `p` ranges lie
+                    // in [0, k), rows in [0, m) by index construction.
+                    unsafe {
+                        simd::avx2::axpy_rows(a, g0, 1, m, g, b, c_block, g0 - i0, n, &pseg);
                     }
+                    g0 += g;
                 }
             }
         }
@@ -451,6 +778,48 @@ pub fn matmul_at_b_sparse_out(
     k: usize,
     n: usize,
 ) {
+    at_b_sparse_out_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return at_b_sparse_out_avx2(idx, a, b, c, m, k, n);
+    }
+    at_b_sparse_out_path(idx, a, b, c, m, k, n);
+}
+
+/// Scalar path of [`matmul_at_b_sparse_out`] — the bitwise spec behavior
+/// regardless of the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_at_b_sparse_out`].
+pub fn matmul_at_b_sparse_out_scalar(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    at_b_sparse_out_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    at_b_sparse_out_path(idx, a, b, c, m, k, n);
+}
+
+fn at_b_sparse_out_checks(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), k * m, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -461,6 +830,17 @@ pub fn matmul_at_b_sparse_out(
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     let alive = idx.alive_cells * k;
     record_sparse(&CALLS, "gemm.sparse.at_b_out_calls", alive, m * k * n - alive);
+}
+
+fn at_b_sparse_out_path(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
@@ -476,6 +856,44 @@ pub fn matmul_at_b_sparse_out(
                 for (j0, j1) in idx.row_segments(i / idx.br) {
                     for (c_v, &b_v) in c_row[j0..j1].iter_mut().zip(b_row[j0..j1].iter()) {
                         *c_v += av * b_v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// AVX2 body of [`matmul_at_b_sparse_out`]: ascending-`p` FMA updates
+/// restricted to the alive output strips of each row; alive entries match
+/// the dense AVX2 body, dead entries stay untouched.
+#[cfg(target_arch = "x86_64")]
+fn at_b_sparse_out_avx2(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let n8 = n & !7;
+        let bp = b.as_ptr();
+        let cp = c_block.as_mut_ptr();
+        for p in 0..k {
+            for i in i0..i0 + rows {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                for &(j0, j1) in idx.strips_of(i / idx.br) {
+                    // SAFETY: avx2+fma hold (dispatch level); strips lie in
+                    // [0, n), `p < k`, `i` in the block's rows.
+                    unsafe {
+                        simd::avx2::axpy_cols(av, bp.add(p * n), cp.add((i - i0) * n), j0, j1, n8);
                     }
                 }
             }
@@ -502,6 +920,48 @@ pub fn matmul_a_bt_sparse_rhs(
     k: usize,
     n: usize,
 ) {
+    a_bt_sparse_rhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return a_bt_sparse_rhs_avx2(idx, a, b, c, m, k, n);
+    }
+    a_bt_sparse_rhs_path(idx, a, b, c, m, k, n);
+}
+
+/// Scalar path of [`matmul_a_bt_sparse_rhs`] — the bitwise spec behavior
+/// regardless of the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_a_bt_sparse_rhs`].
+pub fn matmul_a_bt_sparse_rhs_scalar(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    a_bt_sparse_rhs_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    a_bt_sparse_rhs_path(idx, a, b, c, m, k, n);
+}
+
+fn a_bt_sparse_rhs_checks(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), n * k, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -512,6 +972,62 @@ pub fn matmul_a_bt_sparse_rhs(
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     let alive = idx.alive_cells * m;
     record_sparse(&CALLS, "gemm.sparse.a_bt_rhs_calls", alive, m * k * n - alive);
+}
+
+/// AVX2 body of [`matmul_a_bt_sparse_rhs`]: 4×2 tiles of eight-lane dot
+/// accumulators over the alive reduction strips of each `b` block row.
+/// Strips are [`BLOCK_COLS`]-aligned (a multiple of the 8-float lane), so
+/// absolute lane positions — and hence bits — match the dense AVX2 body;
+/// fully dead block rows are skipped (`+0.0` no-ops).
+#[cfg(target_arch = "x86_64")]
+fn a_bt_sparse_rhs_avx2(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows_per = row_block(m, k, n);
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let nbr = n.div_ceil(idx.br);
+        let mut ci = 0;
+        while ci < rows {
+            let g = (rows - ci).min(4);
+            for rb in 0..nbr {
+                let segs = idx.strips_of(rb);
+                if segs.is_empty() {
+                    continue;
+                }
+                let j_end = ((rb + 1) * idx.br).min(n);
+                let mut j = rb * idx.br;
+                while j < j_end {
+                    let cg = (j_end - j).min(2);
+                    // SAFETY: avx2+fma hold (dispatch level); strips lie in
+                    // [0, k), `j` rows in [0, n) by index construction.
+                    unsafe {
+                        simd::avx2::dot_tile(a, i0 + ci, g, b, j, cg, k, segs, c_block, ci, j, n);
+                    }
+                    j += cg;
+                }
+            }
+            ci += g;
+        }
+    });
+}
+
+fn a_bt_sparse_rhs_path(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
@@ -630,6 +1146,48 @@ pub fn matmul_a_bt_sparse_out(
     k: usize,
     n: usize,
 ) {
+    a_bt_sparse_out_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if simd::simd_level() == SimdLevel::Avx2 {
+        #[cfg(target_arch = "x86_64")]
+        return a_bt_sparse_out_avx2(idx, a, b, c, m, k, n);
+    }
+    a_bt_sparse_out_path(idx, a, b, c, m, k, n);
+}
+
+/// Scalar path of [`matmul_a_bt_sparse_out`] — the bitwise spec behavior
+/// regardless of the SIMD dispatch level.
+///
+/// # Panics
+///
+/// Same contract as [`matmul_a_bt_sparse_out`].
+pub fn matmul_a_bt_sparse_out_scalar(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    a_bt_sparse_out_checks(idx, a, b, c, m, k, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    a_bt_sparse_out_path(idx, a, b, c, m, k, n);
+}
+
+fn a_bt_sparse_out_checks(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), n * k, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
@@ -640,6 +1198,17 @@ pub fn matmul_a_bt_sparse_out(
     static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
     let alive = idx.alive_cells * k;
     record_sparse(&CALLS, "gemm.sparse.a_bt_out_calls", alive, m * k * n - alive);
+}
+
+fn a_bt_sparse_out_path(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let rows_per = row_block(m, k, n);
     par::par_blocks(c, rows_per * n, |bi, c_block| {
         let i0 = bi * rows_per;
@@ -659,6 +1228,63 @@ pub fn matmul_a_bt_sparse_out(
                         }
                         c_block[(gi - i0) * n + j] += acc;
                     }
+                }
+            }
+            i = blk_end;
+        }
+    });
+}
+
+/// AVX2 body of [`matmul_a_bt_sparse_out`]: full-reduction 4×2 dot tiles
+/// over the alive output strips of each block row; alive entries match the
+/// dense AVX2 body bit for bit, dead entries stay untouched.
+#[cfg(target_arch = "x86_64")]
+fn a_bt_sparse_out_avx2(
+    idx: &SparseIndex,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows_per = row_block(m, k, n);
+    let full = [(0usize, k)];
+    par::par_blocks(c, rows_per * n, |bi, c_block| {
+        let i0 = bi * rows_per;
+        let rows = c_block.len() / n;
+        let mut i = i0;
+        while i < i0 + rows {
+            let rb = i / idx.br;
+            let blk_end = ((rb + 1) * idx.br).min(i0 + rows);
+            for &(j0, j1) in idx.strips_of(rb) {
+                let mut g0 = i;
+                while g0 < blk_end {
+                    let g = (blk_end - g0).min(4);
+                    let mut j = j0;
+                    while j < j1 {
+                        let cg = (j1 - j).min(2);
+                        // SAFETY: avx2+fma hold (dispatch level); strips lie
+                        // in [0, n), rows in [0, m) by index construction.
+                        unsafe {
+                            simd::avx2::dot_tile(
+                                a,
+                                g0,
+                                g,
+                                b,
+                                j,
+                                cg,
+                                k,
+                                &full,
+                                c_block,
+                                g0 - i0,
+                                j,
+                                n,
+                            );
+                        }
+                        j += cg;
+                    }
+                    g0 += g;
                 }
             }
             i = blk_end;
@@ -755,7 +1381,7 @@ mod tests {
                 let mut c_ref = c0.clone();
                 matmul_acc_ref(&w, &x, &mut c_ref, m, k, n);
                 let mut c_sp = c0.clone();
-                matmul_acc_sparse_lhs(&idx, &w, &x, &mut c_sp, m, k, n);
+                matmul_acc_sparse_lhs_scalar(&idx, &w, &x, &mut c_sp, m, k, n);
                 assert_eq!(bits(&c_ref), bits(&c_sp), "acc_lhs {m}x{k}x{n} s={sparsity}");
 
                 // at_b_lhs: w stored [m x k], traversed transposed -> output k x n...
@@ -764,7 +1390,7 @@ mod tests {
                 let mut c_sp = c_ref.clone();
                 let g = arb(m * n, 0.5);
                 matmul_at_b_ref(&w, &g, &mut c_ref, k, m, n);
-                matmul_at_b_sparse_lhs(&idx, &w, &g, &mut c_sp, k, m, n);
+                matmul_at_b_sparse_lhs_scalar(&idx, &w, &g, &mut c_sp, k, m, n);
                 assert_eq!(bits(&c_ref), bits(&c_sp), "at_b_lhs {m}x{k}x{n} s={sparsity}");
 
                 // a_bt_rhs: w [m x k] as the transposed right operand
@@ -772,7 +1398,7 @@ mod tests {
                 let mut c_ref = vec![0.0f32; n * m];
                 let mut c_sp = c_ref.clone();
                 matmul_a_bt_ref(&y, &w, &mut c_ref, n, k, m);
-                matmul_a_bt_sparse_rhs(&idx, &y, &w, &mut c_sp, n, k, m);
+                matmul_a_bt_sparse_rhs_scalar(&idx, &y, &w, &mut c_sp, n, k, m);
                 assert_eq!(bits(&c_ref), bits(&c_sp), "a_bt_rhs {m}x{k}x{n} s={sparsity}");
             }
         }
@@ -788,7 +1414,7 @@ mod tests {
         let mut c_ref = vec![0.0f32; m * n];
         matmul_at_b_ref(&g, &x, &mut c_ref, m, k, n);
         let mut c_sp = vec![0.0f32; m * n];
-        matmul_at_b_sparse_out(&idx, &g, &x, &mut c_sp, m, k, n);
+        matmul_at_b_sparse_out_scalar(&idx, &g, &x, &mut c_sp, m, k, n);
         for (i, (&r, &s)) in c_ref.iter().zip(c_sp.iter()).enumerate() {
             if mask_covering(&idx, i / n, i % n) {
                 assert_eq!(r.to_bits(), s.to_bits(), "alive entry {i}");
@@ -802,7 +1428,7 @@ mod tests {
         let mut c_ref = vec![0.0f32; m * n];
         matmul_a_bt_ref(&a, &bt, &mut c_ref, m, k, n);
         let mut c_sp = vec![0.0f32; m * n];
-        matmul_a_bt_sparse_out(&idx, &a, &bt, &mut c_sp, m, k, n);
+        matmul_a_bt_sparse_out_scalar(&idx, &a, &bt, &mut c_sp, m, k, n);
         for (i, (&r, &s)) in c_ref.iter().zip(c_sp.iter()).enumerate() {
             if mask_covering(&idx, i / n, i % n) {
                 assert_eq!(r.to_bits(), s.to_bits(), "alive entry {i}");
@@ -828,7 +1454,7 @@ mod tests {
         let mut c_ref = vec![0.0f32; m * n];
         matmul_acc_ref(&g, &w, &mut c_ref, m, k, n);
         let mut c_sp = vec![0.0f32; m * n];
-        matmul_acc_sparse_rhs(&idx, &g, &w, &mut c_sp, m, k, n);
+        matmul_acc_sparse_rhs_scalar(&idx, &g, &w, &mut c_sp, m, k, n);
         assert_eq!(bits(&c_ref), bits(&c_sp));
     }
 
@@ -842,10 +1468,10 @@ mod tests {
         let x = arb(k * n, 0.63);
         crate::par::set_threads(1);
         let mut c1 = vec![0.25f32; m * n];
-        matmul_acc_sparse_lhs(&idx, &w, &x, &mut c1, m, k, n);
+        matmul_acc_sparse_lhs_scalar(&idx, &w, &x, &mut c1, m, k, n);
         crate::par::set_threads(4);
         let mut c4 = vec![0.25f32; m * n];
-        matmul_acc_sparse_lhs(&idx, &w, &x, &mut c4, m, k, n);
+        matmul_acc_sparse_lhs_scalar(&idx, &w, &x, &mut c4, m, k, n);
         crate::par::set_threads(0);
         assert_eq!(bits(&c1), bits(&c4));
     }
@@ -865,6 +1491,6 @@ mod tests {
     fn shape_mismatch_panics() {
         let idx = SparseIndex::from_mask(&[1.0; 4], 2, 2);
         let mut c = vec![0.0; 9];
-        matmul_acc_sparse_lhs(&idx, &[1.0; 9], &[1.0; 9], &mut c, 3, 3, 3);
+        matmul_acc_sparse_lhs_scalar(&idx, &[1.0; 9], &[1.0; 9], &mut c, 3, 3, 3);
     }
 }

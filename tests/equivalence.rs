@@ -76,6 +76,31 @@ fn equivalence_holds_for_sparse_models_too() {
     }
 }
 
+/// The host Q15 evaluator runs the same calibration and fixed-point
+/// arithmetic as the device engine, so its logits must be *bit-identical*
+/// to the simulator's — on every app, whatever the SIMD dispatch level
+/// (the Q15 AVX2 body is exact, not approximately equal).
+#[test]
+fn host_q15_evaluator_matches_device_engine_bitwise() {
+    use iprune_repro::models::qeval::QuantizedModel;
+
+    for app in App::all() {
+        let mut model = app.build();
+        let ds = app.dataset(4, 777);
+        let dm = deploy(&mut model, &ds, 2);
+        let qm = QuantizedModel::quantize(&mut model, &ds, 2);
+        for i in 0..3 {
+            let x = ds.sample(i);
+            let mut sim = DeviceSim::new(PowerStrength::Continuous, 0);
+            let device = infer(&dm, &x, &mut sim, ExecMode::Continuous).unwrap();
+            let host = qm.forward_q15(&x);
+            let dev_bits: Vec<u32> = device.logits.iter().map(|v| v.to_bits()).collect();
+            let host_bits: Vec<u32> = host.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(dev_bits, host_bits, "{} sample {i}", app.name());
+        }
+    }
+}
+
 #[test]
 fn preserved_partials_match_criterion_for_every_app() {
     for app in App::all() {

@@ -1,15 +1,17 @@
 //! Property tests for the blocked GEMM kernels.
 //!
-//! The blocked kernels ([`matmul_acc`], [`matmul_at_b`], [`matmul_a_bt`])
-//! promise two things: they agree with a naive triple loop numerically,
-//! and they agree with the scalar reference kernels *bitwise* at any
-//! thread count. These properties sample arbitrary shapes — including the
+//! The dispatched kernels ([`matmul_acc`], [`matmul_at_b`], [`matmul_a_bt`])
+//! promise to agree with a naive triple loop numerically at any dispatch
+//! level, and their scalar paths (`matmul_*_scalar`) to agree with the
+//! scalar reference kernels *bitwise* at any thread count. These
+//! properties sample arbitrary shapes — including the
 //! degenerate ones (single rows, single columns, sizes that don't divide
 //! the 4-row quad) — with sparse operands, since the zero-skip path is the
 //! part most likely to diverge.
 
 use iprune_repro::tensor::matmul::{
-    matmul_a_bt, matmul_a_bt_ref, matmul_acc, matmul_acc_ref, matmul_at_b, matmul_at_b_ref,
+    matmul_a_bt, matmul_a_bt_ref, matmul_a_bt_scalar, matmul_acc, matmul_acc_ref,
+    matmul_acc_scalar, matmul_at_b, matmul_at_b_ref, matmul_at_b_scalar,
 };
 use iprune_repro::tensor::par;
 use proptest::prelude::*;
@@ -78,11 +80,13 @@ proptest! {
         let b = operand(k * n, seed ^ 0xABCD);
         let mut c_naive = operand(m * n, seed ^ 0x55);
         let mut c_ref = c_naive.clone();
+        let mut c_scalar = c_naive.clone();
         let mut c_tiled = c_naive.clone();
         naive_acc(&a, &b, &mut c_naive, m, k, n);
         matmul_acc_ref(&a, &b, &mut c_ref, m, k, n);
+        matmul_acc_scalar(&a, &b, &mut c_scalar, m, k, n);
         matmul_acc(&a, &b, &mut c_tiled, m, k, n);
-        prop_assert_eq!(bits(&c_tiled), bits(&c_ref), "acc bitwise vs reference at {}x{}x{}", m, k, n);
+        prop_assert_eq!(bits(&c_scalar), bits(&c_ref), "acc bitwise vs reference at {}x{}x{}", m, k, n);
         for (t, g) in c_tiled.iter().zip(c_naive.iter()) {
             prop_assert!((t - g).abs() <= 1e-5, "acc vs naive at {}x{}x{}: {} vs {}", m, k, n, t, g);
         }
@@ -94,11 +98,13 @@ proptest! {
         let b = operand(k * n, seed ^ 0xABCD);
         let mut c_naive = operand(m * n, seed ^ 0x55);
         let mut c_ref = c_naive.clone();
+        let mut c_scalar = c_naive.clone();
         let mut c_tiled = c_naive.clone();
         naive_at_b(&a, &b, &mut c_naive, m, k, n);
         matmul_at_b_ref(&a, &b, &mut c_ref, m, k, n);
+        matmul_at_b_scalar(&a, &b, &mut c_scalar, m, k, n);
         matmul_at_b(&a, &b, &mut c_tiled, m, k, n);
-        prop_assert_eq!(bits(&c_tiled), bits(&c_ref), "at_b bitwise vs reference at {}x{}x{}", m, k, n);
+        prop_assert_eq!(bits(&c_scalar), bits(&c_ref), "at_b bitwise vs reference at {}x{}x{}", m, k, n);
         for (t, g) in c_tiled.iter().zip(c_naive.iter()) {
             prop_assert!((t - g).abs() <= 1e-5, "at_b vs naive at {}x{}x{}: {} vs {}", m, k, n, t, g);
         }
@@ -110,11 +116,13 @@ proptest! {
         let b = operand(n * k, seed ^ 0xABCD);
         let mut c_naive = operand(m * n, seed ^ 0x55);
         let mut c_ref = c_naive.clone();
+        let mut c_scalar = c_naive.clone();
         let mut c_tiled = c_naive.clone();
         naive_a_bt(&a, &b, &mut c_naive, m, k, n);
         matmul_a_bt_ref(&a, &b, &mut c_ref, m, k, n);
+        matmul_a_bt_scalar(&a, &b, &mut c_scalar, m, k, n);
         matmul_a_bt(&a, &b, &mut c_tiled, m, k, n);
-        prop_assert_eq!(bits(&c_tiled), bits(&c_ref), "a_bt bitwise vs reference at {}x{}x{}", m, k, n);
+        prop_assert_eq!(bits(&c_scalar), bits(&c_ref), "a_bt bitwise vs reference at {}x{}x{}", m, k, n);
         for (t, g) in c_tiled.iter().zip(c_naive.iter()) {
             prop_assert!((t - g).abs() <= 1e-5, "a_bt vs naive at {}x{}x{}: {} vs {}", m, k, n, t, g);
         }

@@ -1,0 +1,323 @@
+//! Runtime SIMD dispatch: forced-scalar vs forced-AVX2 equivalence.
+//!
+//! The dense f32 kernels promise ULP-bounded agreement between the scalar
+//! spec and the AVX2 bodies (FMA fuses roundings, so bitwise equality is
+//! not expected); the sparse AVX2 bodies promise *bitwise* agreement with
+//! the dense AVX2 bodies on mask-pruned operands (shared per-element
+//! operation schedule); and the Q15 GEMM promises *bitwise* agreement
+//! between its scalar and `madd`-based bodies. Each property is exercised
+//! by forcing the process dispatch level both ways; on hosts without AVX2
+//! every test degrades to a scalar self-check and the forced-AVX2 legs are
+//! skipped.
+//!
+//! The dispatch level is process-global, so every test here serializes on
+//! one lock and restores the entry level before returning.
+
+use iprune_repro::tensor::matmul::{
+    matmul_a_bt, matmul_a_bt_scalar, matmul_acc, matmul_acc_scalar, matmul_at_b, matmul_at_b_scalar,
+};
+use iprune_repro::tensor::par;
+use iprune_repro::tensor::qgemm::q15_gemm;
+use iprune_repro::tensor::simd::{avx2_supported, set_simd_level, simd_level, SimdLevel};
+use iprune_repro::tensor::sparse::{
+    matmul_a_bt_sparse_out, matmul_a_bt_sparse_rhs, matmul_acc_sparse_lhs, matmul_acc_sparse_rhs,
+    matmul_at_b_sparse_lhs, matmul_at_b_sparse_out, SparseIndex,
+};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests (they flip process-global dispatch state) and
+/// restores the entry dispatch level on drop.
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+struct LevelGuard<'a> {
+    _lock: MutexGuard<'a, ()>,
+    entry: SimdLevel,
+}
+
+fn hold_level() -> LevelGuard<'static> {
+    let lock = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    LevelGuard { _lock: lock, entry: simd_level() }
+}
+
+impl Drop for LevelGuard<'_> {
+    fn drop(&mut self) {
+        set_simd_level(self.entry);
+    }
+}
+
+/// Deterministic operand with ~1/3 exact zeros and no negative zeros.
+fn operand(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s.is_multiple_of(3) {
+                0.0
+            } else {
+                ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            }
+        })
+        .collect()
+}
+
+/// Kills ~`sparsity` of the `br x bc` blocks of a `rows x cols` mask.
+fn block_mask(
+    rows: usize,
+    cols: usize,
+    br: usize,
+    bc: usize,
+    sparsity: f64,
+    seed: u64,
+) -> Vec<f32> {
+    let mut mask = vec![1.0f32; rows * cols];
+    for rb in 0..rows.div_ceil(br) {
+        for cb in 0..cols.div_ceil(bc) {
+            let h = (rb as u64 * 1_000_003 + cb as u64 * 7919)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed);
+            if ((h >> 32) as f64 / (1u64 << 32) as f64) < sparsity {
+                for r in rb * br..((rb + 1) * br).min(rows) {
+                    for c in cb * bc..((cb + 1) * bc).min(cols) {
+                        mask[r * cols + c] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+    mask
+}
+
+fn apply_mask(w: &mut [f32], mask: &[f32]) {
+    for (v, &m) in w.iter_mut().zip(mask.iter()) {
+        *v *= m;
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// ULP distance between two finite f32 values (monotone bit mapping).
+fn ulp_dist(a: f32, b: f32) -> u32 {
+    fn key(x: f32) -> i64 {
+        let b = x.to_bits() as i32;
+        (if b < 0 { i32::MIN.wrapping_sub(b) } else { b }) as i64
+    }
+    key(a).abs_diff(key(b)).min(u32::MAX as u64) as u32
+}
+
+/// FMA fuses one rounding per multiply-add, so the SIMD result may drift a
+/// few ULPs per reduction step; near-cancellation makes the relative (ULP)
+/// view meaningless, so tiny absolute differences pass too.
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    for (i, (&g, &w)) in got.iter().zip(want.iter()).enumerate() {
+        let ok = g == w || (g - w).abs() <= 1e-5 || ulp_dist(g, w) <= 128;
+        assert!(ok, "{what}[{i}]: simd {g} vs scalar {w} ({} ulps)", ulp_dist(g, w));
+    }
+}
+
+const SHAPES: &[(usize, usize, usize)] =
+    &[(1, 1, 1), (3, 5, 2), (4, 16, 16), (7, 33, 9), (12, 40, 25), (17, 64, 31)];
+
+/// Dense kernels: the dispatched AVX2 path agrees with the scalar spec
+/// within ULP tolerance, and forcing `Scalar` reproduces the spec bitwise.
+#[test]
+fn dense_kernels_forced_simd_match_scalar_within_ulps() {
+    let _g = hold_level();
+    for (ti, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let seed = 0x00D1_5000 + ti as u64;
+        let a = operand(m * k, seed);
+        let b = operand(k * n, seed ^ 0xA1);
+        let c0 = operand(m * n, seed ^ 0xB2);
+
+        type Kernel = (&'static str, fn(&[f32], &[f32], &mut [f32], usize, usize, usize));
+        let pairs: [(Kernel, Kernel); 3] = [
+            (("acc", matmul_acc), ("acc", matmul_acc_scalar)),
+            (("at_b", matmul_at_b), ("at_b", matmul_at_b_scalar)),
+            (("a_bt", matmul_a_bt), ("a_bt", matmul_a_bt_scalar)),
+        ];
+        for ((name, dispatched), (_, scalar)) in pairs {
+            let mut c_spec = c0.clone();
+            scalar(&a, &b, &mut c_spec, m, k, n);
+
+            set_simd_level(SimdLevel::Scalar);
+            let mut c_forced = c0.clone();
+            dispatched(&a, &b, &mut c_forced, m, k, n);
+            assert_eq!(bits(&c_forced), bits(&c_spec), "{name} forced-scalar {m}x{k}x{n}");
+
+            if avx2_supported() {
+                set_simd_level(SimdLevel::Avx2);
+                let mut c_simd = c0.clone();
+                dispatched(&a, &b, &mut c_simd, m, k, n);
+                assert_close(&c_simd, &c_spec, &format!("{name} {m}x{k}x{n}"));
+            }
+        }
+    }
+}
+
+/// Sparse kernels: same forced-scalar bitwise / forced-AVX2 ULP contract,
+/// across block geometries and sparsities.
+#[test]
+fn sparse_kernels_forced_simd_match_scalar_within_ulps() {
+    let _g = hold_level();
+    for (ti, &(m, k, n)) in SHAPES.iter().enumerate() {
+        for (si, &sparsity) in [0.0f64, 0.4, 1.0].iter().enumerate() {
+            let seed = 0x05BA_9000 + (ti * 16 + si) as u64;
+            let (br, bc) = (4, 16);
+
+            // lhs-sparse family: w[m x k] pruned
+            let mask = block_mask(m, k, br, bc, sparsity, seed);
+            let mut w = operand(m * k, seed);
+            apply_mask(&mut w, &mask);
+            let idx = SparseIndex::with_blocks(&mask, m, k, br, bc);
+            let x = operand(k * n, seed ^ 0xA1);
+            let g = operand(m * n, seed ^ 0xC3);
+            let y = operand(n * k, seed ^ 0xE5);
+            // out-sparse family: dW[m x n] pruned
+            let omask = block_mask(m, n, br, bc, sparsity, seed ^ 0x77);
+            let oidx = SparseIndex::with_blocks(&omask, m, n, br, bc);
+            let g2 = operand(m * m, seed ^ 0x28);
+            let gt = operand(k * m, seed ^ 0x31);
+            let xt = operand(k * n, seed ^ 0x42);
+            let gk = operand(m * k, seed ^ 0x64);
+            let col = operand(n * k, seed ^ 0x75);
+            let c0 = operand(m.max(k).max(n) * m.max(k).max(n), seed ^ 0xB2);
+
+            let run = |out: &mut [Vec<f32>]| {
+                matmul_acc_sparse_lhs(&idx, &w, &x, &mut out[0], m, k, n);
+                matmul_at_b_sparse_lhs(&idx, &w, &g, &mut out[1], k, m, n);
+                matmul_a_bt_sparse_rhs(&idx, &y, &w, &mut out[2], n, k, m);
+                matmul_acc_sparse_rhs(&idx, &g2, &w, &mut out[3], m, m, k);
+                matmul_at_b_sparse_out(&oidx, &gt, &xt, &mut out[4], m, k, n);
+                matmul_a_bt_sparse_out(&oidx, &gk, &col, &mut out[5], m, k, n);
+            };
+            let sizes = [m * n, k * n, n * m, m * k, m * n, m * n];
+            let fresh = || -> Vec<Vec<f32>> { sizes.iter().map(|&s| c0[..s].to_vec()).collect() };
+
+            set_simd_level(SimdLevel::Scalar);
+            let mut spec = fresh();
+            run(&mut spec);
+            if !avx2_supported() {
+                continue;
+            }
+            set_simd_level(SimdLevel::Avx2);
+            let mut simd = fresh();
+            run(&mut simd);
+            let names = ["acc_lhs", "at_b_lhs", "a_bt_rhs", "acc_rhs", "at_b_out", "a_bt_out"];
+            for ((name, s), v) in names.iter().zip(spec.iter()).zip(simd.iter()) {
+                assert_close(v, s, &format!("{name} {m}x{k}x{n} s={sparsity}"));
+            }
+        }
+    }
+}
+
+/// Under SIMD dispatch the sparse kernels stay *bitwise* equal to the dense
+/// kernels on mask-pruned operands — the dense and sparse AVX2 bodies share
+/// one per-element operation schedule, so pruning never perturbs training.
+#[test]
+fn dense_simd_matches_sparse_simd_bitwise_on_masked_weights() {
+    if !avx2_supported() {
+        return;
+    }
+    let _g = hold_level();
+    set_simd_level(SimdLevel::Avx2);
+    for (ti, &(m, k, n)) in SHAPES.iter().enumerate() {
+        for (si, &sparsity) in [0.0f64, 0.3, 0.7].iter().enumerate() {
+            let seed = 0xB17_000 + (ti * 16 + si) as u64;
+            let mask = block_mask(m, k, 4, 16, sparsity, seed);
+            let mut w = operand(m * k, seed);
+            apply_mask(&mut w, &mask);
+            let idx = SparseIndex::with_blocks(&mask, m, k, 4, 16);
+
+            let x = operand(k * n, seed ^ 0xA1);
+            let c0 = operand(m * n, seed ^ 0xB2);
+            let mut c_dense = c0.clone();
+            let mut c_sparse = c0.clone();
+            matmul_acc(&w, &x, &mut c_dense, m, k, n);
+            matmul_acc_sparse_lhs(&idx, &w, &x, &mut c_sparse, m, k, n);
+            assert_eq!(bits(&c_dense), bits(&c_sparse), "acc {m}x{k}x{n} s={sparsity}");
+
+            let g = operand(m * n, seed ^ 0xC3);
+            let mut c_dense = operand(k * n, seed ^ 0xD4);
+            let mut c_sparse = c_dense.clone();
+            matmul_at_b(&w, &g, &mut c_dense, k, m, n);
+            matmul_at_b_sparse_lhs(&idx, &w, &g, &mut c_sparse, k, m, n);
+            assert_eq!(bits(&c_dense), bits(&c_sparse), "at_b {m}x{k}x{n} s={sparsity}");
+
+            let y = operand(n * k, seed ^ 0xE5);
+            let mut c_dense = vec![0.0f32; n * m];
+            let mut c_sparse = c_dense.clone();
+            matmul_a_bt(&y, &w, &mut c_dense, n, k, m);
+            matmul_a_bt_sparse_rhs(&idx, &y, &w, &mut c_sparse, n, k, m);
+            assert_eq!(bits(&c_dense), bits(&c_sparse), "a_bt {m}x{k}x{n} s={sparsity}");
+        }
+    }
+}
+
+/// The SIMD path produces identical bits at 1, 2, and 8 worker threads
+/// (worker boundaries never split an element's FMA chain).
+#[test]
+fn simd_path_is_thread_count_invariant() {
+    if !avx2_supported() {
+        return;
+    }
+    let _g = hold_level();
+    set_simd_level(SimdLevel::Avx2);
+    let (m, k, n) = (33, 48, 40);
+    let a = operand(m * k, 0x7412);
+    let b = operand(k * n, 0x7413);
+    let c0 = operand(m * n, 0x7414);
+
+    par::set_host_cores(8);
+    let run = |threads: usize| -> [Vec<u32>; 3] {
+        par::set_threads(threads);
+        let mut acc = c0.clone();
+        matmul_acc(&a, &b, &mut acc, m, k, n);
+        let mut atb = vec![0.25f32; k * n];
+        matmul_at_b(&a, &b[..m * n], &mut atb, k, m, n);
+        let mut abt = vec![0.0f32; m * k];
+        matmul_a_bt(&a[..m * n], &b[..k * n], &mut abt, m, n, k);
+        par::set_threads(0);
+        [bits(&acc), bits(&atb), bits(&abt)]
+    };
+    let base = run(1);
+    for threads in [2usize, 8] {
+        let got = run(threads);
+        for (name, (b1, bt)) in ["acc", "at_b", "a_bt"].iter().zip(base.iter().zip(got.iter())) {
+            assert_eq!(b1, bt, "{name} at {threads} threads");
+        }
+    }
+    par::set_host_cores(0);
+}
+
+/// The Q15 GEMM is *bitwise* exact across dispatch levels: integer madd
+/// lanes sum the same products, so there is nothing to round.
+#[test]
+fn q15_gemm_simd_is_bitwise_exact_vs_scalar() {
+    let _g = hold_level();
+    let mut s = 0x9152_u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 17, 5), (8, 100, 9)] {
+        // weights never hold i16::MIN (the for_max_abs guarantee)
+        let a: Vec<i16> = (0..m * k).map(|_| (next() as i16).max(-i16::MAX)).collect();
+        let b: Vec<i16> = (0..n * k).map(|_| next() as i16).collect();
+        let bias: Vec<i16> = (0..m).map(|_| next() as i16).collect();
+        let mut c_scalar = vec![0i16; m * n];
+        let mut c_simd = vec![0i16; m * n];
+        set_simd_level(SimdLevel::Scalar);
+        q15_gemm(&a, &b, &bias, 6, &mut c_scalar, m, k, n, 12, 14, 13, true);
+        if !avx2_supported() {
+            continue;
+        }
+        set_simd_level(SimdLevel::Avx2);
+        q15_gemm(&a, &b, &bias, 6, &mut c_simd, m, k, n, 12, 14, 13, true);
+        assert_eq!(c_scalar, c_simd, "{m}x{k}x{n}");
+    }
+}

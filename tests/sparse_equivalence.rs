@@ -1,12 +1,15 @@
 //! Block-sparse GEMM path: bitwise equivalence and dispatch.
 //!
-//! The `tensor::sparse` kernels promise to be *bit-identical* to the scalar
-//! reference kernels whenever the sparse operand came from a pruning mask
-//! (dead blocks hold only `±0.0`), at any `IPRUNE_THREADS` setting. These
-//! tests sample random shapes and random block masks — including the empty
-//! and full extremes — and compare every output bit; a final end-to-end
-//! test fine-tunes and evaluates a pruned model through the dense and
-//! sparse paths and demands bitwise-identical weights and accuracy.
+//! The `tensor::sparse` scalar kernels (`matmul_*_scalar`) promise to be
+//! *bit-identical* to the scalar reference kernels whenever the sparse
+//! operand came from a pruning mask (dead blocks hold only `±0.0`), at any
+//! `IPRUNE_THREADS` setting. These tests sample random shapes and random
+//! block masks — including the empty and full extremes — and compare every
+//! output bit; a final end-to-end test fine-tunes and evaluates a pruned
+//! model through the dense and sparse paths *as dispatched* (SIMD when the
+//! host supports it) and demands bitwise-identical weights and accuracy —
+//! the dense and sparse AVX2 bodies share one per-element operation
+//! schedule, so the guarantee survives dispatch.
 
 use iprune_repro::models::train::{evaluate, train_sgd, TrainConfig};
 use iprune_repro::models::zoo::App;
@@ -17,9 +20,11 @@ use iprune_repro::tensor::layer::Param;
 use iprune_repro::tensor::matmul::{matmul_a_bt_ref, matmul_acc_ref, matmul_at_b_ref};
 use iprune_repro::tensor::par;
 use iprune_repro::tensor::sparse::{
-    dispatch_mode, matmul_a_bt_sparse_out, matmul_a_bt_sparse_rhs, matmul_acc_sparse_lhs,
-    matmul_acc_sparse_rhs, matmul_at_b_sparse_lhs, matmul_at_b_sparse_out, set_dispatch_mode,
-    DispatchMode, SparseIndex, SPARSE_DENSITY_THRESHOLD,
+    dispatch_mode, matmul_a_bt_sparse_out_scalar, matmul_a_bt_sparse_rhs,
+    matmul_a_bt_sparse_rhs_scalar, matmul_acc_sparse_lhs, matmul_acc_sparse_lhs_scalar,
+    matmul_acc_sparse_rhs_scalar, matmul_at_b_sparse_lhs, matmul_at_b_sparse_lhs_scalar,
+    matmul_at_b_sparse_out_scalar, set_dispatch_mode, DispatchMode, SparseIndex,
+    SPARSE_DENSITY_THRESHOLD,
 };
 use iprune_repro::tensor::Tensor;
 use proptest::prelude::*;
@@ -119,7 +124,7 @@ proptest! {
         let mut c_ref = c0.clone();
         let mut c_sp = c0.clone();
         matmul_acc_ref(&w, &x, &mut c_ref, m, k, n);
-        matmul_acc_sparse_lhs(&idx, &w, &x, &mut c_sp, m, k, n);
+        matmul_acc_sparse_lhs_scalar(&idx, &w, &x, &mut c_sp, m, k, n);
         prop_assert_eq!(bits(&c_ref), bits(&c_sp), "acc_lhs {}x{}x{} s={}", m, k, n, sparsity);
 
         // -- at_b_lhs: the same sparse w stored [k_g x m_g], transposed --
@@ -128,7 +133,7 @@ proptest! {
         let mut c_ref = operand(k * n, seed ^ 0xD4);
         let mut c_sp = c_ref.clone();
         matmul_at_b_ref(&w, &g, &mut c_ref, k, m, n);
-        matmul_at_b_sparse_lhs(&idx, &w, &g, &mut c_sp, k, m, n);
+        matmul_at_b_sparse_lhs_scalar(&idx, &w, &g, &mut c_sp, k, m, n);
         prop_assert_eq!(bits(&c_ref), bits(&c_sp), "at_b_lhs {}x{}x{} s={}", m, k, n, sparsity);
 
         // -- a_bt_rhs: sparse w[m x k] as the transposed right operand ---
@@ -137,7 +142,7 @@ proptest! {
         let mut c_ref = vec![0.0f32; n * m];
         let mut c_sp = c_ref.clone();
         matmul_a_bt_ref(&y, &w, &mut c_ref, n, k, m);
-        matmul_a_bt_sparse_rhs(&idx, &y, &w, &mut c_sp, n, k, m);
+        matmul_a_bt_sparse_rhs_scalar(&idx, &y, &w, &mut c_sp, n, k, m);
         prop_assert_eq!(bits(&c_ref), bits(&c_sp), "a_bt_rhs {}x{}x{} s={}", m, k, n, sparsity);
 
         // -- acc_rhs: sparse w[k x n] on the right -----------------------
@@ -149,7 +154,7 @@ proptest! {
         let mut c_ref = vec![0.0f32; m * n];
         let mut c_sp = c_ref.clone();
         matmul_acc_ref(&g, &w, &mut c_ref, m, k, n);
-        matmul_acc_sparse_rhs(&idx, &g, &w, &mut c_sp, m, k, n);
+        matmul_acc_sparse_rhs_scalar(&idx, &g, &w, &mut c_sp, m, k, n);
         prop_assert_eq!(bits(&c_ref), bits(&c_sp), "acc_rhs {}x{}x{} s={}", m, k, n, sparsity);
     }
 
@@ -173,7 +178,7 @@ proptest! {
         let mut c_ref = c0.clone();
         let mut c_sp = c0.clone();
         matmul_at_b_ref(&g, &x, &mut c_ref, m, k, n);
-        matmul_at_b_sparse_out(&idx, &g, &x, &mut c_sp, m, k, n);
+        matmul_at_b_sparse_out_scalar(&idx, &g, &x, &mut c_sp, m, k, n);
         for i in 0..m * n {
             if alive_at(&mask, n, br, bc, i / n, i % n) {
                 prop_assert_eq!(c_ref[i].to_bits(), c_sp[i].to_bits(), "at_b_out alive {}", i);
@@ -188,7 +193,7 @@ proptest! {
         let mut c_ref = c0.clone();
         let mut c_sp = c0.clone();
         matmul_a_bt_ref(&g, &col, &mut c_ref, m, k, n);
-        matmul_a_bt_sparse_out(&idx, &g, &col, &mut c_sp, m, k, n);
+        matmul_a_bt_sparse_out_scalar(&idx, &g, &col, &mut c_sp, m, k, n);
         for i in 0..m * n {
             if alive_at(&mask, n, br, bc, i / n, i % n) {
                 prop_assert_eq!(c_ref[i].to_bits(), c_sp[i].to_bits(), "a_bt_out alive {}", i);
