@@ -88,7 +88,7 @@ fn main() {
             && f.retries == s.retries
             && f.reexecuted_macs == s.reexecuted_macs
             && f.shadow == s.shadow
-            && f.error == s.error
+            && f.outcome == s.outcome
             && format!("{:.9}", f.latency_s) == format!("{:.9}", s.latency_s);
         assert!(same, "fast/scratch sweep divergence at plan {} mode {}", s.plan, s.mode);
     }

@@ -1,0 +1,104 @@
+//! Fleet campaign — device-population deployment statistics.
+//!
+//! Records the HAR workload once (see `iprune_fleet::workload`), then
+//! crosses it with the standard population model: 5 harvest profiles
+//! (strong/weak constants, seeded solar, RF-burst, and thermal-drift
+//! traces) × 4 device variants (nominal, small-cap, big-cap, slow-fram),
+//! `IPRUNE_SCALE` devices per cell — 120 000 devices at `standard`, which
+//! satisfies the ≥100k acceptance bar while aggregation memory stays
+//! O(shards).
+//!
+//! Per cell the report carries percentile end-to-end latency (p50/p90/p99
+//! from sub-bucketed log₂ histograms), availability (powered share of wall
+//! time), power-cycle/reboot counts, and structured livelock /
+//! nontermination rates. Every metric is integer-quantized at the source,
+//! so `BENCH_fleet.json` is byte-identical at any thread count and any
+//! shard size — except the single `"wall_s"` line, which CI's
+//! byte-compare filters out.
+
+use iprune_bench::cache::workspace_root;
+use iprune_bench::Scale;
+use iprune_fleet::{record_workload, FleetCampaign, PopulationSpec};
+use iprune_hawaii::deploy::deploy;
+use iprune_models::zoo::App;
+
+const MASTER_SEED: u64 = 7;
+const SHARD_SIZE: u64 = 500;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fleet campaign — population deployment statistics");
+    println!("=================================================");
+    println!("({})", scale.describe_run());
+
+    let devices_per_cell: u64 = match scale.name {
+        "smoke" => 60,
+        "standard" => 6_000,
+        _ => 12_000, // paper
+    };
+
+    // one recorded inference replayed fleet-wide (weights are irrelevant
+    // to the timing/energy trajectory, so an untrained net suffices)
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 42);
+    let dm = deploy(&mut model, &ds, 2);
+    let x = ds.sample(0);
+    let workload = record_workload(&dm, &x);
+    println!(
+        "workload: {} ({} activities, {} jobs, nominal {:.3} ms)",
+        workload.name,
+        workload.activities.len(),
+        workload.jobs,
+        workload.nominal_latency_s * 1e3
+    );
+
+    let campaign = FleetCampaign {
+        population: PopulationSpec::default_fleet(devices_per_cell, MASTER_SEED),
+        shard_size: SHARD_SIZE.min(devices_per_cell),
+    };
+    let report = campaign.run(std::slice::from_ref(&workload));
+
+    println!();
+    print!("{}", report.summary());
+
+    // structural invariants the campaign must uphold at every scale
+    assert_eq!(report.cells.len(), 20, "5 harvests x 4 variants");
+    assert_eq!(report.devices, 20 * devices_per_cell);
+    for c in &report.cells {
+        let a = &c.agg;
+        assert_eq!(a.devices, devices_per_cell, "cell lost devices");
+        assert_eq!(
+            a.completed + a.livelocked + a.nonterminated,
+            a.devices,
+            "every device must land in exactly one outcome"
+        );
+        assert_eq!(a.latency_ns.count, a.completed, "one latency sample per completed device");
+    }
+    // the strong-constant nominal cell is the healthy baseline: everything
+    // completes, and the p99 device is no faster than the p50 device
+    let nominal = report
+        .cells
+        .iter()
+        .find(|c| c.harvest == "strong (8 mW)" && c.variant == "nominal")
+        .expect("baseline cell");
+    assert_eq!(nominal.agg.completed, devices_per_cell, "baseline cell must complete");
+    assert!(
+        nominal.agg.latency_ns.quantile_ppm(990_000)
+            >= nominal.agg.latency_ns.quantile_ppm(500_000),
+        "percentiles must be monotone"
+    );
+    // weaker harvests cannot beat the strong constant at the median
+    let weak = report
+        .cells
+        .iter()
+        .find(|c| c.harvest == "weak (4 mW)" && c.variant == "nominal")
+        .expect("weak cell");
+    assert!(
+        weak.agg.latency_ns.quantile_ppm(500_000) >= nominal.agg.latency_ns.quantile_ppm(500_000),
+        "half the power cannot be faster"
+    );
+
+    let out = workspace_root().join("BENCH_fleet.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_fleet.json");
+    iprune_obs::log_info!("fleet", "wrote {}", out.display());
+}

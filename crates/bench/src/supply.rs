@@ -1,61 +1,7 @@
 //! The supply sweep shared by the device-facing harnesses.
 //!
-//! The paper evaluates three constant emulated levels (bench, strong solar,
-//! weak solar). [`sweep_supplies`] extends that sweep with a repeating
-//! [`PowerTrace`] so `fig5` and the fault campaigns also cover a supply
-//! whose input power moves *during* an inference — clouds crossing the
-//! panel — instead of only between runs.
+//! The definitions moved into `iprune_device::power` so the fleet
+//! subsystem, `fig5`, and the fault campaigns share one source of truth;
+//! this module re-exports them under the historical bench-crate paths.
 
-use iprune_device::power::{PowerTrace, Supply};
-use iprune_device::PowerStrength;
-
-/// A labeled supply point in the bench sweep.
-#[derive(Debug, Clone)]
-pub struct SupplyPoint {
-    /// Row label (the paper's names for the constant levels).
-    pub label: String,
-    /// The supply itself, ready for `DeviceSim::with_supply`.
-    pub supply: Supply,
-}
-
-/// The deterministic solar trace used across benches: a 2-second day cycle
-/// peaking at the paper's strong-solar 8 mW, with seeded cloud dips.
-pub fn solar_trace() -> PowerTrace {
-    PowerTrace::solar(8.0e-3, 2.0, 64, 3)
-}
-
-/// The three paper supply levels plus the repeating solar trace, in
-/// presentation order. Every labeled point is deterministic, so harness
-/// rows keyed by label are reproducible run to run.
-pub fn sweep_supplies() -> Vec<SupplyPoint> {
-    let mut points: Vec<SupplyPoint> = PowerStrength::all()
-        .into_iter()
-        .map(|s| SupplyPoint { label: s.label().to_string(), supply: Supply::from(s) })
-        .collect();
-    points.push(SupplyPoint {
-        label: "solar trace".to_string(),
-        supply: Supply::Trace(solar_trace()),
-    });
-    points
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sweep_covers_constants_and_trace() {
-        let points = sweep_supplies();
-        assert_eq!(points.len(), 4);
-        assert!(points[0].supply.is_bench_supply());
-        assert!(points[1..].iter().all(|p| !p.supply.is_bench_supply()));
-        assert!(matches!(points[3].supply, Supply::Trace(_)));
-    }
-
-    #[test]
-    fn solar_trace_is_deterministic_and_sub_bench() {
-        let a = solar_trace();
-        assert_eq!(a, solar_trace());
-        assert!(a.mean_w() > 0.0 && a.mean_w() < 8.0e-3);
-    }
-}
+pub use iprune_device::power::{solar_trace, sweep_supplies, SupplyPoint};

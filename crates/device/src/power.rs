@@ -89,6 +89,69 @@ impl PowerTrace {
         Self::new(data, dt)
     }
 
+    /// SplitMix64-style finalizer: hashes `(seed, i)` with full avalanche so
+    /// nearby seeds produce uncorrelated streams.
+    fn mix(seed: u64, i: u64) -> u64 {
+        let mut h = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+
+    /// A synthetic RF-harvesting profile: a low idle trickle punctuated by
+    /// deterministic pseudo-random transmitter bursts at `peak_w`. Bursts
+    /// occupy whole windows of `burst_len` samples; whether a window bursts
+    /// is hashed from `seed`, so the trace is a pure function of its
+    /// arguments.
+    pub fn rf_bursts(
+        peak_w: f64,
+        idle_w: f64,
+        period_s: f64,
+        samples: usize,
+        burst_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(burst_len > 0, "burst windows need at least one sample");
+        assert!(peak_w >= idle_w, "burst power must dominate the idle trickle");
+        let dt = period_s / samples as f64;
+        let data: Vec<f64> = (0..samples)
+            .map(|i| {
+                let window = (i / burst_len) as u64;
+                // roughly one window in four carries a transmission burst
+                if Self::mix(seed, window).is_multiple_of(4) {
+                    peak_w
+                } else {
+                    idle_w
+                }
+            })
+            .collect();
+        Self::new(data, dt)
+    }
+
+    /// A synthetic thermal-gradient profile: a TEG output drifting slowly
+    /// around `base_w` with amplitude `swing_w` over `period_s`, plus small
+    /// seeded sample-level jitter (airflow noise). Clamped at zero.
+    pub fn thermal_drift(
+        base_w: f64,
+        swing_w: f64,
+        period_s: f64,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        let dt = period_s / samples as f64;
+        let data: Vec<f64> = (0..samples)
+            .map(|i| {
+                let phase = i as f64 / samples as f64 * std::f64::consts::TAU;
+                let drift = base_w + swing_w * phase.sin();
+                // jitter in [-10%, +10%] of the swing amplitude
+                let frac = (Self::mix(seed, i as u64) >> 11) as f64 / (1u64 << 53) as f64;
+                let jitter = (frac - 0.5) * 0.2 * swing_w;
+                (drift + jitter).max(0.0)
+            })
+            .collect();
+        Self::new(data, dt)
+    }
+
     /// Power at absolute time `t` (periodic).
     pub fn power_at(&self, t: f64) -> f64 {
         let period = self.samples.len() as f64 * self.dt_s;
@@ -196,9 +259,43 @@ impl Capacitor {
     }
 }
 
+/// A labeled supply point in the shared bench/campaign sweep.
+#[derive(Debug, Clone)]
+pub struct SupplyPoint {
+    /// Row label (the paper's names for the constant levels).
+    pub label: String,
+    /// The supply itself, ready for `DeviceSim::with_supply`.
+    pub supply: Supply,
+}
+
+/// The deterministic solar trace used across benches and campaigns: a
+/// 2-second day cycle peaking at the paper's strong-solar 8 mW, with seeded
+/// cloud dips.
+pub fn solar_trace() -> PowerTrace {
+    PowerTrace::solar(8.0e-3, 2.0, 64, 3)
+}
+
+/// The three paper supply levels plus the repeating solar trace, in
+/// presentation order. Every labeled point is deterministic, so harness
+/// rows keyed by label are reproducible run to run. Shared by `fig5`, the
+/// fault campaigns, and the fleet subsystem as the single source of truth
+/// for the supply axis.
+pub fn sweep_supplies() -> Vec<SupplyPoint> {
+    let mut points: Vec<SupplyPoint> = PowerStrength::all()
+        .into_iter()
+        .map(|s| SupplyPoint { label: s.label().to_string(), supply: Supply::from(s) })
+        .collect();
+    points.push(SupplyPoint {
+        label: "solar trace".to_string(),
+        supply: Supply::Trace(solar_trace()),
+    });
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn strengths_match_table1() {
@@ -260,6 +357,111 @@ mod tests {
         let mut cap = Capacitor::full(&spec);
         assert!(!cap.apply(1.0)); // massive charge
         assert_eq!(cap.energy_j(), cap.span_j());
+    }
+
+    #[test]
+    fn sweep_covers_constants_and_trace() {
+        let points = sweep_supplies();
+        assert_eq!(points.len(), 4);
+        assert!(points[0].supply.is_bench_supply());
+        assert!(points[1..].iter().all(|p| !p.supply.is_bench_supply()));
+        assert!(matches!(points[3].supply, Supply::Trace(_)));
+    }
+
+    #[test]
+    fn solar_trace_is_deterministic_and_sub_bench() {
+        let a = solar_trace();
+        assert_eq!(a, solar_trace());
+        assert!(a.mean_w() > 0.0 && a.mean_w() < 8.0e-3);
+    }
+
+    #[test]
+    fn rf_bursts_alternate_between_idle_and_peak() {
+        let tr = PowerTrace::rf_bursts(20.0e-3, 0.5e-3, 4.0, 128, 8, 11);
+        let mut saw_idle = false;
+        let mut saw_peak = false;
+        for i in 0..128 {
+            let w = tr.power_at(i as f64 * tr.dt_s());
+            assert!(w == 0.5e-3 || w == 20.0e-3, "sample {i} is {w}");
+            saw_idle |= w == 0.5e-3;
+            saw_peak |= w == 20.0e-3;
+        }
+        assert!(saw_idle && saw_peak);
+    }
+
+    #[test]
+    fn thermal_drift_stays_near_base_level() {
+        let tr = PowerTrace::thermal_drift(5.0e-3, 2.0e-3, 60.0, 240, 4);
+        assert!(tr.mean_w() > 3.0e-3 && tr.mean_w() < 7.0e-3, "mean {}", tr.mean_w());
+        for i in 0..240 {
+            let w = tr.power_at(i as f64 * tr.dt_s());
+            assert!((0.0..=5.0e-3 + 2.0e-3 * 1.1).contains(&w), "sample {i} is {w}");
+        }
+    }
+
+    #[test]
+    fn seeded_traces_vary_across_seeds() {
+        let rf_distinct = (0..8)
+            .map(|s| PowerTrace::rf_bursts(10.0e-3, 1.0e-3, 2.0, 64, 4, s))
+            .collect::<Vec<_>>();
+        assert!(rf_distinct.iter().any(|t| *t != rf_distinct[0]));
+        let th_distinct = (0..8)
+            .map(|s| PowerTrace::thermal_drift(5.0e-3, 1.0e-3, 2.0, 64, s))
+            .collect::<Vec<_>>();
+        assert!(th_distinct.iter().any(|t| *t != th_distinct[0]));
+    }
+
+    proptest! {
+        // Every harvest-trace constructor is a pure function of its
+        // arguments: rebuilding with the same seed reproduces the trace
+        // bit for bit, sample by sample.
+        #[test]
+        fn solar_is_deterministic_per_seed(seed in 0u64..1_000_000, n in 8usize..96) {
+            let a = PowerTrace::solar(8.0e-3, 2.0, n, seed);
+            let b = PowerTrace::solar(8.0e-3, 2.0, n, seed);
+            prop_assert_eq!(&a, &b);
+            for i in 0..n {
+                let t = i as f64 * a.dt_s();
+                prop_assert_eq!(a.power_at(t).to_bits(), b.power_at(t).to_bits());
+            }
+        }
+
+        #[test]
+        fn rf_bursts_are_deterministic_per_seed(seed in 0u64..1_000_000, n in 8usize..96) {
+            let a = PowerTrace::rf_bursts(15.0e-3, 1.0e-3, 2.0, n, 4, seed);
+            let b = PowerTrace::rf_bursts(15.0e-3, 1.0e-3, 2.0, n, 4, seed);
+            prop_assert_eq!(&a, &b);
+            for i in 0..n {
+                let t = i as f64 * a.dt_s();
+                prop_assert_eq!(a.power_at(t).to_bits(), b.power_at(t).to_bits());
+            }
+        }
+
+        #[test]
+        fn thermal_drift_is_deterministic_per_seed(seed in 0u64..1_000_000, n in 8usize..96) {
+            let a = PowerTrace::thermal_drift(5.0e-3, 2.0e-3, 30.0, n, seed);
+            let b = PowerTrace::thermal_drift(5.0e-3, 2.0e-3, 30.0, n, seed);
+            prop_assert_eq!(&a, &b);
+            for i in 0..n {
+                let t = i as f64 * a.dt_s();
+                prop_assert_eq!(a.power_at(t).to_bits(), b.power_at(t).to_bits());
+            }
+        }
+
+        // Traces never emit negative power, and bursts never exceed the peak.
+        #[test]
+        fn traces_stay_within_physical_bounds(seed in 0u64..1_000_000) {
+            for tr in [
+                PowerTrace::solar(8.0e-3, 2.0, 64, seed),
+                PowerTrace::rf_bursts(15.0e-3, 1.0e-3, 2.0, 64, 4, seed),
+                PowerTrace::thermal_drift(5.0e-3, 2.0e-3, 30.0, 64, seed),
+            ] {
+                for i in 0..64 {
+                    let w = tr.power_at(i as f64 * tr.dt_s());
+                    prop_assert!((0.0..=20.0e-3).contains(&w), "seed {} sample {} = {}", seed, i, w);
+                }
+            }
+        }
     }
 
     #[test]

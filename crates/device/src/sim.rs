@@ -164,6 +164,21 @@ impl DeviceSim {
         sim
     }
 
+    /// Creates a simulator with explicit models driven by an arbitrary
+    /// [`Supply`] — the fleet constructor: per-device spec, timing, and
+    /// harvest trace in one call.
+    pub fn with_models_and_supply(
+        spec: DeviceSpec,
+        timing: TimingModel,
+        energy: EnergyModel,
+        supply: Supply,
+        seed: u64,
+    ) -> Self {
+        let mut sim = Self::with_models(spec, timing, energy, PowerStrength::Continuous, seed);
+        sim.supply = supply;
+        sim
+    }
+
     /// Creates a simulator with explicit models.
     pub fn with_models(
         spec: DeviceSpec,

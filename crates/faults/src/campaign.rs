@@ -42,9 +42,10 @@
 use crate::plan::{EnergyDriven, FaultPlan, JobBoundary, PlanHook, SeededRandom};
 use crate::shadow::{ShadowNvm, ShadowStats};
 use iprune_device::power::Supply;
+use iprune_device::sim::SimError;
 use iprune_device::trace::SimStats;
 use iprune_device::{DeviceSim, PowerStrength, SimCheckpoint};
-use iprune_hawaii::exec::{infer, Engine, ExecMode, Step};
+use iprune_hawaii::exec::{infer, Engine, EngineError, ExecMode, Step};
 use iprune_hawaii::DeployedModel;
 use iprune_obs::{log_error, MemorySink, TraceEvent};
 use iprune_tensor::par::par_map;
@@ -96,6 +97,116 @@ pub struct SweepCost {
     pub wall_s: f64,
 }
 
+/// Structured terminal state of one campaign run (or one fleet device).
+///
+/// Replaces the old free-text `error` string so downstream consumers — the
+/// crash-consistency tests, the `faults` bench compare, and the fleet
+/// per-cell outcome counts — can match on *why* a run ended instead of
+/// grepping messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The inference ran to completion (oracle verdicts live in
+    /// [`FaultRun::ok`]).
+    Completed,
+    /// Recovery livelocked: an atomic span hit the engine's retry cap
+    /// without committing. The classic trigger is a periodic cut faster
+    /// than a tile-atomic tile's re-execution — the nontermination hazard
+    /// of coarse footprints (DESIGN.md §6).
+    Livelock {
+        /// Layer id where progress stalled.
+        layer: usize,
+        /// Jobs the stalled atomic span re-executes per retry (1 for a
+        /// job-granular commit, chunk-count + write-back for a tile).
+        tile_jobs: u64,
+        /// The schedule's fixed cut period in committed jobs, when it has
+        /// one ([`FaultPlan::cut_period`]); a period shorter than
+        /// `tile_jobs` explains the starvation.
+        cut_period: Option<u64>,
+    },
+    /// An activity needs more energy per attempt than one full power cycle
+    /// provides ([`SimError::Nontermination`]).
+    Nontermination {
+        /// The simulator's description of the offending activity.
+        description: String,
+    },
+    /// Any other engine error (e.g. power lost in continuous mode).
+    EngineError {
+        /// The engine's error text.
+        description: String,
+    },
+    /// The run completed but its `SimStats` violated an accounting
+    /// invariant.
+    StatsViolation {
+        /// The violated invariant.
+        description: String,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run reached its final logits.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// Whether recovery livelocked.
+    pub fn is_livelock(&self) -> bool {
+        matches!(self, RunOutcome::Livelock { .. })
+    }
+
+    /// Whether the energy model proved the workload nonterminating.
+    pub fn is_nontermination(&self) -> bool {
+        matches!(self, RunOutcome::Nontermination { .. })
+    }
+
+    /// Report tag: a stable lowercase label per variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Livelock { .. } => "livelock",
+            RunOutcome::Nontermination { .. } => "nontermination",
+            RunOutcome::EngineError { .. } => "engine-error",
+            RunOutcome::StatsViolation { .. } => "stats-violation",
+        }
+    }
+
+    /// Human-readable error text for non-completed outcomes (the old
+    /// `error` string field).
+    pub fn error_text(&self) -> Option<String> {
+        match self {
+            RunOutcome::Completed => None,
+            RunOutcome::Livelock { layer, tile_jobs, cut_period } => Some(match cut_period {
+                Some(k) => format!(
+                    "livelock: no forward progress in layer {layer} \
+                     (atomic span of {tile_jobs} jobs, cut period {k})"
+                ),
+                None => format!(
+                    "livelock: no forward progress in layer {layer} \
+                     (atomic span of {tile_jobs} jobs)"
+                ),
+            }),
+            RunOutcome::Nontermination { description }
+            | RunOutcome::EngineError { description } => Some(description.clone()),
+            RunOutcome::StatsViolation { description } => {
+                Some(format!("stats invariant violated: {description}"))
+            }
+        }
+    }
+
+    /// Classifies an engine error, attaching the plan's cut period to
+    /// livelocks.
+    pub fn from_engine_error(e: &EngineError, cut_period: Option<u64>) -> Self {
+        match e {
+            EngineError::NoProgress { layer, tile_jobs } => {
+                RunOutcome::Livelock { layer: *layer, tile_jobs: *tile_jobs, cut_period }
+            }
+            EngineError::Sim(SimError::Nontermination { .. }) => {
+                RunOutcome::Nontermination { description: e.to_string() }
+            }
+            other => RunOutcome::EngineError { description: other.to_string() },
+        }
+    }
+}
+
 /// One fault-plan run and its verdicts.
 #[derive(Debug, Clone)]
 pub struct FaultRun {
@@ -122,10 +233,16 @@ pub struct FaultRun {
     pub shadow: ShadowStats,
     /// End-to-end latency on the simulated device (seconds).
     pub latency_s: f64,
-    /// Engine error, if the schedule denied forward progress (e.g. a
-    /// periodic cut faster than a tile re-execution livelocks tile-atomic
-    /// recovery — the nontermination hazard of coarse footprints).
-    pub error: Option<String>,
+    /// Structured terminal state: completed, livelocked (with tile span
+    /// and cut period), nonterminating, or another error.
+    pub outcome: RunOutcome,
+}
+
+impl FaultRun {
+    /// Error text of a non-completed run (the old string `error` field).
+    pub fn error_text(&self) -> Option<String> {
+        self.outcome.error_text()
+    }
 }
 
 /// A workload pinned to its golden reference, shared by every run of a
@@ -173,6 +290,7 @@ impl<'a> CampaignCtx<'a> {
         nominal: &Nominal,
     ) -> FaultRun {
         let plan_name = plan.name();
+        let cut_period = plan.cut_period();
         let shadow = Arc::new(Mutex::new(ShadowNvm::with_device_capacity()));
         let mut sim = DeviceSim::with_supply(supply, seed);
         sim.set_fault_hook(Box::new(PlanHook::new(plan, Arc::clone(&shadow))));
@@ -197,7 +315,10 @@ impl<'a> CampaignCtx<'a> {
                     reexecuted_macs: out.stats.lea_macs.saturating_sub(nominal.macs),
                     shadow: shadow.stats().clone(),
                     latency_s: out.latency_s,
-                    error: invariants.err().map(|e| format!("stats invariant violated: {e}")),
+                    outcome: match invariants.err() {
+                        Some(e) => RunOutcome::StatsViolation { description: e },
+                        None => RunOutcome::Completed,
+                    },
                 }
             }
             Err(e) => FaultRun {
@@ -212,10 +333,10 @@ impl<'a> CampaignCtx<'a> {
                 reexecuted_macs: 0,
                 shadow: shadow.stats().clone(),
                 latency_s: sim.now(),
-                error: Some(e.to_string()),
+                outcome: RunOutcome::from_engine_error(&e, cut_period),
             },
         };
-        if !run.ok && run.error.is_none() {
+        if !run.ok && run.outcome.is_completed() {
             // A failed *differential* run (oracle mismatch, not an engine
             // error the caller asserts on) is exactly the case the trace
             // exists for: dump it and say where it went.
@@ -561,7 +682,7 @@ fn sweep_mode_fast(
                         &end.shadow,
                     ),
                     latency_s: raw.now + (l.now - m.now) + (fin.now - end.now),
-                    error: None,
+                    outcome: RunOutcome::Completed,
                 })
             })
         } else {
@@ -595,7 +716,7 @@ fn sweep_mode_fast(
                 reexecuted_macs: spliced.lea_macs.saturating_sub(nominal.macs),
                 shadow: splice_shadow(&raw.shadow_stats, &fin.shadow, &mark.shadow),
                 latency_s: raw.now + (fin.now - mark.now),
-                error: None,
+                outcome: RunOutcome::Completed,
             })
         };
         match resolved {
@@ -821,7 +942,7 @@ fn outcome_fingerprint(r: &FaultRun) -> String {
         r.shadow.replayed_writes,
         r.shadow.replayed_bytes,
         r.latency_s,
-        r.error,
+        r.outcome,
     )
 }
 
@@ -933,7 +1054,17 @@ impl CampaignReport {
             r.shadow.replayed_bytes,
             r.latency_s,
         );
-        match &r.error {
+        let _ = write!(s, ", \"outcome\": \"{}\"", r.outcome.tag());
+        if let RunOutcome::Livelock { layer, tile_jobs, cut_period } = &r.outcome {
+            let _ = write!(s, ", \"livelock_layer\": {layer}, \"livelock_tile_jobs\": {tile_jobs}");
+            match cut_period {
+                Some(k) => {
+                    let _ = write!(s, ", \"livelock_cut_period\": {k}");
+                }
+                None => s.push_str(", \"livelock_cut_period\": null"),
+            }
+        }
+        match r.outcome.error_text() {
             Some(err) => {
                 let _ = write!(s, ", \"error\": \"{}\"}}", err.replace('"', "'"));
             }

@@ -32,7 +32,8 @@ pub mod shadow;
 pub use campaign::{
     energy_campaign, exhaustive_boundary_sweep, exhaustive_boundary_sweep_cost,
     exhaustive_boundary_sweep_scratch, exhaustive_boundary_sweep_scratch_cost, mode_label,
-    random_campaign, reference_logits, CampaignCtx, CampaignReport, FaultRun, Nominal, SweepCost,
+    random_campaign, reference_logits, CampaignCtx, CampaignReport, FaultRun, Nominal, RunOutcome,
+    SweepCost,
 };
 pub use plan::{EnergyDriven, EveryKth, FaultPlan, JobBoundary, PlanHook, SeededRandom};
 pub use shadow::{ShadowNvm, ShadowStats, WriteRecord, WriteStatus};

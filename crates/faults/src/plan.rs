@@ -24,6 +24,15 @@ pub trait FaultPlan: fmt::Debug + Send + Sync {
     /// Decides the fate of one job attempt.
     fn decide(&mut self, view: &JobView) -> FaultDecision;
 
+    /// The plan's fixed cut period in committed jobs, if it has one.
+    /// Periodic schedules ([`EveryKth`]) report `Some(k)`; aperiodic and
+    /// one-shot schedules report `None`. Campaigns attach this to livelock
+    /// outcomes so a report row shows *why* an atomic span starved (cut
+    /// period < span re-execution length).
+    fn cut_period(&self) -> Option<u64> {
+        None
+    }
+
     /// Clones the plan behind the object.
     fn box_clone(&self) -> Box<dyn FaultPlan>;
 }
@@ -105,6 +114,10 @@ impl FaultPlan for EveryKth {
         } else {
             FaultDecision::Pass
         }
+    }
+
+    fn cut_period(&self) -> Option<u64> {
+        Some(self.k)
     }
 
     fn box_clone(&self) -> Box<dyn FaultPlan> {
@@ -260,6 +273,14 @@ mod tests {
         assert_ne!(run(7), run(8), "different seeds should differ");
         let fails = run(7).iter().filter(|d| matches!(d, FaultDecision::FailAt(_))).count();
         assert!(fails > 0 && fails < 64, "p=0.3 over 64 draws, got {fails}");
+    }
+
+    #[test]
+    fn cut_period_is_reported_only_by_periodic_plans() {
+        assert_eq!(EveryKth::new(3, 0.5).cut_period(), Some(3));
+        assert_eq!(JobBoundary::new(3, 0.5).cut_period(), None);
+        assert_eq!(SeededRandom::new(0.3, 1).cut_period(), None);
+        assert_eq!(EnergyDriven.cut_period(), None);
     }
 
     #[test]

@@ -209,7 +209,7 @@ fn fast_sweep_matches_scratch_sweep_with_fewer_simulated_jobs() {
         assert_eq!(f.retries, s.retries, "{tag}: retries");
         assert_eq!(f.reexecuted_macs, s.reexecuted_macs, "{tag}: re-executed MACs");
         assert_eq!(f.shadow, s.shadow, "{tag}: shadow stats");
-        assert_eq!(f.error, s.error, "{tag}: error");
+        assert_eq!(f.outcome, s.outcome, "{tag}: outcome");
         // Splicing reassociates f64 sums; report precision must still agree.
         assert_eq!(
             format!("{:.9}", f.latency_s),

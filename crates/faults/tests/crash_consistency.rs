@@ -10,7 +10,7 @@ use iprune_device::power::{PowerTrace, Supply};
 use iprune_device::{DeviceSim, PowerStrength};
 use iprune_faults::{
     energy_campaign, exhaustive_boundary_sweep, random_campaign, CampaignCtx, CampaignReport,
-    EveryKth, JobBoundary,
+    EveryKth, JobBoundary, RunOutcome,
 };
 use iprune_hawaii::deploy::{deploy, DeployedModel};
 use iprune_hawaii::exec::{infer, ExecMode};
@@ -180,8 +180,28 @@ fn cuts_faster_than_a_tile_livelock_tile_atomic_but_not_hawaii() {
         &nominal_t,
     );
     assert!(!tile.ok);
-    let err = tile.error.as_deref().expect("livelock must be reported, not looped");
-    assert!(err.contains("no forward progress"), "unexpected error: {err}");
+    // The livelock surfaces as a structured outcome: the cut period (1) is
+    // shorter than the tile's atomic span, so recovery can never win.
+    match &tile.outcome {
+        RunOutcome::Livelock { layer, tile_jobs, cut_period } => {
+            assert_eq!(*cut_period, Some(1), "EveryKth(1) must report its period");
+            assert!(
+                *tile_jobs > 1,
+                "a tile-atomic span must cover more than one job, got {tile_jobs}"
+            );
+            assert!(
+                cut_period.unwrap() < *tile_jobs,
+                "the starvation condition is cut period < tile span"
+            );
+            assert!(
+                *tile_jobs <= max_tile_jobs(&dm),
+                "span {tile_jobs} cannot exceed the largest tile {}",
+                max_tile_jobs(&dm)
+            );
+            assert!(*layer < dm.layers.len(), "layer id {layer} out of range");
+        }
+        other => panic!("livelock must be reported structurally, got {other:?}"),
+    }
 }
 
 #[test]

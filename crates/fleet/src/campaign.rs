@@ -1,0 +1,296 @@
+//! Sharded fleet-campaign execution.
+//!
+//! A campaign crosses recorded workloads with a [`PopulationSpec`] into
+//! cells, splits each cell's device range into fixed-size shards, and fans
+//! the (cell × shard) task list out over the `iprune_tensor::par` worker
+//! pool. Each shard simulates its devices in index order and folds them
+//! into one [`CellAgg`]; shard results are then merged per cell **in shard
+//! order**, which together with the exact integer aggregators makes the
+//! final report independent of both the thread count (par_map returns in
+//! index order) and the shard size (integer merges are associative).
+//!
+//! Peak memory is O(number of shards): a shard's working state is one
+//! simulator plus one [`CellAgg`] (~30 KB), never the per-device samples.
+
+use crate::agg::StreamStat;
+use crate::population::PopulationSpec;
+use crate::report::{CellRow, FleetReport};
+use crate::workload::{replay, ReplayOutcome, Workload};
+use iprune_faults::RunOutcome;
+use iprune_obs::metrics;
+use iprune_tensor::par;
+
+/// Streaming aggregate of one fleet cell. Per-device metrics are quantized
+/// to integers at the source (nanoseconds, parts-per-million) so every
+/// downstream reduction is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CellAgg {
+    /// Devices simulated.
+    pub devices: u64,
+    /// Devices whose inference completed.
+    pub completed: u64,
+    /// Devices that hit the job retry cap (livelock).
+    pub livelocked: u64,
+    /// Devices whose energy budget can never fit an activity.
+    pub nonterminated: u64,
+    /// End-to-end latency (ns), completed devices only.
+    pub latency_ns: StreamStat,
+    /// Powered share of wall time (ppm), completed devices only.
+    pub availability_ppm: StreamStat,
+    /// Natural power failures per device, completed devices only.
+    pub power_cycles: StreamStat,
+    /// Job re-executions per device, completed devices only.
+    pub retries: StreamStat,
+}
+
+impl CellAgg {
+    /// Latency in nanoseconds, rounded — the integer the fleet aggregates.
+    pub fn quantize_latency_ns(latency_s: f64) -> u64 {
+        (latency_s * 1e9).round() as u64
+    }
+
+    /// Powered share of wall time in parts-per-million.
+    pub fn quantize_availability_ppm(charging_s: f64, total_s: f64) -> u64 {
+        if total_s <= 0.0 {
+            return 1_000_000;
+        }
+        ((1.0 - charging_s / total_s) * 1e6).round().clamp(0.0, 1e6) as u64
+    }
+
+    /// Folds one completed device in.
+    pub fn record_completed(&mut self, out: &ReplayOutcome) {
+        self.devices += 1;
+        self.completed += 1;
+        self.latency_ns.record(Self::quantize_latency_ns(out.latency_s));
+        self.availability_ppm
+            .record(Self::quantize_availability_ppm(out.charging_s, out.latency_s));
+        self.power_cycles.record(out.power_cycles);
+        self.retries.record(out.retries);
+    }
+
+    /// Folds one failed device in, by structured outcome.
+    pub fn record_failed(&mut self, outcome: &RunOutcome) {
+        self.devices += 1;
+        match outcome {
+            RunOutcome::Livelock { .. } => self.livelocked += 1,
+            RunOutcome::Nontermination { .. } => self.nonterminated += 1,
+            // replay cannot produce the remaining variants (no differential
+            // oracle runs fleet-side); count them as nontermination-class
+            // failures rather than dropping them
+            _ => self.nonterminated += 1,
+        }
+    }
+
+    /// Merges another cell aggregate in — exact, associative, commutative.
+    pub fn merge(&mut self, other: &CellAgg) {
+        self.devices += other.devices;
+        self.completed += other.completed;
+        self.livelocked += other.livelocked;
+        self.nonterminated += other.nonterminated;
+        self.latency_ns.merge(&other.latency_ns);
+        self.availability_ppm.merge(&other.availability_ppm);
+        self.power_cycles.merge(&other.power_cycles);
+        self.retries.merge(&other.retries);
+    }
+}
+
+/// A full fleet campaign: workloads × population, with a shard size that
+/// tiles every cell's device range.
+#[derive(Debug, Clone)]
+pub struct FleetCampaign {
+    /// The device population model.
+    pub population: PopulationSpec,
+    /// Devices per shard (the unit of parallel work). Must be > 0;
+    /// independent of the worker-thread count by design.
+    pub shard_size: u64,
+}
+
+impl FleetCampaign {
+    /// Runs the campaign and assembles the deterministic report.
+    pub fn run(&self, workloads: &[Workload]) -> FleetReport {
+        assert!(self.shard_size > 0, "shard size must be positive");
+        assert!(!workloads.is_empty(), "a campaign needs at least one workload");
+        let pop = &self.population;
+        let n_cells = workloads.len() * pop.harvests.len() * pop.variants.len();
+        let shards_per_cell = pop.devices_per_cell.div_ceil(self.shard_size);
+
+        // the global task list: every (cell, shard) pair
+        struct Task {
+            cell: usize,
+            w: usize,
+            h: usize,
+            v: usize,
+            first: u64,
+            count: u64,
+        }
+        let mut tasks = Vec::with_capacity(n_cells * shards_per_cell as usize);
+        let mut cell = 0usize;
+        for w in 0..workloads.len() {
+            for h in 0..pop.harvests.len() {
+                for v in 0..pop.variants.len() {
+                    for s in 0..shards_per_cell {
+                        let first = s * self.shard_size;
+                        let count = self.shard_size.min(pop.devices_per_cell - first);
+                        tasks.push(Task { cell, w, h, v, first, count });
+                    }
+                    cell += 1;
+                }
+            }
+        }
+
+        let t0 = std::time::Instant::now();
+        // one flat fan-out: results come back in task order regardless of
+        // the thread count
+        let shard_aggs = par::par_map(tasks.len(), |i| {
+            let t = &tasks[i];
+            run_shard(&workloads[t.w], pop, t.cell as u64, t.h, t.v, t.first, t.count)
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        // fold shard results per cell, in shard (= task) order
+        let mut cell_aggs: Vec<CellAgg> = vec![CellAgg::default(); n_cells];
+        for (t, agg) in tasks.iter().zip(&shard_aggs) {
+            cell_aggs[t.cell].merge(agg);
+        }
+
+        let mut rows = Vec::with_capacity(n_cells);
+        let mut idx = 0usize;
+        for w in workloads {
+            for h in &pop.harvests {
+                for v in &pop.variants {
+                    rows.push(CellRow {
+                        workload: w.name.clone(),
+                        harvest: h.label().to_string(),
+                        variant: v.name.to_string(),
+                        agg: std::mem::take(&mut cell_aggs[idx]),
+                    });
+                    idx += 1;
+                }
+            }
+        }
+
+        let total_devices = n_cells as u64 * pop.devices_per_cell;
+        metrics::counter("fleet.devices").add(total_devices);
+        metrics::counter("fleet.shards").add(tasks.len() as u64);
+        metrics::counter("fleet.cells").add(n_cells as u64);
+        metrics::counter("fleet.livelocks").add(rows.iter().map(|r| r.agg.livelocked).sum::<u64>());
+        metrics::counter("fleet.nonterminations")
+            .add(rows.iter().map(|r| r.agg.nonterminated).sum::<u64>());
+
+        FleetReport {
+            seed: pop.seed,
+            devices_per_cell: pop.devices_per_cell,
+            shard_size: self.shard_size,
+            shards: tasks.len() as u64,
+            devices: total_devices,
+            cells: rows,
+            wall_s,
+        }
+    }
+}
+
+/// Simulates one shard's device range and folds it into a [`CellAgg`].
+fn run_shard(
+    w: &Workload,
+    pop: &PopulationSpec,
+    cell: u64,
+    h: usize,
+    v: usize,
+    first: u64,
+    count: u64,
+) -> CellAgg {
+    let mut agg = CellAgg::default();
+    for d in first..first + count {
+        let device = pop.sample(cell, h, v, d);
+        let mut sim = device.build_sim();
+        match replay(w, &mut sim) {
+            Ok(out) => agg.record_completed(&out),
+            Err(outcome) => agg.record_failed(&outcome),
+        }
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{DeviceVariant, Harvest};
+
+    fn synthetic_outcome(latency_s: f64, cycles: u64) -> ReplayOutcome {
+        ReplayOutcome {
+            latency_s,
+            power_cycles: cycles,
+            retries: cycles,
+            charging_s: latency_s * 0.25,
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn cell_agg_merge_is_exact() {
+        let outs: Vec<ReplayOutcome> =
+            (0..100).map(|i| synthetic_outcome(0.01 * (i + 1) as f64, i)).collect();
+        let mut whole = CellAgg::default();
+        for o in &outs {
+            whole.record_completed(o);
+        }
+        for split in [0usize, 1, 37, 50, 99, 100] {
+            let mut a = CellAgg::default();
+            let mut b = CellAgg::default();
+            for o in &outs[..split] {
+                a.record_completed(o);
+            }
+            for o in &outs[split..] {
+                b.record_completed(o);
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn quantizers_are_stable() {
+        assert_eq!(CellAgg::quantize_latency_ns(1.5), 1_500_000_000);
+        assert_eq!(CellAgg::quantize_availability_ppm(0.0, 2.0), 1_000_000);
+        assert_eq!(CellAgg::quantize_availability_ppm(1.0, 2.0), 500_000);
+        assert_eq!(CellAgg::quantize_availability_ppm(0.0, 0.0), 1_000_000);
+    }
+
+    #[test]
+    fn failed_devices_land_in_outcome_counts() {
+        let mut agg = CellAgg::default();
+        agg.record_failed(&RunOutcome::Livelock { layer: 1, tile_jobs: 1, cut_period: None });
+        agg.record_failed(&RunOutcome::Nontermination { description: "x".into() });
+        assert_eq!(agg.devices, 2);
+        assert_eq!(agg.completed, 0);
+        assert_eq!(agg.livelocked, 1);
+        assert_eq!(agg.nonterminated, 1);
+        assert_eq!(agg.latency_ns.count, 0, "failed devices carry no latency sample");
+    }
+
+    #[test]
+    fn task_tiling_covers_every_device_once() {
+        // tiny synthetic workload so the campaign is cheap
+        let w = Workload {
+            name: "synthetic".into(),
+            activities: vec![crate::workload::Activity::Cpu { cycles: 100 }],
+            jobs: 0,
+            nominal_latency_s: 0.0,
+        };
+        let campaign = FleetCampaign {
+            population: PopulationSpec {
+                harvests: vec![Harvest::Constant { label: "strong (8 mW)", watts: 8.0e-3 }],
+                variants: vec![DeviceVariant::nominal()],
+                devices_per_cell: 23,
+                seed: 1,
+            },
+            shard_size: 5, // 23 = 4*5 + 3: exercises the ragged tail shard
+        };
+        let report = campaign.run(&[w]);
+        assert_eq!(report.devices, 23);
+        assert_eq!(report.shards, 5);
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].agg.devices, 23);
+        assert_eq!(report.cells[0].agg.completed, 23);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fleet-scale deployment campaigns (`iprune-fleet`).
+//!
+//! The rest of the workspace answers "does one intermittent device run the
+//! pruned network correctly, and how fast?" This crate answers the
+//! *deployment* question: across a **population** of harvesting devices —
+//! spread capacitors, thresholds, FRAM speed bins, and per-device weather —
+//! what latency does the p99 device see, how often does the fleet reboot,
+//! and which (power × hardware) cells livelock or can never finish?
+//!
+//! Four pieces, composed left to right:
+//!
+//! 1. **Record/replay** ([`workload`]): one traced inference per model is
+//!    inverted into its device-activity stream; replaying the stream
+//!    through each sampled simulator is bit-identical to the full engine
+//!    (pinned by test) at a tiny fraction of the cost — the trick that
+//!    makes 100k-device campaigns feasible.
+//! 2. **Population model** ([`population`]): device variants and harvest
+//!    profiles sampled deterministically from `(seed, cell, device)` —
+//!    never from the execution partition.
+//! 3. **Sharded execution** ([`campaign`]): fixed-size shards fan out over
+//!    the worker pool; each folds its devices into exact integer
+//!    aggregates, merged per cell in shard order. Memory stays O(shards).
+//! 4. **Streaming aggregation** ([`agg`]) and **reports** ([`report`]):
+//!    count/sum/min/max + sub-bucketed log₂ histograms, all integer, so
+//!    `BENCH_fleet.json`'s structural rows are byte-identical at any
+//!    thread count and any shard size.
+//!
+//! Failed devices are classified with the fault subsystem's structured
+//! [`RunOutcome`](iprune_faults::RunOutcome) — livelocks and
+//! nonterminations are per-cell counters in the report, not strings.
+
+pub mod agg;
+pub mod campaign;
+pub mod population;
+pub mod report;
+pub mod workload;
+
+pub use agg::{LogHist, StreamStat};
+pub use campaign::{CellAgg, FleetCampaign};
+pub use population::{DeviceVariant, Harvest, PopulationSpec, SampledDevice};
+pub use report::{CellRow, FleetReport};
+pub use workload::{record_workload, replay, Activity, ReplayOutcome, Workload};

@@ -1,0 +1,341 @@
+//! Parameterized device populations, sampled deterministically from a seed.
+//!
+//! A fleet cell is (workload × harvest profile × device variant); inside a
+//! cell, every device is an independent draw: its capacitor size, turn-on /
+//! turn-off thresholds, and FRAM latency are sampled from the variant's
+//! ranges, and seeded harvest traces (solar, RF bursts, thermal drift) get
+//! a per-device seed, so no two devices see the same clouds.
+//!
+//! Determinism is the load-bearing property: a device's parameters depend
+//! *only* on `(campaign_seed, cell index, device index)` via a SplitMix64
+//! chain — never on which shard or worker thread simulates it — so any
+//! partition of the population produces the same per-device draws and,
+//! with the exact aggregators of [`crate::agg`], byte-identical reports.
+
+use iprune_device::energy::EnergyModel;
+use iprune_device::power::{PowerStrength, PowerTrace, Supply};
+use iprune_device::sim::DeviceSim;
+use iprune_device::spec::DeviceSpec;
+use iprune_device::timing::TimingModel;
+
+/// SplitMix64 finalizer — the same mixing core the device's seeded traces
+/// use; full-avalanche so adjacent indices decorrelate.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-device seed from the campaign seed and the device's global
+/// coordinates. Partition-independent by construction.
+pub fn device_seed(campaign_seed: u64, cell: u64, device: u64) -> u64 {
+    splitmix(splitmix(splitmix(campaign_seed ^ 0xF1EE_7CA4) ^ cell) ^ device)
+}
+
+/// Uniform draw in `[lo, hi)` from one lane of a device seed.
+fn uniform(seed: u64, lane: u64, lo: f64, hi: f64) -> f64 {
+    let frac = (splitmix(seed ^ lane.wrapping_mul(0xA24B_AED4_963E_E407)) >> 11) as f64
+        / (1u64 << 53) as f64;
+    lo + (hi - lo) * frac
+}
+
+/// An ambient energy-harvesting profile. Constant profiles are shared by
+/// the whole cell; trace profiles are re-instantiated per device with a
+/// derived seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Harvest {
+    /// Constant input power (the paper's strong/weak operating points).
+    Constant {
+        /// Display label, e.g. `"strong (8 mW)"`.
+        label: &'static str,
+        /// Input power in watts.
+        watts: f64,
+    },
+    /// Solar day/night trace (see [`PowerTrace::solar`]).
+    Solar {
+        /// Peak daytime power in watts.
+        peak_w: f64,
+        /// Day+night period in seconds.
+        period_s: f64,
+        /// Samples per period.
+        samples: usize,
+    },
+    /// RF energy bursts (see [`PowerTrace::rf_bursts`]).
+    RfBursts {
+        /// Burst power in watts.
+        peak_w: f64,
+        /// Idle floor in watts.
+        idle_w: f64,
+        /// Trace period in seconds.
+        period_s: f64,
+        /// Samples per period.
+        samples: usize,
+        /// Samples per burst window.
+        burst_len: usize,
+    },
+    /// Slow thermal-gradient drift (see [`PowerTrace::thermal_drift`]).
+    ThermalDrift {
+        /// Mean power in watts.
+        base_w: f64,
+        /// Sinusoidal swing amplitude in watts.
+        swing_w: f64,
+        /// Drift period in seconds.
+        period_s: f64,
+        /// Samples per period.
+        samples: usize,
+    },
+}
+
+impl Harvest {
+    /// Stable display label (cell key component in reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Harvest::Constant { label, .. } => label,
+            Harvest::Solar { .. } => "solar trace",
+            Harvest::RfBursts { .. } => "rf bursts",
+            Harvest::ThermalDrift { .. } => "thermal drift",
+        }
+    }
+
+    /// Instantiates the supply for one device. Constant profiles ignore
+    /// the seed; trace profiles derive per-device weather from it.
+    pub fn supply_for(&self, device_seed: u64) -> Supply {
+        match *self {
+            Harvest::Constant { watts, .. } => Supply::Constant(watts),
+            Harvest::Solar { peak_w, period_s, samples } => {
+                Supply::Trace(PowerTrace::solar(peak_w, period_s, samples, device_seed))
+            }
+            Harvest::RfBursts { peak_w, idle_w, period_s, samples, burst_len } => Supply::Trace(
+                PowerTrace::rf_bursts(peak_w, idle_w, period_s, samples, burst_len, device_seed),
+            ),
+            Harvest::ThermalDrift { base_w, swing_w, period_s, samples } => Supply::Trace(
+                PowerTrace::thermal_drift(base_w, swing_w, period_s, samples, device_seed),
+            ),
+        }
+    }
+
+    /// The fleet's standard harvest sweep: the paper's two constant
+    /// operating points plus the three seeded trace families. Constants
+    /// match [`PowerStrength`] so fleet, fig5, and the fault campaigns
+    /// share one source of truth.
+    pub fn default_sweep() -> Vec<Harvest> {
+        vec![
+            Harvest::Constant { label: "strong (8 mW)", watts: PowerStrength::Strong.watts() },
+            Harvest::Constant { label: "weak (4 mW)", watts: PowerStrength::Weak.watts() },
+            // same shape as `iprune_device::power::solar_trace()` but
+            // per-device seeded
+            Harvest::Solar { peak_w: 8.0e-3, period_s: 2.0, samples: 64 },
+            Harvest::RfBursts {
+                peak_w: 20.0e-3,
+                idle_w: 1.0e-3,
+                period_s: 1.0,
+                samples: 64,
+                burst_len: 4,
+            },
+            Harvest::ThermalDrift { base_w: 5.0e-3, swing_w: 2.0e-3, period_s: 4.0, samples: 64 },
+        ]
+    }
+}
+
+/// Manufacturing/deployment spread of one hardware bin: each device draws
+/// its parameters uniformly from these ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceVariant {
+    /// Variant name (cell key component in reports).
+    pub name: &'static str,
+    /// Buffer capacitance range in farads.
+    pub capacitance_f: (f64, f64),
+    /// Turn-on threshold range in volts.
+    pub v_on: (f64, f64),
+    /// Turn-off threshold range in volts (clamped below the drawn V_on).
+    pub v_off: (f64, f64),
+    /// Multiplier range applied to FRAM per-byte read/write latency.
+    pub fram_mult: (f64, f64),
+}
+
+impl DeviceVariant {
+    /// Tight spread around the paper's MSP430FR5994 + 100 µF reference.
+    pub fn nominal() -> Self {
+        Self {
+            name: "nominal",
+            capacitance_f: (90.0e-6, 110.0e-6),
+            v_on: (2.75, 2.85),
+            v_off: (2.35, 2.45),
+            fram_mult: (0.95, 1.05),
+        }
+    }
+
+    /// Smaller buffer capacitor: more power cycles per inference.
+    pub fn small_cap() -> Self {
+        Self { capacitance_f: (55.0e-6, 75.0e-6), name: "small-cap", ..Self::nominal() }
+    }
+
+    /// Larger buffer capacitor: longer recharges, fewer cycles.
+    pub fn big_cap() -> Self {
+        Self { capacitance_f: (180.0e-6, 220.0e-6), name: "big-cap", ..Self::nominal() }
+    }
+
+    /// Slow FRAM part: 2–3× per-byte latency, stressing write-dominated
+    /// progress preservation.
+    pub fn slow_fram() -> Self {
+        Self { fram_mult: (2.0, 3.0), name: "slow-fram", ..Self::nominal() }
+    }
+
+    /// The fleet's standard variant set.
+    pub fn default_set() -> Vec<DeviceVariant> {
+        vec![Self::nominal(), Self::small_cap(), Self::big_cap(), Self::slow_fram()]
+    }
+
+    /// Draws one device's spec and timing from the ranges. Deterministic
+    /// in `device_seed` alone.
+    pub fn sample(&self, device_seed: u64) -> (DeviceSpec, TimingModel) {
+        let mut spec = DeviceSpec::msp430fr5994();
+        spec.capacitance_f = uniform(device_seed, 1, self.capacitance_f.0, self.capacitance_f.1);
+        spec.v_on = uniform(device_seed, 2, self.v_on.0, self.v_on.1);
+        // keep a real hysteresis window even at extreme draws
+        spec.v_off = uniform(device_seed, 3, self.v_off.0, self.v_off.1).min(spec.v_on - 0.1);
+        let mult = uniform(device_seed, 4, self.fram_mult.0, self.fram_mult.1);
+        let mut timing = TimingModel::default();
+        timing.nvm_read_byte_s *= mult;
+        timing.nvm_write_byte_s *= mult;
+        (spec, timing)
+    }
+}
+
+/// One fully sampled device, ready to simulate.
+#[derive(Debug, Clone)]
+pub struct SampledDevice {
+    /// Hardware parameters drawn from the variant ranges.
+    pub spec: DeviceSpec,
+    /// FRAM-latency-adjusted timing model.
+    pub timing: TimingModel,
+    /// The device's (possibly seeded-trace) supply.
+    pub supply: Supply,
+    /// Seed handed to the simulator (initial charge draw).
+    pub sim_seed: u64,
+}
+
+impl SampledDevice {
+    /// Builds the simulator for this device.
+    pub fn build_sim(&self) -> DeviceSim {
+        DeviceSim::with_models_and_supply(
+            self.spec.clone(),
+            self.timing.clone(),
+            EnergyModel::default(),
+            self.supply.clone(),
+            self.sim_seed,
+        )
+    }
+}
+
+/// The population half of a fleet campaign: which harvest profiles and
+/// hardware variants to cross, how many devices per cell, and the master
+/// seed everything derives from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationSpec {
+    /// Harvest profiles (cell axis 1).
+    pub harvests: Vec<Harvest>,
+    /// Device variants (cell axis 2).
+    pub variants: Vec<DeviceVariant>,
+    /// Devices drawn per (workload × harvest × variant) cell.
+    pub devices_per_cell: u64,
+    /// Master campaign seed.
+    pub seed: u64,
+}
+
+impl PopulationSpec {
+    /// The standard fleet cross: 5 harvest profiles × 4 variants.
+    pub fn default_fleet(devices_per_cell: u64, seed: u64) -> Self {
+        Self {
+            harvests: Harvest::default_sweep(),
+            variants: DeviceVariant::default_set(),
+            devices_per_cell,
+            seed,
+        }
+    }
+
+    /// Samples device `device` of the cell with global index `cell`
+    /// (harvest `h`, variant `v`). The draw depends only on
+    /// `(seed, cell, device)`.
+    pub fn sample(&self, cell: u64, h: usize, v: usize, device: u64) -> SampledDevice {
+        let ds = device_seed(self.seed, cell, device);
+        let (spec, timing) = self.variants[v].sample(ds);
+        let supply = self.harvests[h].supply_for(splitmix(ds ^ 0x5EED_7EA2));
+        // a nonzero sim seed draws away up to 50% of the initial charge
+        let sim_seed = splitmix(ds ^ 0xCAB1_E0FF) | 1;
+        SampledDevice { spec, timing, supply, sim_seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_fleet_crosses_harvests_and_variants() {
+        let pop = PopulationSpec::default_fleet(10, 7);
+        assert_eq!(pop.harvests.len(), 5);
+        assert_eq!(pop.variants.len(), 4);
+        let labels: Vec<_> = pop.harvests.iter().map(|h| h.label()).collect();
+        assert!(labels.contains(&"strong (8 mW)"));
+        assert!(labels.contains(&"solar trace"));
+        assert!(labels.contains(&"rf bursts"));
+        assert!(labels.contains(&"thermal drift"));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let pop = PopulationSpec::default_fleet(10, 7);
+        let a = pop.sample(3, 2, 1, 5);
+        let b = pop.sample(3, 2, 1, 5);
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.timing, b.timing);
+        assert_eq!(a.supply, b.supply);
+        assert_eq!(a.sim_seed, b.sim_seed);
+
+        let other = PopulationSpec { seed: 8, ..pop.clone() };
+        let c = other.sample(3, 2, 1, 5);
+        assert_ne!(a.spec, c.spec, "campaign seed must reshuffle the draws");
+    }
+
+    #[test]
+    fn devices_in_a_cell_differ() {
+        let pop = PopulationSpec::default_fleet(10, 7);
+        let a = pop.sample(0, 2, 0, 0); // solar harvest: per-device trace
+        let b = pop.sample(0, 2, 0, 1);
+        assert_ne!(a.spec, b.spec);
+        assert_ne!(a.supply, b.supply, "trace harvests must differ per device");
+    }
+
+    proptest! {
+        #[test]
+        fn draws_stay_inside_the_variant_ranges(seed in any::<u64>(), device in 0u64..1000) {
+            for variant in DeviceVariant::default_set() {
+                let ds = device_seed(seed, 0, device);
+                let (spec, timing) = variant.sample(ds);
+                prop_assert!(spec.capacitance_f >= variant.capacitance_f.0);
+                prop_assert!(spec.capacitance_f < variant.capacitance_f.1);
+                prop_assert!(spec.v_on >= variant.v_on.0 && spec.v_on < variant.v_on.1);
+                prop_assert!(spec.v_off < spec.v_on, "hysteresis window collapsed");
+                prop_assert!(spec.energy_span_j() > 0.0);
+                let base = TimingModel::default();
+                let mult = timing.nvm_read_byte_s / base.nvm_read_byte_s;
+                prop_assert!(mult >= variant.fram_mult.0 * 0.999);
+                prop_assert!(mult <= variant.fram_mult.1 * 1.001);
+            }
+        }
+
+        #[test]
+        fn device_seed_is_partition_independent(seed in any::<u64>(),
+                                                cell in 0u64..64,
+                                                device in 0u64..100_000) {
+            // the seed is a pure function of global coordinates — computing
+            // it twice (as two different shards would) agrees
+            prop_assert_eq!(device_seed(seed, cell, device), device_seed(seed, cell, device));
+            // and neighboring devices decorrelate
+            prop_assert_ne!(device_seed(seed, cell, device), device_seed(seed, cell, device + 1));
+        }
+    }
+}

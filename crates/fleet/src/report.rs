@@ -1,0 +1,194 @@
+//! Deterministic fleet reports.
+//!
+//! One JSON row per (workload × harvest × variant) cell, every metric an
+//! integer (nanoseconds, parts-per-million, counts) derived from the exact
+//! streaming aggregates — so the *structural* lines of the report are
+//! byte-identical at any thread count and any shard size. The single
+//! host-dependent line is `"wall_s"`, emitted on its own line so CI can
+//! `grep -v` it before byte-comparing.
+
+use crate::agg::StreamStat;
+use crate::campaign::CellAgg;
+use std::fmt::Write as _;
+
+/// One cell of the fleet report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRow {
+    /// Workload (model) name.
+    pub workload: String,
+    /// Harvest-profile label.
+    pub harvest: String,
+    /// Device-variant name.
+    pub variant: String,
+    /// The cell's merged aggregate.
+    pub agg: CellAgg,
+}
+
+/// A complete fleet-campaign report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Master campaign seed.
+    pub seed: u64,
+    /// Devices per cell.
+    pub devices_per_cell: u64,
+    /// Shard size used for the fan-out.
+    pub shard_size: u64,
+    /// Total shards executed.
+    pub shards: u64,
+    /// Total devices simulated.
+    pub devices: u64,
+    /// Per-cell rows, in (workload, harvest, variant) order.
+    pub cells: Vec<CellRow>,
+    /// Host wall-clock of the fan-out (the one nondeterministic field).
+    pub wall_s: f64,
+}
+
+/// Renders one metric's summary object: count, min/mean/max and the three
+/// fleet percentiles, all integers.
+fn stat_json(s: &StreamStat) -> String {
+    format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}}",
+        s.quantile_ppm(500_000),
+        s.quantile_ppm(900_000),
+        s.quantile_ppm(990_000),
+        s.min_or_zero(),
+        s.mean(),
+        s.max,
+    )
+}
+
+impl FleetReport {
+    /// The structural JSON lines — everything except `wall_s`. Used by the
+    /// determinism tests; [`Self::to_json`] splices the wall-clock in.
+    pub fn structural_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"fleet\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"devices\": {},", self.devices);
+        let _ = writeln!(out, "  \"devices_per_cell\": {},", self.devices_per_cell);
+        let _ = writeln!(out, "  \"shard_size\": {},", self.shard_size);
+        let _ = writeln!(out, "  \"shards\": {},", self.shards);
+        let _ = writeln!(out, "  \"cells_n\": {},", self.cells.len());
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let a = &c.agg;
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"{}\", \"harvest\": \"{}\", \"variant\": \"{}\", \
+                 \"devices\": {}, \"completed\": {}, \"livelock\": {}, \"nontermination\": {}, \
+                 \"reboots\": {}, \"latency_ns\": {}, \"availability_ppm\": {}, \
+                 \"power_cycles\": {}, \"retries\": {}}}",
+                c.workload,
+                c.harvest,
+                c.variant,
+                a.devices,
+                a.completed,
+                a.livelocked,
+                a.nonterminated,
+                // every power cycle ends in exactly one reboot
+                a.power_cycles.sum,
+                stat_json(&a.latency_ns),
+                stat_json(&a.availability_ppm),
+                stat_json(&a.power_cycles),
+                stat_json(&a.retries),
+            );
+            out.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Full report JSON: the structural lines plus the host-dependent
+    /// `"wall_s"` line (kept on its own line for CI's `grep -v`).
+    pub fn to_json(&self) -> String {
+        let wall = format!("  \"wall_s\": {:.3},\n  \"cells\": [", self.wall_s);
+        self.structural_json().replacen("  \"cells\": [", &wall, 1)
+    }
+
+    /// Human summary: one line per cell.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} devices over {} cells ({} shards of {}, seed {})",
+            self.devices,
+            self.cells.len(),
+            self.shards,
+            self.shard_size,
+            self.seed
+        );
+        for c in &self.cells {
+            let a = &c.agg;
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<14} {:<10} ok {:>6}  ll {:>4}  nt {:>4}  \
+                 p50 {:>9.3} ms  p99 {:>9.3} ms  avail {:>6.2} %  cycles p50 {}",
+                c.workload,
+                c.harvest,
+                c.variant,
+                a.completed,
+                a.livelocked,
+                a.nonterminated,
+                a.latency_ns.quantile_ppm(500_000) as f64 / 1e6,
+                a.latency_ns.quantile_ppm(990_000) as f64 / 1e6,
+                a.availability_ppm.quantile_ppm(500_000) as f64 / 1e4,
+                a.power_cycles.quantile_ppm(500_000),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> FleetReport {
+        let mut agg = CellAgg::default();
+        for i in 0..10u64 {
+            agg.latency_ns.record(1_000_000 + i * 1000);
+            agg.availability_ppm.record(900_000 + i);
+            agg.power_cycles.record(i);
+            agg.retries.record(i);
+            agg.devices += 1;
+            agg.completed += 1;
+        }
+        FleetReport {
+            seed: 7,
+            devices_per_cell: 10,
+            shard_size: 4,
+            shards: 3,
+            devices: 10,
+            cells: vec![CellRow {
+                workload: "har-tiny".into(),
+                harvest: "strong (8 mW)".into(),
+                variant: "nominal".into(),
+                agg,
+            }],
+            wall_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_confined_to_its_own_line() {
+        let r = tiny_report();
+        let json = r.to_json();
+        let wall_lines: Vec<&str> = json.lines().filter(|l| l.contains("\"wall_s\"")).collect();
+        assert_eq!(wall_lines.len(), 1, "wall_s must be a single dedicated line");
+        let stripped: String =
+            json.lines().filter(|l| !l.contains("\"wall_s\"")).map(|l| format!("{l}\n")).collect();
+        assert_eq!(stripped, r.structural_json(), "everything else is structural");
+    }
+
+    #[test]
+    fn cells_render_one_line_each() {
+        let r = tiny_report();
+        let json = r.structural_json();
+        assert_eq!(json.lines().filter(|l| l.contains("\"workload\"")).count(), 1);
+        assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"reboots\": 45"), "reboots = total power cycles");
+        assert!(r.summary().contains("har-tiny"));
+    }
+}

@@ -82,6 +82,10 @@ pub enum EngineError {
     NoProgress {
         /// Layer id where progress stalled.
         layer: usize,
+        /// Number of jobs the stalled atomic span re-executes per retry:
+        /// 1 for a job-granular (HAWAII) commit, chunk-count + write-back
+        /// for a tile-atomic tile.
+        tile_jobs: u64,
     },
     /// Power failed while executing in continuous mode: all volatile
     /// progress is lost and the inference cannot be resumed.
@@ -92,8 +96,8 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Sim(e) => write!(f, "device simulation error: {e}"),
-            EngineError::NoProgress { layer } => {
-                write!(f, "no forward progress in layer {layer}")
+            EngineError::NoProgress { layer, tile_jobs } => {
+                write!(f, "no forward progress in layer {layer} (atomic span of {tile_jobs} jobs)")
             }
             EngineError::PowerLostInContinuousMode => {
                 write!(f, "power failed while executing in continuous mode")
@@ -652,7 +656,11 @@ fn gemm_phase(
                             counters.retries += 1;
                             gc.tile.retries += 1;
                             if gc.tile.retries > MAX_RETRIES_PER_JOB {
-                                return Err(EngineError::NoProgress { layer: dl.layer_id });
+                                let span = dl.bsr.row_blocks_iter(gc.rb).count() as u64 + 1;
+                                return Err(EngineError::NoProgress {
+                                    layer: dl.layer_id,
+                                    tile_jobs: span,
+                                });
                             }
                             let keep = gc.tile.retries;
                             gc.tile = TileCursor::enter();
@@ -701,7 +709,11 @@ fn gemm_phase(
                             counters.retries += 1;
                             gc.tile.retries += 1;
                             if gc.tile.retries > MAX_RETRIES_PER_JOB {
-                                return Err(EngineError::NoProgress { layer: dl.layer_id });
+                                let span = dl.bsr.row_blocks_iter(gc.rb).count() as u64 + 1;
+                                return Err(EngineError::NoProgress {
+                                    layer: dl.layer_id,
+                                    tile_jobs: span,
+                                });
                             }
                             let keep = gc.tile.retries;
                             gc.tile = TileCursor::enter();
@@ -897,7 +909,8 @@ fn commit_job(
                 counters.retries += 1;
                 retries += 1;
                 if retries > MAX_RETRIES_PER_JOB {
-                    return Err(EngineError::NoProgress { layer: dl.layer_id });
+                    // job-granular commit: the atomic span is a single job
+                    return Err(EngineError::NoProgress { layer: dl.layer_id, tile_jobs: 1 });
                 }
             }
         }

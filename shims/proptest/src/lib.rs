@@ -170,6 +170,13 @@ macro_rules! prop_assert_eq {
     ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
 }
 
+/// Asserts inequality inside a property test, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_body {
@@ -212,7 +219,10 @@ macro_rules! proptest {
 pub mod prelude {
     //! Common imports, mirroring `proptest::prelude`.
 
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! iprune-cli characterize <SQN|HAR|CKS>
 //! iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]
 //! iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]
+//! iprune-cli fleet <APP> [--devices N] [--shard-size N] [--seed N] [--json PATH]
 //! ```
 //!
 //! Every subcommand accepts `--threads N` to cap the host-side worker pool
@@ -13,6 +14,7 @@
 //! cores. The device simulator is always single-threaded.
 
 use iprune_repro::device::{DeviceSim, PowerStrength};
+use iprune_repro::fleet::{record_workload, FleetCampaign, PopulationSpec};
 use iprune_repro::hawaii::deploy::deploy;
 use iprune_repro::hawaii::exec::{infer, ExecMode};
 use iprune_repro::hawaii::plan::{dense_model_acc_outputs, diversity_label, diversity_ratio};
@@ -40,6 +42,7 @@ fn usage() -> ExitCode {
     eprintln!("  iprune-cli characterize <SQN|HAR|CKS>");
     eprintln!("  iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]");
     eprintln!("  iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]");
+    eprintln!("  iprune-cli fleet <APP> [--devices N] [--shard-size N] [--seed N] [--json PATH]");
     eprintln!("options:");
     eprintln!("  --threads N   host-side worker threads (default: available parallelism)");
     ExitCode::from(2)
@@ -133,6 +136,46 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        Some("fleet") => {
+            let Some(app) = args.get(1).and_then(|s| parse_app(s)) else {
+                return usage();
+            };
+            let devices: u64 =
+                flag_value(&args, "--devices").and_then(|v| v.parse().ok()).unwrap_or(200);
+            let shard_size: u64 =
+                flag_value(&args, "--shard-size").and_then(|v| v.parse().ok()).unwrap_or(100);
+            let seed: u64 = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+            if devices == 0 || shard_size == 0 {
+                eprintln!("--devices and --shard-size must be positive");
+                return usage();
+            }
+
+            let mut model = app.build();
+            let calib = app.dataset(8, 100);
+            let dm = deploy(&mut model, &calib, 8);
+            let workload = record_workload(&dm, &calib.sample(0));
+            eprintln!(
+                "recorded {}: {} activities, {} jobs, nominal {:.3} ms",
+                workload.name,
+                workload.activities.len(),
+                workload.jobs,
+                workload.nominal_latency_s * 1e3
+            );
+            let campaign = FleetCampaign {
+                population: PopulationSpec::default_fleet(devices, seed),
+                shard_size: shard_size.min(devices),
+            };
+            let report = campaign.run(std::slice::from_ref(&workload));
+            print!("{}", report.summary());
+            if let Some(path) = flag_value(&args, "--json") {
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            ExitCode::SUCCESS
         }
         Some("prune") => {
             let Some(app) = args.get(1).and_then(|s| parse_app(s)) else {

@@ -17,6 +17,7 @@ pub use iprune as pruning;
 pub use iprune_datasets as datasets;
 pub use iprune_device as device;
 pub use iprune_faults as faults;
+pub use iprune_fleet as fleet;
 pub use iprune_hawaii as hawaii;
 pub use iprune_models as models;
 pub use iprune_obs as obs;

@@ -1,0 +1,149 @@
+//! Fleet-campaign reproducibility: the report's structural bytes must not
+//! depend on *how* the population was executed.
+//!
+//! Three independent claims, each tested against ground truth:
+//!
+//! 1. **Thread invariance** — the same campaign at 1, 2, and 8 worker
+//!    threads produces byte-identical structural JSON (everything except
+//!    the dedicated `"wall_s"` line).
+//! 2. **Shard invariance** — any shard size (1, a ragged divisor, the
+//!    whole cell, or oversized) produces the same structural rows, because
+//!    device sampling depends only on global coordinates and the integer
+//!    aggregators merge exactly.
+//! 3. **Streamed = naive** — the sharded streaming aggregate of a cell
+//!    equals a collect-then-reduce oracle that simulates the same devices
+//!    sequentially and folds them into one unsharded aggregate.
+
+use iprune_repro::fleet::{
+    record_workload, replay, CellAgg, FleetCampaign, PopulationSpec, Workload,
+};
+use iprune_repro::hawaii::deploy::deploy;
+use iprune_repro::models::zoo::App;
+use iprune_repro::tensor::par;
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes tests that flip the process-wide parallelism overrides.
+fn par_overrides_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the parallelism overrides even if the test panics.
+struct ParOverrideGuard;
+impl Drop for ParOverrideGuard {
+    fn drop(&mut self) {
+        par::set_threads(0);
+        par::set_host_cores(0);
+    }
+}
+
+fn har_workload() -> Workload {
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 42);
+    let dm = deploy(&mut model, &ds, 2);
+    record_workload(&dm, &ds.sample(0))
+}
+
+/// A small but non-trivial population: 2 harvests × 2 variants, enough
+/// devices that shard boundaries land mid-cell.
+fn small_population(devices_per_cell: u64) -> PopulationSpec {
+    let full = PopulationSpec::default_fleet(devices_per_cell, 11);
+    PopulationSpec {
+        harvests: full.harvests.into_iter().take(2).collect(),
+        variants: full.variants.into_iter().take(2).collect(),
+        devices_per_cell,
+        seed: 11,
+    }
+}
+
+#[test]
+fn structural_report_is_byte_identical_across_thread_counts() {
+    let _serial = par_overrides_lock();
+    let _restore = ParOverrideGuard;
+    // pretend the host has 8 cores so the requested counts take effect
+    // even on single-core CI machines
+    par::set_host_cores(8);
+
+    let w = har_workload();
+    let campaign = FleetCampaign { population: small_population(24), shard_size: 5 };
+
+    let report_at = |threads: usize| {
+        par::set_threads(threads);
+        campaign.run(std::slice::from_ref(&w)).structural_json()
+    };
+
+    let base = report_at(1);
+    assert!(base.contains("\"p99\""), "report must carry percentiles");
+    for threads in [2, 8] {
+        assert_eq!(base, report_at(threads), "report diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn structural_report_is_invariant_under_shard_size() {
+    let w = har_workload();
+    let pop = small_population(23); // prime-ish: every shard size is ragged
+    let report_for = |shard_size: u64| {
+        FleetCampaign { population: pop.clone(), shard_size }
+            .run(std::slice::from_ref(&w))
+            .structural_json()
+    };
+    let base = report_for(23); // one shard per cell
+    for shard_size in [1, 4, 7, 100] {
+        let json = report_for(shard_size);
+        // the shard bookkeeping differs by construction; the cell rows must not
+        let rows = |j: &str| {
+            j.lines().filter(|l| l.contains("\"workload\"")).map(str::to_string).collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&base), rows(&json), "cell rows diverged at shard size {shard_size}");
+    }
+}
+
+#[test]
+fn streamed_aggregates_equal_naive_collect_then_reduce() {
+    let w = har_workload();
+    let pop = small_population(17);
+    let campaign = FleetCampaign { population: pop.clone(), shard_size: 4 };
+    let report = campaign.run(std::slice::from_ref(&w));
+
+    // oracle: simulate the same cells sequentially, no shards, one fold
+    let mut idx = 0usize;
+    for h in 0..pop.harvests.len() {
+        for v in 0..pop.variants.len() {
+            let mut naive = CellAgg::default();
+            for d in 0..pop.devices_per_cell {
+                let device = pop.sample(idx as u64, h, v, d);
+                let mut sim = device.build_sim();
+                match replay(&w, &mut sim) {
+                    Ok(out) => naive.record_completed(&out),
+                    Err(outcome) => naive.record_failed(&outcome),
+                }
+            }
+            let row = &report.cells[idx];
+            assert_eq!(row.harvest, pop.harvests[h].label());
+            assert_eq!(row.variant, pop.variants[v].name);
+            assert_eq!(row.agg, naive, "streamed != naive for cell {}", idx);
+            idx += 1;
+        }
+    }
+}
+
+#[test]
+fn repeated_campaigns_reproduce_and_seeds_matter() {
+    let w = har_workload();
+    let campaign = FleetCampaign { population: small_population(12), shard_size: 6 };
+    let a = campaign.run(std::slice::from_ref(&w));
+    let b = campaign.run(std::slice::from_ref(&w));
+    assert_eq!(a.structural_json(), b.structural_json(), "same seed must reproduce");
+
+    let reseeded = FleetCampaign {
+        population: PopulationSpec { seed: 12, ..campaign.population.clone() },
+        shard_size: 6,
+    };
+    let c = reseeded.run(std::slice::from_ref(&w));
+    assert_ne!(
+        a.structural_json(),
+        c.structural_json(),
+        "a different campaign seed must draw a different population"
+    );
+}
