@@ -1,0 +1,81 @@
+//! Fleet triage — streaming anomaly detection with trace drill-down.
+//!
+//! Runs the same HAR fleet campaign as the `fleet` bench, then the triage
+//! pass on top: per-cell quantile fences from the merged aggregates, a
+//! second replay of every device classified with exact-integer rules, and
+//! a full-engine trace drill-down of the top-K offenders (plus a healthy
+//! reference per affected cell for the per-layer attribution diff).
+//!
+//! Every structural field of `BENCH_triage.json` is an integer or fixed
+//! string, so the report is byte-identical at any thread count and shard
+//! size — except the single `"wall_s"` line CI's byte-compare filters
+//! out. Every drilled anomaly must reconcile: its trace's attribution is
+//! audited against the device's replayed `SimStats`.
+
+use iprune_bench::cache::workspace_root;
+use iprune_bench::Scale;
+use iprune_fleet::{
+    record_workload, run_triage, FleetCampaign, PopulationSpec, TriageConfig, TriageEntry,
+};
+use iprune_hawaii::deploy::deploy;
+use iprune_models::zoo::App;
+
+const MASTER_SEED: u64 = 7;
+const SHARD_SIZE: u64 = 500;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fleet triage — anomaly detection and trace drill-down");
+    println!("=====================================================");
+    println!("({})", scale.describe_run());
+
+    let devices_per_cell: u64 = match scale.name {
+        "smoke" => 60,
+        "standard" => 6_000,
+        _ => 12_000, // paper
+    };
+
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 42);
+    let dm = deploy(&mut model, &ds, 2);
+    let x = ds.sample(0);
+    let workload = record_workload(&dm, &x);
+
+    let campaign = FleetCampaign {
+        population: PopulationSpec::default_fleet(devices_per_cell, MASTER_SEED),
+        shard_size: SHARD_SIZE.min(devices_per_cell),
+    };
+    let fleet = campaign.run(std::slice::from_ref(&workload));
+
+    let trace_dir = workspace_root().join("target").join("triage");
+    let cfg = TriageConfig { top_k: 8, trace_dir: Some(trace_dir.clone()), ..Default::default() };
+    let entries = [TriageEntry { workload: &workload, dm: &dm, input: &x }];
+    let report = run_triage(&campaign, &entries, &fleet, &cfg);
+
+    println!();
+    print!("{}", report.summary());
+
+    // structural invariants the triage pass must uphold at every scale
+    assert_eq!(report.cells.len(), fleet.cells.len());
+    assert_eq!(report.devices, fleet.devices);
+    let cell_flagged: u64 = report.cells.iter().map(|c| c.flagged).sum();
+    assert_eq!(cell_flagged, report.flagged, "per-cell flags must sum to the total");
+    for c in &report.cells {
+        let causes: u64 = c.cause_counts.iter().sum();
+        assert!(causes >= c.flagged, "every flagged device carries at least one cause");
+    }
+    // failures are always anomalous, so flags dominate the failure count
+    let failures: u64 = fleet.cells.iter().map(|c| c.agg.livelocked + c.agg.nonterminated).sum();
+    assert!(report.flagged >= failures, "every failed device must be flagged");
+    // the acceptance bar: every drilled anomaly's trace reconciles with
+    // its replayed SimStats, and its trace files exist on disk
+    for a in &report.anomalies {
+        assert!(a.reconciled, "anomaly {} failed the attribution audit", a.trace);
+        assert!(trace_dir.join(format!("{}.jsonl", a.trace)).is_file());
+        assert!(trace_dir.join(format!("{}.chrome.json", a.trace)).is_file());
+    }
+
+    let out = workspace_root().join("BENCH_triage.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_triage.json");
+    iprune_obs::log_info!("triage", "wrote {}", out.display());
+}

@@ -91,14 +91,19 @@ pub struct DeviceSim {
     hook: Option<Box<dyn FaultHook>>,
     /// Detail of the most recent power failure (natural or injected).
     last_failure: Option<FailureDetail>,
+    /// Longest single off-time (recharge wait) suffered so far (s). The
+    /// fleet's stall-accounting hook: `SimStats::charging_s` sums all
+    /// stalls, this keeps the worst one, so telemetry can tell "many short
+    /// brown-outs" apart from "one multi-second blackout".
+    max_stall_s: f64,
     /// Structured trace sink; `None` means tracing is off and emission
     /// points cost a single branch.
     sink: Option<SharedSink>,
 }
 
 /// Snapshot of a simulator's dynamic state at a commit point: capacitor
-/// charge, timeline frontiers, statistics, fault-hook state, and the last
-/// failure detail.
+/// charge, timeline frontiers, statistics, fault-hook state, the last
+/// failure detail, and the worst stall seen so far.
 ///
 /// The immutable models (spec/timing/energy) and the supply are *not*
 /// captured — a checkpoint must be restored into (or forked from) a
@@ -120,6 +125,7 @@ pub struct SimCheckpoint {
     stats: SimStats,
     hook: Option<Box<dyn FaultHook>>,
     last_failure: Option<FailureDetail>,
+    max_stall_s: f64,
 }
 
 /// Accounting class of a blocking DMA transfer: where its committed busy
@@ -209,6 +215,7 @@ impl DeviceSim {
             stats: SimStats::default(),
             hook: None,
             last_failure: None,
+            max_stall_s: 0.0,
             sink: None,
         }
     }
@@ -285,6 +292,15 @@ impl DeviceSim {
         self.cap.energy_j()
     }
 
+    /// Longest single off-time (capacitor recharge wait) suffered so far
+    /// (s). Complements `SimStats::charging_s` (the *sum* of stalls) with
+    /// the worst-case stall — the fleet-telemetry signal distinguishing
+    /// many short brown-outs from one long blackout. Zero until the first
+    /// power failure.
+    pub fn max_stall_s(&self) -> f64 {
+        self.max_stall_s
+    }
+
     /// Captures the simulator's dynamic state. See [`SimCheckpoint`] for
     /// what is (and deliberately is not) included.
     pub fn checkpoint(&self) -> SimCheckpoint {
@@ -296,6 +312,7 @@ impl DeviceSim {
             stats: self.stats.clone(),
             hook: self.hook.clone(),
             last_failure: self.last_failure,
+            max_stall_s: self.max_stall_s,
         }
     }
 
@@ -310,6 +327,7 @@ impl DeviceSim {
         self.stats = ckpt.stats.clone();
         self.hook = ckpt.hook.clone();
         self.last_failure = ckpt.last_failure;
+        self.max_stall_s = ckpt.max_stall_s;
     }
 
     /// Builds an independent simulator that shares this one's models and
@@ -328,6 +346,7 @@ impl DeviceSim {
             stats: ckpt.stats.clone(),
             hook: ckpt.hook.clone(),
             last_failure: ckpt.last_failure,
+            max_stall_s: ckpt.max_stall_s,
             sink: None,
         }
     }
@@ -449,6 +468,7 @@ impl DeviceSim {
             self.cap.refill();
             let resume = fail_time + off + self.timing.reboot_s;
             self.stats.charging_s += off;
+            self.max_stall_s = self.max_stall_s.max(off);
             self.stats.recovery_s += self.timing.reboot_s;
             self.now = resume;
             self.lea_free = resume;
@@ -693,6 +713,7 @@ impl DeviceSim {
             let off = self.recharge_duration(fail_time);
             self.cap.refill();
             self.stats.charging_s += off;
+            self.max_stall_s = self.max_stall_s.max(off);
             self.stats.recovery_s += self.timing.reboot_s;
             self.emit(|| TraceEvent::PowerFail { t: fail_time, injected: false, wasted_s: wasted });
             self.emit(|| TraceEvent::Recharge { t: fail_time, dur: off });

@@ -158,14 +158,16 @@ impl RunOutcome {
         matches!(self, RunOutcome::Nontermination { .. })
     }
 
-    /// Report tag: a stable lowercase label per variant.
-    pub fn tag(&self) -> &'static str {
+    /// Stable snake_case serialization name, shared by the fault-campaign
+    /// report, the fleet per-cell outcome counts, and the triage cause
+    /// taxonomy (`iprune_obs::telemetry::AnomalyCause` pins the overlap).
+    pub fn name(&self) -> &'static str {
         match self {
             RunOutcome::Completed => "completed",
             RunOutcome::Livelock { .. } => "livelock",
             RunOutcome::Nontermination { .. } => "nontermination",
-            RunOutcome::EngineError { .. } => "engine-error",
-            RunOutcome::StatsViolation { .. } => "stats-violation",
+            RunOutcome::EngineError { .. } => "engine_error",
+            RunOutcome::StatsViolation { .. } => "stats_violation",
         }
     }
 
@@ -203,6 +205,17 @@ impl RunOutcome {
                 RunOutcome::Nontermination { description: e.to_string() }
             }
             other => RunOutcome::EngineError { description: other.to_string() },
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    /// `name` for completed runs, `name: detail` otherwise — log- and
+    /// table-friendly without losing the structured detail.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.error_text() {
+            None => f.write_str(self.name()),
+            Some(detail) => write!(f, "{}: {}", self.name(), detail),
         }
     }
 }
@@ -1054,7 +1067,7 @@ impl CampaignReport {
             r.shadow.replayed_bytes,
             r.latency_s,
         );
-        let _ = write!(s, ", \"outcome\": \"{}\"", r.outcome.tag());
+        let _ = write!(s, ", \"outcome\": \"{}\"", r.outcome.name());
         if let RunOutcome::Livelock { layer, tile_jobs, cut_period } = &r.outcome {
             let _ = write!(s, ", \"livelock_layer\": {layer}, \"livelock_tile_jobs\": {tile_jobs}");
             match cut_period {
@@ -1106,5 +1119,37 @@ impl CampaignReport {
         }
         s.push_str("  ]\n}\n");
         s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_names_are_stable_snake_case() {
+        let cases: [(RunOutcome, &str); 5] = [
+            (RunOutcome::Completed, "completed"),
+            (RunOutcome::Livelock { layer: 2, tile_jobs: 3, cut_period: Some(1) }, "livelock"),
+            (RunOutcome::Nontermination { description: "d".into() }, "nontermination"),
+            (RunOutcome::EngineError { description: "d".into() }, "engine_error"),
+            (RunOutcome::StatsViolation { description: "d".into() }, "stats_violation"),
+        ];
+        for (outcome, want) in &cases {
+            assert_eq!(outcome.name(), *want);
+            let n = outcome.name();
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{n}");
+        }
+    }
+
+    #[test]
+    fn display_carries_the_structured_detail() {
+        assert_eq!(format!("{}", RunOutcome::Completed), "completed");
+        let ll = RunOutcome::Livelock { layer: 2, tile_jobs: 3, cut_period: Some(1) };
+        let text = format!("{ll}");
+        assert!(text.starts_with("livelock: "), "{text}");
+        assert!(text.contains("layer 2"), "{text}");
+        let sv = RunOutcome::StatsViolation { description: "busy_s < 0".into() };
+        assert_eq!(format!("{sv}"), "stats_violation: stats invariant violated: busy_s < 0");
     }
 }

@@ -90,9 +90,24 @@ impl LogHist {
     }
 
     /// Lower bound of the bucket holding the `q_ppm`-quantile value
-    /// (q in parts-per-million, 0 ..= 1_000_000), using the nearest-rank
-    /// rule `rank = floor(q · (n − 1))` in pure integer arithmetic.
-    /// Returns 0 on an empty histogram.
+    /// (q in parts-per-million), using the nearest-rank rule
+    /// `rank = floor(q · (n − 1) / 10⁶)` in pure integer arithmetic.
+    ///
+    /// # Bucket-floor rounding contract
+    ///
+    /// The reported value is [`Self::bucket_floor`] of the bucket holding
+    /// the rank-selected element — i.e. quantiles **round down to the
+    /// bucket boundary**, never up, so the result is always `<=` the exact
+    /// nearest-rank value and always a representable bucket floor:
+    ///
+    /// * values below `2^SUB_BITS` have exact single-value buckets, so
+    ///   quantiles of small counters (power cycles, retries) are exact;
+    /// * above that, the relative rounding error is `< 2^-SUB_BITS`
+    ///   (one sub-bucket of the value's octave);
+    /// * `q_ppm = 0` reports the minimum's bucket floor and
+    ///   `q_ppm = 1_000_000` the maximum's; `q_ppm > 1_000_000` is clamped
+    ///   to `1_000_000`;
+    /// * an empty histogram reports `0`.
     pub fn quantile_ppm(&self, q_ppm: u64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -220,6 +235,44 @@ mod tests {
         }
         assert_eq!(h.quantile_ppm(0), 0);
         assert_eq!(h.quantile_ppm(1_000_000), SUB as u64 - 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LogHist::new();
+        for q in [0u64, 500_000, 1_000_000, u64::MAX] {
+            assert_eq!(h.quantile_ppm(q), 0, "q={q}");
+        }
+        assert_eq!(h.count(), 0);
+        let s = StreamStat::new();
+        assert_eq!((s.quantile_ppm(990_000), s.mean(), s.min_or_zero()), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_saturating_value_reports_the_top_bucket_floor() {
+        // u64::MAX lands in the final bucket; every quantile of a
+        // single-value histogram is that bucket's floor (<= the value).
+        let mut h = LogHist::new();
+        h.record(u64::MAX);
+        let floor = LogHist::bucket_floor(BUCKETS - 1);
+        assert!(floor > u64::MAX / 2, "top bucket floor must be in the upper half of u64");
+        for q in [0u64, 1, 500_000, 999_999, 1_000_000] {
+            assert_eq!(h.quantile_ppm(q), floor, "q={q}");
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_and_max_buckets() {
+        let mut h = LogHist::new();
+        for &v in &[3u64, 900, 70_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_ppm(0), 3, "q=0 is the minimum (exact: small bucket)");
+        let top = h.quantile_ppm(1_000_000);
+        assert_eq!(LogHist::bucket_of(top), LogHist::bucket_of(70_000), "q=1e6 is the maximum");
+        assert!(top <= 70_000, "bucket-floor rounding never rounds up");
+        // q past the ppm scale clamps to the maximum, not beyond
+        assert_eq!(h.quantile_ppm(2_000_000), top);
     }
 
     #[test]

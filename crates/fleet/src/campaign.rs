@@ -41,6 +41,11 @@ pub struct CellAgg {
     pub power_cycles: StreamStat,
     /// Job re-executions per device, completed devices only.
     pub retries: StreamStat,
+    /// Worst single off-time per device (ns), completed devices only.
+    /// `availability_ppm` already captures the *total* stall share (its
+    /// complement), so this adds the orthogonal signal: one long blackout
+    /// vs many short brown-outs.
+    pub max_stall_ns: StreamStat,
 }
 
 impl CellAgg {
@@ -66,6 +71,7 @@ impl CellAgg {
             .record(Self::quantize_availability_ppm(out.charging_s, out.latency_s));
         self.power_cycles.record(out.power_cycles);
         self.retries.record(out.retries);
+        self.max_stall_ns.record(Self::quantize_latency_ns(out.max_stall_s));
     }
 
     /// Folds one failed device in, by structured outcome.
@@ -91,6 +97,7 @@ impl CellAgg {
         self.availability_ppm.merge(&other.availability_ppm);
         self.power_cycles.merge(&other.power_cycles);
         self.retries.merge(&other.retries);
+        self.max_stall_ns.merge(&other.max_stall_ns);
     }
 }
 
@@ -222,6 +229,7 @@ mod tests {
             power_cycles: cycles,
             retries: cycles,
             charging_s: latency_s * 0.25,
+            max_stall_s: latency_s * 0.05,
             stats: Default::default(),
         }
     }

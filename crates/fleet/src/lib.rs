@@ -28,15 +28,24 @@
 //! Failed devices are classified with the fault subsystem's structured
 //! [`RunOutcome`](iprune_faults::RunOutcome) — livelocks and
 //! nonterminations are per-cell counters in the report, not strings.
+//!
+//! On top of the campaign sits **triage** ([`triage`]): a second replay
+//! pass classifies every device against exact-integer outlier fences
+//! derived from its cell's merged quantiles, and the worst offenders are
+//! re-run through the full engine with the trace sink on — per-anomaly
+//! traces, audited attributions, and a per-layer diff against a healthy
+//! reference device from the same cell.
 
 pub mod agg;
 pub mod campaign;
 pub mod population;
 pub mod report;
+pub mod triage;
 pub mod workload;
 
 pub use agg::{LogHist, StreamStat};
 pub use campaign::{CellAgg, FleetCampaign};
 pub use population::{DeviceVariant, Harvest, PopulationSpec, SampledDevice};
 pub use report::{CellRow, FleetReport};
+pub use triage::{run_triage, AnomalyRow, TriageCellRow, TriageConfig, TriageEntry, TriageReport};
 pub use workload::{record_workload, replay, Activity, ReplayOutcome, Workload};

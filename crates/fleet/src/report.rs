@@ -78,7 +78,7 @@ impl FleetReport {
                 "    {{\"workload\": \"{}\", \"harvest\": \"{}\", \"variant\": \"{}\", \
                  \"devices\": {}, \"completed\": {}, \"livelock\": {}, \"nontermination\": {}, \
                  \"reboots\": {}, \"latency_ns\": {}, \"availability_ppm\": {}, \
-                 \"power_cycles\": {}, \"retries\": {}}}",
+                 \"power_cycles\": {}, \"retries\": {}, \"max_stall_ns\": {}}}",
                 c.workload,
                 c.harvest,
                 c.variant,
@@ -92,6 +92,7 @@ impl FleetReport {
                 stat_json(&a.availability_ppm),
                 stat_json(&a.power_cycles),
                 stat_json(&a.retries),
+                stat_json(&a.max_stall_ns),
             );
             out.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
         }
@@ -152,6 +153,7 @@ mod tests {
             agg.availability_ppm.record(900_000 + i);
             agg.power_cycles.record(i);
             agg.retries.record(i);
+            agg.max_stall_ns.record(10_000 + i);
             agg.devices += 1;
             agg.completed += 1;
         }
@@ -189,6 +191,7 @@ mod tests {
         assert_eq!(json.lines().filter(|l| l.contains("\"workload\"")).count(), 1);
         assert!(json.contains("\"p50\""));
         assert!(json.contains("\"reboots\": 45"), "reboots = total power cycles");
+        assert!(json.contains("\"max_stall_ns\""), "worst-stall stat must be reported");
         assert!(r.summary().contains("har-tiny"));
     }
 }

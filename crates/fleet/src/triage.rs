@@ -1,0 +1,669 @@
+//! Streaming anomaly triage over fleet campaigns, with automatic trace
+//! drill-down.
+//!
+//! A fleet report says a cell's p99 blew up; triage says **which devices**
+//! and **why**, and hands back an engine trace for each. Three stages:
+//!
+//! 1. **Fences** — each cell's merged aggregate (pass 1, the ordinary
+//!    [`FleetCampaign::run`]) yields a robust quantile baseline
+//!    ([`CellBaseline`]) that [`CellFences`] scales into outlier fences.
+//!    Fences are derived once from the *merged* aggregate, so they are
+//!    identical no matter how pass 1 was sharded.
+//! 2. **Scan** — pass 2 re-replays every device over the same shard
+//!    tiling and classifies its [`DeviceHealth`] against the cell fences
+//!    with exact-integer rules ([`iprune_obs::telemetry::classify`]).
+//!    Because a device's verdict depends only on its own replay (a pure
+//!    function of global coordinates) and its cell's fences, the flagged
+//!    set — and the whole structural report — is byte-identical at any
+//!    thread count and any shard size. Each shard also nominates its
+//!    earliest healthy completed device; per-cell minima merge exactly.
+//! 3. **Drill-down** — the top-K flagged devices (by integer severity,
+//!    ties broken by `(cell, device)`) are re-run through the **full
+//!    engine** with the `obs` trace sink installed, producing JSONL +
+//!    Chrome traces, an [`Attribution`] audited against the device's
+//!    replayed `SimStats` via [`Attribution::reconcile`], and a per-layer
+//!    attribution diff against the cell's healthy reference device.
+//!
+//! The report follows the fleet convention: every structural field is an
+//! integer or a fixed string, `wall_s` lives on its own line for CI's
+//! `grep -v`, and `structural_json()` is pinned byte-identical across
+//! thread counts 1/2/8 by a root test.
+
+use crate::campaign::{CellAgg, FleetCampaign};
+use crate::population::{PopulationSpec, SampledDevice};
+use crate::report::FleetReport;
+use crate::workload::{replay, Workload};
+use iprune_device::sim::DeviceSim;
+use iprune_device::trace::SimStats;
+use iprune_hawaii::deploy::DeployedModel;
+use iprune_hawaii::exec::{infer, ExecMode};
+use iprune_obs::attr::StatsTotals;
+use iprune_obs::telemetry::{
+    classify, severity, AnomalyCause, CellBaseline, CellFences, DeviceHealth, FenceConfig, N_CAUSES,
+};
+use iprune_obs::{drain_shared, metrics, to_chrome_json, to_jsonl, Attribution, MemorySink};
+use iprune_tensor::{par, Tensor};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One workload plus the deployed model and input that recorded it —
+/// needed because drill-down re-runs the *full engine*, not the replay.
+#[derive(Clone, Copy)]
+pub struct TriageEntry<'a> {
+    /// The recorded activity stream replayed fleet-wide.
+    pub workload: &'a Workload,
+    /// The deployed model the workload was recorded from.
+    pub dm: &'a DeployedModel,
+    /// The recording input.
+    pub input: &'a Tensor,
+}
+
+/// Triage policy.
+#[derive(Debug, Clone)]
+pub struct TriageConfig {
+    /// Fence policy applied to every cell baseline.
+    pub fences: FenceConfig,
+    /// How many flagged devices get a full-engine trace drill-down.
+    pub top_k: usize,
+    /// Where anomaly traces are written (`None`: no files; the report
+    /// still carries the deterministic trace names).
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for TriageConfig {
+    fn default() -> Self {
+        Self { fences: FenceConfig::default(), top_k: 8, trace_dir: None }
+    }
+}
+
+/// Quantile baseline of one cell's merged aggregate.
+pub fn baseline_of(agg: &CellAgg) -> CellBaseline {
+    CellBaseline {
+        latency_p99_ns: agg.latency_ns.quantile_ppm(990_000),
+        reboots_p99: agg.power_cycles.quantile_ppm(990_000),
+        retries_p99: agg.retries.quantile_ppm(990_000),
+        max_stall_p99_ns: agg.max_stall_ns.quantile_ppm(990_000),
+        availability_p01_ppm: agg.availability_ppm.quantile_ppm(10_000),
+    }
+}
+
+/// One flagged device (scan output).
+#[derive(Debug, Clone)]
+struct Candidate {
+    cell: usize,
+    device: u64,
+    health: DeviceHealth,
+    causes: Vec<AnomalyCause>,
+    severity: u64,
+}
+
+/// Per-cell triage summary row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageCellRow {
+    /// Workload (model) name.
+    pub workload: String,
+    /// Harvest-profile label.
+    pub harvest: String,
+    /// Device-variant name.
+    pub variant: String,
+    /// The fences every device in the cell was tested against.
+    pub fences: CellFences,
+    /// Devices flagged in this cell.
+    pub flagged: u64,
+    /// Flag counts per cause, in [`AnomalyCause::ALL`] order.
+    pub cause_counts: [u64; N_CAUSES],
+    /// Earliest healthy (completed, unflagged) device index, if any.
+    pub healthy_ref: Option<u64>,
+}
+
+/// One drilled-down anomaly.
+#[derive(Debug, Clone)]
+pub struct AnomalyRow {
+    /// Global cell index (row index into the fleet report).
+    pub cell: usize,
+    /// Device index within the cell.
+    pub device: u64,
+    /// Why it was flagged, in [`AnomalyCause::ALL`] order.
+    pub causes: Vec<AnomalyCause>,
+    /// Integer severity score (see `iprune_obs::telemetry::severity`).
+    pub severity: u64,
+    /// The device's health record.
+    pub health: DeviceHealth,
+    /// Deterministic trace base name (`<workload>_c<cell>_d<device>`);
+    /// `<base>.jsonl` / `<base>.chrome.json` exist when a trace dir was
+    /// configured.
+    pub trace: String,
+    /// Whether the drill-down trace's attribution reconciled with the
+    /// device's replayed `SimStats`.
+    pub reconciled: bool,
+    /// Layer with the largest time excess over the healthy reference
+    /// (over the anomaly's own largest layer when the cell has no healthy
+    /// device).
+    pub hot_layer: Option<String>,
+    /// That layer's excess in nanoseconds (0 when `hot_layer` is None).
+    pub hot_excess_ns: u64,
+}
+
+/// The triage report: per-cell flag summaries plus the drilled top-K.
+#[derive(Debug, Clone)]
+pub struct TriageReport {
+    /// Master campaign seed.
+    pub seed: u64,
+    /// Total devices scanned.
+    pub devices: u64,
+    /// Shard size used for the scan fan-out.
+    pub shard_size: u64,
+    /// Drill-down budget.
+    pub top_k: usize,
+    /// Total flagged devices across all cells.
+    pub flagged: u64,
+    /// Per-cell rows, in fleet-report order.
+    pub cells: Vec<TriageCellRow>,
+    /// The drilled anomalies, severity-descending.
+    pub anomalies: Vec<AnomalyRow>,
+    /// Host wall-clock of scan + drill-down (the one nondeterministic
+    /// field).
+    pub wall_s: f64,
+}
+
+/// Builds the health record of one replayed device. For failures the
+/// simulator's state at the verdict is the record: time simulated so far,
+/// failed-attempt count, and the livelock flag from the structured
+/// outcome.
+fn health_of(
+    result: &Result<crate::workload::ReplayOutcome, iprune_faults::RunOutcome>,
+    sim: &DeviceSim,
+) -> DeviceHealth {
+    match result {
+        Ok(out) => DeviceHealth {
+            completed: true,
+            latency_ns: CellAgg::quantize_latency_ns(out.latency_s),
+            availability_ppm: CellAgg::quantize_availability_ppm(out.charging_s, out.latency_s),
+            reboots: out.power_cycles,
+            retries: out.retries,
+            livelock: false,
+            max_stall_ns: CellAgg::quantize_latency_ns(out.max_stall_s),
+        },
+        Err(outcome) => {
+            let stats = sim.stats();
+            let elapsed = sim.now();
+            DeviceHealth {
+                completed: false,
+                latency_ns: CellAgg::quantize_latency_ns(elapsed),
+                availability_ppm: CellAgg::quantize_availability_ppm(stats.charging_s, elapsed),
+                reboots: stats.power_cycles,
+                retries: stats.jobs_failed,
+                livelock: outcome.is_livelock(),
+                max_stall_ns: CellAgg::quantize_latency_ns(sim.max_stall_s()),
+            }
+        }
+    }
+}
+
+/// Scan result of one shard.
+struct ShardScan {
+    flagged: Vec<Candidate>,
+    /// Earliest completed, unflagged device in the shard's range.
+    first_healthy: Option<u64>,
+}
+
+/// Replays one shard's devices against its cell's fences.
+fn scan_shard(
+    w: &Workload,
+    pop: &PopulationSpec,
+    cell: usize,
+    h: usize,
+    v: usize,
+    devices: std::ops::Range<u64>,
+    fences: &CellFences,
+) -> ShardScan {
+    let mut out = ShardScan { flagged: Vec::new(), first_healthy: None };
+    for d in devices {
+        let device = pop.sample(cell as u64, h, v, d);
+        let mut sim = device.build_sim();
+        let result = replay(w, &mut sim);
+        let health = health_of(&result, &sim);
+        let causes = classify(&health, fences);
+        if causes.is_empty() {
+            if out.first_healthy.is_none() && health.completed {
+                out.first_healthy = Some(d);
+            }
+        } else {
+            let sev = severity(&health, fences);
+            out.flagged.push(Candidate { cell, device: d, health, causes, severity: sev });
+        }
+    }
+    out
+}
+
+/// One device's full-engine drill-down: trace, attribution, reconcile
+/// verdict against a fresh replay's `SimStats`.
+struct DrillDown {
+    attr: Attribution,
+    events_jsonl: String,
+    events_chrome: String,
+    reconciled: bool,
+}
+
+fn drill_down(entry: &TriageEntry<'_>, device: &SampledDevice) -> DrillDown {
+    // full engine with the trace sink installed
+    let sink = MemorySink::shared();
+    let mut traced = device.build_sim();
+    traced.set_trace_sink(sink.clone());
+    let _ = infer(entry.dm, entry.input, &mut traced, ExecMode::Intermittent);
+    let events = drain_shared(&sink);
+
+    // an independent replay of the recorded workload on the same device;
+    // replay ≡ engine bit-for-bit, so the trace must account for exactly
+    // the replayed statistics — the audit that closes the loop between
+    // the cheap fleet path and the real engine
+    let mut replayed = device.build_sim();
+    let replay_stats: SimStats = match replay(entry.workload, &mut replayed) {
+        Ok(out) => out.stats,
+        Err(_) => replayed.stats().clone(),
+    };
+
+    let attr = Attribution::from_events(&events);
+    let reconciled = attr.reconcile(&StatsTotals::from(&replay_stats)).is_ok();
+    DrillDown {
+        attr,
+        events_jsonl: to_jsonl(&events),
+        events_chrome: to_chrome_json(&events),
+        reconciled,
+    }
+}
+
+/// Per-layer time of an attribution, as `(label, total_ns)` rows in table
+/// order (layer rows only — op-less catch-all rows are skipped).
+fn layer_ns(attr: &Attribution) -> Vec<(String, u64)> {
+    attr.rows()
+        .iter()
+        .filter(|r| r.op.is_some())
+        .map(|r| (r.label.clone(), CellAgg::quantize_latency_ns(r.total_s())))
+        .collect()
+}
+
+/// The layer with the largest excess of `anomaly` over `healthy`
+/// (`healthy = None` compares against zero).
+fn hottest_layer(
+    anomaly: &[(String, u64)],
+    healthy: Option<&Vec<(String, u64)>>,
+) -> (Option<String>, u64) {
+    let mut best: Option<(String, u64)> = None;
+    for (label, ns) in anomaly {
+        let base = healthy
+            .and_then(|rows| rows.iter().find(|(l, _)| l == label).map(|(_, n)| *n))
+            .unwrap_or(0);
+        let excess = ns.saturating_sub(base);
+        if best.as_ref().map(|(_, b)| excess > *b).unwrap_or(excess > 0) {
+            best = Some((label.clone(), excess));
+        }
+    }
+    match best {
+        Some((l, e)) => (Some(l), e),
+        None => (None, 0),
+    }
+}
+
+/// Renders the per-layer diff table written next to an anomaly's trace.
+fn render_diff(anomaly: &[(String, u64)], healthy: Option<&Vec<(String, u64)>>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>14} {:>14} {:>14}",
+        "layer", "anomaly_ns", "healthy_ns", "excess_ns"
+    );
+    for (label, ns) in anomaly {
+        let base = healthy
+            .and_then(|rows| rows.iter().find(|(l, _)| l == label).map(|(_, n)| *n))
+            .unwrap_or(0);
+        let _ =
+            writeln!(out, "{:<24} {:>14} {:>14} {:>14}", label, ns, base, ns.saturating_sub(base));
+    }
+    out
+}
+
+/// Runs the triage pass over a campaign whose pass-1 report is `fleet`.
+///
+/// `entries` must be the same workloads (in the same order) the fleet
+/// report was produced from; the population/shard geometry comes from
+/// `campaign`.
+///
+/// # Panics
+///
+/// Panics when the entry count does not match the report's cell grid, or
+/// when a configured trace dir cannot be created or written.
+pub fn run_triage(
+    campaign: &FleetCampaign,
+    entries: &[TriageEntry<'_>],
+    fleet: &FleetReport,
+    cfg: &TriageConfig,
+) -> TriageReport {
+    assert!(!entries.is_empty(), "triage needs at least one workload entry");
+    let pop = &campaign.population;
+    let n_cells = entries.len() * pop.harvests.len() * pop.variants.len();
+    assert_eq!(fleet.cells.len(), n_cells, "fleet report does not match the triage entries");
+    for (e, w) in entries.iter().zip(fleet.cells.iter().step_by(n_cells / entries.len())) {
+        assert_eq!(e.workload.name, w.workload, "workload order must match the fleet report");
+    }
+
+    let t0 = std::time::Instant::now();
+
+    // fences once per cell, from the merged pass-1 aggregates — identical
+    // for every shard and thread of the scan below
+    let fences: Vec<CellFences> = fleet
+        .cells
+        .iter()
+        .map(|c| CellFences::from_baseline(&baseline_of(&c.agg), &cfg.fences))
+        .collect();
+
+    // pass 2: the same (cell × shard) tiling as FleetCampaign::run
+    struct Task {
+        cell: usize,
+        w: usize,
+        h: usize,
+        v: usize,
+        first: u64,
+        count: u64,
+    }
+    let shards_per_cell = pop.devices_per_cell.div_ceil(campaign.shard_size);
+    let mut tasks = Vec::with_capacity(n_cells * shards_per_cell as usize);
+    let mut cell = 0usize;
+    for w in 0..entries.len() {
+        for h in 0..pop.harvests.len() {
+            for v in 0..pop.variants.len() {
+                for s in 0..shards_per_cell {
+                    let first = s * campaign.shard_size;
+                    let count = campaign.shard_size.min(pop.devices_per_cell - first);
+                    tasks.push(Task { cell, w, h, v, first, count });
+                }
+                cell += 1;
+            }
+        }
+    }
+    let scans = par::par_map(tasks.len(), |i| {
+        let t = &tasks[i];
+        scan_shard(
+            entries[t.w].workload,
+            pop,
+            t.cell,
+            t.h,
+            t.v,
+            t.first..t.first + t.count,
+            &fences[t.cell],
+        )
+    });
+
+    // fold shard scans per cell in task order: candidate lists concatenate
+    // in device order, healthy references merge by min — both exact
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut healthy_ref: Vec<Option<u64>> = vec![None; n_cells];
+    for (t, scan) in tasks.iter().zip(&scans) {
+        candidates.extend(scan.flagged.iter().cloned());
+        if let Some(d) = scan.first_healthy {
+            healthy_ref[t.cell] = Some(healthy_ref[t.cell].map_or(d, |prev: u64| prev.min(d)));
+        }
+    }
+
+    // per-cell summary rows
+    let mut cells: Vec<TriageCellRow> = fleet
+        .cells
+        .iter()
+        .zip(&fences)
+        .zip(&healthy_ref)
+        .map(|((c, f), h)| TriageCellRow {
+            workload: c.workload.clone(),
+            harvest: c.harvest.clone(),
+            variant: c.variant.clone(),
+            fences: *f,
+            flagged: 0,
+            cause_counts: [0; N_CAUSES],
+            healthy_ref: *h,
+        })
+        .collect();
+    for cand in &candidates {
+        let row = &mut cells[cand.cell];
+        row.flagged += 1;
+        for cause in &cand.causes {
+            row.cause_counts[cause.index()] += 1;
+        }
+    }
+
+    // top-K by (severity desc, cell, device) — a total, partition-free
+    // order because candidates arrive in global (cell, device) order
+    let flagged_total = candidates.len() as u64;
+    candidates.sort_by(|a, b| {
+        b.severity.cmp(&a.severity).then(a.cell.cmp(&b.cell)).then(a.device.cmp(&b.device))
+    });
+    candidates.truncate(cfg.top_k);
+
+    if let Some(dir) = &cfg.trace_dir {
+        std::fs::create_dir_all(dir).expect("create triage trace dir");
+    }
+    let write = |name: &str, body: &str| {
+        if let Some(dir) = &cfg.trace_dir {
+            std::fs::write(dir.join(name), body).expect("write triage trace");
+        }
+    };
+
+    // drill-downs: the cell's healthy reference first (once per cell that
+    // has drilled anomalies), then every top-K anomaly
+    let cells_per_workload = n_cells / entries.len().max(1);
+    let entry_of = |cell: usize| &entries[cell / cells_per_workload.max(1)];
+    let sample_of = |cell: usize, device: u64| {
+        let within = cell % cells_per_workload.max(1);
+        let h = within / pop.variants.len();
+        let v = within % pop.variants.len();
+        pop.sample(cell as u64, h, v, device)
+    };
+
+    let mut healthy_layers: Vec<Option<Vec<(String, u64)>>> = vec![None; n_cells];
+    for cand in &candidates {
+        if healthy_layers[cand.cell].is_some() {
+            continue;
+        }
+        if let Some(d) = healthy_ref[cand.cell] {
+            let entry = entry_of(cand.cell);
+            let dd = drill_down(entry, &sample_of(cand.cell, d));
+            let base = format!("{}_c{}_d{}_healthy", entry.workload.name, cand.cell, d);
+            write(&format!("{base}.jsonl"), &dd.events_jsonl);
+            healthy_layers[cand.cell] = Some(layer_ns(&dd.attr));
+        }
+    }
+
+    let mut anomalies = Vec::with_capacity(candidates.len());
+    for cand in &candidates {
+        let entry = entry_of(cand.cell);
+        let dd = drill_down(entry, &sample_of(cand.cell, cand.device));
+        let layers = layer_ns(&dd.attr);
+        let healthy = healthy_layers[cand.cell].as_ref();
+        let (hot_layer, hot_excess_ns) = hottest_layer(&layers, healthy);
+        let base = format!("{}_c{}_d{}", entry.workload.name, cand.cell, cand.device);
+        write(&format!("{base}.jsonl"), &dd.events_jsonl);
+        write(&format!("{base}.chrome.json"), &dd.events_chrome);
+        write(&format!("{base}.diff.txt"), &render_diff(&layers, healthy));
+        anomalies.push(AnomalyRow {
+            cell: cand.cell,
+            device: cand.device,
+            causes: cand.causes.clone(),
+            severity: cand.severity,
+            health: cand.health,
+            trace: base,
+            reconciled: dd.reconciled,
+            hot_layer,
+            hot_excess_ns,
+        });
+    }
+
+    metrics::counter("triage.flagged").add(flagged_total);
+    metrics::counter("triage.drilldowns").add(anomalies.len() as u64);
+
+    TriageReport {
+        seed: pop.seed,
+        devices: n_cells as u64 * pop.devices_per_cell,
+        shard_size: campaign.shard_size,
+        top_k: cfg.top_k,
+        flagged: flagged_total,
+        cells,
+        anomalies,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn fences_json(f: &CellFences) -> String {
+    format!(
+        "{{\"latency_ns\": {}, \"reboots\": {}, \"retries\": {}, \"max_stall_ns\": {}, \"availability_ppm\": {}}}",
+        f.latency_ns, f.reboots, f.retries, f.max_stall_ns, f.availability_ppm
+    )
+}
+
+impl TriageReport {
+    /// The structural JSON lines — everything except `wall_s`.
+    pub fn structural_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"triage\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"devices\": {},", self.devices);
+        let _ = writeln!(out, "  \"shard_size\": {},", self.shard_size);
+        let _ = writeln!(out, "  \"top_k\": {},", self.top_k);
+        let _ = writeln!(out, "  \"flagged\": {},", self.flagged);
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let causes: Vec<String> = AnomalyCause::ALL
+                .iter()
+                .map(|cause| format!("\"{}\": {}", cause.name(), c.cause_counts[cause.index()]))
+                .collect();
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"{}\", \"harvest\": \"{}\", \"variant\": \"{}\", \
+                 \"flagged\": {}, \"causes\": {{{}}}, \"fences\": {}, \"healthy_ref\": {}}}",
+                c.workload,
+                c.harvest,
+                c.variant,
+                c.flagged,
+                causes.join(", "),
+                fences_json(&c.fences),
+                c.healthy_ref.map_or("null".to_string(), |d| d.to_string()),
+            );
+            out.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"anomalies\": [\n");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            let causes: Vec<String> =
+                a.causes.iter().map(|c| format!("\"{}\"", c.name())).collect();
+            let _ = write!(
+                out,
+                "    {{\"cell\": {}, \"device\": {}, \"severity\": {}, \"causes\": [{}], \
+                 \"completed\": {}, \"latency_ns\": {}, \"availability_ppm\": {}, \
+                 \"reboots\": {}, \"retries\": {}, \"max_stall_ns\": {}, \"trace\": \"{}\", \
+                 \"reconciled\": {}, \"hot_layer\": {}, \"hot_excess_ns\": {}}}",
+                a.cell,
+                a.device,
+                a.severity,
+                causes.join(", "),
+                a.health.completed,
+                a.health.latency_ns,
+                a.health.availability_ppm,
+                a.health.reboots,
+                a.health.retries,
+                a.health.max_stall_ns,
+                a.trace,
+                a.reconciled,
+                a.hot_layer.as_ref().map_or("null".to_string(), |l| format!("\"{l}\"")),
+                a.hot_excess_ns,
+            );
+            out.push_str(if i + 1 < self.anomalies.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Full report JSON with the host-dependent `"wall_s"` spliced in on
+    /// its own line.
+    pub fn to_json(&self) -> String {
+        let wall = format!("  \"wall_s\": {:.3},\n  \"cells\": [", self.wall_s);
+        self.structural_json().replacen("  \"cells\": [", &wall, 1)
+    }
+
+    /// Human summary: flag totals plus a top-K table (the `doctor` view).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "triage: {} of {} devices flagged, {} drilled (seed {})",
+            self.flagged,
+            self.devices,
+            self.anomalies.len(),
+            self.seed
+        );
+        for a in &self.anomalies {
+            let c = &self.cells[a.cell];
+            let causes: Vec<&str> = a.causes.iter().map(|x| x.name()).collect();
+            let _ = writeln!(
+                out,
+                "  cell {:>3} ({} / {} / {})  device {:>6}  sev {:>10}  [{}]  trace {}{}",
+                a.cell,
+                c.workload,
+                c.harvest,
+                c.variant,
+                a.device,
+                a.severity,
+                causes.join(","),
+                a.trace,
+                match &a.hot_layer {
+                    Some(l) => format!("  hot {} (+{} ms)", l, a.hot_excess_ns / 1_000_000),
+                    None => String::new(),
+                }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_reads_the_right_quantiles() {
+        let mut agg = CellAgg::default();
+        for i in 0..100u64 {
+            agg.latency_ns.record((i + 1) * 1_000_000);
+            agg.availability_ppm.record(900_000 + i * 100);
+            agg.power_cycles.record(1);
+            agg.retries.record(2);
+            agg.max_stall_ns.record(5_000_000);
+        }
+        let b = baseline_of(&agg);
+        assert!(b.latency_p99_ns >= b.latency_p99_ns / 2);
+        assert_eq!(b.reboots_p99, 1);
+        assert_eq!(b.retries_p99, 2);
+        assert!(b.availability_p01_ppm <= 900_100, "p01 is the low tail");
+    }
+
+    #[test]
+    fn hottest_layer_prefers_the_biggest_excess() {
+        let anomaly = vec![("conv1".to_string(), 100u64), ("fc1".to_string(), 900u64)];
+        let healthy = vec![("conv1".to_string(), 90u64), ("fc1".to_string(), 100u64)];
+        let (label, excess) = hottest_layer(&anomaly, Some(&healthy));
+        assert_eq!(label.as_deref(), Some("fc1"));
+        assert_eq!(excess, 800);
+        // without a reference the anomaly's own biggest layer wins
+        let (label, excess) = hottest_layer(&anomaly, None);
+        assert_eq!(label.as_deref(), Some("fc1"));
+        assert_eq!(excess, 900);
+        // all-zero rows flag nothing
+        assert_eq!(hottest_layer(&[("x".to_string(), 0)], None), (None, 0));
+    }
+
+    #[test]
+    fn diff_table_lists_every_layer() {
+        let anomaly = vec![("conv1".to_string(), 100u64)];
+        let table = render_diff(&anomaly, None);
+        assert!(table.contains("conv1"));
+        assert!(table.contains("excess_ns"));
+    }
+}

@@ -95,6 +95,9 @@ pub struct ReplayOutcome {
     pub retries: u64,
     /// Time spent off, waiting for the capacitor to refill (s).
     pub charging_s: f64,
+    /// Longest single off-time (s) — the worst stall, vs `charging_s`
+    /// which sums them all.
+    pub max_stall_s: f64,
     /// Full simulator statistics.
     pub stats: SimStats,
 }
@@ -236,6 +239,7 @@ pub fn replay(w: &Workload, sim: &mut DeviceSim) -> Result<ReplayOutcome, RunOut
         power_cycles: stats.power_cycles,
         retries,
         charging_s: stats.charging_s,
+        max_stall_s: sim.max_stall_s(),
         stats,
     })
 }
@@ -313,6 +317,11 @@ mod tests {
                 assert_eq!(rep.stats, out.stats, "{tag}: SimStats");
                 assert_eq!(rep.retries, out.retries, "{tag}: retries");
                 assert_eq!(rep.power_cycles, out.power_cycles, "{tag}: power cycles");
+                assert_eq!(
+                    rep.max_stall_s.to_bits(),
+                    engine_sim.max_stall_s().to_bits(),
+                    "{tag}: worst stall"
+                );
             }
         }
     }

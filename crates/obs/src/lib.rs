@@ -22,6 +22,11 @@
 //!    sensitivity probes, thread-pool fan-outs) and a leveled stderr
 //!    logger controlled by `IPRUNE_LOG` that keeps human narration off
 //!    stdout, where benches emit machine-readable rows.
+//! 4. **Fleet telemetry & bench trajectory** ([`telemetry`], [`history`]):
+//!    per-device health records with exact-integer anomaly fences (the
+//!    vocabulary `iprune-fleet`'s triage pass speaks), and structural
+//!    fingerprints of the deterministic `BENCH_*.json` reports backing the
+//!    committed `BENCH_HISTORY.jsonl` regression gate.
 //!
 //! Tracing is zero-overhead when disabled: with no sink installed the
 //! simulator's emission points are a single `Option` branch, and no event
@@ -30,12 +35,15 @@
 pub mod attr;
 pub mod event;
 pub mod export;
+pub mod history;
 pub mod log;
 pub mod metrics;
 pub mod sink;
+pub mod telemetry;
 
 pub use attr::{ActivityClass, Attribution, AuditError, StatsTotals};
 pub use event::TraceEvent;
 pub use export::{parse_jsonl, to_chrome_json, to_jsonl};
 pub use log::Level;
 pub use sink::{drain_shared, MemorySink, NullSink, SharedSink, TraceSink};
+pub use telemetry::{AnomalyCause, CellBaseline, CellFences, DeviceHealth, FenceConfig};

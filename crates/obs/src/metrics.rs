@@ -151,7 +151,19 @@ pub enum Reading {
     },
 }
 
-/// All registered instruments, sorted by name.
+/// Sort rank of a reading's kind — counters before histograms, so a name
+/// registered as both has a pinned order in [`snapshot`].
+fn kind_rank(r: &Reading) -> u8 {
+    match r {
+        Reading::Counter(_) => 0,
+        Reading::Histogram { .. } => 1,
+    }
+}
+
+/// All registered instruments, sorted by `(name, kind)` — fully
+/// deterministic regardless of registration order, including the
+/// degenerate case where one name is registered as both a counter and a
+/// histogram (the counter sorts first).
 pub fn snapshot() -> Vec<(String, Reading)> {
     let mut out: Vec<(String, Reading)> = Vec::new();
     for (name, c) in registry().counters.read().expect("metrics lock").iter() {
@@ -163,7 +175,7 @@ pub fn snapshot() -> Vec<(String, Reading)> {
             Reading::Histogram { count: h.count(), sum: h.sum(), mean: h.mean() },
         ));
     }
-    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| kind_rank(&a.1).cmp(&kind_rank(&b.1))));
     out
 }
 
@@ -223,5 +235,19 @@ mod tests {
         assert!(aa < zz);
         assert!(matches!(snap[aa].1, Reading::Histogram { count: 1, sum: 7, .. }));
         assert!(render_snapshot().contains("test.zz"));
+    }
+
+    #[test]
+    fn same_name_counter_precedes_histogram() {
+        // One name registered as both kinds: the snapshot order must be
+        // pinned (counter first), not registration- or hash-order.
+        histogram("test.dual").record(3);
+        counter("test.dual").inc();
+        let snap = snapshot();
+        let dual: Vec<&Reading> =
+            snap.iter().filter(|(n, _)| n == "test.dual").map(|(_, r)| r).collect();
+        assert_eq!(dual.len(), 2);
+        assert!(matches!(dual[0], Reading::Counter(_)), "counter must sort before histogram");
+        assert!(matches!(dual[1], Reading::Histogram { .. }));
     }
 }

@@ -1,0 +1,374 @@
+//! Fleet telemetry: per-device health records and exact-integer anomaly
+//! detection.
+//!
+//! A fleet campaign compresses 100k+ devices into per-cell aggregates;
+//! this module is the layer that can still point at *individual* devices.
+//! Each replay emits a compact [`DeviceHealth`] record (all integers,
+//! quantized at the source exactly like the fleet aggregators), a cell's
+//! aggregate quantiles become a [`CellBaseline`], and [`CellFences`] turns
+//! the baseline into robust outlier fences. [`classify`] then flags a
+//! device with one or more [`AnomalyCause`]s using **pure integer
+//! comparisons** — no floats anywhere past quantization — so flagging is
+//! byte-identical at any thread count and any shard size: whether a device
+//! is anomalous depends only on its own health record and its cell's
+//! merged baseline, never on the execution partition.
+//!
+//! The module is deliberately free of fleet-crate types: `iprune-fleet`
+//! produces the health records and baselines; this crate owns the
+//! vocabulary so CLI surfaces (`doctor`) and reports share one taxonomy.
+//! The failure half of that taxonomy mirrors the fault subsystem's
+//! `RunOutcome` snake_case names (pinned by test in `iprune-fleet`).
+
+/// Compact health record of one device's replay. Every field is an exact
+/// integer produced by the fleet's quantizers (nanoseconds,
+/// parts-per-million, counts), so records compare identically on every
+/// host and partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceHealth {
+    /// Whether the inference ran to completion.
+    pub completed: bool,
+    /// End-to-end latency (ns). For failed devices: time simulated until
+    /// the failure verdict.
+    pub latency_ns: u64,
+    /// Powered share of wall time (ppm).
+    pub availability_ppm: u64,
+    /// Power cycles suffered (every cycle ends in exactly one reboot).
+    pub reboots: u64,
+    /// Failed job attempts (re-executions).
+    pub retries: u64,
+    /// Whether the device hit the per-job retry cap (livelock verdict).
+    pub livelock: bool,
+    /// Longest single off-time waiting for the capacitor to refill (ns).
+    pub max_stall_ns: u64,
+}
+
+impl DeviceHealth {
+    /// Off-time share of wall time (ppm) — the energy-stall fraction.
+    /// Exactly `1_000_000 - availability_ppm` by construction.
+    pub fn energy_stall_ppm(&self) -> u64 {
+        1_000_000 - self.availability_ppm.min(1_000_000)
+    }
+}
+
+/// Robust per-cell baseline: the quantile floors of a cell's merged
+/// aggregate, as reported by the fleet's integer `LogHist` (each value is
+/// a histogram bucket floor — see `LogHist::quantile_ppm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellBaseline {
+    /// p99 end-to-end latency (ns), completed devices.
+    pub latency_p99_ns: u64,
+    /// p99 power-cycle count.
+    pub reboots_p99: u64,
+    /// p99 retry count.
+    pub retries_p99: u64,
+    /// p99 worst single stall (ns).
+    pub max_stall_p99_ns: u64,
+    /// p01 availability (ppm) — the *low* tail, since low is bad.
+    pub availability_p01_ppm: u64,
+}
+
+/// Fence policy: how far past the baseline a device must stray to be
+/// flagged. Multipliers are integer percentages; the absolute floors stop
+/// degenerate cells (e.g. a p99 of 0 reboots) from flagging every device
+/// that reboots once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceConfig {
+    /// Multiplier over the p99 baselines, in percent (200 = 2×).
+    pub mult_pct: u64,
+    /// Minimum latency fence (ns).
+    pub min_latency_ns: u64,
+    /// Minimum reboot fence.
+    pub min_reboots: u64,
+    /// Minimum retry fence.
+    pub min_retries: u64,
+    /// Minimum worst-stall fence (ns).
+    pub min_stall_ns: u64,
+    /// Absolute margin subtracted from the availability p01 (ppm).
+    pub availability_margin_ppm: u64,
+}
+
+impl Default for FenceConfig {
+    fn default() -> Self {
+        Self {
+            mult_pct: 200,
+            min_latency_ns: 1_000_000, // 1 ms
+            min_reboots: 4,
+            min_retries: 4,
+            min_stall_ns: 1_000_000,
+            availability_margin_ppm: 50_000, // 5 points below the p01
+        }
+    }
+}
+
+/// Concrete per-cell outlier fences: a device past any fence is flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellFences {
+    /// Flag when `latency_ns > latency_ns` fence.
+    pub latency_ns: u64,
+    /// Flag when `reboots > reboots` fence.
+    pub reboots: u64,
+    /// Flag when `retries > retries` fence.
+    pub retries: u64,
+    /// Flag when `max_stall_ns > max_stall_ns` fence.
+    pub max_stall_ns: u64,
+    /// Flag when `availability_ppm < availability_ppm` fence.
+    pub availability_ppm: u64,
+}
+
+impl CellFences {
+    /// Builds fences from a cell baseline under `cfg`: each upper fence is
+    /// `max(p99 · mult_pct / 100, min_*)` in exact integer arithmetic; the
+    /// availability fence is `p01 − margin`, saturating at 0 (a fence of 0
+    /// never fires, since availability cannot go below 0).
+    pub fn from_baseline(b: &CellBaseline, cfg: &FenceConfig) -> Self {
+        let scale = |v: u64| (v as u128 * cfg.mult_pct as u128 / 100).min(u64::MAX as u128) as u64;
+        Self {
+            latency_ns: scale(b.latency_p99_ns).max(cfg.min_latency_ns),
+            reboots: scale(b.reboots_p99).max(cfg.min_reboots),
+            retries: scale(b.retries_p99).max(cfg.min_retries),
+            max_stall_ns: scale(b.max_stall_p99_ns).max(cfg.min_stall_ns),
+            availability_ppm: b.availability_p01_ppm.saturating_sub(cfg.availability_margin_ppm),
+        }
+    }
+}
+
+/// Why a device was flagged. The failure causes mirror the fault
+/// subsystem's `RunOutcome` snake_case names; the outlier causes are
+/// telemetry's own vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyCause {
+    /// Hit the per-job retry cap — recovery livelock.
+    Livelock,
+    /// The energy budget can never fit an activity.
+    Nontermination,
+    /// Completed, but latency beyond the cell's tail fence.
+    TailLatency,
+    /// Completed, but power-cycled far more than the cell's tail.
+    RebootStorm,
+    /// Completed, but re-executed jobs far more than the cell's tail.
+    RetryStorm,
+    /// Completed, but spent an outlier share of wall time off, or suffered
+    /// an outlier single stall.
+    EnergyStall,
+}
+
+/// Number of distinct anomaly causes.
+pub const N_CAUSES: usize = 6;
+
+impl AnomalyCause {
+    /// All causes, in severity order (report column order).
+    pub const ALL: [AnomalyCause; N_CAUSES] = [
+        AnomalyCause::Livelock,
+        AnomalyCause::Nontermination,
+        AnomalyCause::TailLatency,
+        AnomalyCause::RebootStorm,
+        AnomalyCause::RetryStorm,
+        AnomalyCause::EnergyStall,
+    ];
+
+    /// Stable snake_case serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyCause::Livelock => "livelock",
+            AnomalyCause::Nontermination => "nontermination",
+            AnomalyCause::TailLatency => "tail_latency",
+            AnomalyCause::RebootStorm => "reboot_storm",
+            AnomalyCause::RetryStorm => "retry_storm",
+            AnomalyCause::EnergyStall => "energy_stall",
+        }
+    }
+
+    /// Index into [`Self::ALL`] (report cause-count columns).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("cause in ALL")
+    }
+}
+
+impl std::fmt::Display for AnomalyCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies one device against its cell fences. Returns the (possibly
+/// empty) cause list in [`AnomalyCause::ALL`] order; an empty list means
+/// healthy. Failed devices are always anomalous (their structured outcome
+/// *is* the cause); completed devices are tested against every fence with
+/// pure integer comparisons.
+pub fn classify(h: &DeviceHealth, fences: &CellFences) -> Vec<AnomalyCause> {
+    if !h.completed {
+        return vec![if h.livelock {
+            AnomalyCause::Livelock
+        } else {
+            AnomalyCause::Nontermination
+        }];
+    }
+    let mut causes = Vec::new();
+    if h.latency_ns > fences.latency_ns {
+        causes.push(AnomalyCause::TailLatency);
+    }
+    if h.reboots > fences.reboots {
+        causes.push(AnomalyCause::RebootStorm);
+    }
+    if h.retries > fences.retries {
+        causes.push(AnomalyCause::RetryStorm);
+    }
+    if h.availability_ppm < fences.availability_ppm || h.max_stall_ns > fences.max_stall_ns {
+        causes.push(AnomalyCause::EnergyStall);
+    }
+    causes
+}
+
+/// Integer severity score for top-K ranking. Failures dominate outliers;
+/// among outliers the score sums how far past each fence the device is,
+/// in parts-per-million of the fence (exact integer ratios), each term
+/// capped at 10¹¹ so no sum of outlier terms can reach the failure
+/// floors. Ties are broken by the caller with `(cell, device)` so the
+/// ranking is total and partition-independent.
+pub fn severity(h: &DeviceHealth, fences: &CellFences) -> u64 {
+    if !h.completed {
+        return if h.livelock { 2_000_000_000_000 } else { 1_500_000_000_000 };
+    }
+    // ppm of the fence, exact: v * 1e6 / fence (fence >= 1 by the min_*
+    // floors; availability fence may be 0 and is guarded)
+    let over = |v: u64, fence: u64| {
+        ((v as u128 * 1_000_000 / fence.max(1) as u128) as u64).min(10u64.pow(11))
+    };
+    let mut score = 0u64;
+    if h.latency_ns > fences.latency_ns {
+        score += over(h.latency_ns, fences.latency_ns);
+    }
+    if h.reboots > fences.reboots {
+        score += over(h.reboots, fences.reboots);
+    }
+    if h.retries > fences.retries {
+        score += over(h.retries, fences.retries);
+    }
+    if h.max_stall_ns > fences.max_stall_ns {
+        score += over(h.max_stall_ns, fences.max_stall_ns);
+    }
+    if h.availability_ppm < fences.availability_ppm {
+        score += fences.availability_ppm - h.availability_ppm;
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> DeviceHealth {
+        DeviceHealth {
+            completed: true,
+            latency_ns: 500_000_000,
+            availability_ppm: 960_000,
+            reboots: 2,
+            retries: 2,
+            livelock: false,
+            max_stall_ns: 3_000_000,
+        }
+    }
+
+    fn fences() -> CellFences {
+        CellFences {
+            latency_ns: 1_100_000_000,
+            reboots: 8,
+            retries: 8,
+            max_stall_ns: 20_000_000,
+            availability_ppm: 900_000,
+        }
+    }
+
+    #[test]
+    fn healthy_devices_are_not_flagged() {
+        assert!(classify(&healthy(), &fences()).is_empty());
+        assert_eq!(severity(&healthy(), &fences()), 0);
+    }
+
+    #[test]
+    fn failures_dominate_everything() {
+        let ll = DeviceHealth { completed: false, livelock: true, ..healthy() };
+        let nt = DeviceHealth { completed: false, livelock: false, ..healthy() };
+        assert_eq!(classify(&ll, &fences()), vec![AnomalyCause::Livelock]);
+        assert_eq!(classify(&nt, &fences()), vec![AnomalyCause::Nontermination]);
+        assert!(severity(&ll, &fences()) > severity(&nt, &fences()));
+        let worst_outlier = DeviceHealth {
+            latency_ns: u64::MAX / 2,
+            reboots: 1 << 30,
+            retries: 1 << 30,
+            availability_ppm: 0,
+            max_stall_ns: u64::MAX / 2,
+            ..healthy()
+        };
+        assert!(severity(&nt, &fences()) > severity(&worst_outlier, &fences()));
+    }
+
+    #[test]
+    fn each_fence_fires_independently() {
+        let f = fences();
+        let cases = [
+            (DeviceHealth { latency_ns: f.latency_ns + 1, ..healthy() }, AnomalyCause::TailLatency),
+            (DeviceHealth { reboots: f.reboots + 1, ..healthy() }, AnomalyCause::RebootStorm),
+            (DeviceHealth { retries: f.retries + 1, ..healthy() }, AnomalyCause::RetryStorm),
+            (
+                DeviceHealth { max_stall_ns: f.max_stall_ns + 1, ..healthy() },
+                AnomalyCause::EnergyStall,
+            ),
+            (
+                DeviceHealth { availability_ppm: f.availability_ppm - 1, ..healthy() },
+                AnomalyCause::EnergyStall,
+            ),
+        ];
+        for (h, want) in cases {
+            assert_eq!(classify(&h, &f), vec![want], "{h:?}");
+            assert!(severity(&h, &f) > 0);
+        }
+        // exactly at the fence is healthy: the fences are strict bounds
+        let at = DeviceHealth {
+            latency_ns: f.latency_ns,
+            reboots: f.reboots,
+            retries: f.retries,
+            max_stall_ns: f.max_stall_ns,
+            availability_ppm: f.availability_ppm,
+            ..healthy()
+        };
+        assert!(classify(&at, &f).is_empty());
+    }
+
+    #[test]
+    fn fences_scale_the_baseline_with_floors() {
+        let b = CellBaseline {
+            latency_p99_ns: 1_000_000_000,
+            reboots_p99: 0, // degenerate: healthy cell never reboots
+            retries_p99: 10,
+            max_stall_p99_ns: 0,
+            availability_p01_ppm: 30_000, // degenerate: near-dark cell
+        };
+        let cfg = FenceConfig::default();
+        let f = CellFences::from_baseline(&b, &cfg);
+        assert_eq!(f.latency_ns, 2_000_000_000);
+        assert_eq!(f.reboots, cfg.min_reboots, "floor must replace the 0 baseline");
+        assert_eq!(f.retries, 20);
+        assert_eq!(f.max_stall_ns, cfg.min_stall_ns);
+        assert_eq!(f.availability_ppm, 0, "margin saturates at 0 — fence never fires");
+        // a device rebooting once in a never-rebooting cell is NOT flagged
+        let h = DeviceHealth { reboots: 1, availability_ppm: 10_000, ..healthy() };
+        assert!(!classify(&h, &f).contains(&AnomalyCause::RebootStorm));
+    }
+
+    #[test]
+    fn stall_fraction_is_the_availability_complement() {
+        let h = DeviceHealth { availability_ppm: 940_000, ..healthy() };
+        assert_eq!(h.energy_stall_ppm(), 60_000);
+    }
+
+    #[test]
+    fn cause_names_are_snake_case_and_indexed() {
+        for (i, c) in AnomalyCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            let n = c.name();
+            assert!(n.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'), "{n}");
+            assert_eq!(format!("{c}"), n);
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //! iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]
 //! iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]
 //! iprune-cli fleet <APP> [--devices N] [--shard-size N] [--seed N] [--json PATH]
+//!            [--triage] [--top-k N] [--trace-dir DIR] [--triage-json PATH]
+//! iprune-cli doctor [APP] [--devices N] [--seed N] [--top-k N] [--trace-dir DIR]
+//! iprune-cli history record [--dir D] [--out FILE]
+//! iprune-cli history gate [--dir D] [--history FILE] [--max-wall-growth PCT]
 //! ```
 //!
 //! Every subcommand accepts `--threads N` to cap the host-side worker pool
@@ -14,7 +18,9 @@
 //! cores. The device simulator is always single-threaded.
 
 use iprune_repro::device::{DeviceSim, PowerStrength};
-use iprune_repro::fleet::{record_workload, FleetCampaign, PopulationSpec};
+use iprune_repro::fleet::{
+    record_workload, run_triage, FleetCampaign, PopulationSpec, TriageConfig, TriageEntry,
+};
 use iprune_repro::hawaii::deploy::deploy;
 use iprune_repro::hawaii::exec::{infer, ExecMode};
 use iprune_repro::hawaii::plan::{dense_model_acc_outputs, diversity_label, diversity_ratio};
@@ -36,6 +42,31 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Fingerprints every `BENCH_*.json` in `dir`, in file-name order.
+fn bench_entries(
+    dir: &std::path::Path,
+) -> Result<Vec<iprune_repro::obs::history::HistoryEntry>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|ent| ent.ok())
+        .filter_map(|ent| ent.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    let mut entries = Vec::with_capacity(names.len());
+    for n in &names {
+        let text =
+            std::fs::read_to_string(dir.join(n)).map_err(|e| format!("cannot read {n}: {e}"))?;
+        let bench = n.trim_start_matches("BENCH_").trim_end_matches(".json").to_ascii_lowercase();
+        entries.push(iprune_repro::obs::history::HistoryEntry::of(&bench, &text));
+    }
+    Ok(entries)
+}
+
 fn usage() -> ExitCode {
     eprintln!("usage:");
     eprintln!("  iprune-cli specs");
@@ -43,6 +74,10 @@ fn usage() -> ExitCode {
     eprintln!("  iprune-cli run <APP> [--power continuous|strong|weak] [--mode job|tile|continuous] [--train N] [--seed N]");
     eprintln!("  iprune-cli prune <APP> [--method iprune|eprune|magnitude|oneshot] [--train N]");
     eprintln!("  iprune-cli fleet <APP> [--devices N] [--shard-size N] [--seed N] [--json PATH]");
+    eprintln!("             [--triage] [--top-k N] [--trace-dir DIR] [--triage-json PATH]");
+    eprintln!("  iprune-cli doctor [APP] [--devices N] [--seed N] [--top-k N] [--trace-dir DIR]");
+    eprintln!("  iprune-cli history record [--dir D] [--out FILE]");
+    eprintln!("  iprune-cli history gate [--dir D] [--history FILE] [--max-wall-growth PCT]");
     eprintln!("options:");
     eprintln!("  --threads N   host-side worker threads (default: available parallelism)");
     ExitCode::from(2)
@@ -154,7 +189,8 @@ fn main() -> ExitCode {
             let mut model = app.build();
             let calib = app.dataset(8, 100);
             let dm = deploy(&mut model, &calib, 8);
-            let workload = record_workload(&dm, &calib.sample(0));
+            let x = calib.sample(0);
+            let workload = record_workload(&dm, &x);
             eprintln!(
                 "recorded {}: {} activities, {} jobs, nominal {:.3} ms",
                 workload.name,
@@ -175,7 +211,127 @@ fn main() -> ExitCode {
                 }
                 eprintln!("wrote {path}");
             }
+            if has_flag(&args, "--triage") {
+                let cfg = TriageConfig {
+                    top_k: flag_value(&args, "--top-k").and_then(|v| v.parse().ok()).unwrap_or(8),
+                    trace_dir: flag_value(&args, "--trace-dir").map(Into::into),
+                    ..Default::default()
+                };
+                let entries = [TriageEntry { workload: &workload, dm: &dm, input: &x }];
+                let triage = run_triage(&campaign, &entries, &report, &cfg);
+                println!();
+                print!("{}", triage.summary());
+                if let Some(path) = flag_value(&args, "--triage-json") {
+                    if let Err(e) = std::fs::write(&path, triage.to_json()) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+            }
             ExitCode::SUCCESS
+        }
+        Some("doctor") => {
+            let app = match args.get(1).filter(|s| !s.starts_with("--")) {
+                Some(s) => match parse_app(s) {
+                    Some(app) => app,
+                    None => return usage(),
+                },
+                None => App::Har,
+            };
+            let devices: u64 =
+                flag_value(&args, "--devices").and_then(|v| v.parse().ok()).unwrap_or(200);
+            let seed: u64 = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+            if devices == 0 {
+                eprintln!("--devices must be positive");
+                return usage();
+            }
+            let mut model = app.build();
+            let calib = app.dataset(8, 100);
+            let dm = deploy(&mut model, &calib, 8);
+            let x = calib.sample(0);
+            let workload = record_workload(&dm, &x);
+            let campaign = FleetCampaign {
+                population: PopulationSpec::default_fleet(devices, seed),
+                shard_size: 100.min(devices),
+            };
+            eprintln!("doctor: replaying {} across {} devices/cell…", workload.name, devices);
+            let fleet = campaign.run(std::slice::from_ref(&workload));
+            let cfg = TriageConfig {
+                top_k: flag_value(&args, "--top-k").and_then(|v| v.parse().ok()).unwrap_or(5),
+                trace_dir: flag_value(&args, "--trace-dir").map(Into::into),
+                ..Default::default()
+            };
+            let entries = [TriageEntry { workload: &workload, dm: &dm, input: &x }];
+            let triage = run_triage(&campaign, &entries, &fleet, &cfg);
+            print!("{}", triage.summary());
+            if let Some(dir) = &cfg.trace_dir {
+                eprintln!("traces under {}", dir.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("history") => {
+            let dir = std::path::PathBuf::from(flag_value(&args, "--dir").unwrap_or(".".into()));
+            let current = match bench_entries(&dir) {
+                Ok(entries) if !entries.is_empty() => entries,
+                Ok(_) => {
+                    eprintln!("no BENCH_*.json under {}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match args.get(1).map(|s| s.as_str()) {
+                Some("record") => {
+                    let rendered = iprune_repro::obs::history::render_history(&current);
+                    print!("{rendered}");
+                    let out = flag_value(&args, "--out")
+                        .map(Into::into)
+                        .unwrap_or_else(|| dir.join("BENCH_HISTORY.jsonl"));
+                    if let Err(e) = std::fs::write(&out, rendered) {
+                        eprintln!("cannot write {}: {e}", out.display());
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {}", out.display());
+                    ExitCode::SUCCESS
+                }
+                Some("gate") => {
+                    let path = flag_value(&args, "--history")
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| dir.join("BENCH_HISTORY.jsonl"));
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("cannot read {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let history = match iprune_repro::obs::history::parse_history(&text) {
+                        Ok(h) => h,
+                        Err(e) => {
+                            eprintln!("malformed {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let max_growth =
+                        flag_value(&args, "--max-wall-growth").and_then(|v| v.parse().ok());
+                    match iprune_repro::obs::history::gate(&history, &current, max_growth) {
+                        Ok(()) => {
+                            println!("history gate: {} benches clean", current.len());
+                            ExitCode::SUCCESS
+                        }
+                        Err(violations) => {
+                            for v in &violations {
+                                eprintln!("history gate: {v}");
+                            }
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                _ => usage(),
+            }
         }
         Some("prune") => {
             let Some(app) = args.get(1).and_then(|s| parse_app(s)) else {

@@ -1,0 +1,75 @@
+//! The bench-trajectory gate, run against the repo's own committed
+//! artifacts: every `BENCH_*.json` must structurally match its entry in
+//! `BENCH_HISTORY.jsonl`.
+//!
+//! This is the root of the regression-gate chain. A PR that changes a
+//! deterministic report's structural bytes (determinism hash) must
+//! deliberately re-record the history (`iprune-cli history record`) in
+//! the same commit — silent drift fails here. Wall-clock is *not* gated
+//! in the test (hosts differ); CI gates growth separately on its own
+//! fresh runs.
+
+use iprune_repro::obs::history::{self, HistoryEntry};
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn committed_entries() -> Vec<HistoryEntry> {
+    let mut names: Vec<String> = std::fs::read_dir(repo_root())
+        .expect("read repo root")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+        .iter()
+        .map(|n| {
+            let text = std::fs::read_to_string(repo_root().join(n)).expect("read bench report");
+            let bench =
+                n.trim_start_matches("BENCH_").trim_end_matches(".json").to_ascii_lowercase();
+            HistoryEntry::of(&bench, &text)
+        })
+        .collect()
+}
+
+#[test]
+fn committed_reports_match_the_committed_history() {
+    let current = committed_entries();
+    assert!(!current.is_empty(), "the repo must carry committed BENCH_*.json reports");
+
+    let text = std::fs::read_to_string(repo_root().join("BENCH_HISTORY.jsonl")).expect(
+        "BENCH_HISTORY.jsonl must be committed — regenerate with `iprune-cli history record`",
+    );
+    let history = history::parse_history(&text).expect("well-formed history");
+
+    // hash-only: wall-clock differs across hosts by design
+    if let Err(violations) = history::gate(&history, &current, None) {
+        panic!(
+            "bench history diverged — if the structural change is intended, re-record with \
+             `iprune-cli history record` in the same commit:\n  {}",
+            violations.join("\n  ")
+        );
+    }
+
+    // and the history must not reference benches that no longer exist:
+    // stale entries would silently stop gating anything
+    for old in &history {
+        assert!(
+            current.iter().any(|c| c.name == old.name),
+            "history entry `{}` has no committed BENCH_{}.json",
+            old.name,
+            old.name
+        );
+    }
+}
+
+#[test]
+fn history_round_trips_through_render_and_parse() {
+    let current = committed_entries();
+    let rendered = history::render_history(&current);
+    let parsed = history::parse_history(&rendered).expect("round-trip parse");
+    assert_eq!(parsed, current, "render → parse must be the identity");
+}

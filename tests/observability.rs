@@ -86,3 +86,30 @@ fn end_of_run_stats_pass_invariants() {
     let (_, out) = traced_har_run();
     out.stats.check_invariants().expect("SimStats invariants hold after a traced run");
 }
+
+#[test]
+fn disabled_tracing_never_constructs_events() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    // emission points take a closure that builds the event; with no sink
+    // installed the closure must never run, so a sink-less simulator
+    // allocates nothing for tracing (the `label: String` below is only
+    // ever built when the closure fires)
+    let built = AtomicU32::new(0);
+    let make = || {
+        built.fetch_add(1, Ordering::SeqCst);
+        TraceEvent::LayerStart { t: 0.0, op: 0, label: "conv0".to_string() }
+    };
+
+    let mut sim = DeviceSim::new(PowerStrength::Strong, 1);
+    sim.emit_scope(make);
+    assert_eq!(built.load(Ordering::SeqCst), 0, "no sink: the event must never be constructed");
+
+    let sink = MemorySink::shared();
+    sim.set_trace_sink(sink.clone());
+    sim.emit_scope(make);
+    assert_eq!(built.load(Ordering::SeqCst), 1, "with a sink the closure fires exactly once");
+    let events = drain_shared(&sink);
+    assert_eq!(events.len(), 1);
+    assert!(matches!(&events[0], TraceEvent::LayerStart { label, .. } if label == "conv0"));
+}

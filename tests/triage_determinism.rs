@@ -1,0 +1,169 @@
+//! Triage reproducibility: flagging, ranking, and the drilled report must
+//! not depend on *how* the fleet was executed.
+//!
+//! 1. **Thread invariance** — the same campaign + triage at 1, 2, and 8
+//!    worker threads produces byte-identical structural JSON.
+//! 2. **Shard invariance** — any shard size produces the same structural
+//!    report: fences come from the merged pass-1 aggregates, verdicts are
+//!    pure functions of `(health, fences)`, and the per-cell healthy
+//!    reference is a min-merge over shards.
+//! 3. **Drill-down audit** — every drilled anomaly's trace attribution
+//!    reconciles with its replayed `SimStats`, and the trace files land
+//!    on disk when a trace dir is configured.
+
+use iprune_repro::fleet::{
+    record_workload, FleetCampaign, PopulationSpec, TriageConfig, TriageEntry, Workload,
+};
+use iprune_repro::hawaii::deploy::deploy;
+use iprune_repro::hawaii::deploy::DeployedModel;
+use iprune_repro::models::zoo::App;
+use iprune_repro::obs::telemetry::FenceConfig;
+use iprune_repro::tensor::{par, Tensor};
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes tests that flip the process-wide parallelism overrides.
+fn par_overrides_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the parallelism overrides even if the test panics.
+struct ParOverrideGuard;
+impl Drop for ParOverrideGuard {
+    fn drop(&mut self) {
+        par::set_threads(0);
+        par::set_host_cores(0);
+    }
+}
+
+fn har_setup() -> (DeployedModel, Tensor, Workload) {
+    let mut model = App::Har.build();
+    let ds = App::Har.dataset(4, 42);
+    let dm = deploy(&mut model, &ds, 2);
+    let x = ds.sample(0);
+    let w = record_workload(&dm, &x);
+    (dm, x, w)
+}
+
+/// A small but non-trivial population: 2 harvests × 2 variants, enough
+/// devices that shard boundaries land mid-cell.
+fn small_population(devices_per_cell: u64) -> PopulationSpec {
+    let full = PopulationSpec::default_fleet(devices_per_cell, 11);
+    PopulationSpec {
+        harvests: full.harvests.into_iter().take(2).collect(),
+        variants: full.variants.into_iter().take(2).collect(),
+        devices_per_cell,
+        seed: 11,
+    }
+}
+
+/// Aggressive fences so even a tiny healthy population yields anomalies:
+/// no multiplier headroom and fence floors of 1.
+fn tight_fences() -> FenceConfig {
+    FenceConfig {
+        mult_pct: 100,
+        min_latency_ns: 1,
+        min_reboots: 1,
+        min_retries: 1,
+        min_stall_ns: 1,
+        availability_margin_ppm: 0,
+    }
+}
+
+#[test]
+fn triage_report_is_byte_identical_across_thread_counts() {
+    let _serial = par_overrides_lock();
+    let _restore = ParOverrideGuard;
+    par::set_host_cores(8);
+
+    let (dm, x, w) = har_setup();
+    let campaign = FleetCampaign { population: small_population(24), shard_size: 5 };
+    let cfg = TriageConfig { fences: tight_fences(), top_k: 4, trace_dir: None };
+    let entries = [TriageEntry { workload: &w, dm: &dm, input: &x }];
+
+    let triage_at = |threads: usize| {
+        par::set_threads(threads);
+        let fleet = campaign.run(std::slice::from_ref(&w));
+        run_and_render(&campaign, &entries, &fleet, &cfg)
+    };
+
+    let base = triage_at(1);
+    assert!(base.contains("\"fences\""), "report must carry the cell fences");
+    for threads in [2, 8] {
+        assert_eq!(base, triage_at(threads), "triage diverged at {threads} threads");
+    }
+}
+
+fn run_and_render(
+    campaign: &FleetCampaign,
+    entries: &[TriageEntry<'_>],
+    fleet: &iprune_repro::fleet::FleetReport,
+    cfg: &TriageConfig,
+) -> String {
+    iprune_repro::fleet::run_triage(campaign, entries, fleet, cfg).structural_json()
+}
+
+#[test]
+fn triage_report_is_invariant_to_shard_size() {
+    let _serial = par_overrides_lock();
+    let _restore = ParOverrideGuard;
+    par::set_host_cores(8);
+    par::set_threads(4);
+
+    let (dm, x, w) = har_setup();
+    let cfg = TriageConfig { fences: tight_fences(), top_k: 4, trace_dir: None };
+    let entries = [TriageEntry { workload: &w, dm: &dm, input: &x }];
+
+    // the report echoes the shard size as config; everything else must
+    // be identical
+    let triage_with = |shard_size: u64| {
+        let campaign = FleetCampaign { population: small_population(24), shard_size };
+        let fleet = campaign.run(std::slice::from_ref(&w));
+        run_and_render(&campaign, &entries, &fleet, &cfg)
+            .lines()
+            .filter(|l| !l.contains("\"shard_size\""))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>()
+    };
+
+    // 1 device/shard, a ragged divisor, the whole cell, oversized
+    let base = triage_with(1);
+    for shard in [5, 24, 100] {
+        assert_eq!(base, triage_with(shard), "triage diverged at shard size {shard}");
+    }
+}
+
+#[test]
+fn drilled_anomalies_reconcile_and_traces_land_on_disk() {
+    let (dm, x, w) = har_setup();
+    let campaign = FleetCampaign { population: small_population(12), shard_size: 5 };
+    let fleet = campaign.run(std::slice::from_ref(&w));
+
+    let dir = std::env::temp_dir().join(format!("iprune-triage-test-{}", std::process::id()));
+    let cfg = TriageConfig { fences: tight_fences(), top_k: 3, trace_dir: Some(dir.clone()) };
+    let entries = [TriageEntry { workload: &w, dm: &dm, input: &x }];
+    let report = iprune_repro::fleet::run_triage(&campaign, &entries, &fleet, &cfg);
+
+    assert!(report.flagged > 0, "tight fences must flag someone");
+    assert!(!report.anomalies.is_empty());
+    assert!(report.anomalies.len() <= 3, "top-K bound");
+    let per_cell: u64 = report.cells.iter().map(|c| c.flagged).sum();
+    assert_eq!(per_cell, report.flagged);
+    // ranking is severity-descending with (cell, device) tiebreaks
+    for pair in report.anomalies.windows(2) {
+        assert!(
+            pair[0].severity > pair[1].severity
+                || (pair[0].severity == pair[1].severity
+                    && (pair[0].cell, pair[0].device) < (pair[1].cell, pair[1].device)),
+            "ranking must be total and severity-descending"
+        );
+    }
+    for a in &report.anomalies {
+        assert!(a.reconciled, "anomaly {} failed the attribution audit", a.trace);
+        assert!(!a.causes.is_empty());
+        assert!(dir.join(format!("{}.jsonl", a.trace)).is_file(), "{} trace missing", a.trace);
+        assert!(dir.join(format!("{}.chrome.json", a.trace)).is_file());
+        assert!(dir.join(format!("{}.diff.txt", a.trace)).is_file());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
