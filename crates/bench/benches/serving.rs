@@ -1,0 +1,246 @@
+//! Serving bench — throughput/latency of the pruned-model registry front
+//! end (`BENCH_serving.json`).
+//!
+//! One deterministic workload (seeded mix of apps, device profiles, power
+//! strengths, and deadline budgets) is replayed under every (threads ×
+//! execution mode) cell: batched admission + worker-pool execution versus
+//! one-request-at-a-time sequential serving, at 1, 2, and 8 worker
+//! threads. The admission outcome, logit bits, and plan rows must be
+//! byte-identical in every cell — the bench asserts it — so the report's
+//! structural lines survive CI's filtered byte-compare at any thread
+//! count. Only `wall_s` and the `rps`/`lat_us*` throughput rows (marked
+//! nonstructural in `iprune_obs::history`) vary with parallelism.
+
+use iprune_bench::cache::workspace_root;
+use iprune_bench::Scale;
+use iprune_device::power::PowerStrength;
+use iprune_models::zoo::App;
+use iprune_serve::report::{fnv1a, logits_checksum};
+use iprune_serve::{
+    AdmissionBlock, DeviceProfile, ExecMode, ModelRegistry, Outcome, RegistryConfig, Request,
+    ServeConfig, ServeOutcome, Server, ServingReport, ThroughputRow, VariantKey, VariantRow,
+};
+use iprune_tensor::par;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const MASTER_SEED: u64 = 0x5E4F_11CE;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The serveable variants this workload draws from: every app at nominal
+/// strong/weak power, plus the HAR workload across the hardware profiles.
+fn catalog() -> Vec<VariantKey> {
+    let mut keys = Vec::new();
+    for app in App::all() {
+        keys.push(VariantKey::new(app, DeviceProfile::Nominal, PowerStrength::Strong));
+        keys.push(VariantKey::new(app, DeviceProfile::Nominal, PowerStrength::Weak));
+    }
+    for profile in [DeviceProfile::SmallCap, DeviceProfile::BigCap, DeviceProfile::SlowFram] {
+        keys.push(VariantKey::new(App::Har, profile, PowerStrength::Strong));
+    }
+    keys
+}
+
+fn build_workload(registry: &ModelRegistry, n: usize) -> Vec<Request> {
+    let keys = catalog();
+    let mut pools: HashMap<&'static str, iprune_datasets::Dataset> = HashMap::new();
+    for app in App::all() {
+        pools.insert(app.name(), app.dataset(64, MASTER_SEED ^ app.name().len() as u64));
+    }
+    (0..n)
+        .map(|i| {
+            let h = splitmix(MASTER_SEED ^ i as u64);
+            let key = keys[(h % keys.len() as u64) as usize];
+            let ds = &pools[key.app.name()];
+            let input = ds.sample((splitmix(h) % 64) as usize);
+            // budget: 50%..650% of the requested variant's plan cost —
+            // tight deadlines reject or degrade, generous ones absorb the
+            // variant's queue backlog within a round
+            let pct = 50 + splitmix(h ^ 0xB0D6E7) % 600;
+            let budget = registry.get_or_load(key).plan.cost * pct / 100;
+            Request { id: i as u64, key, input, budget }
+        })
+        .collect()
+}
+
+fn latency_us(quantile: f64, admitted_wall_ns: &mut [u64]) -> f64 {
+    if admitted_wall_ns.is_empty() {
+        return 0.0;
+    }
+    admitted_wall_ns.sort_unstable();
+    let idx = ((admitted_wall_ns.len() - 1) as f64 * quantile).round() as usize;
+    admitted_wall_ns[idx] as f64 / 1_000.0
+}
+
+/// Order-sensitive fingerprint of every completion's admission outcome.
+fn outcome_checksum(out: &ServeOutcome) -> u64 {
+    let mut text = String::new();
+    for c in &out.completions {
+        use std::fmt::Write as _;
+        match &c.outcome {
+            Outcome::Served { key } => {
+                let _ = write!(text, "{} served {key} {:?};", c.id, c.pred);
+            }
+            Outcome::Degraded { from, to } => {
+                let _ = write!(text, "{} degraded {from}->{to} {:?};", c.id, c.pred);
+            }
+            Outcome::Rejected { estimate } => {
+                let _ = write!(text, "{} rejected est={estimate};", c.id);
+            }
+        }
+    }
+    fnv1a(text.as_bytes())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Serving bench — registry front end throughput/latency");
+    println!("=====================================================");
+    println!("({})", scale.describe_run());
+
+    let n_requests = match scale.name {
+        "smoke" => 64,
+        "standard" => 512,
+        _ => 2048, // paper
+    };
+    let cfg = ServeConfig::default();
+
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig::default()));
+    // warm the registry down every degrade rung so no timed cell pays a
+    // lazy model build + Q15 calibration
+    for key in catalog() {
+        let mut rung = Some(key);
+        while let Some(k) = rung {
+            registry.get_or_load(k);
+            rung = k.degraded();
+        }
+    }
+    let requests = build_workload(&registry, n_requests);
+    println!("workload: {} requests over {} variants", requests.len(), catalog().len());
+
+    // Every (threads × mode) cell must produce identical outcomes and
+    // logit bits; the first cell is the reference.
+    let mut reference: Option<(u64, u64)> = None;
+    let mut throughput = Vec::new();
+    let mut canonical: Option<ServeOutcome> = None;
+    let t_bench = Instant::now();
+    for &threads in &[1usize, 2, 8] {
+        for mode in [ExecMode::Sequential, ExecMode::Batched] {
+            par::set_threads(threads);
+            let server = Server::new(Arc::clone(&registry), cfg.clone());
+            let t0 = Instant::now();
+            let out = server.run_mode(&requests, mode);
+            let wall = t0.elapsed();
+
+            let logits = logits_checksum(out.completions.iter().map(|c| c.logits.as_slice()));
+            let outcomes = outcome_checksum(&out);
+            match reference {
+                None => reference = Some((logits, outcomes)),
+                Some(r) => assert_eq!(
+                    (logits, outcomes),
+                    r,
+                    "threads={threads} mode={mode:?} diverged from the reference cell"
+                ),
+            }
+
+            let mode_name = match mode {
+                ExecMode::Batched => "batched",
+                ExecMode::Sequential => "sequential",
+            };
+            let rps = requests.len() as f64 / wall.as_secs_f64();
+            let mut admitted_ns: Vec<u64> =
+                out.wall_ns.iter().copied().filter(|&w| w > 0).collect();
+            let p50 = latency_us(0.50, &mut admitted_ns);
+            let p99 = latency_us(0.99, &mut admitted_ns);
+            println!(
+                "threads={threads} mode={mode_name}: {rps:.1} req/s, p50 {p50:.1} us, p99 {p99:.1} us"
+            );
+            throughput.push(ThroughputRow {
+                threads,
+                mode: mode_name,
+                rps,
+                lat_us_p50: p50,
+                lat_us_p99: p99,
+            });
+            if threads == 1 && mode == ExecMode::Batched {
+                canonical = Some(out);
+            }
+        }
+    }
+    par::set_threads(0);
+
+    let canonical = canonical.expect("canonical batched run");
+    let stats = &canonical.stats;
+    println!(
+        "admission: {} admitted / {} degraded / {} rejected over {} batches",
+        stats.admitted, stats.degraded, stats.rejected, stats.batches
+    );
+    assert_eq!(stats.admitted + stats.rejected, requests.len() as u64);
+    assert!(stats.admitted > 0, "workload must admit requests");
+    assert!(stats.rejected > 0, "deadline pressure must bind somewhere");
+    assert!(stats.degraded > 0, "the degrade ladder must engage");
+
+    // batched-vs-sequential speedup at 8 workers: only meaningful when the
+    // host actually has cores to fan out over (CI containers may have 1)
+    let rps_of = |threads: usize, mode: &str| {
+        throughput.iter().find(|t| t.threads == threads && t.mode == mode).unwrap().rps
+    };
+    let speedup = rps_of(8, "batched") / rps_of(8, "sequential");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("batched/sequential at 8 threads: {speedup:.2}x ({cores} host cores)");
+    if cores >= 4 {
+        assert!(speedup >= 2.0, "batched serving must be >=2x sequential at 8 threads");
+    } else {
+        println!("(speedup assert skipped: needs >=4 host cores)");
+    }
+
+    // per-variant logit checksums from the canonical run, in request order
+    let mut by_variant: HashMap<String, Vec<&[f32]>> = HashMap::new();
+    for c in &canonical.completions {
+        let key = match &c.outcome {
+            Outcome::Served { key } => *key,
+            Outcome::Degraded { to, .. } => *to,
+            Outcome::Rejected { .. } => continue,
+        };
+        by_variant.entry(key.to_string()).or_default().push(c.logits.as_slice());
+    }
+    let variants: Vec<VariantRow> = registry
+        .loaded()
+        .iter()
+        .map(|v| {
+            let rows = by_variant.get(&v.key.to_string()).cloned().unwrap_or_default();
+            VariantRow::of(v, logits_checksum(rows.into_iter()))
+        })
+        .collect();
+
+    let report = ServingReport {
+        scale: scale.name.to_string(),
+        requests: requests.len(),
+        max_batch: cfg.max_batch,
+        round: cfg.round_requests,
+        variants,
+        admission: AdmissionBlock {
+            admitted: stats.admitted,
+            rejected: stats.rejected,
+            degraded: stats.degraded,
+            batches: stats.batches,
+            queue_depth: stats.queue_depth.clone(),
+            batch_size: stats.batch_size.clone(),
+            service_cost: stats.service_cost.clone(),
+            outcome_checksum: outcome_checksum(&canonical),
+        },
+        throughput,
+        wall_s: t_bench.elapsed().as_secs_f64(),
+    };
+
+    let out = workspace_root().join("BENCH_serving.json");
+    std::fs::write(&out, report.to_json()).expect("write BENCH_serving.json");
+    iprune_obs::log_info!("serving", "wrote {}", out.display());
+}

@@ -7,9 +7,10 @@
 
 use crate::blocks::{mask_as_weight_shape, mask_out_block, LayerState};
 use iprune_datasets::Dataset;
-use iprune_models::train::evaluate;
+use iprune_models::train::{self, evaluate};
 use iprune_models::Model;
 use iprune_obs::metrics::{self, Counter};
+use iprune_tensor::exec::WeightOverride;
 use iprune_tensor::par;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -47,18 +48,24 @@ impl Sensitivity {
 /// Measures per-layer sensitivity by probing `probe_ratio` of each layer's
 /// alive weights on `eval` (a small validation subset).
 ///
-/// Probes are independent, so each runs on its own clone of the model
-/// (masked, evaluated, discarded) and the probes are spread over
-/// [`iprune_tensor::par`] workers. The caller's model is never mutated —
-/// weights and masks are untouched, which is the exact-restoration
-/// guarantee the serial loop achieved by snapshot and rollback. Each probe
-/// performs identical work regardless of the thread count, so the drops are
-/// bit-identical to a serial run.
+/// Probes are independent and spread over [`iprune_tensor::par`] workers.
+/// All probes share the caller's model through the shared-state inference
+/// path: a probe builds a [`WeightOverride`] for its one layer (base
+/// weights ⊙ probe mask, a single-layer clone) and evaluates through a
+/// per-probe `ExecCtx` — no full-model clone per probe. The caller's model
+/// is never mutated — weights and masks are untouched, which is the
+/// exact-restoration guarantee the serial loop achieved by snapshot and
+/// rollback. Each probe performs identical work regardless of the thread
+/// count, so the drops are bit-identical to a serial run (and to the
+/// pre-refactor clone-per-probe implementation).
 ///
 /// Probe evaluation inherits the layers' block-sparse GEMM dispatch: each
-/// probe's `set_masks` builds the probe mask's `SparseIndex`, so heavily
-/// probed layers are evaluated through the sparse kernels (bit-identical to
-/// dense, see `iprune_tensor::sparse`).
+/// override builds the probe mask's `SparseIndex` exactly as `set_masks`
+/// would, so heavily probed layers are evaluated through the sparse
+/// kernels (bit-identical to dense, see `iprune_tensor::sparse`).
+///
+/// Under `IPRUNE_EVAL=q15` probes fall back to materializing a probe model
+/// (quantization consumes `&mut`), keeping the legacy behavior.
 pub fn analyze(
     model: &mut Model,
     states: &[LayerState],
@@ -84,11 +91,19 @@ pub fn analyze(
         for &bi in sched.order.iter().take(n) {
             mask_out_block(&mut probe, bi);
         }
-        let mut probe_model = model_ref.clone();
-        let mut masks = HashMap::new();
-        masks.insert(state.layer_id, mask_as_weight_shape(&probe, &probe_model));
-        probe_model.set_masks(&masks);
-        let probed = evaluate(&mut probe_model, eval, batch);
+        let probe_mask = mask_as_weight_shape(&probe, model_ref);
+        let probed = if train::q15_mode() {
+            let mut probe_model = model_ref.clone();
+            let mut masks = HashMap::new();
+            masks.insert(state.layer_id, probe_mask);
+            probe_model.set_masks(&masks);
+            evaluate(&mut probe_model, eval, batch)
+        } else {
+            let (base_w, _) =
+                model_ref.layer_weight(state.layer_id).expect("prunable layer has weights");
+            let ov = WeightOverride::masked(state.layer_id, &base_w, &probe_mask);
+            train::evaluate_overridden(model_ref, &[ov], eval, batch)
+        };
         baseline - probed
     });
     Sensitivity { drops, baseline }

@@ -1,337 +1,7 @@
 //! Streaming, mergeable, byte-reproducible aggregators.
 //!
-//! Fleet campaigns reduce millions of per-device metrics without ever
-//! holding them: each shard folds its devices into a [`StreamStat`]
-//! (count / sum / min / max plus a sub-bucketed log₂ histogram), and shard
-//! results are merged pairwise. Everything is integer arithmetic —
-//! `u64` counts, `u128` sums, histogram bucket counts — so every operation
-//! is *exactly* associative and commutative. That is the whole
-//! reproducibility argument: any partition of the device population into
-//! shards, folded in any grouping (but a fixed per-cell shard order),
-//! produces bit-identical aggregates, so reports are byte-identical at any
-//! thread count and any shard size.
-//!
-//! Percentiles come from the histogram: with [`SUB_BITS`] = 4, every
-//! octave is split into 16 sub-buckets, bounding the relative quantile
-//! error at 2⁻⁴ ≈ 6 % while keeping a histogram at ~7.6 KB — memory stays
-//! O(shards), not O(devices).
+//! The implementation lives in [`iprune_obs::agg`] since the serving layer
+//! shares it (rolling `LogHist` admission estimates); this module re-exports
+//! it so all fleet call sites and downstream users keep their paths.
 
-/// Sub-bucket bits per octave: each power-of-two range is split into
-/// `2^SUB_BITS` linear sub-buckets.
-pub const SUB_BITS: u32 = 4;
-
-const SUB: usize = 1 << SUB_BITS;
-const SUB_MASK: u64 = (SUB as u64) - 1;
-
-/// Total bucket count: values below `2^SUB_BITS` get exact buckets, each
-/// further octave contributes `2^SUB_BITS` sub-buckets up to `u64::MAX`.
-pub const BUCKETS: usize = (65 - SUB_BITS as usize) << SUB_BITS;
-
-/// Log₂ histogram over `u64` values with linear sub-buckets.
-///
-/// Merging two histograms is element-wise `u64` addition — exactly
-/// associative and commutative, the property the shard-invariance
-/// guarantee rests on.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LogHist {
-    buckets: Vec<u64>,
-}
-
-impl Default for LogHist {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LogHist {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self { buckets: vec![0u64; BUCKETS] }
-    }
-
-    /// Bucket index of `v`: exact below `2^SUB_BITS`, then the top
-    /// `SUB_BITS` bits after the leading one select the sub-bucket.
-    pub fn bucket_of(v: u64) -> usize {
-        if v < SUB as u64 {
-            return v as usize;
-        }
-        let exp = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
-        let sub = (v >> (exp - SUB_BITS)) & SUB_MASK;
-        ((((exp - SUB_BITS) as usize) + 1) << SUB_BITS) + sub as usize
-    }
-
-    /// Smallest value that lands in bucket `idx` (the bucket's lower
-    /// bound); percentile queries report this value.
-    pub fn bucket_floor(idx: usize) -> u64 {
-        let block = idx >> SUB_BITS;
-        if block == 0 {
-            return idx as u64;
-        }
-        let sub = (idx as u64) & SUB_MASK;
-        let exp = (block as u32 - 1) + SUB_BITS;
-        (1u64 << exp) + (sub << (exp - SUB_BITS))
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
-    }
-
-    /// Element-wise merge — the shard fold.
-    pub fn merge(&mut self, other: &LogHist) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += *b;
-        }
-    }
-
-    /// Total recorded count.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// Lower bound of the bucket holding the `q_ppm`-quantile value
-    /// (q in parts-per-million), using the nearest-rank rule
-    /// `rank = floor(q · (n − 1) / 10⁶)` in pure integer arithmetic.
-    ///
-    /// # Bucket-floor rounding contract
-    ///
-    /// The reported value is [`Self::bucket_floor`] of the bucket holding
-    /// the rank-selected element — i.e. quantiles **round down to the
-    /// bucket boundary**, never up, so the result is always `<=` the exact
-    /// nearest-rank value and always a representable bucket floor:
-    ///
-    /// * values below `2^SUB_BITS` have exact single-value buckets, so
-    ///   quantiles of small counters (power cycles, retries) are exact;
-    /// * above that, the relative rounding error is `< 2^-SUB_BITS`
-    ///   (one sub-bucket of the value's octave);
-    /// * `q_ppm = 0` reports the minimum's bucket floor and
-    ///   `q_ppm = 1_000_000` the maximum's; `q_ppm > 1_000_000` is clamped
-    ///   to `1_000_000`;
-    /// * an empty histogram reports `0`.
-    pub fn quantile_ppm(&self, q_ppm: u64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = (q_ppm.min(1_000_000) as u128 * (n - 1) as u128 / 1_000_000) as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen > rank {
-                return Self::bucket_floor(idx);
-            }
-        }
-        Self::bucket_floor(BUCKETS - 1)
-    }
-}
-
-/// Streaming summary of one integer metric: count, sum, min, max, and a
-/// [`LogHist`] for percentiles. All fields merge exactly, so a fold over
-/// any sharding of the input yields identical bytes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct StreamStat {
-    /// Number of recorded values.
-    pub count: u64,
-    /// Exact sum (u128: 2⁶⁴ values of up to 2⁶⁴ cannot overflow).
-    pub sum: u128,
-    /// Smallest recorded value (`u64::MAX` while empty).
-    pub min: u64,
-    /// Largest recorded value (0 while empty).
-    pub max: u64,
-    /// Log₂ histogram of the recorded values.
-    pub hist: LogHist,
-}
-
-impl Default for StreamStat {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl StreamStat {
-    /// An empty summary.
-    pub fn new() -> Self {
-        Self { count: 0, sum: 0, min: u64::MAX, max: 0, hist: LogHist::new() }
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, v: u64) {
-        self.count += 1;
-        self.sum += v as u128;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-        self.hist.record(v);
-    }
-
-    /// Merges another summary in — exact in every field.
-    pub fn merge(&mut self, other: &StreamStat) {
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.hist.merge(&other.hist);
-    }
-
-    /// Integer mean (floor); 0 when empty.
-    pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            (self.sum / self.count as u128) as u64
-        }
-    }
-
-    /// `min` clamped for display (0 when empty).
-    pub fn min_or_zero(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Histogram quantile in parts-per-million (see
-    /// [`LogHist::quantile_ppm`]).
-    pub fn quantile_ppm(&self, q_ppm: u64) -> u64 {
-        self.hist.quantile_ppm(q_ppm)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use proptest::prelude::*;
-
-    #[test]
-    fn buckets_are_monotone_and_cover_u64() {
-        let mut prev = 0usize;
-        for &v in &[0u64, 1, 15, 16, 17, 255, 256, 1 << 20, u64::MAX / 2, u64::MAX] {
-            let b = LogHist::bucket_of(v);
-            assert!(b >= prev, "bucket order broke at {v}");
-            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
-            prev = b;
-        }
-        assert_eq!(LogHist::bucket_of(u64::MAX), BUCKETS - 1);
-    }
-
-    #[test]
-    fn bucket_floor_is_the_smallest_member() {
-        for idx in 0..BUCKETS {
-            let floor = LogHist::bucket_floor(idx);
-            assert_eq!(LogHist::bucket_of(floor), idx, "floor of bucket {idx} maps back");
-            if floor > 0 {
-                assert!(LogHist::bucket_of(floor - 1) < idx, "floor-1 must fall below");
-            }
-        }
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        // Below 2^SUB_BITS every value has its own bucket, so quantiles on
-        // small counters (power cycles, retries) are exact.
-        let mut h = LogHist::new();
-        for v in 0..SUB as u64 {
-            h.record(v);
-        }
-        assert_eq!(h.quantile_ppm(0), 0);
-        assert_eq!(h.quantile_ppm(1_000_000), SUB as u64 - 1);
-    }
-
-    #[test]
-    fn empty_histogram_quantiles_are_zero() {
-        let h = LogHist::new();
-        for q in [0u64, 500_000, 1_000_000, u64::MAX] {
-            assert_eq!(h.quantile_ppm(q), 0, "q={q}");
-        }
-        assert_eq!(h.count(), 0);
-        let s = StreamStat::new();
-        assert_eq!((s.quantile_ppm(990_000), s.mean(), s.min_or_zero()), (0, 0, 0));
-    }
-
-    #[test]
-    fn single_saturating_value_reports_the_top_bucket_floor() {
-        // u64::MAX lands in the final bucket; every quantile of a
-        // single-value histogram is that bucket's floor (<= the value).
-        let mut h = LogHist::new();
-        h.record(u64::MAX);
-        let floor = LogHist::bucket_floor(BUCKETS - 1);
-        assert!(floor > u64::MAX / 2, "top bucket floor must be in the upper half of u64");
-        for q in [0u64, 1, 500_000, 999_999, 1_000_000] {
-            assert_eq!(h.quantile_ppm(q), floor, "q={q}");
-        }
-    }
-
-    #[test]
-    fn extreme_quantiles_hit_min_and_max_buckets() {
-        let mut h = LogHist::new();
-        for &v in &[3u64, 900, 70_000] {
-            h.record(v);
-        }
-        assert_eq!(h.quantile_ppm(0), 3, "q=0 is the minimum (exact: small bucket)");
-        let top = h.quantile_ppm(1_000_000);
-        assert_eq!(LogHist::bucket_of(top), LogHist::bucket_of(70_000), "q=1e6 is the maximum");
-        assert!(top <= 70_000, "bucket-floor rounding never rounds up");
-        // q past the ppm scale clamps to the maximum, not beyond
-        assert_eq!(h.quantile_ppm(2_000_000), top);
-    }
-
-    #[test]
-    fn quantiles_track_nearest_rank_within_bucket_resolution() {
-        let mut h = LogHist::new();
-        let vals: Vec<u64> = (0..1000u64).map(|i| i * i + 7).collect();
-        for &v in &vals {
-            h.record(v);
-        }
-        let mut sorted = vals.clone();
-        sorted.sort_unstable();
-        for q in [0u64, 250_000, 500_000, 900_000, 990_000, 1_000_000] {
-            let rank = (q as u128 * (sorted.len() as u128 - 1) / 1_000_000) as usize;
-            let exact = sorted[rank];
-            let approx = h.quantile_ppm(q);
-            // the reported value is the lower bound of the exact value's bucket
-            assert!(approx <= exact, "q={q}: {approx} > exact {exact}");
-            assert_eq!(LogHist::bucket_of(approx), LogHist::bucket_of(exact), "q={q}");
-        }
-    }
-
-    proptest! {
-        #[test]
-        fn merge_equals_sequential_fold(vals in prop::collection::vec(0u64..1u64 << 48, 1..200),
-                                        split in 0usize..200) {
-            let split = split % vals.len();
-            let mut whole = StreamStat::new();
-            for &v in &vals { whole.record(v); }
-            let mut left = StreamStat::new();
-            let mut right = StreamStat::new();
-            for &v in &vals[..split] { left.record(v); }
-            for &v in &vals[split..] { right.record(v); }
-            left.merge(&right);
-            prop_assert_eq!(&left, &whole);
-        }
-
-        #[test]
-        fn merge_is_commutative(a in prop::collection::vec(0u64..1u64 << 32, 0..100),
-                                b in prop::collection::vec(0u64..1u64 << 32, 0..100)) {
-            let stat = |vals: &[u64]| {
-                let mut s = StreamStat::new();
-                for &v in vals { s.record(v); }
-                s
-            };
-            let mut ab = stat(&a);
-            ab.merge(&stat(&b));
-            let mut ba = stat(&b);
-            ba.merge(&stat(&a));
-            prop_assert_eq!(ab, ba);
-        }
-
-        #[test]
-        fn bucket_roundtrip(v in any::<u64>()) {
-            let idx = LogHist::bucket_of(v);
-            prop_assert!(idx < BUCKETS);
-            prop_assert!(LogHist::bucket_floor(idx) <= v);
-            if idx + 1 < BUCKETS {
-                prop_assert!(LogHist::bucket_floor(idx + 1) > v);
-            }
-        }
-    }
-}
+pub use iprune_obs::agg::{LogHist, StreamStat, BUCKETS, SUB_BITS};

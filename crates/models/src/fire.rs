@@ -1,6 +1,7 @@
 //! SqueezeNet-style fire module: squeeze 1×1 → (expand 1×1 ‖ expand 3×3),
 //! channel-concatenated, each convolution followed by ReLU.
 
+use iprune_tensor::exec::ExecCtx;
 use iprune_tensor::layer::{Conv2d, Layer, LayerKind, Param, Relu};
 use iprune_tensor::Tensor;
 
@@ -78,6 +79,13 @@ impl Layer for Fire {
         concat_channels(&a, &b)
     }
 
+    fn infer(&self, x: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        let s = self.relu_s.infer(&self.squeeze.infer(x, ctx), ctx);
+        let a = self.relu_e1.infer(&self.expand1.infer(&s, ctx), ctx);
+        let b = self.relu_e3.infer(&self.expand3.infer(&s, ctx), ctx);
+        concat_channels(&a, &b)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let (ga, gb) = split_channels(grad, self.e1_out);
         let gs1 = self.expand1.backward(&self.relu_e1.backward(&ga));
@@ -91,6 +99,12 @@ impl Layer for Fire {
         self.squeeze.visit_params(f);
         self.expand1.visit_params(f);
         self.expand3.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.squeeze.visit_params_ref(f);
+        self.expand1.visit_params_ref(f);
+        self.expand3.visit_params_ref(f);
     }
 
     fn kind(&self) -> LayerKind {

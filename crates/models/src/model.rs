@@ -2,6 +2,7 @@
 //! [`ModelInfo`] structural description and weight import/export.
 
 use crate::arch::ModelInfo;
+use iprune_tensor::exec::ExecCtx;
 use iprune_tensor::layer::{Layer, Param, Sequential};
 use iprune_tensor::Tensor;
 use std::collections::HashMap;
@@ -64,6 +65,119 @@ impl Model {
     /// The underlying trainable network.
     pub fn net_mut(&mut self) -> &mut Sequential {
         &mut self.net
+    }
+
+    /// Shared access to the underlying network (inference-side consumers).
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Shared-state inference: bitwise identical to `forward(x, false)`
+    /// without `&mut` access, so one `Arc`-shared model can serve any number
+    /// of concurrent [`ExecCtx`] holders with zero weight clones.
+    pub fn infer(&self, x: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        Layer::infer(self, x, ctx)
+    }
+
+    /// Clone of one prunable layer's weight tensor and current mask, by
+    /// layer id. Single-layer cost: this is what sensitivity probes pay per
+    /// probe instead of a full-model clone.
+    pub fn layer_weight(&self, layer_id: usize) -> Option<(Tensor, Option<Tensor>)> {
+        let mut out = None;
+        self.net.visit_params_ref(&mut |p: &Param| {
+            if p.layer_id == layer_id && p.name.ends_with(".w") {
+                out = Some((p.value.clone(), p.mask.clone()));
+            }
+        });
+        out
+    }
+
+    /// Fraction of weights kept per prunable layer (1.0 when unmasked),
+    /// readable from a shared model.
+    pub fn layer_densities(&self) -> HashMap<usize, f64> {
+        let mut out = HashMap::new();
+        self.net.visit_params_ref(&mut |p: &Param| {
+            if p.layer_id != usize::MAX && p.name.ends_with(".w") {
+                out.insert(p.layer_id, p.density());
+            }
+        });
+        out
+    }
+
+    /// Deterministic per-layer magnitude masks keeping `keep_ppm / 1e6` of
+    /// each prunable layer's weights: the largest-|w| weights survive, ties
+    /// broken by ascending index. `keep_ppm >= 1_000_000` keeps everything.
+    pub fn magnitude_masks(&self, keep_ppm: u32) -> HashMap<usize, Tensor> {
+        let mut out = HashMap::new();
+        self.net.visit_params_ref(&mut |p: &Param| {
+            if p.layer_id == usize::MAX || !p.name.ends_with(".w") {
+                return;
+            }
+            let n = p.value.numel();
+            let keep = ((n as u64 * keep_ppm as u64).div_ceil(1_000_000) as usize).min(n);
+            let mut order: Vec<usize> = (0..n).collect();
+            let data = p.value.data();
+            order.sort_by(|&a, &b| data[b].abs().total_cmp(&data[a].abs()).then_with(|| a.cmp(&b)));
+            let mut mask = vec![0.0f32; n];
+            for &i in &order[..keep] {
+                mask[i] = 1.0;
+            }
+            out.insert(p.layer_id, Tensor::from_vec(p.value.dims(), mask));
+        });
+        out
+    }
+
+    /// Deterministic per-layer *block* magnitude masks: each prunable
+    /// weight matrix (`rows = out`, `cols = k`) is tiled into the host
+    /// kernels' [`BLOCK_ROWS`]×[`BLOCK_COLS`](iprune_tensor::sparse) blocks,
+    /// the blocks with the largest L1 norm survive (ties broken by
+    /// ascending block index), and whole blocks are zeroed. Unlike
+    /// [`Self::magnitude_masks`], the resulting masks have a block-sparse
+    /// structure the GEMM dispatch can exploit: the alive fraction tracks
+    /// `keep_ppm`, so sufficiently pruned layers route through the sparse
+    /// kernels.
+    pub fn block_magnitude_masks(&self, keep_ppm: u32) -> HashMap<usize, Tensor> {
+        use iprune_tensor::sparse::{BLOCK_COLS, BLOCK_ROWS};
+        let mut out = HashMap::new();
+        self.net.visit_params_ref(&mut |p: &Param| {
+            if p.layer_id == usize::MAX || !p.name.ends_with(".w") {
+                return;
+            }
+            let rows = p.value.dims()[0];
+            if rows == 0 {
+                return;
+            }
+            let cols = p.value.numel() / rows;
+            let data = p.value.data();
+            let rbs = rows.div_ceil(BLOCK_ROWS);
+            let cbs = cols.div_ceil(BLOCK_COLS);
+            let mut norms = vec![0.0f64; rbs * cbs];
+            for r in 0..rows {
+                for c in 0..cols {
+                    norms[(r / BLOCK_ROWS) * cbs + c / BLOCK_COLS] +=
+                        data[r * cols + c].abs() as f64;
+                }
+            }
+            let nblocks = rbs * cbs;
+            let keep =
+                ((nblocks as u64 * keep_ppm as u64).div_ceil(1_000_000) as usize).min(nblocks);
+            let mut order: Vec<usize> = (0..nblocks).collect();
+            order.sort_by(|&a, &b| norms[b].total_cmp(&norms[a]).then_with(|| a.cmp(&b)));
+            let mut alive = vec![false; nblocks];
+            for &b in &order[..keep] {
+                alive[b] = true;
+            }
+            let mut mask = vec![0.0f32; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    if alive[(r / BLOCK_ROWS) * cbs + c / BLOCK_COLS] {
+                        mask[r * cols + c] = 1.0;
+                    }
+                }
+            }
+            out.insert(p.layer_id, Tensor::from_vec(p.value.dims(), mask));
+        });
+        out
     }
 
     /// Extracts per-layer weights and biases, sorted by layer id, with
@@ -192,8 +306,16 @@ impl Layer for Model {
         self.net.backward(grad)
     }
 
+    fn infer(&self, x: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        self.net.infer(x, ctx)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.net.visit_params(f)
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.net.visit_params_ref(f)
     }
 
     fn describe(&self) -> String {
@@ -202,5 +324,79 @@ impl Layer for Model {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::App;
+    use iprune_tensor::exec::ExecCtx;
+
+    #[test]
+    fn model_infer_matches_forward_bitwise() {
+        let mut m = App::Har.build();
+        let masks = m.magnitude_masks(500_000);
+        m.set_masks(&masks);
+        let ds = App::Har.dataset(6, 42);
+        let (x, _) = ds.gather(&[0, 1, 2, 3, 4, 5]);
+        let want = m.forward(&x, false);
+        let mut ctx = ExecCtx::new();
+        let got = m.infer(&x, &mut ctx);
+        assert_eq!(want.data(), got.data(), "shared-state inference must match forward bitwise");
+    }
+
+    #[test]
+    fn magnitude_masks_keep_requested_fraction() {
+        let m = App::Har.build();
+        let masks = m.magnitude_masks(250_000);
+        assert_eq!(masks.len(), m.info.prunables.len());
+        for (id, mask) in &masks {
+            let kept: f64 = mask.data().iter().map(|&v| v as f64).sum();
+            let frac = kept / mask.numel() as f64;
+            assert!(
+                frac >= 0.25 && frac < 0.26 + 1.0 / mask.numel() as f64,
+                "layer {id}: kept fraction {frac}"
+            );
+        }
+        let all = m.magnitude_masks(1_000_000);
+        assert!(all.values().all(|m| m.count_zeros() == 0), "full density keeps everything");
+    }
+
+    #[test]
+    fn block_magnitude_masks_engage_sparse_dispatch() {
+        let mut m = App::Har.build();
+        let masks = m.block_magnitude_masks(300_000);
+        assert_eq!(masks.len(), m.info.prunables.len());
+        m.set_masks(&masks);
+        let mut sparse_layers = 0;
+        m.net().visit_params_ref(&mut |p| {
+            if p.name.ends_with(".w") {
+                let d = p.density();
+                // small layers have few blocks, so the kept fraction
+                // quantizes coarsely (HAR conv1 has 4 blocks: keep 2 = 0.5)
+                assert!((0.2..0.55).contains(&d), "{}: block density {d}", p.name);
+                if p.sparse_index().is_some_and(|i| i.below_dispatch_threshold()) {
+                    sparse_layers += 1;
+                }
+            }
+        });
+        assert_eq!(
+            sparse_layers,
+            m.info.prunables.len(),
+            "block masks at 30% density must route every layer through sparse dispatch"
+        );
+    }
+
+    #[test]
+    fn layer_weight_and_densities_read_shared_state() {
+        let mut m = App::Har.build();
+        let masks = m.magnitude_masks(500_000);
+        m.set_masks(&masks);
+        let d = m.layer_densities();
+        assert!(d.values().all(|&v| (v - 0.5).abs() < 0.01), "densities: {d:?}");
+        let (w, mask) = m.layer_weight(0).expect("layer 0 exists");
+        assert_eq!(w.numel(), m.info.prunables[0].weights());
+        assert!(mask.is_some());
     }
 }

@@ -5,6 +5,7 @@
 
 use crate::model::Model;
 use iprune_datasets::Dataset;
+use iprune_tensor::exec::{ExecCtx, WeightOverride};
 use iprune_tensor::layer::Layer;
 use iprune_tensor::loss::softmax_cross_entropy;
 use iprune_tensor::metrics::AccuracyMeter;
@@ -84,8 +85,10 @@ pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
 }
 
 /// Whether `IPRUNE_EVAL=q15` routes evaluation through the host
-/// fixed-point engine (read once per process).
-fn eval_q15() -> bool {
+/// fixed-point engine (read once per process). Public so callers that need
+/// a materialized model for quantization (e.g. sensitivity probes) can
+/// detect the mode and avoid the zero-clone path.
+pub fn q15_mode() -> bool {
     use std::sync::OnceLock;
     static MODE: OnceLock<bool> = OnceLock::new();
     *MODE.get_or_init(|| std::env::var("IPRUNE_EVAL").is_ok_and(|v| v == "q15"))
@@ -100,41 +103,74 @@ fn eval_q15() -> bool {
 /// delta without the device simulator's overhead.
 ///
 /// Batches are independent in inference mode, so contiguous runs of batches
-/// are spread over [`iprune_tensor::par`] workers, each evaluating its own
-/// clone of the model. Per-worker meters hold integer counts, so the merged
-/// accuracy is exactly the serial result at any thread count.
+/// are spread over [`iprune_tensor::par`] workers. All workers borrow the
+/// *same* model through the shared-state inference path ([`ExecCtx`] holds
+/// only scratch), so evaluation clones no weights. Per-worker meters hold
+/// integer counts, so the merged accuracy is exactly the serial result at
+/// any thread count.
 ///
 /// Pruned layers inherit the block-sparse GEMM dispatch (see
-/// `iprune_tensor::sparse`); model clones share the mask's `SparseIndex`
-/// through an `Arc`, so worker cloning stays cheap.
+/// `iprune_tensor::sparse`) on this path too.
 pub fn evaluate(model: &mut Model, ds: &Dataset, batch: usize) -> f64 {
-    if eval_q15() {
+    if q15_mode() {
         let qm =
             crate::qeval::QuantizedModel::quantize(model, ds, crate::qeval::DEFAULT_CALIBRATION);
         return qm.evaluate_q15(ds);
     }
+    evaluate_shared(model, ds, batch)
+}
+
+/// Float evaluation against a *shared* model: the zero-clone path.
+///
+/// Workers borrow the same `&Model` and execute through the shared-state
+/// [`ExecCtx`] inference path, so no weight buffer is cloned no matter how
+/// many workers run — this is the same contract the serving front end
+/// relies on. Bitwise identical to [`evaluate`]'s float path (and to the
+/// pre-refactor per-worker-clone implementation).
+pub fn evaluate_shared(model: &Model, ds: &Dataset, batch: usize) -> f64 {
+    evaluate_overridden(model, &[], ds, batch)
+}
+
+/// Float evaluation of a shared model with per-layer [`WeightOverride`]s
+/// installed in every worker's context: the sensitivity-probe path. With an
+/// empty override list this *is* [`evaluate_shared`]. Probing layer `i`'s
+/// candidate mask costs one single-layer weight clone (inside the override)
+/// instead of a full-model clone per probe.
+pub fn evaluate_overridden(
+    model: &Model,
+    overrides: &[WeightOverride],
+    ds: &Dataset,
+    batch: usize,
+) -> f64 {
+    let make_ctx = || {
+        let mut ctx = ExecCtx::new();
+        for ov in overrides {
+            ctx.push_override(ov.clone());
+        }
+        ctx
+    };
     let batch = batch.max(1);
     let nb = ds.len().div_ceil(batch);
     let workers = par::workers_for(nb);
     if workers <= 1 {
+        let mut ctx = make_ctx();
         let mut meter = AccuracyMeter::new();
         for (x, y) in ds.batches(batch) {
-            let logits = model.forward(&x, false);
+            let logits = model.infer(&x, &mut ctx);
             meter.update(&logits, &y);
         }
         return meter.value();
     }
     let per = nb.div_ceil(workers);
-    let model_ref = &*model;
     let meters = par::par_map(workers, |wi| {
-        let mut m = model_ref.clone();
+        let mut ctx = make_ctx();
         let mut meter = AccuracyMeter::new();
         for b in (wi * per)..((wi + 1) * per).min(nb) {
             let lo = b * batch;
             let hi = (lo + batch).min(ds.len());
             let idx: Vec<usize> = (lo..hi).collect();
             let (x, y) = ds.gather(&idx);
-            let logits = m.forward(&x, false);
+            let logits = model.infer(&x, &mut ctx);
             meter.update(&logits, &y);
         }
         meter

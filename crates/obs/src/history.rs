@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 /// Markers of host-measurement lines excluded from the structural hash.
 /// Mirrors (and supersets) the `grep -v` filters CI's byte-compares use:
 /// a line containing any of these is not structural.
-pub const NONSTRUCTURAL_MARKERS: [&str; 9] = [
+pub const NONSTRUCTURAL_MARKERS: [&str; 11] = [
     "wall_s", // includes sweep_wall_s
     "wall_ms",
     "gflops",
@@ -32,6 +32,8 @@ pub const NONSTRUCTURAL_MARKERS: [&str; 9] = [
     "lanes",
     "host_cores",
     "acc_f32", // float-path accuracy rides SIMD dispatch ULPs
+    "rps",     // serving throughput
+    "lat_us",  // serving latency quantiles
 ];
 
 /// Whether a report line is structural (participates in the hash).

@@ -32,6 +32,7 @@
 //! simulator's emission points are a single `Option` branch, and no event
 //! values are constructed.
 
+pub mod agg;
 pub mod attr;
 pub mod event;
 pub mod export;

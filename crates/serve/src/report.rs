@@ -1,0 +1,302 @@
+//! Deterministic serving bench report (`BENCH_serving.json`).
+//!
+//! Follows the workspace's structural-bytes discipline: every line except
+//! those carrying wall-clock measurements (`wall_s`, `rps`, `lat_us*` — all
+//! in `iprune_obs::history::NONSTRUCTURAL_MARKERS`) is byte-identical at
+//! any thread count, any `IPRUNE_THREADS`, and any batch width. The
+//! structural rows are variant plans, admission outcomes, and FNV-1a
+//! checksums over the served logit bits, so CI can `grep -v` the marked
+//! lines and `cmp` the rest across thread counts.
+
+use crate::registry::LoadedVariant;
+use iprune_obs::agg::StreamStat;
+use std::fmt::Write as _;
+
+/// FNV-1a over raw bytes (matches `iprune_obs::history`'s hashing choice:
+/// stable, dependency-free, good avalanche for fingerprinting).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds a stream of logit slices into one order-sensitive checksum of
+/// their exact bit patterns.
+pub fn logits_checksum<'a>(rows: impl Iterator<Item = &'a [f32]>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in rows {
+        for &v in row {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// One loaded variant's structural row.
+#[derive(Debug, Clone)]
+pub struct VariantRow {
+    /// App short name ("SQN"/"HAR"/"CKS").
+    pub app: String,
+    /// Device profile name.
+    pub profile: String,
+    /// Power-strength label.
+    pub power: String,
+    /// Target kept-weight ppm.
+    pub keep_ppm: u32,
+    /// Prunable layers in the plan.
+    pub layers: usize,
+    /// Layers routed through the sparse kernels.
+    pub sparse_layers: usize,
+    /// Plan cost (kept MACs per sample).
+    pub cost: u64,
+    /// Dense MACs per sample.
+    pub dense_macs: u64,
+    /// FNV-1a over the logit bits this variant produced for the workload.
+    pub logit_checksum: u64,
+}
+
+impl VariantRow {
+    /// Builds the row from a loaded variant plus its served-logit checksum.
+    pub fn of(v: &LoadedVariant, logit_checksum: u64) -> Self {
+        Self {
+            app: v.key.app.name().to_string(),
+            profile: v.key.profile.name().to_string(),
+            power: v.key.power.label().to_string(),
+            keep_ppm: v.key.keep_ppm(),
+            layers: v.plan.rows.len(),
+            sparse_layers: v.plan.sparse_layers(),
+            cost: v.plan.cost,
+            dense_macs: v.plan.dense_macs,
+            logit_checksum,
+        }
+    }
+}
+
+/// The admission outcome block: exact integers, thread-count invariant.
+#[derive(Debug, Clone)]
+pub struct AdmissionBlock {
+    /// Requests that executed.
+    pub admitted: u64,
+    /// Requests rejected on every ladder rung.
+    pub rejected: u64,
+    /// Admitted requests that ran on a sparser variant.
+    pub degraded: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Queue depth at each submission.
+    pub queue_depth: StreamStat,
+    /// Executed batch sizes.
+    pub batch_size: StreamStat,
+    /// Observed integer service cost per admitted request.
+    pub service_cost: StreamStat,
+    /// FNV-1a over each completion's (id, outcome tag, final key, pred).
+    pub outcome_checksum: u64,
+}
+
+/// One measured throughput row — rendered on a single line carrying the
+/// `rps`/`lat_us` nonstructural markers, so it is excluded from structural
+/// hashing and CI byte-compares.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Worker threads (`IPRUNE_THREADS`).
+    pub threads: usize,
+    /// `"batched"` or `"sequential"`.
+    pub mode: &'static str,
+    /// Requests per second over the whole run.
+    pub rps: f64,
+    /// Median per-request latency, microseconds.
+    pub lat_us_p50: f64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub lat_us_p99: f64,
+}
+
+/// The full report.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Bench scale label ("smoke"/"standard"/"paper").
+    pub scale: String,
+    /// Requests in the workload.
+    pub requests: usize,
+    /// Configured max batch width.
+    pub max_batch: usize,
+    /// Scheduling round length.
+    pub round: usize,
+    /// Loaded variants, sorted by key.
+    pub variants: Vec<VariantRow>,
+    /// Admission outcomes.
+    pub admission: AdmissionBlock,
+    /// Measured throughput rows (nonstructural).
+    pub throughput: Vec<ThroughputRow>,
+    /// Total bench wall seconds (nonstructural).
+    pub wall_s: f64,
+}
+
+fn stat_json(s: &StreamStat) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}}}",
+        s.count,
+        s.mean(),
+        s.min_or_zero(),
+        s.max,
+        s.quantile_ppm(500_000),
+        s.quantile_ppm(990_000)
+    )
+}
+
+impl ServingReport {
+    /// Renders the report without the wall-clock line. Lines carrying
+    /// measured values (`rps`, `lat_us*`) are still present but marked
+    /// nonstructural, so hashes and filtered byte-compares skip them.
+    pub fn structural_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"serving\",\n");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"max_batch\": {},", self.max_batch);
+        let _ = writeln!(out, "  \"round\": {},", self.round);
+        out.push_str("  \"variants\": [\n");
+        for (i, v) in self.variants.iter().enumerate() {
+            let comma = if i + 1 < self.variants.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"app\": \"{}\", \"profile\": \"{}\", \"power\": \"{}\", \
+                 \"keep_ppm\": {}, \"layers\": {}, \"sparse_layers\": {}, \"cost\": {}, \
+                 \"dense_macs\": {}, \"logit_checksum\": \"{:016x}\"}}{}",
+                v.app,
+                v.profile,
+                v.power,
+                v.keep_ppm,
+                v.layers,
+                v.sparse_layers,
+                v.cost,
+                v.dense_macs,
+                v.logit_checksum,
+                comma
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"admission\": {\n");
+        let a = &self.admission;
+        let _ = writeln!(out, "    \"admitted\": {},", a.admitted);
+        let _ = writeln!(out, "    \"rejected\": {},", a.rejected);
+        let _ = writeln!(out, "    \"degraded\": {},", a.degraded);
+        let _ = writeln!(out, "    \"batches\": {},", a.batches);
+        let _ = writeln!(out, "    \"queue_depth\": {},", stat_json(&a.queue_depth));
+        let _ = writeln!(out, "    \"batch_size\": {},", stat_json(&a.batch_size));
+        let _ = writeln!(out, "    \"service_cost\": {},", stat_json(&a.service_cost));
+        let _ = writeln!(out, "    \"outcome_checksum\": \"{:016x}\"", a.outcome_checksum);
+        out.push_str("  },\n");
+        out.push_str("  \"throughput\": [\n");
+        for (i, t) in self.throughput.iter().enumerate() {
+            let comma = if i + 1 < self.throughput.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"threads\": {}, \"mode\": \"{}\", \"rps\": {:.1}, \
+                 \"lat_us_p50\": {:.1}, \"lat_us_p99\": {:.1}}}{}",
+                t.threads, t.mode, t.rps, t.lat_us_p50, t.lat_us_p99, comma
+            );
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Full report: the structural body with the wall-clock line spliced in
+    /// on its own line (so `grep -v wall_s` recovers the filtered view).
+    pub fn to_json(&self) -> String {
+        self.structural_json().replacen(
+            "  \"variants\": [",
+            &format!("  \"wall_s\": {:.3},\n  \"variants\": [", self.wall_s),
+            1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(wall_s: f64, rps: f64) -> ServingReport {
+        let mut qd = StreamStat::new();
+        qd.record(0);
+        qd.record(3);
+        ServingReport {
+            scale: "smoke".into(),
+            requests: 8,
+            max_batch: 4,
+            round: 8,
+            variants: vec![VariantRow {
+                app: "HAR".into(),
+                profile: "nominal".into(),
+                power: "strong (8 mW)".into(),
+                keep_ppm: 500_000,
+                layers: 4,
+                sparse_layers: 3,
+                cost: 123_456,
+                dense_macs: 319_000,
+                logit_checksum: 0xdead_beef,
+            }],
+            admission: AdmissionBlock {
+                admitted: 7,
+                rejected: 1,
+                degraded: 2,
+                batches: 3,
+                queue_depth: qd.clone(),
+                batch_size: qd.clone(),
+                service_cost: qd,
+                outcome_checksum: 0xabc,
+            },
+            throughput: vec![ThroughputRow {
+                threads: 1,
+                mode: "batched",
+                rps,
+                lat_us_p50: 10.0,
+                lat_us_p99: 20.0,
+            }],
+            wall_s,
+        }
+    }
+
+    #[test]
+    fn structural_json_ignores_measured_values() {
+        let a = sample_report(1.0, 100.0);
+        let b = sample_report(9.0, 900.0);
+        // wall differs only in to_json; rps rows are present in both but on
+        // marker-carrying lines.
+        assert_eq!(
+            a.structural_json().replace("\"rps\": 100.0", "RPS"),
+            b.structural_json().replace("\"rps\": 900.0", "RPS"),
+        );
+        let filter = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("wall_s") && !l.contains("rps") && !l.contains("lat_us"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(filter(&a.to_json()), filter(&b.to_json()));
+    }
+
+    #[test]
+    fn wall_line_splices_cleanly() {
+        let r = sample_report(1.234, 10.0);
+        let json = r.to_json();
+        assert!(json.contains("  \"wall_s\": 1.234,\n  \"variants\": ["));
+        assert_eq!(json.matches("wall_s").count(), 1);
+    }
+
+    #[test]
+    fn fnv_checksums_are_order_sensitive() {
+        let a = [1.0f32, 2.0];
+        let b = [2.0f32, 1.0];
+        assert_ne!(logits_checksum([&a[..]].into_iter()), logits_checksum([&b[..]].into_iter()));
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+}

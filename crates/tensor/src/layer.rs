@@ -7,14 +7,16 @@
 //! every step so that pruned weights stay at exactly zero through
 //! fine-tuning.
 
+use crate::exec::ExecCtx;
 use crate::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
 use crate::sparse::{self, DispatchMode, SparseIndex};
 use crate::{init, par, Tensor};
-use std::sync::Arc;
+use iprune_obs::metrics::{self, Counter};
+use std::sync::{Arc, OnceLock};
 
 /// A trainable parameter: value, gradient accumulator, and optional pruning
 /// mask (1.0 = keep, 0.0 = pruned).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Param {
     /// Identifier of the prunable layer this parameter belongs to. Layers
     /// without a meaningful id use `usize::MAX`.
@@ -31,6 +33,35 @@ pub struct Param {
     /// `Arc` so that model clones (parallel evaluate, sensitivity probes)
     /// share one index. Private: the field must stay in sync with `mask`.
     sparse: Option<Arc<SparseIndex>>,
+}
+
+/// Counts weight-buffer clones (`*.w` params only): the serving layer's
+/// zero-copy contract is "no weight clones per served request", and
+/// `tests/serving_determinism.rs` asserts it against this counter.
+fn weight_clone_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("tensor.weight_clones"))
+}
+
+/// Total weight-buffer clones since process start (monotonic).
+pub fn weight_clone_count() -> u64 {
+    weight_clone_counter().get()
+}
+
+impl Clone for Param {
+    fn clone(&self) -> Self {
+        if self.name.ends_with(".w") {
+            weight_clone_counter().inc();
+        }
+        Self {
+            layer_id: self.layer_id,
+            name: self.name.clone(),
+            value: self.value.clone(),
+            grad: self.grad.clone(),
+            mask: self.mask.clone(),
+            sparse: self.sparse.clone(),
+        }
+    }
 }
 
 impl Param {
@@ -153,8 +184,24 @@ pub trait Layer: Send + Sync {
     /// Panics if called before a training-mode `forward`.
     fn backward(&mut self, grad: &Tensor) -> Tensor;
 
+    /// Shared-state inference: computes the same output as
+    /// `forward(x, false)` — bitwise — without mutating the layer, reading
+    /// weights and scratch through the per-request [`ExecCtx`]. This is the
+    /// path the serving front end and the parallel evaluators use: one
+    /// loaded model, many concurrent contexts, zero weight clones.
+    ///
+    /// The default panics; every layer in this workspace overrides it.
+    fn infer(&self, _x: &Tensor, _ctx: &mut ExecCtx) -> Tensor {
+        panic!("layer `{}` has no shared-state inference path", self.describe());
+    }
+
     /// Visits every trainable parameter. The default is parameter-free.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits every trainable parameter by shared reference. The default is
+    /// parameter-free. Prunable layers override this so `Arc`-shared models
+    /// can be inspected (weights, masks, densities) without `&mut` access.
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
 
     /// The coarse layer kind.
     fn kind(&self) -> LayerKind {
@@ -367,6 +414,63 @@ impl Layer for Conv2d {
         out
     }
 
+    fn infer(&self, x: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        assert_eq!(x.dims().len(), 4, "Conv2d expects NCHW input");
+        assert_eq!(x.dims()[1], self.cin, "Conv2d {} input channels", self.layer_id);
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = self.out_hw(h, w);
+        let k = self.cin * self.kh * self.kw;
+        let hw_out = ho * wo;
+        let mut out = Tensor::zeros(&[n, self.cout, ho, wo]);
+        if !par::in_worker() && par::workers_for(n) > 1 {
+            // Batched call from the coordinating thread: fan samples over
+            // the worker pool exactly like `forward` (per-worker scratch).
+            let this = self;
+            let (w_data, w_sparse) = ctx.weights_for(&self.w);
+            par::par_chunks_map(out.data_mut(), self.cout * hw_out, |s, out_slice| {
+                let mut col = vec![0.0f32; k * hw_out];
+                this.im2col(x, s, ho, wo, &mut col);
+                match w_sparse {
+                    Some(idx) => sparse::matmul_acc_sparse_lhs(
+                        idx, w_data, &col, out_slice, this.cout, k, hw_out,
+                    ),
+                    None => matmul_acc(w_data, &col, out_slice, this.cout, k, hw_out),
+                }
+                for m in 0..this.cout {
+                    let bias = this.b.value.data()[m];
+                    for v in &mut out_slice[m * hw_out..(m + 1) * hw_out] {
+                        *v += bias;
+                    }
+                }
+            });
+        } else {
+            // Serial (or nested-in-worker) call: re-use the context's im2col
+            // scratch across samples. `im2col` overwrites every element, so
+            // the recycled buffer is bitwise equivalent to a fresh one.
+            let mut col = ctx.take(k * hw_out);
+            let (w_data, w_sparse) = ctx.weights_for(&self.w);
+            for s in 0..n {
+                self.im2col(x, s, ho, wo, &mut col);
+                let out_slice =
+                    &mut out.data_mut()[s * self.cout * hw_out..(s + 1) * self.cout * hw_out];
+                match w_sparse {
+                    Some(idx) => sparse::matmul_acc_sparse_lhs(
+                        idx, w_data, &col, out_slice, self.cout, k, hw_out,
+                    ),
+                    None => matmul_acc(w_data, &col, out_slice, self.cout, k, hw_out),
+                }
+                for m in 0..self.cout {
+                    let bias = self.b.value.data()[m];
+                    for v in &mut out_slice[m * hw_out..(m + 1) * hw_out] {
+                        *v += bias;
+                    }
+                }
+            }
+            ctx.put(col);
+        }
+        out
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let x = self.cached_input.as_ref().expect("Conv2d::backward before forward(train)");
         let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
@@ -434,6 +538,11 @@ impl Layer for Conv2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
     }
 
     fn kind(&self) -> LayerKind {
@@ -527,6 +636,32 @@ impl Layer for Linear {
         out
     }
 
+    fn infer(&self, x: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        assert_eq!(x.dims().len(), 2, "Linear expects [N, din]");
+        assert_eq!(x.dims()[1], self.din, "Linear {} input dim", self.layer_id);
+        let n = x.dims()[0];
+        let mut out = Tensor::zeros(&[n, self.dout]);
+        let (w_data, w_sparse) = ctx.weights_for(&self.w);
+        match w_sparse {
+            Some(idx) => sparse::matmul_a_bt_sparse_rhs(
+                idx,
+                x.data(),
+                w_data,
+                out.data_mut(),
+                n,
+                self.din,
+                self.dout,
+            ),
+            None => matmul_a_bt(x.data(), w_data, out.data_mut(), n, self.din, self.dout),
+        }
+        for s in 0..n {
+            for (j, &bias) in self.b.value.data().iter().enumerate() {
+                out.data_mut()[s * self.dout + j] += bias;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let x = self.cached_input.as_ref().expect("Linear::backward before forward(train)");
         let n = x.dims()[0];
@@ -575,6 +710,11 @@ impl Layer for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
     }
 
     fn kind(&self) -> LayerKind {
@@ -655,6 +795,35 @@ impl Layer for MaxPool2d {
         out
     }
 
+    fn infer(&self, x: &Tensor, _ctx: &mut ExecCtx) -> Tensor {
+        assert_eq!(x.dims().len(), 4, "MaxPool2d expects NCHW input");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = (h / self.kh, w / self.kw);
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        let mut oi = 0;
+        for s in 0..n {
+            for ch in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..self.kh {
+                            for kx in 0..self.kw {
+                                let off = x.offset4(s, ch, oy * self.kh + ky, ox * self.kw + kx);
+                                let v = x.data()[off];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        out.data_mut()[oi] = best;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert!(!self.in_dims.is_empty(), "MaxPool2d::backward before forward(train)");
         let mut gx = Tensor::zeros(&self.in_dims);
@@ -710,6 +879,20 @@ impl Layer for GlobalAvgPool {
         }
         if train {
             self.in_dims = x.dims().to_vec();
+        }
+        out
+    }
+
+    fn infer(&self, x: &Tensor, _ctx: &mut ExecCtx) -> Tensor {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let mut out = Tensor::zeros(&[n, c]);
+        let inv = 1.0 / (h * w) as f32;
+        for s in 0..n {
+            for ch in 0..c {
+                let base = x.offset4(s, ch, 0, 0);
+                let sum: f32 = x.data()[base..base + h * w].iter().sum();
+                out.data_mut()[s * c + ch] = sum * inv;
+            }
         }
         out
     }
@@ -777,6 +960,16 @@ impl Layer for Relu {
         out
     }
 
+    fn infer(&self, x: &Tensor, _ctx: &mut ExecCtx) -> Tensor {
+        let mut out = x.clone();
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.numel(), self.mask.len(), "Relu::backward before forward(train)");
         let mut gx = grad.clone();
@@ -826,6 +1019,12 @@ impl Layer for Flatten {
         x.reshape(&[n, rest])
     }
 
+    fn infer(&self, x: &Tensor, _ctx: &mut ExecCtx) -> Tensor {
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         grad.reshape(&self.in_dims)
     }
@@ -870,6 +1069,11 @@ impl Sequential {
         &mut self.layers
     }
 
+    /// Shared access to the contained layers (inference-side visitors).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
     /// Zeroes every parameter gradient.
     pub fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
@@ -885,6 +1089,14 @@ impl Layer for Sequential {
         cur
     }
 
+    fn infer(&self, x: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur, ctx);
+        }
+        cur
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let mut cur = grad.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -896,6 +1108,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
         }
     }
 
@@ -1070,6 +1288,73 @@ mod tests {
         let mut count = 0;
         net.visit_params(&mut |_| count += 1);
         assert_eq!(count, 4); // two weights + two biases
+    }
+
+    #[test]
+    fn infer_is_bitwise_identical_to_eval_forward() {
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(0, 2, 4, 3, 1, 1)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Conv2d::new(1, 4, 6, 3, 1, 1)),
+            Box::new(Relu::new()),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Linear::new(6, 3, 2)),
+        ]);
+        // Install a mask on the first conv so the sparse dispatch path is
+        // exercised on both sides.
+        net.visit_params(&mut |p| {
+            if p.name == "conv0.w" {
+                let mask = Tensor::from_vec(
+                    p.value.dims(),
+                    (0..p.value.numel()).map(|i| (i % 3 != 0) as u32 as f32).collect(),
+                );
+                p.set_mask(mask);
+            }
+        });
+        let x = ramp(&[3, 2, 8, 8]);
+        let want = net.forward(&x, false);
+        let mut ctx = ExecCtx::new();
+        let got = net.infer(&x, &mut ctx);
+        assert_eq!(want.dims(), got.dims());
+        assert_eq!(want.data(), got.data(), "infer must match forward bitwise");
+        // A recycled context must not change the result.
+        let again = net.infer(&x, &mut ctx);
+        assert_eq!(want.data(), again.data());
+    }
+
+    #[test]
+    fn weight_override_matches_cloned_masked_model() {
+        let base = Linear::new(6, 4, 9);
+        let mask = Tensor::from_vec(&[4, 6], (0..24).map(|i| (i % 2 == 0) as u32 as f32).collect());
+        let mut masked = base.clone();
+        masked.visit_params(&mut |p| {
+            if p.name.ends_with(".w") {
+                p.set_mask(mask.clone());
+            }
+        });
+        let x = ramp(&[2, 6]);
+        let want = masked.forward(&x, false);
+
+        let mut ctx = ExecCtx::new();
+        let ov = crate::exec::WeightOverride::masked(9, &base.weight().value, &mask);
+        ctx.push_override(ov);
+        let got = base.infer(&x, &mut ctx);
+        assert_eq!(want.data(), got.data(), "override path must match the cloned-model path");
+    }
+
+    #[test]
+    fn param_clone_bumps_weight_clone_counter() {
+        let before = super::weight_clone_count();
+        let p = Param::new(0, "conv0.w", Tensor::zeros(&[2, 2]));
+        let _c = p.clone();
+        let b = Param::new(0, "conv0.b", Tensor::zeros(&[2]));
+        let _c2 = b.clone();
+        assert_eq!(
+            super::weight_clone_count() - before,
+            1,
+            "weight clones count, bias clones do not"
+        );
     }
 
     #[test]

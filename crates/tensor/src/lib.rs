@@ -28,6 +28,7 @@
 //! assert!(loss > 0.0);
 //! ```
 
+pub mod exec;
 pub mod init;
 pub mod layer;
 pub mod loss;

@@ -8,6 +8,9 @@
 //! iprune-cli fleet <APP> [--devices N] [--shard-size N] [--seed N] [--json PATH]
 //!            [--triage] [--top-k N] [--trace-dir DIR] [--triage-json PATH]
 //! iprune-cli doctor [APP] [--devices N] [--seed N] [--top-k N] [--trace-dir DIR]
+//! iprune-cli serve [APP] [--profile nominal|small-cap|big-cap|slow-fram]
+//!            [--power continuous|strong|weak] [--requests N] [--seed N]
+//!            [--max-batch N] [--q15] [--bench]
 //! iprune-cli history record [--dir D] [--out FILE]
 //! iprune-cli history gate [--dir D] [--history FILE] [--max-wall-growth PCT]
 //! ```
@@ -67,6 +70,166 @@ fn bench_entries(
     Ok(entries)
 }
 
+/// `serve`: load pruned variants into the registry and replay a seeded
+/// request stream through the batched admission front end.
+///
+/// With an APP, serves one (app, profile, power) variant; with `--bench`
+/// (and no APP) it replays a mixed workload over the full serving catalog
+/// and cross-checks batched against sequential execution bit for bit —
+/// the CI smoke entry point.
+fn run_serve(args: &[String]) -> ExitCode {
+    use iprune_repro::serve::{
+        DeviceProfile, ExecMode as ServeMode, ModelRegistry, RegistryConfig, Request, ServeConfig,
+        Server, VariantKey,
+    };
+    use std::sync::Arc;
+
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    let bench = has_flag(args, "--bench");
+    let app = match args.get(1).filter(|s| !s.starts_with("--")) {
+        Some(s) => match parse_app(s) {
+            Some(app) => Some(app),
+            None => return usage(),
+        },
+        None => None,
+    };
+    if app.is_none() && !bench {
+        return usage();
+    }
+    let profile = match flag_value(args, "--profile").as_deref() {
+        None | Some("nominal") => DeviceProfile::Nominal,
+        Some("small-cap") => DeviceProfile::SmallCap,
+        Some("big-cap") => DeviceProfile::BigCap,
+        Some("slow-fram") => DeviceProfile::SlowFram,
+        Some(other) => {
+            eprintln!("unknown profile `{other}`");
+            return usage();
+        }
+    };
+    let power = match flag_value(args, "--power").as_deref() {
+        None | Some("strong") => PowerStrength::Strong,
+        Some("continuous") => PowerStrength::Continuous,
+        Some("weak") => PowerStrength::Weak,
+        Some(other) => {
+            eprintln!("unknown power `{other}`");
+            return usage();
+        }
+    };
+    let n: usize = flag_value(args, "--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if bench { 64 } else { 32 });
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x5E4F);
+    let max_batch: usize =
+        flag_value(args, "--max-batch").and_then(|v| v.parse().ok()).unwrap_or(16);
+    if n == 0 || max_batch == 0 {
+        eprintln!("--requests and --max-batch must be positive");
+        return usage();
+    }
+    let q15 = has_flag(args, "--q15");
+
+    let registry =
+        Arc::new(ModelRegistry::new(RegistryConfig { quantize: q15, ..Default::default() }));
+    let keys: Vec<VariantKey> = match app {
+        Some(app) => vec![VariantKey::new(app, profile, power)],
+        None => {
+            let mut keys = Vec::new();
+            for app in App::all() {
+                keys.push(VariantKey::new(app, DeviceProfile::Nominal, PowerStrength::Strong));
+                keys.push(VariantKey::new(app, DeviceProfile::Nominal, PowerStrength::Weak));
+            }
+            keys.push(VariantKey::new(App::Har, DeviceProfile::SmallCap, PowerStrength::Strong));
+            keys
+        }
+    };
+    // warm every degrade rung so timings measure serving, not lazy builds
+    for &key in &keys {
+        let mut rung = Some(key);
+        while let Some(k) = rung {
+            registry.get_or_load(k);
+            rung = k.degraded();
+        }
+    }
+    for v in registry.loaded() {
+        println!(
+            "variant {:<28} keep {:>7} ppm  cost {:>8}/{:>8} MACs  sparse {}/{}",
+            v.key.to_string(),
+            v.key.keep_ppm(),
+            v.plan.cost,
+            v.plan.dense_macs,
+            v.plan.sparse_layers(),
+            v.plan.rows.len()
+        );
+    }
+
+    let mut pools: std::collections::HashMap<&'static str, iprune_repro::datasets::Dataset> =
+        Default::default();
+    for &k in &keys {
+        pools
+            .entry(k.app.name())
+            .or_insert_with(|| k.app.dataset(64, seed ^ k.app.name().len() as u64));
+    }
+    let requests: Vec<Request> = (0..n)
+        .map(|i| {
+            let h = splitmix(seed ^ i as u64);
+            let key = keys[(h % keys.len() as u64) as usize];
+            let input = pools[key.app.name()].sample((splitmix(h) % 64) as usize);
+            // 50%..650% of the variant's plan cost: tight deadlines reject
+            // or degrade, generous ones absorb a round's queue backlog
+            let pct = 50 + splitmix(h ^ 0xB0D6E7) % 600;
+            let budget = registry.get_or_load(key).plan.cost * pct / 100;
+            Request { id: i as u64, key, input, budget }
+        })
+        .collect();
+
+    let server =
+        Server::new(Arc::clone(&registry), ServeConfig { max_batch, q15, ..Default::default() });
+    let t0 = std::time::Instant::now();
+    let out = server.run(&requests);
+    let wall = t0.elapsed();
+    let s = &out.stats;
+    println!(
+        "served {} requests in {:.1} ms ({:.0} req/s): {} admitted / {} degraded / {} rejected over {} batches",
+        n,
+        wall.as_secs_f64() * 1e3,
+        n as f64 / wall.as_secs_f64(),
+        s.admitted,
+        s.degraded,
+        s.rejected,
+        s.batches
+    );
+    println!("  mean batch {}  peak queue {}", s.batch_size.mean(), s.queue_depth.max);
+
+    if bench {
+        use iprune_repro::serve::report::logits_checksum;
+        server.reset_history();
+        let t1 = std::time::Instant::now();
+        let seq = server.run_mode(&requests, ServeMode::Sequential);
+        let seq_wall = t1.elapsed();
+        println!(
+            "sequential replay: {:.1} ms ({:.0} req/s)",
+            seq_wall.as_secs_f64() * 1e3,
+            n as f64 / seq_wall.as_secs_f64()
+        );
+        let batched = logits_checksum(out.completions.iter().map(|c| c.logits.as_slice()));
+        let sequential = logits_checksum(seq.completions.iter().map(|c| c.logits.as_slice()));
+        if batched != sequential
+            || (s.admitted, s.degraded, s.rejected)
+                != (seq.stats.admitted, seq.stats.degraded, seq.stats.rejected)
+        {
+            eprintln!("serve --bench: batched and sequential execution diverged");
+            return ExitCode::FAILURE;
+        }
+        println!("batched == sequential: logits {batched:016x}, admission identical");
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage() -> ExitCode {
     eprintln!("usage:");
     eprintln!("  iprune-cli specs");
@@ -76,6 +239,9 @@ fn usage() -> ExitCode {
     eprintln!("  iprune-cli fleet <APP> [--devices N] [--shard-size N] [--seed N] [--json PATH]");
     eprintln!("             [--triage] [--top-k N] [--trace-dir DIR] [--triage-json PATH]");
     eprintln!("  iprune-cli doctor [APP] [--devices N] [--seed N] [--top-k N] [--trace-dir DIR]");
+    eprintln!("  iprune-cli serve [APP] [--profile nominal|small-cap|big-cap|slow-fram]");
+    eprintln!("             [--power continuous|strong|weak] [--requests N] [--seed N]");
+    eprintln!("             [--max-batch N] [--q15] [--bench]");
     eprintln!("  iprune-cli history record [--dir D] [--out FILE]");
     eprintln!("  iprune-cli history gate [--dir D] [--history FILE] [--max-wall-growth PCT]");
     eprintln!("options:");
@@ -270,6 +436,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("serve") => run_serve(&args),
         Some("history") => {
             let dir = std::path::PathBuf::from(flag_value(&args, "--dir").unwrap_or(".".into()));
             let current = match bench_entries(&dir) {

@@ -21,4 +21,5 @@ pub use iprune_fleet as fleet;
 pub use iprune_hawaii as hawaii;
 pub use iprune_models as models;
 pub use iprune_obs as obs;
+pub use iprune_serve as serve;
 pub use iprune_tensor as tensor;
