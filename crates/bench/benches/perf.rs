@@ -1,9 +1,12 @@
 //! Host-performance benchmark: GEMM kernel throughput (tiled vs scalar
-//! reference), SIMD-dispatched vs scalar-spec kernels, the Q15 integer
-//! GEMM (with a deterministic output checksum — the SIMD body is exact, so
-//! the hash must agree across dispatch levels), f32-vs-Q15 evaluation
-//! accuracy per zoo app, block-sparse vs dense kernels at 30/50/80 % block
-//! sparsity, and prune-pipeline wall-clock at 1/2/4/8 requested threads.
+//! reference), SIMD-dispatched vs scalar-spec kernels, the Q15 and Q8
+//! integer GEMMs (with deterministic output checksums — the SIMD bodies
+//! are exact, so the hashes must agree across dispatch levels), im2col
+//! packing and max-pooling throughput (bitwise data-movement checksums),
+//! end-to-end quantized inference at both dispatch levels, f32-vs-Q15/Q8
+//! evaluation accuracy per zoo app, block-sparse vs dense kernels at
+//! 30/50/80 % block sparsity, and prune-pipeline wall-clock at 1/2/4/8
+//! requested threads.
 //!
 //! The JSON header records the detected CPU features and the effective
 //! SIMD dispatch level (`IPRUNE_SIMD=0` forces scalar), so a recorded
@@ -32,16 +35,19 @@
 use iprune_bench::cache::workspace_root;
 use iprune_bench::run_app_pipelines;
 use iprune_bench::scale::SMOKE;
-use iprune_models::qeval::QuantizedModel;
+use iprune_models::qeval::{Quantized8Model, QuantizedModel};
 use iprune_models::train::{evaluate, train_sgd, TrainConfig};
 use iprune_models::zoo::App;
+use iprune_tensor::exec::ExecCtx;
 use iprune_tensor::matmul::{
     matmul_a_bt, matmul_a_bt_ref, matmul_a_bt_scalar, matmul_acc, matmul_acc_ref,
     matmul_acc_scalar, matmul_at_b, matmul_at_b_ref, matmul_at_b_scalar,
 };
+use iprune_tensor::pack::{self, ConvShape};
 use iprune_tensor::par;
-use iprune_tensor::qgemm::{q15_gemm, q15_gemm_scalar};
-use iprune_tensor::simd;
+use iprune_tensor::pool;
+use iprune_tensor::qgemm::{q15_gemm, q15_gemm_scalar, q8_gemm, q8_gemm_scalar};
+use iprune_tensor::simd::{self, SimdLevel};
 use iprune_tensor::sparse::{self, SparseIndex};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -183,18 +189,27 @@ struct Q15Row {
     checksum: u64,
 }
 
-/// FNV-1a over the i16 payload — the deterministic fingerprint CI compares
-/// across dispatch levels (the Q15 SIMD body is exact, so the dispatched
-/// output must hash identically under `IPRUNE_SIMD=0` and `=1`).
-fn fnv64(data: &[i16]) -> u64 {
+/// FNV-1a over raw bytes — the deterministic fingerprint CI compares
+/// across dispatch levels (the integer SIMD bodies and the packing/pooling
+/// kernels are exact, so the dispatched output must hash identically under
+/// `IPRUNE_SIMD=0` and `=1`).
+fn fnv64_bytes(data: impl IntoIterator<Item = u8>) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &v in data {
-        for byte in (v as u16).to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+    for byte in data {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a over an i16 payload (little-endian bytes).
+fn fnv64(data: &[i16]) -> u64 {
+    fnv64_bytes(data.iter().flat_map(|&v| (v as u16).to_le_bytes()))
+}
+
+/// FNV-1a over an f32 payload (bit patterns, little-endian bytes).
+fn fnv64_f32(data: &[f32]) -> u64 {
+    fnv64_bytes(data.iter().flat_map(|&v| v.to_bits().to_le_bytes()))
 }
 
 /// Times the Q15 integer GEMM, scalar spec vs dispatched, on the conv
@@ -235,15 +250,314 @@ fn bench_q15() -> Vec<Q15Row> {
     rows
 }
 
+struct Im2colRow {
+    layout: &'static str,
+    scalar_gbs: f64,
+    simd_gbs: f64,
+    checksum: u64,
+}
+
+/// Times im2col packing, scalar spec vs dispatched, in both layouts on the
+/// SQN fire-module conv geometry (`cin 64, 3x3, pad 1, 13x13` → the
+/// 64x576x169 GEMM). Throughput is nominal GB/s over packed bytes written
+/// plus source bytes read once; the checksum fingerprints the packed
+/// output (pure data movement — bitwise across dispatch levels).
+fn bench_im2col() -> Vec<Im2colRow> {
+    let reps = 7;
+    par::set_threads(1);
+    let s = ConvShape {
+        cin: 64,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad_h: 1,
+        pad_w: 1,
+        in_h: 13,
+        in_w: 13,
+        out_h: 13,
+        out_w: 13,
+    };
+    let src = fill(0.4, s.in_len());
+    let src_i16: Vec<i16> = src.iter().map(|&v| (v * 16384.0) as i16).collect();
+    let mut rows = Vec::new();
+
+    let mut col = vec![0.0f32; s.col_len()];
+    let bytes = ((s.col_len() + s.in_len()) * 4) as f64;
+    let t_scalar = time_median(reps, || pack::im2col_f32_scalar(&src, &s, &mut col));
+    let t_simd = time_median(reps, || pack::im2col_f32(&src, &s, &mut col));
+    rows.push(Im2colRow {
+        layout: "rows_f32",
+        scalar_gbs: bytes / t_scalar / 1e9,
+        simd_gbs: bytes / t_simd / 1e9,
+        checksum: fnv64_f32(&col),
+    });
+
+    let mut col16 = vec![0i16; s.col_len()];
+    let bytes = ((s.col_len() + s.in_len()) * 2) as f64;
+    let t_scalar = time_median(reps, || pack::im2col_patches_scalar(&src_i16, &s, &mut col16));
+    let t_simd = time_median(reps, || pack::im2col_patches(&src_i16, &s, &mut col16));
+    rows.push(Im2colRow {
+        layout: "patches_i16",
+        scalar_gbs: bytes / t_scalar / 1e9,
+        simd_gbs: bytes / t_simd / 1e9,
+        checksum: fnv64(&col16),
+    });
+    par::set_threads(0);
+    rows
+}
+
+struct PoolRow {
+    variant: &'static str,
+    scalar_gbs: f64,
+    simd_gbs: f64,
+    checksum: u64,
+}
+
+/// Times max-pooling, scalar spec vs dispatched, per channel plane over a
+/// conv-stage activation (64 planes of 26x26, 2x2 windows): the f32
+/// inference path, the f32 argmax (training) path, and the i16 quantized
+/// path. Nominal GB/s over source-read plus destination-written bytes.
+fn bench_pool() -> Vec<PoolRow> {
+    let reps = 7;
+    par::set_threads(1);
+    let (c, h, w, kh, kw) = (64usize, 26usize, 26usize, 2usize, 2usize);
+    let (ho, wo) = (h / kh, w / kw);
+    let src = fill(0.6, c * h * w);
+    let src_i16: Vec<i16> = src.iter().map(|&v| (v * 16384.0) as i16).collect();
+    let mut rows = Vec::new();
+
+    let mut dst = vec![0.0f32; c * ho * wo];
+    let bytes = ((c * h * w + c * ho * wo) * 4) as f64;
+    let t_scalar = time_median(reps, || {
+        for p in 0..c {
+            pool::maxpool2d_f32_scalar(
+                &src[p * h * w..(p + 1) * h * w],
+                h,
+                w,
+                kh,
+                kw,
+                &mut dst[p * ho * wo..(p + 1) * ho * wo],
+            );
+        }
+    });
+    let t_simd = time_median(reps, || {
+        for p in 0..c {
+            pool::maxpool2d_f32(
+                &src[p * h * w..(p + 1) * h * w],
+                h,
+                w,
+                kh,
+                kw,
+                &mut dst[p * ho * wo..(p + 1) * ho * wo],
+            );
+        }
+    });
+    rows.push(PoolRow {
+        variant: "f32",
+        scalar_gbs: bytes / t_scalar / 1e9,
+        simd_gbs: bytes / t_simd / 1e9,
+        checksum: fnv64_f32(&dst),
+    });
+
+    let mut arg = vec![0usize; c * ho * wo];
+    let t_scalar = time_median(reps, || {
+        for p in 0..c {
+            pool::maxpool2d_f32_argmax_scalar(
+                &src[p * h * w..(p + 1) * h * w],
+                h,
+                w,
+                kh,
+                kw,
+                &mut dst[p * ho * wo..(p + 1) * ho * wo],
+                &mut arg[p * ho * wo..(p + 1) * ho * wo],
+            );
+        }
+    });
+    let t_simd = time_median(reps, || {
+        for p in 0..c {
+            pool::maxpool2d_f32_argmax(
+                &src[p * h * w..(p + 1) * h * w],
+                h,
+                w,
+                kh,
+                kw,
+                &mut dst[p * ho * wo..(p + 1) * ho * wo],
+                &mut arg[p * ho * wo..(p + 1) * ho * wo],
+            );
+        }
+    });
+    let arg_sum: u64 = arg.iter().map(|&a| a as u64).sum();
+    rows.push(PoolRow {
+        variant: "f32_argmax",
+        scalar_gbs: bytes / t_scalar / 1e9,
+        simd_gbs: bytes / t_simd / 1e9,
+        checksum: fnv64_f32(&dst) ^ arg_sum,
+    });
+
+    let mut dst16 = vec![0i16; c * ho * wo];
+    let bytes = ((c * h * w + c * ho * wo) * 2) as f64;
+    let t_scalar = time_median(reps, || {
+        for p in 0..c {
+            pool::maxpool2d_i16_scalar(
+                &src_i16[p * h * w..(p + 1) * h * w],
+                h,
+                w,
+                kh,
+                kw,
+                &mut dst16[p * ho * wo..(p + 1) * ho * wo],
+            );
+        }
+    });
+    let t_simd = time_median(reps, || {
+        for p in 0..c {
+            pool::maxpool2d_i16(
+                &src_i16[p * h * w..(p + 1) * h * w],
+                h,
+                w,
+                kh,
+                kw,
+                &mut dst16[p * ho * wo..(p + 1) * ho * wo],
+            );
+        }
+    });
+    rows.push(PoolRow {
+        variant: "i16",
+        scalar_gbs: bytes / t_scalar / 1e9,
+        simd_gbs: bytes / t_simd / 1e9,
+        checksum: fnv64(&dst16),
+    });
+    par::set_threads(0);
+    rows
+}
+
+struct Q8Row {
+    m: usize,
+    k: usize,
+    n: usize,
+    scalar_gmacs: f64,
+    simd_gmacs: f64,
+    checksum: u64,
+}
+
+/// Times the Q8 integer GEMM, scalar spec vs dispatched, on the conv shape
+/// and the FC shape (`n = 1`). Full-range i8 operands — the wrapping-i32
+/// contract has no operand precondition.
+fn bench_q8() -> Vec<Q8Row> {
+    let reps = 7;
+    let mut rows = Vec::new();
+    par::set_threads(1);
+    for &(m, k, n) in &[(64usize, 576usize, 169usize), (576, 1024, 1)] {
+        let mut s = 0x80_u64 + (m * k * n) as u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next() as i8).collect();
+        let b: Vec<i8> = (0..n * k).map(|_| next() as i8).collect();
+        let bias: Vec<i32> = (0..m).map(|_| next() as i32 >> 16).collect();
+        let mut c = vec![0i8; m * n];
+        let macs = m as f64 * k as f64 * n as f64;
+        let t_scalar =
+            time_median(reps, || q8_gemm_scalar(&a, &b, &bias, &mut c, m, k, n, 5, 7, 6, true));
+        let t_simd = time_median(reps, || q8_gemm(&a, &b, &bias, &mut c, m, k, n, 5, 7, 6, true));
+        rows.push(Q8Row {
+            m,
+            k,
+            n,
+            scalar_gmacs: macs / t_scalar / 1e9,
+            simd_gmacs: macs / t_simd / 1e9,
+            checksum: fnv64_bytes(c.iter().map(|&v| v as u8)),
+        });
+    }
+    par::set_threads(0);
+    rows
+}
+
+struct E2eRow {
+    engine: &'static str,
+    samples: usize,
+    scalar_wall_ms: f64,
+    simd_wall_ms: f64,
+    checksum: u64,
+}
+
+/// End-to-end quantized inference (HAR, trained 1 epoch): all samples
+/// through `forward_*_with` on one recycled context, timed at the forced
+/// scalar level and at the dispatched level. On a scalar-only host (or
+/// under `IPRUNE_SIMD=0`) the two columns measure the same code path. The
+/// logits checksum is bitwise across levels — asserted here and compared
+/// across CI legs.
+fn bench_quant_e2e() -> Vec<E2eRow> {
+    let reps = 5;
+    let app = App::Har;
+    let mut model = app.build();
+    let train = app.dataset(96, 300);
+    train_sgd(&mut model, &train, &TrainConfig { epochs: 1, ..Default::default() });
+    let eval = app.dataset(64, 301);
+    let q15 = QuantizedModel::quantize(&mut model, &eval, 8);
+    let q8 = Quantized8Model::quantize(&mut model, &eval, 8);
+    par::set_threads(1);
+
+    let entry = simd::simd_level();
+    let run = |engine: &'static str, fwd: &dyn Fn(&mut ExecCtx) -> Vec<f32>| -> E2eRow {
+        let mut ctx = ExecCtx::new();
+        let t_entry = time_median(reps, || {
+            let _ = fwd(&mut ctx);
+        });
+        let sum_entry = fnv64_f32(&fwd(&mut ctx));
+        let (scalar_wall, simd_wall) = if entry == SimdLevel::Avx2 {
+            simd::set_simd_level(SimdLevel::Scalar);
+            let t_scalar = time_median(reps, || {
+                let _ = fwd(&mut ctx);
+            });
+            let sum_scalar = fnv64_f32(&fwd(&mut ctx));
+            simd::set_simd_level(entry);
+            assert_eq!(sum_scalar, sum_entry, "{engine} e2e logits differ across dispatch levels");
+            (t_scalar, t_entry)
+        } else {
+            (t_entry, t_entry)
+        };
+        E2eRow {
+            engine,
+            samples: eval.len(),
+            scalar_wall_ms: scalar_wall * 1e3,
+            simd_wall_ms: simd_wall * 1e3,
+            checksum: sum_entry,
+        }
+    };
+
+    let rows = vec![
+        run("q15", &|ctx| {
+            let mut last = Vec::new();
+            for i in 0..eval.len() {
+                last = q15.forward_q15_with(&eval.sample(i), ctx);
+            }
+            last
+        }),
+        run("q8", &|ctx| {
+            let mut last = Vec::new();
+            for i in 0..eval.len() {
+                last = q8.forward_q8_with(&eval.sample(i), ctx);
+            }
+            last
+        }),
+    ];
+    par::set_threads(0);
+    rows
+}
+
 struct QEvalRow {
     app: &'static str,
     acc_f32: f64,
     acc_q15: f64,
+    acc_q8: f64,
 }
 
 /// Trains each zoo app briefly, then evaluates the same weights through
-/// the float path and the host Q15 engine — the f32→Q15 accuracy delta of
-/// Section IV-A, at host speed.
+/// the float path and both host quantized engines — the f32→Q15 accuracy
+/// delta of Section IV-A plus the int8 tier, at host speed.
 fn bench_q15_eval() -> Vec<QEvalRow> {
     App::all()
         .iter()
@@ -255,7 +569,9 @@ fn bench_q15_eval() -> Vec<QEvalRow> {
             let acc_f32 = evaluate(&mut model, &eval, 16);
             let qm = QuantizedModel::quantize(&mut model, &eval, 8);
             let acc_q15 = qm.evaluate_q15(&eval);
-            QEvalRow { app: app.name(), acc_f32, acc_q15 }
+            let qm8 = Quantized8Model::quantize(&mut model, &eval, 8);
+            let acc_q8 = qm8.evaluate_q8(&eval);
+            QEvalRow { app: app.name(), acc_f32, acc_q15, acc_q8 }
         })
         .collect()
 }
@@ -561,15 +877,101 @@ fn main() {
         );
     }
 
-    // f32 vs Q15 accuracy per zoo app.
+    // Q8 integer GEMM, scalar spec vs dispatched sign-extend+madd.
+    let q8_rows = bench_q8();
+    println!();
+    println!("Q8 integer GEMM (serial, dispatch={dispatch}):");
+    for r in &q8_rows {
+        println!(
+            "  {:>4}x{:<4}x{:<4} scalar {:>6.2} GMAC/s  simd {:>6.2} GMAC/s  ({:.2}x)  checksum {:#018x}",
+            r.m,
+            r.k,
+            r.n,
+            r.scalar_gmacs,
+            r.simd_gmacs,
+            r.simd_gmacs / r.scalar_gmacs,
+            r.checksum
+        );
+        if dispatch == "avx2" && r.n > 1 {
+            // 32 i8 lanes per madd against a scalar i32 loop: the conv-shaped
+            // row must clear 2x (the FC row is latency-bound at n = 1 and
+            // keeps only the bitwise contract)
+            assert!(
+                r.simd_gmacs / r.scalar_gmacs >= 2.0,
+                "Q8 SIMD GEMM below 2x on conv shape: {:.2} vs {:.2} GMAC/s",
+                r.simd_gmacs,
+                r.scalar_gmacs
+            );
+        }
+    }
+
+    // SIMD im2col packing, both layouts.
+    let im2col_rows = bench_im2col();
+    println!();
+    println!("im2col packing (serial, dispatch={dispatch}):");
+    for r in &im2col_rows {
+        println!(
+            "  {:<12} scalar {:>6.2} GB/s  simd {:>6.2} GB/s  ({:.2}x)  checksum {:#018x}",
+            r.layout,
+            r.scalar_gbs,
+            r.simd_gbs,
+            r.simd_gbs / r.scalar_gbs,
+            r.checksum
+        );
+    }
+
+    // Vectorized max-pooling: inference, argmax (training), and quantized.
+    let pool_rows = bench_pool();
+    println!();
+    println!("max-pool 2x2 (serial, 64 planes of 26x26, dispatch={dispatch}):");
+    for r in &pool_rows {
+        println!(
+            "  {:<12} scalar {:>6.2} GB/s  simd {:>6.2} GB/s  ({:.2}x)  checksum {:#018x}",
+            r.variant,
+            r.scalar_gbs,
+            r.simd_gbs,
+            r.simd_gbs / r.scalar_gbs,
+            r.checksum
+        );
+    }
+
+    // End-to-end quantized inference at both dispatch levels.
+    let e2e_rows = bench_quant_e2e();
+    println!();
+    println!("end-to-end quantized inference (HAR, {} samples):", e2e_rows[0].samples);
+    for r in &e2e_rows {
+        let speedup = r.scalar_wall_ms / r.simd_wall_ms;
+        println!(
+            "  {:<4} scalar {:>7.2} ms  simd {:>7.2} ms  ({:.2}x)  logits checksum {:#018x}",
+            r.engine, r.scalar_wall_ms, r.simd_wall_ms, speedup, r.checksum
+        );
+        if dispatch == "avx2" && r.engine == "q15" {
+            // the tentpole target: SIMD im2col + pooling + madd GEMM must
+            // compound to >= 1.3x on the whole Q15 inference graph
+            assert!(speedup >= 1.3, "Q15 end-to-end SIMD speedup below 1.3x: {speedup:.2}x");
+        }
+        if dispatch == "avx2" {
+            // q8 on HAR is bound by per-element requantization and the
+            // small-k scalar tails, so its SIMD win is thin; the guard only
+            // catches a real regression, not timer noise
+            assert!(
+                speedup >= 0.9,
+                "{} end-to-end SIMD slower than scalar: {speedup:.2}x",
+                r.engine
+            );
+        }
+    }
+
+    // f32 vs quantized accuracy per zoo app.
     let qeval_rows = bench_q15_eval();
     println!();
-    println!("f32 vs host-Q15 evaluation accuracy (trained 1 epoch):");
+    println!("f32 vs host-quantized evaluation accuracy (trained 1 epoch):");
     for r in &qeval_rows {
         let delta = (r.acc_f32 - r.acc_q15).abs();
+        let delta8 = (r.acc_f32 - r.acc_q8).abs();
         println!(
-            "  {:<4} f32 {:>6.4}  q15 {:>6.4}  delta {:>6.4}",
-            r.app, r.acc_f32, r.acc_q15, delta
+            "  {:<4} f32 {:>6.4}  q15 {:>6.4}  delta {:>6.4}  q8 {:>6.4}  delta {:>6.4}",
+            r.app, r.acc_f32, r.acc_q15, delta, r.acc_q8, delta8
         );
         assert!(
             delta <= 0.01 + 1e-9,
@@ -577,6 +979,14 @@ fn main() {
             r.app,
             r.acc_f32,
             r.acc_q15
+        );
+        // int8 resolution is 256x coarser than Q15; 5% is the guard rail
+        assert!(
+            delta8 <= 0.05 + 1e-9,
+            "Q8 accuracy delta above 5% on {}: f32 {:.4} vs q8 {:.4}",
+            r.app,
+            r.acc_f32,
+            r.acc_q8
         );
     }
 
@@ -718,15 +1128,126 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"scalar_gops\": {:.4}, \
-             \"simd_gops\": {:.4}, \"speedup\": {:.4}}}",
+             \"simd_gops\": {:.4}, \"scalar_gmacs\": {:.4}, \"simd_gmacs\": {:.4}, \
+             \"speedup\": {:.4}}}",
             r.m,
             r.k,
             r.n,
             r.scalar_gops,
             r.simd_gops,
+            r.scalar_gops / 2.0,
+            r.simd_gops / 2.0,
             r.simd_gops / r.scalar_gops
         );
         json.push_str(if i + 1 < q15_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"q8_gemm\": [\n");
+    for (i, r) in q8_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"scalar_gmacs\": {:.4}, \
+             \"simd_gmacs\": {:.4}, \"speedup\": {:.4}}}",
+            r.m,
+            r.k,
+            r.n,
+            r.scalar_gmacs,
+            r.simd_gmacs,
+            r.simd_gmacs / r.scalar_gmacs
+        );
+        json.push_str(if i + 1 < q8_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // Structural: the dispatched Q8 output hashed — byte-identical across
+    // thread counts AND dispatch levels (the SIMD body is exact).
+    json.push_str("  \"q8_checksums\": [\n");
+    for (i, r) in q8_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"out_checksum\": \"{:#018x}\"}}",
+            r.m, r.k, r.n, r.checksum
+        );
+        json.push_str(if i + 1 < q8_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"simd_im2col\": [\n");
+    for (i, r) in im2col_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"layout\": \"{}\", \"scalar_gbs\": {:.4}, \"simd_gbs\": {:.4}, \
+             \"speedup\": {:.4}}}",
+            r.layout,
+            r.scalar_gbs,
+            r.simd_gbs,
+            r.simd_gbs / r.scalar_gbs
+        );
+        json.push_str(if i + 1 < im2col_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // Structural: packed output hashed — im2col is pure data movement, so
+    // the bytes are identical at every dispatch level and thread count.
+    json.push_str("  \"im2col_checksums\": [\n");
+    for (i, r) in im2col_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"layout\": \"{}\", \"out_checksum\": \"{:#018x}\"}}",
+            r.layout, r.checksum
+        );
+        json.push_str(if i + 1 < im2col_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"pool\": [\n");
+    for (i, r) in pool_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"variant\": \"{}\", \"scalar_gbs\": {:.4}, \"simd_gbs\": {:.4}, \
+             \"speedup\": {:.4}}}",
+            r.variant,
+            r.scalar_gbs,
+            r.simd_gbs,
+            r.simd_gbs / r.scalar_gbs
+        );
+        json.push_str(if i + 1 < pool_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // Structural: pooled output (and argmax sum) hashed — the vector max
+    // replicates scalar first-wins tie-breaking bitwise.
+    json.push_str("  \"pool_checksums\": [\n");
+    for (i, r) in pool_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"variant\": \"{}\", \"out_checksum\": \"{:#018x}\"}}",
+            r.variant, r.checksum
+        );
+        json.push_str(if i + 1 < pool_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"quant_e2e\": [\n");
+    for (i, r) in e2e_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"engine\": \"{}\", \"samples\": {}, \"scalar_wall_ms\": {:.4}, \
+             \"simd_wall_ms\": {:.4}, \"speedup\": {:.4}}}",
+            r.engine,
+            r.samples,
+            r.scalar_wall_ms,
+            r.simd_wall_ms,
+            r.scalar_wall_ms / r.simd_wall_ms
+        );
+        json.push_str(if i + 1 < e2e_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    // Structural: end-to-end logits hashed — the whole quantized graph
+    // (quantize, im2col, GEMM, pool, avg, dequantize) is bitwise across
+    // dispatch levels.
+    json.push_str("  \"quant_e2e_checksums\": [\n");
+    for (i, r) in e2e_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"engine\": \"{}\", \"samples\": {}, \"logits_checksum\": \"{:#018x}\"}}",
+            r.engine, r.samples, r.checksum
+        );
+        json.push_str(if i + 1 < e2e_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     // Structural: the dispatched Q15 output hashed — byte-identical across
@@ -748,11 +1269,14 @@ fn main() {
     for (i, r) in qeval_rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"app\": \"{}\", \"acc_f32\": {:.4}, \"acc_q15\": {:.4}, \"delta\": {:.4}}}",
+            "    {{\"app\": \"{}\", \"acc_f32\": {:.4}, \"acc_q15\": {:.4}, \"delta\": {:.4}, \
+             \"acc_q8\": {:.4}, \"delta_q8\": {:.4}}}",
             r.app,
             r.acc_f32,
             r.acc_q15,
-            (r.acc_f32 - r.acc_q15).abs()
+            (r.acc_f32 - r.acc_q15).abs(),
+            r.acc_q8,
+            (r.acc_f32 - r.acc_q8).abs()
         );
         json.push_str(if i + 1 < qeval_rows.len() { ",\n" } else { "\n" });
     }

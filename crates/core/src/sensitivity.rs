@@ -92,7 +92,7 @@ pub fn analyze(
             mask_out_block(&mut probe, bi);
         }
         let probe_mask = mask_as_weight_shape(&probe, model_ref);
-        let probed = if train::q15_mode() {
+        let probed = if train::quantized_mode() {
             let mut probe_model = model_ref.clone();
             let mut masks = HashMap::new();
             masks.insert(state.layer_id, probe_mask);

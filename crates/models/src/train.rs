@@ -84,14 +84,52 @@ pub fn train_sgd(model: &mut Model, ds: &Dataset, cfg: &TrainConfig) -> f32 {
     last_epoch_loss
 }
 
-/// Whether `IPRUNE_EVAL=q15` routes evaluation through the host
-/// fixed-point engine (read once per process). Public so callers that need
-/// a materialized model for quantization (e.g. sensitivity probes) can
-/// detect the mode and avoid the zero-clone path.
-pub fn q15_mode() -> bool {
+/// Which numerics [`evaluate`] runs: the float reference, or one of the
+/// host fixed-point engines in [`crate::qeval`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Float reference inference (default).
+    F32,
+    /// `IPRUNE_EVAL=q15` — i16 device numerics via
+    /// [`crate::qeval::QuantizedModel`].
+    Q15,
+    /// `IPRUNE_EVAL=q8` — int8 deployment numerics via
+    /// [`crate::qeval::Quantized8Model`].
+    Q8,
+}
+
+/// The evaluation mode selected by `IPRUNE_EVAL` (read once per process).
+/// Unrecognized values fall back to [`EvalMode::F32`] with a one-time
+/// warning, mirroring `IPRUNE_SIMD` validation.
+pub fn eval_mode() -> EvalMode {
     use std::sync::OnceLock;
-    static MODE: OnceLock<bool> = OnceLock::new();
-    *MODE.get_or_init(|| std::env::var("IPRUNE_EVAL").is_ok_and(|v| v == "q15"))
+    static MODE: OnceLock<EvalMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("IPRUNE_EVAL").as_deref() {
+        Err(_) => EvalMode::F32,
+        Ok("q15") => EvalMode::Q15,
+        Ok("q8") => EvalMode::Q8,
+        Ok(other) => {
+            eprintln!(
+                "iprune: unrecognized IPRUNE_EVAL value {other:?} \
+                 (expected \"q15\" or \"q8\"); using float evaluation"
+            );
+            EvalMode::F32
+        }
+    })
+}
+
+/// Whether evaluation runs in *any* quantized mode (Q15 or Q8). Public so
+/// callers that need a materialized model for quantization (e.g.
+/// sensitivity probes) can detect the mode and avoid the zero-clone path.
+pub fn quantized_mode() -> bool {
+    eval_mode() != EvalMode::F32
+}
+
+/// Whether `IPRUNE_EVAL=q15` routes evaluation through the host Q15
+/// engine. Kept alongside [`eval_mode`] for callers that care about the
+/// specific precision.
+pub fn q15_mode() -> bool {
+    eval_mode() == EvalMode::Q15
 }
 
 /// Evaluates top-1 accuracy of `model` on `ds` (float reference inference).
@@ -100,7 +138,8 @@ pub fn q15_mode() -> bool {
 /// the first [`crate::qeval::DEFAULT_CALIBRATION`] samples of `ds`, the
 /// same recipe as device deployment) and evaluated in device numerics via
 /// [`crate::qeval::QuantizedModel`] — for measuring the f32→Q15 accuracy
-/// delta without the device simulator's overhead.
+/// delta without the device simulator's overhead. `IPRUNE_EVAL=q8` does
+/// the same through the int8 engine ([`crate::qeval::Quantized8Model`]).
 ///
 /// Batches are independent in inference mode, so contiguous runs of batches
 /// are spread over [`iprune_tensor::par`] workers. All workers borrow the
@@ -112,12 +151,25 @@ pub fn q15_mode() -> bool {
 /// Pruned layers inherit the block-sparse GEMM dispatch (see
 /// `iprune_tensor::sparse`) on this path too.
 pub fn evaluate(model: &mut Model, ds: &Dataset, batch: usize) -> f64 {
-    if q15_mode() {
-        let qm =
-            crate::qeval::QuantizedModel::quantize(model, ds, crate::qeval::DEFAULT_CALIBRATION);
-        return qm.evaluate_q15(ds);
+    match eval_mode() {
+        EvalMode::Q15 => {
+            let qm = crate::qeval::QuantizedModel::quantize(
+                model,
+                ds,
+                crate::qeval::DEFAULT_CALIBRATION,
+            );
+            qm.evaluate_q15(ds)
+        }
+        EvalMode::Q8 => {
+            let qm = crate::qeval::Quantized8Model::quantize(
+                model,
+                ds,
+                crate::qeval::DEFAULT_CALIBRATION,
+            );
+            qm.evaluate_q8(ds)
+        }
+        EvalMode::F32 => evaluate_shared(model, ds, batch),
     }
-    evaluate_shared(model, ds, batch)
 }
 
 /// Float evaluation against a *shared* model: the zero-clone path.

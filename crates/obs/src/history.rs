@@ -22,11 +22,13 @@ use std::fmt::Write as _;
 /// Markers of host-measurement lines excluded from the structural hash.
 /// Mirrors (and supersets) the `grep -v` filters CI's byte-compares use:
 /// a line containing any of these is not structural.
-pub const NONSTRUCTURAL_MARKERS: [&str; 11] = [
+pub const NONSTRUCTURAL_MARKERS: [&str; 13] = [
     "wall_s", // includes sweep_wall_s
     "wall_ms",
     "gflops",
     "gops",
+    "gmacs", // integer-GEMM throughput (GMAC/s)
+    "gbs",   // data-movement throughput (GB/s)
     "speedup",
     "simd_dispatch",
     "lanes",

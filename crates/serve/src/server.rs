@@ -402,7 +402,7 @@ impl Server {
             let t0 = Instant::now();
             let (logits, pred) = if self.cfg.q15 {
                 let q = adm.variant.qmodel.as_ref().expect("q15 serving needs quantized variant");
-                let l = q.forward_q15(&requests[ri].input);
+                let l = q.forward_q15_with(&requests[ri].input, &mut ctx);
                 let pred = argmax_slice(&l);
                 (l, pred)
             } else {
@@ -430,10 +430,11 @@ fn run_batch<'a>(
     assert!(!inputs.is_empty(), "empty batch");
     if q15 {
         let q = variant.qmodel.as_ref().expect("q15 serving needs quantized variant");
+        let mut ctx = ExecCtx::new();
         let mut logits = Vec::new();
         let mut preds = Vec::new();
         for x in &inputs {
-            let l = q.forward_q15(x);
+            let l = q.forward_q15_with(x, &mut ctx);
             preds.push(argmax_slice(&l));
             logits.extend_from_slice(&l);
         }

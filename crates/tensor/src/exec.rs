@@ -58,6 +58,8 @@ impl WeightOverride {
 #[derive(Debug, Default)]
 pub struct ExecCtx {
     free: Vec<Vec<f32>>,
+    free_i16: Vec<Vec<i16>>,
+    free_i8: Vec<Vec<i8>>,
     overrides: Vec<WeightOverride>,
 }
 
@@ -83,6 +85,40 @@ impl ExecCtx {
     /// Returns a scratch buffer to the pool.
     pub fn put(&mut self, buf: Vec<f32>) {
         self.free.push(buf);
+    }
+
+    /// Loans a zeroed `i16` scratch buffer (quantized im2col / activations).
+    pub fn take_i16(&mut self, len: usize) -> Vec<i16> {
+        match self.free_i16.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Returns an `i16` scratch buffer to the pool.
+    pub fn put_i16(&mut self, buf: Vec<i16>) {
+        self.free_i16.push(buf);
+    }
+
+    /// Loans a zeroed `i8` scratch buffer (int8 im2col / activations).
+    pub fn take_i8(&mut self, len: usize) -> Vec<i8> {
+        match self.free_i8.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Returns an `i8` scratch buffer to the pool.
+    pub fn put_i8(&mut self, buf: Vec<i8>) {
+        self.free_i8.push(buf);
     }
 
     /// Installs a weight override; at most one per `layer_id` is consulted
@@ -135,6 +171,19 @@ mod tests {
         ctx.put(buf);
         let again = ctx.take(6);
         assert_eq!(again, vec![0.0; 6], "recycled scratch is re-zeroed and resized");
+    }
+
+    #[test]
+    fn integer_scratch_pools_recycle_and_rezero() {
+        let mut ctx = ExecCtx::new();
+        let mut q15 = ctx.take_i16(3);
+        q15.iter_mut().for_each(|v| *v = -5);
+        ctx.put_i16(q15);
+        assert_eq!(ctx.take_i16(5), vec![0i16; 5]);
+        let mut q8 = ctx.take_i8(2);
+        q8.iter_mut().for_each(|v| *v = 9);
+        ctx.put_i8(q8);
+        assert_eq!(ctx.take_i8(4), vec![0i8; 4]);
     }
 
     #[test]

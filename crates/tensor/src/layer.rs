@@ -11,6 +11,7 @@ use crate::exec::ExecCtx;
 use crate::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
 use crate::sparse::{self, DispatchMode, SparseIndex};
 use crate::{init, par, Tensor};
+use crate::{pack, pool};
 use iprune_obs::metrics::{self, Counter};
 use std::sync::{Arc, OnceLock};
 
@@ -307,34 +308,31 @@ impl Conv2d {
         &self.w
     }
 
-    /// im2col for one sample: writes a `[cin*kh*kw, ho*wo]` matrix.
+    /// The packing geometry for an input of `(h, w)`.
+    fn conv_shape(&self, h: usize, w: usize, ho: usize, wo: usize) -> pack::ConvShape {
+        pack::ConvShape {
+            cin: self.cin,
+            kh: self.kh,
+            kw: self.kw,
+            stride: self.stride,
+            pad_h: self.pad_h,
+            pad_w: self.pad_w,
+            in_h: h,
+            in_w: w,
+            out_h: ho,
+            out_w: wo,
+        }
+    }
+
+    /// im2col for one sample: writes a `[cin*kh*kw, ho*wo]` matrix through
+    /// the dispatched packing kernel ([`pack::im2col_f32`] — bitwise equal
+    /// to its scalar spec, i.e. to the original per-element loop, at every
+    /// SIMD level).
     fn im2col(&self, x: &Tensor, n: usize, ho: usize, wo: usize, col: &mut [f32]) {
         let (h, w) = (x.dims()[2], x.dims()[3]);
-        let khw = self.kh * self.kw;
-        let hw_out = ho * wo;
-        for c in 0..self.cin {
-            for ky in 0..self.kh {
-                for kx in 0..self.kw {
-                    let row = (c * khw + ky * self.kw + kx) * hw_out;
-                    for oy in 0..ho {
-                        let iy = (oy * self.stride + ky) as isize - self.pad_h as isize;
-                        let base = row + oy * wo;
-                        if iy < 0 || iy >= h as isize {
-                            col[base..base + wo].iter_mut().for_each(|v| *v = 0.0);
-                            continue;
-                        }
-                        for ox in 0..wo {
-                            let ix = (ox * self.stride + kx) as isize - self.pad_w as isize;
-                            col[base + ox] = if ix < 0 || ix >= w as isize {
-                                0.0
-                            } else {
-                                x.at4(n, c, iy as usize, ix as usize)
-                            };
-                        }
-                    }
-                }
-            }
-        }
+        let s = self.conv_shape(h, w, ho, wo);
+        let base = n * s.in_len();
+        pack::im2col_f32(&x.data()[base..base + s.in_len()], &s, col);
     }
 
     /// Scatter-adds a `[cin*kh*kw, ho*wo]` gradient matrix back to one
@@ -760,36 +758,27 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.dims().len(), 4, "MaxPool2d expects NCHW input");
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-        let (ho, wo) = (h / self.kh, w / self.kw);
+        let (kh, kw) = (self.kh, self.kw);
+        let (ho, wo) = (h / kh, w / kw);
+        let (plane, oplane) = (h * w, ho * wo);
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
         if train {
-            self.argmax = vec![0; n * c * ho * wo];
+            self.argmax = vec![0; n * c * oplane];
             self.in_dims = x.dims().to_vec();
         }
-        let mut oi = 0;
-        for s in 0..n {
-            for ch in 0..c {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_off = 0;
-                        for ky in 0..self.kh {
-                            for kx in 0..self.kw {
-                                let off = x.offset4(s, ch, oy * self.kh + ky, ox * self.kw + kx);
-                                let v = x.data()[off];
-                                if v > best {
-                                    best = v;
-                                    best_off = off;
-                                }
-                            }
-                        }
-                        out.data_mut()[oi] = best;
-                        if train {
-                            self.argmax[oi] = best_off;
-                        }
-                        oi += 1;
-                    }
+        // one dispatched pool kernel per channel plane; the kernel records
+        // plane-relative argmax offsets, rebased to tensor offsets here
+        for p in 0..n * c {
+            let src = &x.data()[p * plane..(p + 1) * plane];
+            let dst = &mut out.data_mut()[p * oplane..(p + 1) * oplane];
+            if train {
+                let arg = &mut self.argmax[p * oplane..(p + 1) * oplane];
+                pool::maxpool2d_f32_argmax(src, h, w, kh, kw, dst, arg);
+                for a in arg.iter_mut() {
+                    *a += p * plane;
                 }
+            } else {
+                pool::maxpool2d_f32(src, h, w, kh, kw, dst);
             }
         }
         out
@@ -799,27 +788,12 @@ impl Layer for MaxPool2d {
         assert_eq!(x.dims().len(), 4, "MaxPool2d expects NCHW input");
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let (ho, wo) = (h / self.kh, w / self.kw);
+        let (plane, oplane) = (h * w, ho * wo);
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
-        let mut oi = 0;
-        for s in 0..n {
-            for ch in 0..c {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        let mut best = f32::NEG_INFINITY;
-                        for ky in 0..self.kh {
-                            for kx in 0..self.kw {
-                                let off = x.offset4(s, ch, oy * self.kh + ky, ox * self.kw + kx);
-                                let v = x.data()[off];
-                                if v > best {
-                                    best = v;
-                                }
-                            }
-                        }
-                        out.data_mut()[oi] = best;
-                        oi += 1;
-                    }
-                }
-            }
+        for p in 0..n * c {
+            let src = &x.data()[p * plane..(p + 1) * plane];
+            let dst = &mut out.data_mut()[p * oplane..(p + 1) * oplane];
+            pool::maxpool2d_f32(src, h, w, self.kh, self.kw, dst);
         }
         out
     }
@@ -827,9 +801,7 @@ impl Layer for MaxPool2d {
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert!(!self.in_dims.is_empty(), "MaxPool2d::backward before forward(train)");
         let mut gx = Tensor::zeros(&self.in_dims);
-        for (gi, &src) in self.argmax.iter().enumerate() {
-            gx.data_mut()[src] += grad.data()[gi];
-        }
+        pool::maxpool2d_backward_f32(&self.argmax, grad.data(), gx.data_mut());
         gx
     }
 

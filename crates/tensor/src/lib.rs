@@ -35,12 +35,14 @@ pub mod loss;
 pub mod matmul;
 pub mod metrics;
 pub mod optim;
+pub mod pack;
 pub mod par;
+pub mod pool;
 pub mod qgemm;
 pub mod quant;
 pub mod simd;
 pub mod sparse;
 pub mod tensor;
 
-pub use quant::{QFormat, QTensor};
+pub use quant::{Q8Format, QFormat, QTensor};
 pub use tensor::Tensor;

@@ -24,9 +24,14 @@
 //! [`crate::quant::QFormat::for_max_abs`] (headroom 0.999) never produce
 //! `i16::MIN`, so the precondition holds structurally on the evaluation
 //! path; the dispatched entry debug-asserts it.
+//!
+//! The int8 deployment tier ([`q8_gemm`]) shares the operand layout but
+//! accumulates i8×i8 products in a *wrapping* i32 with the bias preloaded
+//! at accumulator scale; its SIMD body is bitwise-equal to the scalar spec
+//! for **all** inputs (see its docs).
 
-use crate::quant::requantize;
-use crate::simd::{self, q15_dot_i64, SimdLevel};
+use crate::quant::{requantize, requantize8};
+use crate::simd::{self, q15_dot_i64, q8_dot_i32, SimdLevel};
 
 /// Q15 GEMM dispatched on the process SIMD level.
 ///
@@ -120,6 +125,117 @@ fn q15_gemm_body(
     }
 }
 
+/// Q8 GEMM dispatched on the process SIMD level — the int8 deployment
+/// tier. Same dot-form operand layout as [`q15_gemm`] (`a` is `[m][k]` i8
+/// weight rows, `b` is `[n][k]` i8 activation columns), but the bias is
+/// preloaded **directly at accumulator scale** as i32 (`in_frac + w_frac`
+/// fractional bits — the standard int8 deployment layout, no separate bias
+/// shift):
+///
+/// `c[i][j] = requantize8(bias[i] + Σ_p a[i*k+p] * b[j*k+p], in_frac,
+/// w_frac, out_frac)`, clamped at zero when `relu` is set.
+///
+/// # Exactness contract
+///
+/// The scalar body ([`q8_gemm_scalar`]) accumulates i8×i8 products in a
+/// **wrapping** i32 — the executable spec. The AVX2 body (sign-extend +
+/// `_mm256_madd_epi16`, wrapping i32 lanes) is **bitwise equal to the spec
+/// for all inputs**: pair sums are exact and wrapping addition
+/// reassociates freely, so unlike Q15 there is no operand precondition.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
+pub fn q8_gemm(
+    a: &[i8],
+    b: &[i8],
+    bias: &[i32],
+    c: &mut [i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    in_frac: u8,
+    w_frac: u8,
+    out_frac: u8,
+    relu: bool,
+) {
+    let use_avx2 = simd::simd_level() == SimdLevel::Avx2;
+    q8_gemm_body(a, b, bias, c, m, k, n, in_frac, w_frac, out_frac, relu, use_avx2);
+}
+
+/// Scalar-spec Q8 GEMM: wrapping-i32 accumulation, identical at any SIMD
+/// dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
+pub fn q8_gemm_scalar(
+    a: &[i8],
+    b: &[i8],
+    bias: &[i32],
+    c: &mut [i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    in_frac: u8,
+    w_frac: u8,
+    out_frac: u8,
+    relu: bool,
+) {
+    q8_gemm_body(a, b, bias, c, m, k, n, in_frac, w_frac, out_frac, relu, false);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn q8_gemm_body(
+    a: &[i8],
+    b: &[i8],
+    bias: &[i32],
+    c: &mut [i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    in_frac: u8,
+    w_frac: u8,
+    out_frac: u8,
+    relu: bool,
+    use_avx2: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(bias.len(), m, "bias length");
+    assert_eq!(c.len(), m * n, "out length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let preload = bias[i];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let acc = preload.wrapping_add(q8_dot_dispatch(a_row, b_row, use_avx2));
+            let mut v = requantize8(acc, in_frac, w_frac, out_frac);
+            if relu && v < 0 {
+                v = 0;
+            }
+            c[i * n + j] = v;
+        }
+    }
+}
+
+#[inline]
+fn q8_dot_dispatch(a_row: &[i8], b_row: &[i8], use_avx2: bool) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if use_avx2 {
+            // SAFETY: the dispatch level only reports Avx2 on CPUs with
+            // avx2; both rows hold `k` elements (asserted by the entry).
+            return unsafe { simd::avx2::q8_dot(a_row.as_ptr(), b_row.as_ptr(), a_row.len()) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    q8_dot_i32(a_row, b_row)
+}
+
 #[inline]
 fn q15_dot_dispatch(a_row: &[i16], b_row: &[i16], use_avx2: bool) -> i64 {
     #[cfg(target_arch = "x86_64")]
@@ -208,6 +324,61 @@ mod tests {
             let mut c_simd = vec![0i16; m * n];
             q15_gemm_body(&a, &b, &bias, 7, &mut c_ref, m, k, n, 13, 14, 12, true, false);
             q15_gemm_body(&a, &b, &bias, 7, &mut c_simd, m, k, n, 13, 14, 12, true, true);
+            assert_eq!(c_ref, c_simd, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn q8_matches_hand_computed_requant() {
+        // 2x3 · 3x1: Q1.6 weights, Q0.7 inputs, Q0.7 out; bias at Q13 acc scale
+        let a = [64i8, -32, 16, 0, 64, -64]; // 1.0, -0.5, 0.25 / 0, 1.0, -1.0 in Q6
+        let b = [64i8, 32, -127];
+        let bias = [0i32, 1 << 12]; // 0.5 at Q13
+        let mut c = [0i8; 2];
+        q8_gemm_scalar(&a, &b, &bias, &mut c, 2, 3, 1, 7, 6, 7, false);
+        let acc0 = 64i32 * 64 + (-32i32) * 32 + 16i32 * (-127);
+        let acc1 = (1 << 12) + 64i32 * 32 + (-64i32) * (-127);
+        assert_eq!(c[0], requantize8(acc0, 7, 6, 7));
+        assert_eq!(c[1], requantize8(acc1, 7, 6, 7));
+    }
+
+    #[test]
+    fn q8_relu_and_saturation() {
+        let a = [-64i8];
+        let b = [127i8];
+        let mut c = [0i8; 1];
+        q8_gemm_scalar(&a, &b, &[0], &mut c, 1, 1, 1, 7, 6, 7, true);
+        assert_eq!(c[0], 0);
+        q8_gemm_scalar(&a, &b, &[0], &mut c, 1, 1, 1, 7, 6, 7, false);
+        assert!(c[0] < 0);
+        // huge accumulator saturates at the i8 bounds
+        let a = vec![127i8; 64];
+        let b = vec![127i8; 64];
+        let mut c = [0i8; 1];
+        q8_gemm_scalar(&a, &b, &[0], &mut c, 1, 64, 1, 7, 7, 7, false);
+        assert_eq!(c[0], i8::MAX);
+        let a = vec![-127i8; 64];
+        q8_gemm_scalar(&a, &b, &[0], &mut c, 1, 64, 1, 7, 7, 7, false);
+        assert_eq!(c[0], i8::MIN);
+    }
+
+    #[test]
+    fn q8_avx2_body_is_exactly_scalar_spec() {
+        if !simd::avx2_supported() {
+            return;
+        }
+        let mut next = xorshift(0xdead_cafe);
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (3, 17, 5), (8, 64, 9), (5, 130, 2), (4, 577, 3)]
+        {
+            // full i8 range on both operands — no precondition for Q8
+            let a: Vec<i8> = (0..m * k).map(|_| next() as i8).collect();
+            let b: Vec<i8> = (0..n * k).map(|_| next() as i8).collect();
+            let bias: Vec<i32> = (0..m).map(|_| (next() as i32) % (1 << 14)).collect();
+            let mut c_ref = vec![0i8; m * n];
+            let mut c_simd = vec![0i8; m * n];
+            q8_gemm_body(&a, &b, &bias, &mut c_ref, m, k, n, 7, 6, 5, true, false);
+            q8_gemm_body(&a, &b, &bias, &mut c_simd, m, k, n, 7, 6, 5, true, true);
             assert_eq!(c_ref, c_simd, "{m}x{k}x{n}");
         }
     }

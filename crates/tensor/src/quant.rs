@@ -88,6 +88,90 @@ pub fn requantize(acc: i64, in_frac: u8, w_frac: u8, out_frac: u8) -> i16 {
     v.clamp(i16::MIN as i64, i16::MAX as i64) as i16
 }
 
+/// A power-of-two 8-bit fixed-point format: `f` fractional bits in an i8.
+///
+/// The deploy-style int8 tier (`IPRUNE_EVAL=q8`) stores weights and
+/// activations as i8 with per-tensor power-of-two scales — the same
+/// shift-only requantization discipline as [`QFormat`], at half the
+/// payload and a quarter of the multiplier width. Biases are *not* stored
+/// in i8: the Q8 engine preloads them directly at accumulator scale as
+/// i32 (see [`crate::qgemm::q8_gemm`]), the standard int8 deployment
+/// layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Q8Format {
+    frac_bits: u8,
+}
+
+impl Q8Format {
+    /// Maximum representable fractional bits for i8.
+    pub const MAX_FRAC_BITS: u8 = 7;
+
+    /// Creates a format with `frac_bits` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 7`.
+    pub fn new(frac_bits: u8) -> Self {
+        assert!(frac_bits <= Self::MAX_FRAC_BITS, "at most 7 fractional bits");
+        Self { frac_bits }
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// The scale factor `2^frac_bits`.
+    pub fn scale(&self) -> f32 {
+        (1i32 << self.frac_bits) as f32
+    }
+
+    /// Chooses the largest format that represents `max_abs` without
+    /// saturation, with the same 0.999 headroom rule as
+    /// [`QFormat::for_max_abs`].
+    pub fn for_max_abs(max_abs: f32) -> Self {
+        let mut f = Self::MAX_FRAC_BITS;
+        while f > 0 {
+            let limit = 127.0 / (1i64 << f) as f32;
+            if max_abs <= limit * 0.999 {
+                return Self::new(f);
+            }
+            f -= 1;
+        }
+        Self::new(0)
+    }
+
+    /// Quantizes a single value with round-to-nearest and saturation.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i8 {
+        let v = (x * self.scale()).round();
+        v.clamp(i8::MIN as f32, i8::MAX as f32) as i8
+    }
+
+    /// Dequantizes a single value.
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 / self.scale()
+    }
+}
+
+/// Requantizes a 32-bit Q8 accumulator holding a product/sum in
+/// `(in_frac + w_frac)` fractional bits down to `out_frac` bits, with
+/// round-to-nearest and i8 saturation — the 8-bit twin of [`requantize`]
+/// (the rounding shift happens in i64, so no intermediate can overflow).
+#[inline]
+pub fn requantize8(acc: i32, in_frac: u8, w_frac: u8, out_frac: u8) -> i8 {
+    let shift = in_frac as i32 + w_frac as i32 - out_frac as i32;
+    let acc = acc as i64;
+    let v = if shift > 0 {
+        let half = 1i64 << (shift - 1);
+        (acc + half) >> shift
+    } else {
+        acc << (-shift)
+    };
+    v.clamp(i8::MIN as i64, i8::MAX as i64) as i8
+}
+
 /// A quantized tensor: i16 values plus their [`QFormat`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QTensor {
@@ -260,6 +344,67 @@ mod tests {
             // non-finite inputs also clamp rather than wrap
             prop_assert_eq!(fmt.quantize(f32::INFINITY), i16::MAX);
             prop_assert_eq!(fmt.quantize(f32::NEG_INFINITY), i16::MIN);
+        }
+
+        // Q8: quantize -> dequantize is within half a quantization step
+        // for any in-range value, at every i8 format width.
+        #[test]
+        fn q8_roundtrip_error_bounded_at_every_format(
+            x in -300.0f32..300.0,
+            f in 0u8..=7,
+        ) {
+            let fmt = Q8Format::new(f);
+            let limit = 127.0 / fmt.scale();
+            let x = x.clamp(-limit, limit);
+            let err = (x - fmt.dequantize(fmt.quantize(x))).abs();
+            prop_assert!(err <= 0.5 / fmt.scale() + 1e-6, "f={} x={} err={}", f, x, err);
+        }
+
+        // Q8: out-of-range values saturate at exactly the i8 bounds.
+        #[test]
+        fn q8_out_of_range_saturates_at_i8_bounds(
+            mag in 0.0f32..1.0e4,
+            f in 0u8..=7,
+        ) {
+            let fmt = Q8Format::new(f);
+            let limit = 127.0 / fmt.scale();
+            let x = limit + mag + 1.0 / fmt.scale();
+            prop_assert_eq!(fmt.quantize(x), i8::MAX, "f={} x={}", f, x);
+            prop_assert_eq!(fmt.quantize(-x), i8::MIN, "f={} x={}", f, x);
+            prop_assert_eq!(fmt.quantize(f32::INFINITY), i8::MAX);
+            prop_assert_eq!(fmt.quantize(f32::NEG_INFINITY), i8::MIN);
+        }
+
+        // Q8: the chosen format never saturates in-range data, mirroring
+        // the i16 contract (weights quantized this way stay off i8::MIN).
+        #[test]
+        fn q8_chosen_format_never_saturates(xs in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+            let max_abs = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let fmt = Q8Format::for_max_abs(max_abs.max(1e-6));
+            for &x in &xs {
+                let q = fmt.quantize(x);
+                prop_assert!(q != i8::MIN, "for_max_abs headroom keeps weights off i8::MIN");
+            }
+        }
+
+        // Q8: requantize8 up-then-down is the exact arithmetic shift.
+        #[test]
+        fn q8_requantize_shift_is_exact_for_representable_values(
+            q in -128i32..=127,
+            in_frac in 0u8..=7,
+            d in 0u8..=7,
+        ) {
+            let acc = q << d;
+            prop_assert_eq!(requantize8(acc, in_frac, d, in_frac) as i32, q);
+        }
+
+        // Q8: rounding in requantize8 is round-half-up on the shifted-out
+        // bits, and saturation clamps instead of wrapping.
+        #[test]
+        fn q8_requantize_rounds_and_saturates(acc in i32::MIN/2..i32::MAX/2, shift in 1u8..=7) {
+            let out = requantize8(acc, shift, 0, 0) as i64;
+            let exact = (acc as i64 + (1i64 << (shift - 1))) >> shift;
+            prop_assert_eq!(out, exact.clamp(i8::MIN as i64, i8::MAX as i64));
         }
 
         // A pure format change through `requantize` is the exact arithmetic

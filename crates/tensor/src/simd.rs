@@ -55,6 +55,15 @@
 //! scalar spec provided one operand never holds `i16::MIN` (then no i32
 //! pair can wrap); quantized weights produced by
 //! [`crate::quant::QFormat::for_max_abs`] satisfy this by construction.
+//!
+//! # Q8 integer GEMM
+//!
+//! [`q8_dot_i32`]'s SIMD counterpart sign-extends i8 lanes to i16
+//! (`_mm256_cvtepi8_epi16`) and accumulates `_mm256_madd_epi16` pair sums
+//! in **wrapping** i32 lanes. Every pair sum is exact (≤ 2·2¹⁴) and
+//! wrapping addition is associative and commutative mod 2³², so the SIMD
+//! body equals the scalar spec for **all** inputs — the Q8 tier needs no
+//! operand precondition at all.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -91,15 +100,38 @@ fn level_bits(l: SimdLevel) -> u8 {
     }
 }
 
+/// Parses an `IPRUNE_SIMD` value: `Ok(false)` forces scalar, `Ok(true)`
+/// requests SIMD (the default when unset). Anything else is `Err` — the
+/// caller warns once and keeps the default rather than silently degrading.
+fn parse_simd_env(val: Option<&str>) -> Result<bool, ()> {
+    match val {
+        None | Some("1") => Ok(true),
+        Some("0") => Ok(false),
+        Some(_) => Err(()),
+    }
+}
+
 /// The current dispatch level. First call seeds it: `IPRUNE_SIMD=0` forces
 /// scalar; `IPRUNE_SIMD=1` or unset selects AVX2 when the CPU supports it
 /// (there is no way to force SIMD onto a CPU that lacks it — `1` on such a
 /// host degrades to scalar, which the bench records as the effective
-/// level).
+/// level). An unrecognized value keeps the auto-detected default and warns
+/// once on stderr instead of silently falling back to scalar.
 pub fn simd_level() -> SimdLevel {
     let bits = LEVEL.load(Ordering::Relaxed);
     if bits == u8::MAX {
-        let want = !matches!(std::env::var("IPRUNE_SIMD").ok().as_deref(), Some("0"));
+        let env = std::env::var("IPRUNE_SIMD").ok();
+        let want = parse_simd_env(env.as_deref()).unwrap_or_else(|()| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: unrecognized IPRUNE_SIMD value {:?} (expected \"0\" or \"1\"); \
+                     keeping the auto-detected kernel dispatch level",
+                    env.as_deref().unwrap_or("")
+                );
+            });
+            true
+        });
         let initial = if want && avx2_supported() { SimdLevel::Avx2 } else { SimdLevel::Scalar };
         // racing first calls agree on the env-derived value
         LEVEL.store(level_bits(initial), Ordering::Relaxed);
@@ -151,6 +183,22 @@ pub fn q15_dot_i64(a: &[i16], b: &[i16]) -> i64 {
     let mut acc = 0i64;
     for (&x, &y) in a.iter().zip(b.iter()) {
         acc += (x as i32 * y as i32) as i64;
+    }
+    acc
+}
+
+/// Scalar Q8 dot product: i8×i8 products in a **wrapping** i32
+/// accumulator. Wrapping two's-complement addition is associative and
+/// commutative mod 2³², so any reassociation — in particular the
+/// lane-parallel SIMD body — is exactly equal for **all** inputs, with no
+/// operand precondition (unlike the Q15 kernel). In practice the
+/// accumulator never wraps on model data: `k` products of magnitude
+/// ≤ 2¹⁴ stay far below 2³¹ for every layer in the zoo.
+#[inline]
+pub fn q8_dot_i32(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc = acc.wrapping_add(x as i32 * y as i32);
     }
     acc
 }
@@ -491,6 +539,65 @@ pub(crate) mod avx2 {
         }
         acc
     }
+
+    // -----------------------------------------------------------------
+    // Q8 integer GEMM body.
+    // -----------------------------------------------------------------
+
+    /// Q8 dot product: 32 i8 per load pair, sign-extended halves
+    /// (`_mm256_cvtepi8_epi16`) multiplied pairwise into i32 by
+    /// `_mm256_madd_epi16` (pair sums ≤ 2·2¹⁴ — never saturate), wrapping
+    /// i32 lane accumulation, two independent accumulator sets unrolled
+    /// over 64 i8 per iteration. Exactly equal to [`super::q8_dot_i32`]
+    /// for **all** inputs: every madd is exact and wrapping i32 addition
+    /// reassociates freely. (`_mm256_maddubs_epi16` is rejected for this
+    /// kernel — its unsigned×signed pair sums saturate at i16 and would
+    /// break the bitwise contract.)
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2; both slices must hold `k` elements.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn q8_dot(a: *const i8, b: *const i8, k: usize) -> i32 {
+        #[target_feature(enable = "avx2")]
+        #[inline]
+        unsafe fn madd32(a: *const i8, b: *const i8, acc: __m256i) -> __m256i {
+            let va = _mm256_loadu_si256(a as *const __m256i);
+            let vb = _mm256_loadu_si256(b as *const __m256i);
+            let lo = _mm256_madd_epi16(
+                _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va)),
+                _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb)),
+            );
+            let hi = _mm256_madd_epi16(
+                _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1)),
+                _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1)),
+            );
+            _mm256_add_epi32(acc, _mm256_add_epi32(lo, hi))
+        }
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut p = 0usize;
+        while p + 64 <= k {
+            acc0 = madd32(a.add(p), b.add(p), acc0);
+            acc1 = madd32(a.add(p + 32), b.add(p + 32), acc1);
+            p += 64;
+        }
+        if p + 32 <= k {
+            acc0 = madd32(a.add(p), b.add(p), acc0);
+            p += 32;
+        }
+        let sum = _mm256_add_epi32(acc0, acc1);
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, sum);
+        let mut acc = 0i32;
+        for &l in &lanes {
+            acc = acc.wrapping_add(l);
+        }
+        for q in p..k {
+            acc = acc.wrapping_add(*a.add(q) as i32 * *b.add(q) as i32);
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +626,48 @@ mod tests {
         let b = [30000i16, 30000, -12345, i16::MIN, 3];
         let expect: i64 = a.iter().zip(b.iter()).map(|(&x, &y)| x as i64 * y as i64).sum();
         assert_eq!(q15_dot_i64(&a, &b), expect);
+    }
+
+    #[test]
+    fn simd_env_values_parse_or_reject() {
+        assert_eq!(parse_simd_env(None), Ok(true));
+        assert_eq!(parse_simd_env(Some("1")), Ok(true));
+        assert_eq!(parse_simd_env(Some("0")), Ok(false));
+        assert_eq!(parse_simd_env(Some("2")), Err(()));
+        assert_eq!(parse_simd_env(Some("avx2")), Err(()));
+        assert_eq!(parse_simd_env(Some("")), Err(()));
+    }
+
+    #[test]
+    fn q8_dot_scalar_wraps_like_wide_reference() {
+        let a = [127i8, -128, 100, -1, 7];
+        let b = [127i8, -128, -100, i8::MIN, 3];
+        let expect: i64 = a.iter().zip(b.iter()).map(|(&x, &y)| x as i64 * y as i64).sum();
+        assert_eq!(q8_dot_i32(&a, &b) as i64, expect, "no wrap at this size");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn q8_dot_avx2_matches_scalar_spec_on_full_range() {
+        if !avx2_supported() {
+            return;
+        }
+        // full i8 range on BOTH sides — the Q8 contract has no i8::MIN
+        // exclusion (wrapping i32 accumulation reassociates exactly)
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for len in [0usize, 1, 31, 32, 33, 63, 64, 65, 127, 130, 513] {
+            let a: Vec<i8> = (0..len).map(|_| next() as i8).collect();
+            let b: Vec<i8> = (0..len).map(|_| next() as i8).collect();
+            let expect = q8_dot_i32(&a, &b);
+            let got = unsafe { avx2::q8_dot(a.as_ptr(), b.as_ptr(), len) };
+            assert_eq!(got, expect, "len {len}");
+        }
     }
 
     #[cfg(target_arch = "x86_64")]

@@ -16,8 +16,15 @@
 use iprune_repro::tensor::matmul::{
     matmul_a_bt, matmul_a_bt_scalar, matmul_acc, matmul_acc_scalar, matmul_at_b, matmul_at_b_scalar,
 };
+use iprune_repro::tensor::pack::{
+    im2col_f32, im2col_f32_scalar, im2col_patches, im2col_patches_scalar, ConvShape,
+};
 use iprune_repro::tensor::par;
-use iprune_repro::tensor::qgemm::q15_gemm;
+use iprune_repro::tensor::pool::{
+    maxpool2d_f32, maxpool2d_f32_argmax, maxpool2d_f32_argmax_scalar, maxpool2d_f32_scalar,
+    maxpool2d_i16, maxpool2d_i16_scalar, maxpool2d_i8,
+};
+use iprune_repro::tensor::qgemm::{q15_gemm, q8_gemm};
 use iprune_repro::tensor::simd::{avx2_supported, set_simd_level, simd_level, SimdLevel};
 use iprune_repro::tensor::sparse::{
     matmul_a_bt_sparse_out, matmul_a_bt_sparse_rhs, matmul_acc_sparse_lhs, matmul_acc_sparse_rhs,
@@ -290,6 +297,163 @@ fn simd_path_is_thread_count_invariant() {
         }
     }
     par::set_host_cores(0);
+}
+
+/// Conv geometries for the packing tests: `(cin, kh, kw, stride, pad_h,
+/// pad_w, in_h, in_w)`, covering stride > 1, asymmetric padding, 1-D
+/// inputs, and kernels wider than the input-plus-padding overhang.
+const CONV_SHAPES: &[[usize; 8]] = &[
+    [1, 1, 1, 1, 0, 0, 1, 1],
+    [3, 3, 3, 1, 1, 1, 8, 8],
+    [4, 5, 5, 2, 2, 2, 13, 13],
+    [2, 3, 1, 1, 1, 0, 9, 1],
+    [8, 3, 3, 1, 0, 0, 13, 13],
+    [1, 2, 7, 1, 0, 3, 5, 6],
+    [5, 3, 3, 2, 1, 1, 7, 9],
+];
+
+fn conv_shape(t: &[usize; 8]) -> ConvShape {
+    let &[cin, kh, kw, stride, pad_h, pad_w, in_h, in_w] = t;
+    ConvShape {
+        cin,
+        kh,
+        kw,
+        stride,
+        pad_h,
+        pad_w,
+        in_h,
+        in_w,
+        out_h: (in_h + 2 * pad_h - kh) / stride + 1,
+        out_w: (in_w + 2 * pad_w - kw) / stride + 1,
+    }
+}
+
+/// im2col is pure data movement, so both layouts promise *bitwise*
+/// equality across dispatch levels for every geometry and element type.
+#[test]
+fn im2col_is_bitwise_exact_across_levels() {
+    let _g = hold_level();
+    for (ti, t) in CONV_SHAPES.iter().enumerate() {
+        let s = conv_shape(t);
+        let src = operand(s.in_len(), 0x1_2C01 + ti as u64);
+        let src_i16: Vec<i16> = src.iter().map(|&v| (v * 32767.0) as i16).collect();
+        let src_i8: Vec<i8> = src.iter().map(|&v| (v * 127.0) as i8).collect();
+
+        let mut spec = vec![0.0f32; s.col_len()];
+        im2col_f32_scalar(&src, &s, &mut spec);
+        let mut spec_i16 = vec![0i16; s.col_len()];
+        im2col_patches_scalar(&src_i16, &s, &mut spec_i16);
+        let mut spec_i8 = vec![0i8; s.col_len()];
+        im2col_patches_scalar(&src_i8, &s, &mut spec_i8);
+
+        let levels: &[SimdLevel] = if avx2_supported() {
+            &[SimdLevel::Scalar, SimdLevel::Avx2]
+        } else {
+            &[SimdLevel::Scalar]
+        };
+        for &lvl in levels {
+            set_simd_level(lvl);
+            let mut col = vec![0.5f32; s.col_len()];
+            im2col_f32(&src, &s, &mut col);
+            assert_eq!(bits(&col), bits(&spec), "f32 shape {ti} at {lvl:?}");
+            let mut col16 = vec![7i16; s.col_len()];
+            im2col_patches(&src_i16, &s, &mut col16);
+            assert_eq!(col16, spec_i16, "i16 shape {ti} at {lvl:?}");
+            let mut col8 = vec![7i8; s.col_len()];
+            im2col_patches(&src_i8, &s, &mut col8);
+            assert_eq!(col8, spec_i8, "i8 shape {ti} at {lvl:?}");
+        }
+    }
+}
+
+/// Max-pooling promises *bitwise* equality across dispatch levels for all
+/// element types, including the argmax variant (first-wins tie-breaking)
+/// and 1-D column inputs that canonicalize onto the row-pair path.
+#[test]
+fn maxpool_is_bitwise_exact_across_levels() {
+    let _g = hold_level();
+    // (h, w, kh, kw): vector kw∈{1,2} paths, scalar kw=3 fallback, 1-D
+    let shapes: &[(usize, usize, usize, usize)] = &[
+        (4, 8, 2, 2),
+        (8, 16, 2, 2),
+        (9, 7, 3, 1),
+        (5, 10, 1, 2),
+        (12, 1, 2, 1),
+        (7, 9, 2, 3),
+        (3, 33, 3, 2),
+    ];
+    for (ti, &(h, w, kh, kw)) in shapes.iter().enumerate() {
+        let src = operand(h * w, 0x9001 + ti as u64);
+        let src_i16: Vec<i16> = src.iter().map(|&v| (v * 32767.0) as i16).collect();
+        let src_i8: Vec<i8> = src.iter().map(|&v| (v * 127.0) as i8).collect();
+        let (ho, wo) = (h / kh, w / kw);
+
+        let mut spec = vec![0.0f32; ho * wo];
+        maxpool2d_f32_scalar(&src, h, w, kh, kw, &mut spec);
+        let mut spec_arg = vec![0usize; ho * wo];
+        let mut spec_arg_dst = vec![0.0f32; ho * wo];
+        maxpool2d_f32_argmax_scalar(&src, h, w, kh, kw, &mut spec_arg_dst, &mut spec_arg);
+        let mut spec_i16 = vec![0i16; ho * wo];
+        maxpool2d_i16_scalar(&src_i16, h, w, kh, kw, &mut spec_i16);
+
+        let levels: &[SimdLevel] = if avx2_supported() {
+            &[SimdLevel::Scalar, SimdLevel::Avx2]
+        } else {
+            &[SimdLevel::Scalar]
+        };
+        for &lvl in levels {
+            set_simd_level(lvl);
+            let mut dst = vec![-1.0f32; ho * wo];
+            maxpool2d_f32(&src, h, w, kh, kw, &mut dst);
+            assert_eq!(bits(&dst), bits(&spec), "f32 shape {ti} at {lvl:?}");
+            let mut arg = vec![usize::MAX; ho * wo];
+            let mut arg_dst = vec![-1.0f32; ho * wo];
+            maxpool2d_f32_argmax(&src, h, w, kh, kw, &mut arg_dst, &mut arg);
+            assert_eq!(bits(&arg_dst), bits(&spec_arg_dst), "argmax dst {ti} at {lvl:?}");
+            assert_eq!(arg, spec_arg, "argmax idx {ti} at {lvl:?}");
+            let mut dst16 = vec![0i16; ho * wo];
+            maxpool2d_i16(&src_i16, h, w, kh, kw, &mut dst16);
+            assert_eq!(dst16, spec_i16, "i16 shape {ti} at {lvl:?}");
+            let mut dst8 = vec![0i8; ho * wo];
+            maxpool2d_i8(&src_i8, h, w, kh, kw, &mut dst8);
+            // i8 is scalar at every level: compare level-to-level via i16
+            let as16: Vec<i16> = dst8.iter().map(|&v| v as i16).collect();
+            let src8_as16: Vec<i16> = src_i8.iter().map(|&v| v as i16).collect();
+            let mut want8 = vec![0i16; ho * wo];
+            maxpool2d_i16_scalar(&src8_as16, h, w, kh, kw, &mut want8);
+            assert_eq!(as16, want8, "i8 shape {ti} at {lvl:?}");
+        }
+    }
+}
+
+/// The Q8 GEMM is *bitwise* exact across dispatch levels for arbitrary i8
+/// operands — wrapping i32 accumulation reassociates freely, so unlike Q15
+/// there is no operand precondition.
+#[test]
+fn q8_gemm_simd_is_bitwise_exact_vs_scalar() {
+    let _g = hold_level();
+    let mut s = 0x0800_u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 17, 5), (8, 100, 9), (4, 577, 3)] {
+        let a: Vec<i8> = (0..m * k).map(|_| next() as i8).collect();
+        let b: Vec<i8> = (0..n * k).map(|_| next() as i8).collect();
+        let bias: Vec<i32> = (0..m).map(|_| next() as i32 >> 16).collect();
+        let mut c_scalar = vec![0i8; m * n];
+        let mut c_simd = vec![0i8; m * n];
+        set_simd_level(SimdLevel::Scalar);
+        q8_gemm(&a, &b, &bias, &mut c_scalar, m, k, n, 5, 7, 6, true);
+        if !avx2_supported() {
+            continue;
+        }
+        set_simd_level(SimdLevel::Avx2);
+        q8_gemm(&a, &b, &bias, &mut c_simd, m, k, n, 5, 7, 6, true);
+        assert_eq!(c_scalar, c_simd, "{m}x{k}x{n}");
+    }
 }
 
 /// The Q15 GEMM is *bitwise* exact across dispatch levels: integer madd
